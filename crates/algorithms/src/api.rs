@@ -1,0 +1,104 @@
+//! Uniform interfaces for MPC algorithms, so the component-stability
+//! framework (crate `csmpc-core`) can run, compare, and classify them.
+
+use csmpc_graph::Graph;
+use csmpc_mpc::{Cluster, MpcError};
+
+/// An MPC algorithm producing one label per node.
+///
+/// The cluster supplies everything Definition 13 allows an algorithm to see:
+/// the distributed input graph (hence `n`, `Δ`), and the shared seed.
+/// Whether the algorithm's outputs *actually* depend only on
+/// `(CC(v), v, n, Δ, S)` — component stability — is checked empirically by
+/// the verifier in `csmpc-core`, not assumed.
+pub trait MpcVertexAlgorithm {
+    /// Output label per node.
+    type Label: Clone + PartialEq + std::fmt::Debug;
+
+    /// Algorithm name for reporting.
+    fn name(&self) -> &str;
+
+    /// `true` when the algorithm ignores the shared seed.
+    fn deterministic(&self) -> bool;
+
+    /// Runs on `g` using (and charging) `cluster`. Outputs are indexed by
+    /// node index of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MpcError`] raised by the primitives (space violations, etc.).
+    fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<Self::Label>, MpcError>;
+}
+
+/// An MPC algorithm producing one label per edge (in `g.edges()` order).
+pub trait MpcEdgeAlgorithm {
+    /// Output label per edge.
+    type Label: Clone + PartialEq + std::fmt::Debug;
+
+    /// Algorithm name for reporting.
+    fn name(&self) -> &str;
+
+    /// `true` when the algorithm ignores the shared seed.
+    fn deterministic(&self) -> bool;
+
+    /// Runs on `g` using (and charging) `cluster`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MpcError`] raised by the primitives.
+    fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<Self::Label>, MpcError>;
+}
+
+/// Convenience: provision a cluster for `g` with the standard `φ = 0.5`
+/// configuration and the given seed.
+#[must_use]
+pub fn cluster_for(g: &Graph, seed: csmpc_graph::rng::Seed) -> Cluster {
+    Cluster::new(
+        csmpc_mpc::MpcConfig::default(),
+        g.n(),
+        csmpc_mpc::graph_words(g),
+        seed,
+    )
+}
+
+/// Like [`cluster_for`] but with an elevated machine-space floor —
+/// representing parameter regimes where the paper's side conditions
+/// (e.g. `Δ^{O(T)} ≤ n^φ` for ball collection) hold with room to spare on
+/// test-scale inputs.
+#[must_use]
+pub fn roomy_cluster_for(g: &Graph, seed: csmpc_graph::rng::Seed, min_space: usize) -> Cluster {
+    let mut cfg = csmpc_mpc::MpcConfig::default();
+    cfg.min_space = min_space;
+    Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::{generators, rng::Seed};
+
+    struct ConstLabel;
+    impl MpcVertexAlgorithm for ConstLabel {
+        type Label = u8;
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn deterministic(&self) -> bool {
+            true
+        }
+        fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<u8>, MpcError> {
+            cluster.charge_rounds(1);
+            Ok(vec![7; g.n()])
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let g = generators::path(4);
+        let mut cl = cluster_for(&g, Seed(0));
+        let alg = ConstLabel;
+        let out = alg.run(&g, &mut cl).unwrap();
+        assert_eq!(out, vec![7, 7, 7, 7]);
+        assert_eq!(cl.stats().rounds, 1);
+    }
+}

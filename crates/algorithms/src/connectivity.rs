@@ -1,0 +1,178 @@
+//! MPC connectivity: the connectivity-conjecture baseline (one `n`-cycle vs
+//! two `n/2`-cycles) and `D`-diameter `s-t` connectivity (the problem the
+//! lifting reduction of Lemma 27 / Theorem 14 targets).
+
+use csmpc_graph::{Graph, NodeName};
+use csmpc_mpc::{Cluster, DistributedGraph, MpcError};
+
+/// Verdict of the cycle-distinguishing problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleVerdict {
+    /// The input is one connected cycle.
+    OneCycle,
+    /// The input splits into two cycles.
+    TwoCycles,
+}
+
+/// Distinguishes one `n`-cycle from two `n/2`-cycles via pointer-jumping
+/// connected components — the best known upper bound, `Θ(log n)` rounds,
+/// which the connectivity conjecture posits is optimal.
+///
+/// Returns the verdict and the number of pointer-jumping iterations
+/// (each `O(1)` MPC rounds).
+///
+/// # Errors
+///
+/// Propagates space violations.
+pub fn distinguish_cycles(
+    g: &Graph,
+    cluster: &mut Cluster,
+) -> Result<(CycleVerdict, usize), MpcError> {
+    let dg = DistributedGraph::distribute(g, cluster)?;
+    let (labels, iterations) = dg.cc_labels(cluster);
+    let distinct: std::collections::HashSet<u64> = labels.iter().copied().collect();
+    let verdict = if distinct.len() <= 1 {
+        CycleVerdict::OneCycle
+    } else {
+        CycleVerdict::TwoCycles
+    };
+    Ok((verdict, iterations))
+}
+
+/// The `D`-diameter `s-t` connectivity problem (GKU19 Definition IV.1,
+/// restated in Lemma 27's footnote): answer YES when `s` and `t` are the
+/// endpoints of a path of length ≤ `D`, NO when they are disconnected;
+/// anything is acceptable otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StConnInstance {
+    /// Name of the source node `s`.
+    pub s: NodeName,
+    /// Name of the target node `t`.
+    pub t: NodeName,
+    /// The diameter bound `D`.
+    pub d: usize,
+}
+
+/// Solves `D`-diameter `s-t` connectivity by pointer jumping restricted to
+/// the ≤2-degree skeleton (nodes of degree > 2 are discarded, as the
+/// problem's promise allows): `O(log D)` iterations.
+///
+/// # Errors
+///
+/// Propagates space violations. Returns `Ok(None)` if `s` or `t` is absent.
+pub fn st_connected(
+    g: &Graph,
+    inst: StConnInstance,
+    cluster: &mut Cluster,
+) -> Result<Option<bool>, MpcError> {
+    let s = g.index_of_name(inst.s);
+    let t = g.index_of_name(inst.t);
+    let (Some(s), Some(t)) = (s, t) else {
+        return Ok(None);
+    };
+    // Discard nodes of degree > 2 (cannot be on an s-t path under the
+    // promise); one round of local filtering.
+    let keep: Vec<usize> = (0..g.n()).filter(|&v| g.degree(v) <= 2).collect();
+    cluster.charge_rounds(1);
+    let (sub, back) = csmpc_graph::ops::induced(g, &keep);
+    let dg = DistributedGraph::distribute(&sub, cluster)?;
+    let (labels, _) = dg.cc_labels(cluster);
+    let pos = |orig: usize| back.iter().position(|&x| x == orig);
+    let (Some(si), Some(ti)) = (pos(s), pos(t)) else {
+        return Ok(Some(false)); // s or t had degree > 2: not a plain path
+    };
+    Ok(Some(labels[si] == labels[ti]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::cluster_for;
+    use csmpc_graph::rng::Seed;
+    use csmpc_graph::{generators, ops};
+
+    #[test]
+    fn one_cycle_detected() {
+        let g = generators::cycle(64);
+        let mut cl = cluster_for(&g, Seed(1));
+        let (v, _) = distinguish_cycles(&g, &mut cl).unwrap();
+        assert_eq!(v, CycleVerdict::OneCycle);
+    }
+
+    #[test]
+    fn two_cycles_detected() {
+        let g = generators::two_cycles(64);
+        let mut cl = cluster_for(&g, Seed(1));
+        let (v, _) = distinguish_cycles(&g, &mut cl).unwrap();
+        assert_eq!(v, CycleVerdict::TwoCycles);
+    }
+
+    #[test]
+    fn iteration_count_scales_logarithmically() {
+        let mut iters = Vec::new();
+        for n in [64usize, 256, 1024, 4096] {
+            let g = generators::cycle(n);
+            let mut cl = cluster_for(&g, Seed(1));
+            let (_, it) = distinguish_cycles(&g, &mut cl).unwrap();
+            iters.push(it);
+        }
+        // 64x more nodes should cost roughly +6 iterations, not 64x.
+        assert!(
+            iters[3] <= iters[0] + 14,
+            "iterations not logarithmic: {iters:?}"
+        );
+        assert!(iters[3] > iters[0], "iterations suspiciously flat: {iters:?}");
+    }
+
+    #[test]
+    fn st_connectivity_on_path() {
+        let g = generators::path(20);
+        let inst = StConnInstance {
+            s: g.name(0),
+            t: g.name(19),
+            d: 19,
+        };
+        let mut cl = cluster_for(&g, Seed(2));
+        assert_eq!(st_connected(&g, inst, &mut cl).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn st_connectivity_disconnected() {
+        let a = generators::path(10);
+        let b = ops::with_fresh_names(&generators::path(10), 100);
+        let g = ops::disjoint_union(&[&a, &b]);
+        let inst = StConnInstance {
+            s: g.name(0),
+            t: g.name(10), // in the other path
+            d: 9,
+        };
+        let mut cl = cluster_for(&g, Seed(3));
+        assert_eq!(st_connected(&g, inst, &mut cl).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn missing_endpoint_reported() {
+        let g = generators::path(5);
+        let inst = StConnInstance {
+            s: g.name(0),
+            t: NodeName(999),
+            d: 4,
+        };
+        let mut cl = cluster_for(&g, Seed(4));
+        assert_eq!(st_connected(&g, inst, &mut cl).unwrap(), None);
+    }
+
+    #[test]
+    fn high_degree_nodes_discarded() {
+        // s-t path through a high-degree hub does not count (the promise
+        // allows any answer, we answer false deterministically).
+        let g = generators::star(5);
+        let inst = StConnInstance {
+            s: g.name(1),
+            t: g.name(2),
+            d: 2,
+        };
+        let mut cl = cluster_for(&g, Seed(5));
+        assert_eq!(st_connected(&g, inst, &mut cl).unwrap(), Some(false));
+    }
+}

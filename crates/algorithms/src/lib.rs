@@ -1,0 +1,40 @@
+//! # csmpc-algorithms
+//!
+//! The LOCAL and MPC algorithms on both sides of every separation in
+//! *"Component Stability in Low-Space Massively Parallel Computation"*
+//! (PODC 2021):
+//!
+//! | paper object | module |
+//! |---|---|
+//! | Luby step / MIS, truncated (extendable) Luby | [`luby`] |
+//! | Θ(log n)-fold success amplification (Theorem 5, unstable) | [`amplify`] |
+//! | pairwise-independent derandomized Luby (Claim 52 / Theorem 53) | [`det_is`] |
+//! | extendable-algorithm MPC simulation (Theorems 45–46) | [`extendable`] |
+//! | constructive LLL, parallel Moser–Tardos (Lemma 37) | [`lll`] |
+//! | sinkless orientation upper bounds (Theorem 39) | [`sinkless`] |
+//! | colorings: greedy, Cole–Vishkin `O(log* n)`, forest Δ-edge-coloring (Theorems 40–43) | [`coloring`] |
+//! | connectivity baseline + `D`-diameter s-t connectivity (conjecture, Lemma 27) | [`connectivity`] |
+//! | the `O(1)`-round consecutive-path checker (Section 2.1) | [`path_check`] |
+//!
+//! All MPC algorithms implement [`api::MpcVertexAlgorithm`] so the
+//! component-stability framework in `csmpc-core` can run and classify them
+//! uniformly.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amplify;
+pub mod api;
+pub mod coloring;
+pub mod connectivity;
+pub mod det_is;
+pub mod extendable;
+pub mod linial;
+pub mod lll;
+pub mod local_engine;
+pub mod luby;
+pub mod mpc_edge;
+pub mod path_check;
+pub mod sinkless;
+
+pub use api::{cluster_for, MpcEdgeAlgorithm, MpcVertexAlgorithm};

@@ -1,0 +1,319 @@
+//! LOCAL algorithms in *message-passing* form, cross-validating the engine
+//! semantics (`csmpc_local::engine`) against the ball semantics
+//! (`csmpc_local::ball_eval`) that the rest of the workspace uses.
+//!
+//! Two artifacts:
+//!
+//! * [`LubyMisEngine`] — Luby's MIS as an explicit protocol (two rounds per
+//!   phase: join announcements, then elimination announcements), provably
+//!   equivalent to the phase-synchronous [`crate::luby::luby_mis`];
+//! * [`BallCollector`] — the generic `r`-round flooding protocol that
+//!   gathers each node's `r`-ball and evaluates any
+//!   [`csmpc_local::BallAlgorithm`] on it, realizing the textbook claim
+//!   "any `r`-round LOCAL algorithm is a function of the `r`-ball" *inside
+//!   the engine*.
+
+use csmpc_graph::{Graph, GraphBuilder, NodeId, NodeName};
+use csmpc_local::engine::{Action, Incoming, LocalAlgorithm, NodeView};
+use csmpc_local::{BallAlgorithm, LocalParams};
+
+/// Per-phase χ value, derived exactly like [`crate::luby::TruncatedLubyMis`]
+/// so the two implementations are comparable bit-for-bit.
+fn chi(params: &LocalParams, id: NodeId, phase: usize) -> f64 {
+    params.node_rng(id, 0x100 + phase as u64).f64()
+}
+
+/// Luby's MIS as a message-passing protocol: phase `p` consists of a *join*
+/// round (local χ-minima among active nodes announce themselves) and an
+/// *eliminate* round (their neighbors announce leaving). Each node halts as
+/// soon as it is decided and its neighbors know.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LubyMisEngine;
+
+/// Protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LubyMsg {
+    /// Sender joined the MIS this phase.
+    Joined,
+    /// Sender left (a neighbor joined).
+    Eliminated,
+    /// Sender is still active.
+    StillActive,
+}
+
+/// Per-node protocol state.
+#[derive(Debug, Clone)]
+pub struct LubyState {
+    active_neighbors: Vec<bool>,
+    decided: Option<bool>,
+    pending_halt: bool,
+}
+
+impl LocalAlgorithm for LubyMisEngine {
+    type State = LubyState;
+    type Message = LubyMsg;
+    type Output = bool;
+
+    fn init(&self, view: &NodeView<'_>) -> LubyState {
+        LubyState {
+            active_neighbors: vec![true; view.degree()],
+            decided: None,
+            pending_halt: false,
+        }
+    }
+
+    fn round(
+        &self,
+        state: &mut LubyState,
+        view: &NodeView<'_>,
+        round: usize,
+        inbox: &[Incoming<LubyMsg>],
+    ) -> Action<LubyMsg, bool> {
+        // Process announcements from the previous round.
+        for msg in inbox {
+            match msg.msg {
+                LubyMsg::Joined => {
+                    // A neighbor joined: I am eliminated (if undecided).
+                    if state.decided.is_none() {
+                        state.decided = Some(false);
+                    }
+                    state.active_neighbors[msg.port] = false;
+                }
+                LubyMsg::Eliminated => state.active_neighbors[msg.port] = false,
+                LubyMsg::StillActive => {}
+            }
+        }
+        if state.pending_halt {
+            return Action::Halt(state.decided.expect("halting nodes are decided"));
+        }
+        // Odd rounds are join rounds of phase (round+1)/2; even rounds are
+        // eliminate rounds.
+        if round % 2 == 1 {
+            let phase = round.div_ceil(2);
+            if state.decided.is_none() {
+                let my = chi(view.params, view.id, phase);
+                let is_min = (0..view.degree()).all(|p| {
+                    !state.active_neighbors[p]
+                        || my < chi(view.params, view.neighbor_ids[p], phase)
+                });
+                if is_min {
+                    state.decided = Some(true);
+                    state.pending_halt = true;
+                    return Action::Broadcast(LubyMsg::Joined);
+                }
+            }
+            Action::Broadcast(LubyMsg::StillActive)
+        } else {
+            // Eliminate round: nodes knocked out this phase tell neighbors.
+            if state.decided == Some(false) && !state.pending_halt {
+                state.pending_halt = true;
+                return Action::Broadcast(LubyMsg::Eliminated);
+            }
+            Action::Broadcast(LubyMsg::StillActive)
+        }
+    }
+}
+
+/// The generic ball-gathering protocol: flood node records for `r` rounds,
+/// reconstruct the `r`-ball, evaluate `A`.
+#[derive(Debug, Clone, Copy)]
+pub struct BallCollector<A> {
+    /// The ball algorithm to evaluate at each center.
+    pub algorithm: A,
+}
+
+/// A flooded node record: ID plus neighbor IDs.
+pub type NodeRecord = (u64, Vec<u64>);
+
+/// Collector state: all records learned so far.
+#[derive(Debug, Clone)]
+pub struct CollectorState {
+    records: std::collections::BTreeMap<u64, Vec<u64>>,
+}
+
+impl<A: BallAlgorithm> LocalAlgorithm for BallCollector<A>
+where
+    A::Output: Clone,
+{
+    type State = CollectorState;
+    type Message = Vec<NodeRecord>;
+    type Output = A::Output;
+
+    fn init(&self, view: &NodeView<'_>) -> CollectorState {
+        let mut records = std::collections::BTreeMap::new();
+        records.insert(
+            view.id.0,
+            view.neighbor_ids.iter().map(|i| i.0).collect(),
+        );
+        CollectorState { records }
+    }
+
+    fn round(
+        &self,
+        state: &mut CollectorState,
+        view: &NodeView<'_>,
+        round: usize,
+        inbox: &[Incoming<Vec<NodeRecord>>],
+    ) -> Action<Vec<NodeRecord>, A::Output> {
+        for msg in inbox {
+            for (id, nbrs) in &msg.msg {
+                state.records.entry(*id).or_insert_with(|| nbrs.clone());
+            }
+        }
+        let r = self.algorithm.radius(view.params);
+        if round > r {
+            // Reconstruct the ball: BFS over gathered records from self.
+            let ball = reconstruct_ball(&state.records, view.id.0, r);
+            let center = ball
+                .index_of_id(NodeId(view.id.0))
+                .expect("center is in its own ball");
+            return Action::Halt(self.algorithm.evaluate(&ball, center, view.params));
+        }
+        let all: Vec<NodeRecord> = state
+            .records
+            .iter()
+            .map(|(id, nbrs)| (*id, nbrs.clone()))
+            .collect();
+        Action::Broadcast(all)
+    }
+}
+
+/// Builds the induced subgraph on nodes within distance `r` of `center_id`,
+/// from flooded records. Records must cover the ball (guaranteed after `r`
+/// flooding rounds).
+fn reconstruct_ball(
+    records: &std::collections::BTreeMap<u64, Vec<u64>>,
+    center_id: u64,
+    r: usize,
+) -> Graph {
+    // BFS over the record graph.
+    let mut dist = std::collections::BTreeMap::new();
+    dist.insert(center_id, 0usize);
+    let mut queue = std::collections::VecDeque::from([center_id]);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[&x];
+        if dx == r {
+            continue;
+        }
+        if let Some(nbrs) = records.get(&x) {
+            for &y in nbrs {
+                if !dist.contains_key(&y) {
+                    dist.insert(y, dx + 1);
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    let ids: Vec<u64> = dist.keys().copied().collect();
+    let index: std::collections::BTreeMap<u64, usize> =
+        ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut b = GraphBuilder::new();
+    for &id in &ids {
+        // Names are invisible in LOCAL; reuse IDs (legal inside one ball).
+        b.add_node(NodeId(id), NodeName(id));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for &id in &ids {
+        if let Some(nbrs) = records.get(&id) {
+            for &y in nbrs {
+                if let Some(&j) = index.get(&y) {
+                    let i = index[&id];
+                    let key = (i.min(j), i.max(j));
+                    if i != j && seen.insert(key) {
+                        b.add_edge(key.0, key.1);
+                    }
+                }
+            }
+        }
+    }
+    b.build().expect("reconstructed ball is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::luby::{luby_mis, TruncatedLubyMis};
+    use csmpc_graph::generators;
+    use csmpc_graph::rng::Seed;
+    use csmpc_local::engine::run_local;
+    use csmpc_problems::mis::Mis;
+    use csmpc_problems::problem::GraphProblem;
+
+    #[test]
+    fn engine_luby_produces_valid_mis() {
+        for s in 0..8 {
+            let g = generators::random_gnp(30, 0.15, Seed(s));
+            let params = LocalParams::exact(g.n(), g.max_degree(), Seed(100 + s));
+            let run = run_local(&g, &LubyMisEngine, &params, 500).unwrap();
+            assert!(Mis.is_valid(&g, &run.outputs), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn engine_luby_matches_phase_semantics() {
+        // Same seed ⇒ the protocol and the phase-synchronous loop agree.
+        for s in 0..6 {
+            let g = generators::random_tree(25, Seed(s));
+            let params = LocalParams::exact(g.n(), g.max_degree(), Seed(200 + s));
+            let run = run_local(&g, &LubyMisEngine, &params, 500).unwrap();
+            let (reference, phases) = luby_mis(&g, &params);
+            assert_eq!(run.outputs, reference, "seed {s}");
+            // Two engine rounds per phase, plus halting slack.
+            assert!(
+                run.rounds <= 2 * phases + 3,
+                "seed {s}: {} rounds for {phases} phases",
+                run.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn engine_luby_round_count_logarithmic() {
+        let g = generators::random_gnp(300, 0.03, Seed(3));
+        let params = LocalParams::exact(g.n(), g.max_degree(), Seed(4));
+        let run = run_local(&g, &LubyMisEngine, &params, 1000).unwrap();
+        assert!(run.rounds <= 60, "rounds {} not O(log n)-ish", run.rounds);
+    }
+
+    #[test]
+    fn ball_collector_matches_direct_ball_evaluation() {
+        // The flooding protocol must compute exactly what ball_eval does.
+        use csmpc_local::ball_eval::run_ball_algorithm;
+        let alg = TruncatedLubyMis { phases: 2 };
+        for s in 0..5 {
+            let g = generators::random_tree(20, Seed(s));
+            let params = LocalParams::exact(g.n(), g.max_degree(), Seed(50 + s));
+            let via_engine = run_local(
+                &g,
+                &BallCollector { algorithm: alg },
+                &params,
+                100,
+            )
+            .unwrap();
+            let via_ball = run_ball_algorithm(&g, &alg, &params);
+            assert_eq!(via_engine.outputs, via_ball, "seed {s}");
+            // r flooding rounds + 1 halting round.
+            assert_eq!(via_engine.rounds, alg.radius(&params) + 1);
+        }
+    }
+
+    #[test]
+    fn ball_collector_respects_radius() {
+        // A radius-1 sum-of-ids algorithm must see exactly the 1-ball.
+        #[derive(Clone, Copy, Debug)]
+        struct SumIds;
+        impl BallAlgorithm for SumIds {
+            type Output = u64;
+            fn radius(&self, _p: &LocalParams) -> usize {
+                1
+            }
+            fn evaluate(&self, ball: &Graph, _c: usize, _p: &LocalParams) -> u64 {
+                ball.ids().iter().map(|i| i.0).sum()
+            }
+        }
+        let g = generators::path(5); // IDs 0..4
+        let params = LocalParams::exact(5, 2, Seed(0));
+        let run = run_local(&g, &BallCollector { algorithm: SumIds }, &params, 10).unwrap();
+        assert_eq!(run.outputs, vec![1, 3, 6, 9, 7]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Luby's algorithm: the single step (Section 5's `O(1)`-round IS
+//! primitive), the full MIS loop, and the ball-form simulation used by
+//! component-stable MPC algorithms.
+
+use csmpc_graph::Graph;
+use csmpc_local::{BallAlgorithm, LocalParams};
+
+/// Draws the per-node values `χ_v ∈ [0,1)` from the shared seed, keyed by
+/// node **ID** (what a LOCAL node can address its randomness by).
+#[must_use]
+pub fn random_chi(g: &Graph, params: &LocalParams) -> Vec<f64> {
+    (0..g.n())
+        .map(|v| params.node_rng(g.id(v), 0xc41).f64())
+        .collect()
+}
+
+/// One Luby step: `v` joins iff `χ_v` is strictly below every neighbor's
+/// value. The result is always an independent set.
+#[must_use]
+pub fn luby_step(g: &Graph, chi: &[f64]) -> Vec<bool> {
+    (0..g.n())
+        .map(|v| g.neighbors(v).iter().all(|&w| chi[v] < chi[w as usize]))
+        .collect()
+}
+
+/// Full Luby MIS in phase-synchronous form: in each phase, local minima of
+/// fresh random values join the MIS and are removed together with their
+/// neighbors. Returns the MIS and the number of phases (each phase is
+/// `O(1)` LOCAL rounds).
+#[must_use]
+pub fn luby_mis(g: &Graph, params: &LocalParams) -> (Vec<bool>, usize) {
+    let n = g.n();
+    let mut in_mis = vec![false; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut phases = 0usize;
+    while alive.iter().any(|&a| a) {
+        phases += 1;
+        let chi: Vec<f64> = (0..n)
+            .map(|v| {
+                params
+                    .node_rng(g.id(v), 0x100 + phases as u64)
+                    .f64()
+            })
+            .collect();
+        let joins: Vec<usize> = (0..n)
+            .filter(|&v| {
+                alive[v]
+                    && g.neighbors(v)
+                        .iter()
+                        .all(|&w| !alive[w as usize] || chi[v] < chi[w as usize])
+            })
+            .collect();
+        if joins.is_empty() {
+            // Ties with identical χ cannot happen with continuous values;
+            // guard against pathological seeds anyway.
+            continue;
+        }
+        for &v in &joins {
+            in_mis[v] = true;
+            alive[v] = false;
+            for &w in g.neighbors(v) {
+                alive[w as usize] = false;
+            }
+        }
+    }
+    (in_mis, phases)
+}
+
+/// Status of a node under the truncated (extendable) Luby simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisStatus {
+    /// Decided into the MIS.
+    In,
+    /// Decided out (a neighbor is in).
+    Out,
+    /// Undecided after the phase budget — the `⊥` label of Definition 44.
+    Undecided,
+}
+
+/// Luby's MIS truncated to `phases` phases, in **ball form**: the status of
+/// a node after `k` phases depends only on its `k`-radius ball, so the
+/// algorithm is simultaneously a LOCAL algorithm of radius `phases` and —
+/// via graph exponentiation — a component-stable MPC algorithm (this is the
+/// Theorem 45/46 "extendable algorithm" shape: any valid completion of the
+/// `Undecided` nodes extends the partial MIS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedLubyMis {
+    /// Phase budget.
+    pub phases: usize,
+}
+
+impl TruncatedLubyMis {
+    /// Runs the truncated simulation on an explicit graph (used both
+    /// directly and as the ball evaluation).
+    #[must_use]
+    pub fn statuses(&self, g: &Graph, params: &LocalParams) -> Vec<MisStatus> {
+        let n = g.n();
+        let mut status = vec![MisStatus::Undecided; n];
+        let mut alive: Vec<bool> = vec![true; n];
+        for phase in 1..=self.phases {
+            let chi: Vec<f64> = (0..n)
+                .map(|v| params.node_rng(g.id(v), 0x100 + phase as u64).f64())
+                .collect();
+            let joins: Vec<usize> = (0..n)
+                .filter(|&v| {
+                    alive[v]
+                        && g.neighbors(v)
+                            .iter()
+                            .all(|&w| !alive[w as usize] || chi[v] < chi[w as usize])
+                })
+                .collect();
+            for &v in &joins {
+                status[v] = MisStatus::In;
+                alive[v] = false;
+                for &w in g.neighbors(v) {
+                    let w = w as usize;
+                    if alive[w] {
+                        status[w] = MisStatus::Out;
+                        alive[w] = false;
+                    }
+                }
+            }
+        }
+        status
+    }
+}
+
+impl BallAlgorithm for TruncatedLubyMis {
+    type Output = MisStatus;
+
+    fn radius(&self, _params: &LocalParams) -> usize {
+        // A phase is two LOCAL rounds (join decision + neighbor
+        // notification), so k phases are determined by the 2k-ball — the
+        // same `2t`-radius balls Theorem 45 collects.
+        2 * self.phases
+    }
+
+    fn evaluate(&self, ball: &Graph, center: usize, params: &LocalParams) -> MisStatus {
+        self.statuses(ball, params)[center]
+    }
+}
+
+/// Deterministic greedy MIS by ascending ID — the sequential baseline used
+/// for validity cross-checks and for extending partial solutions.
+#[must_use]
+pub fn greedy_mis(g: &Graph) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..g.n()).collect();
+    order.sort_by_key(|&v| g.id(v));
+    let mut blocked = vec![false; g.n()];
+    let mut in_mis = vec![false; g.n()];
+    for v in order {
+        if !blocked[v] {
+            in_mis[v] = true;
+            blocked[v] = true;
+            for &w in g.neighbors(v) {
+                blocked[w as usize] = true;
+            }
+        }
+    }
+    in_mis
+}
+
+/// Completes a partial MIS (statuses with `Undecided`) greedily into a full
+/// MIS — the "extendability" operation of Definition 44(i).
+#[must_use]
+pub fn extend_partial_mis(g: &Graph, status: &[MisStatus]) -> Vec<bool> {
+    let mut in_mis: Vec<bool> = status.iter().map(|&s| s == MisStatus::In).collect();
+    let mut order: Vec<usize> = (0..g.n())
+        .filter(|&v| status[v] == MisStatus::Undecided)
+        .collect();
+    order.sort_by_key(|&v| g.id(v));
+    for v in order {
+        let blocked = g.neighbors(v).iter().any(|&w| in_mis[w as usize]);
+        if !blocked {
+            in_mis[v] = true;
+        }
+    }
+    in_mis
+}
+
+/// Expected-size lower-bound check helper: the one-step Luby IS has
+/// expected size `≥ Σ_v 1/(deg(v)+1) ≥ n/(Δ+1)`.
+#[must_use]
+pub fn one_step_expected_lower_bound(g: &Graph) -> f64 {
+    (0..g.n()).map(|v| 1.0 / (g.degree(v) + 1) as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::rng::Seed;
+    use csmpc_graph::generators;
+    use csmpc_problems::mis::{is_independent_set, Mis};
+    use csmpc_problems::problem::GraphProblem;
+
+    fn params(g: &Graph, seed: u64) -> LocalParams {
+        LocalParams::exact(g.n(), g.max_degree(), Seed(seed))
+    }
+
+    #[test]
+    fn one_step_is_independent() {
+        for s in 0..10 {
+            let g = generators::random_gnp(40, 0.2, Seed(s));
+            let p = params(&g, s);
+            let labels = luby_step(&g, &random_chi(&g, &p));
+            assert!(is_independent_set(&g, &labels), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn one_step_size_near_expectation() {
+        let g = generators::cycle(300); // Δ = 2, E[|IS|] = n/3
+        let mut total = 0usize;
+        let trials = 50;
+        for s in 0..trials {
+            let p = params(&g, s);
+            total += luby_step(&g, &random_chi(&g, &p))
+                .iter()
+                .filter(|&&b| b)
+                .count();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = one_step_expected_lower_bound(&g); // = 100
+        assert!(
+            (mean - expect).abs() < 15.0,
+            "mean {mean} too far from {expect}"
+        );
+    }
+
+    #[test]
+    fn full_luby_is_valid_mis() {
+        for s in 0..10 {
+            let g = generators::random_gnp(30, 0.25, Seed(100 + s));
+            let p = params(&g, s);
+            let (labels, phases) = luby_mis(&g, &p);
+            assert!(Mis.is_valid(&g, &labels), "seed {s}");
+            assert!(phases >= 1);
+        }
+    }
+
+    #[test]
+    fn luby_phase_count_logarithmic() {
+        let g = generators::random_gnp(400, 0.05, Seed(1));
+        let p = params(&g, 1);
+        let (_, phases) = luby_mis(&g, &p);
+        assert!(phases <= 30, "phases {phases} not O(log n)-ish");
+    }
+
+    #[test]
+    fn greedy_mis_valid() {
+        for s in 0..5 {
+            let g = generators::random_gnp(25, 0.3, Seed(s));
+            assert!(Mis.is_valid(&g, &greedy_mis(&g)));
+        }
+    }
+
+    #[test]
+    fn truncated_statuses_are_consistent_partial_mis() {
+        let g = generators::random_gnp(50, 0.15, Seed(3));
+        let p = params(&g, 3);
+        let status = TruncatedLubyMis { phases: 2 }.statuses(&g, &p);
+        // In-nodes are independent; Out-nodes have an In-neighbor.
+        for v in 0..g.n() {
+            match status[v] {
+                MisStatus::In => assert!(g
+                    .neighbors(v)
+                    .iter()
+                    .all(|&w| status[w as usize] != MisStatus::In)),
+                MisStatus::Out => assert!(g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&w| status[w as usize] == MisStatus::In)),
+                MisStatus::Undecided => {}
+            }
+        }
+    }
+
+    #[test]
+    fn extension_yields_valid_mis() {
+        let g = generators::random_gnp(50, 0.15, Seed(4));
+        let p = params(&g, 4);
+        let status = TruncatedLubyMis { phases: 1 }.statuses(&g, &p);
+        let full = extend_partial_mis(&g, &status);
+        assert!(Mis.is_valid(&g, &full));
+        // Extension must preserve decided nodes.
+        for v in 0..g.n() {
+            if status[v] == MisStatus::In {
+                assert!(full[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_locality_matches_ball_semantics() {
+        // Status after k phases must be computable from the k-ball: check
+        // ball evaluation against whole-graph evaluation.
+        use csmpc_local::ball_eval::run_ball_algorithm;
+        let g = generators::random_tree(40, Seed(6));
+        let p = params(&g, 6);
+        let alg = TruncatedLubyMis { phases: 2 };
+        let via_ball = run_ball_algorithm(&g, &alg, &p);
+        let direct = alg.statuses(&g, &p);
+        assert_eq!(via_ball, direct);
+    }
+
+    #[test]
+    fn undecided_fraction_shrinks_with_phases() {
+        let g = generators::random_gnp(200, 0.05, Seed(8));
+        let p = params(&g, 8);
+        let undecided = |k: usize| {
+            TruncatedLubyMis { phases: k }
+                .statuses(&g, &p)
+                .iter()
+                .filter(|&&s| s == MisStatus::Undecided)
+                .count()
+        };
+        let u1 = undecided(1);
+        let u4 = undecided(4);
+        let u10 = undecided(10);
+        assert!(u4 <= u1);
+        assert!(u10 <= u4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Sinkless orientation via the constructive LLL (Theorem 39's upper bound,
+//! on top of [`crate::lll`]), in randomized and deterministic
+//! (seed-searched, component-unstable) variants.
+
+use crate::lll::{
+    deterministic_lll, parallel_moser_tardos, LllInstance, MtDiverged, PatternEvent,
+};
+use csmpc_graph::rng::Seed;
+use csmpc_graph::Graph;
+use csmpc_problems::sinkless::EdgeDir;
+
+/// Builds the LLL instance: one boolean per edge (`true` = `Forward`,
+/// i.e. `u → v` for the edge `(u, v)` with `u < v`), one bad event per node
+/// of degree ≥ 3 ("every incident edge points inward").
+#[must_use]
+pub fn sinkless_instance(g: &Graph) -> LllInstance {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); g.n()];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        incident[u].push(i);
+        incident[v].push(i);
+    }
+    let mut events = Vec::new();
+    for v in 0..g.n() {
+        if g.degree(v) < 3 {
+            continue;
+        }
+        let vars = incident[v].clone();
+        // Edge i = (a, b), a < b. Incoming to v: if v == b, Forward (true);
+        // if v == a, Backward (false). Bad pattern = all incoming.
+        let pattern: Vec<bool> = vars.iter().map(|&i| edges[i].1 == v).collect();
+        events.push(PatternEvent::new(vars, pattern));
+    }
+    LllInstance {
+        num_vars: edges.len(),
+        events,
+    }
+}
+
+/// Maps an LLL assignment back to edge directions.
+#[must_use]
+pub fn assignment_to_orientation(assignment: &[bool]) -> Vec<EdgeDir> {
+    assignment
+        .iter()
+        .map(|&b| if b { EdgeDir::Forward } else { EdgeDir::Backward })
+        .collect()
+}
+
+/// Result of a sinkless-orientation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinklessRun {
+    /// The orientation, in `g.edges()` order.
+    pub orientation: Vec<EdgeDir>,
+    /// Moser–Tardos resampling rounds used.
+    pub rounds: usize,
+}
+
+/// Randomized sinkless orientation (the LLL upper bound): `O(log n)`
+/// resampling rounds w.h.p. for `Δ ≥ 3`-regular-ish graphs.
+///
+/// # Errors
+///
+/// [`MtDiverged`] on pathological non-convergence.
+pub fn sinkless_randomized(g: &Graph, seed: Seed) -> Result<SinklessRun, MtDiverged> {
+    let inst = sinkless_instance(g);
+    let run = parallel_moser_tardos(&inst, seed, 10_000)?;
+    Ok(SinklessRun {
+        orientation: assignment_to_orientation(&run.assignment),
+        rounds: run.rounds,
+    })
+}
+
+/// Deterministic sinkless orientation by exhaustive seed search over the
+/// Moser–Tardos randomness (the Lemma 37 derandomization at laptop scale).
+/// Component-unstable: the machines globally agree on the seed.
+///
+/// # Errors
+///
+/// [`MtDiverged`] if no seed in the space works.
+pub fn sinkless_deterministic(g: &Graph, seed_space: u64) -> Result<(SinklessRun, u64), MtDiverged> {
+    let inst = sinkless_instance(g);
+    let (run, seed) = deterministic_lll(&inst, seed_space, 10_000)?;
+    Ok((
+        SinklessRun {
+            orientation: assignment_to_orientation(&run.assignment),
+            rounds: run.rounds,
+        },
+        seed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+    use csmpc_problems::matching::EdgeProblem;
+    use csmpc_problems::sinkless::SinklessOrientation;
+
+    #[test]
+    fn instance_shape_on_regular_graph() {
+        let g = generators::random_regular(20, 4, Seed(1));
+        let inst = sinkless_instance(&g);
+        assert_eq!(inst.num_vars, g.m());
+        assert_eq!(inst.events.len(), 20);
+        assert_eq!(inst.max_probability(), 0.5f64.powi(4));
+    }
+
+    #[test]
+    fn lll_criterion_holds_for_degree_five() {
+        // p = 2^-5, d ≤ 2·(5-1)+... each event shares edges with ≤ 5
+        // neighbors' events; e·p·(d+1) = e·(1/32)·6 ≈ 0.51 ≤ 1.
+        let g = generators::random_regular(24, 5, Seed(2));
+        assert!(sinkless_instance(&g).satisfies_lll_criterion());
+    }
+
+    #[test]
+    fn randomized_orientation_is_sinkless() {
+        for s in 0..10 {
+            let g = generators::random_regular(30, 4, Seed(s));
+            let run = sinkless_randomized(&g, Seed(100 + s)).unwrap();
+            assert!(
+                SinklessOrientation.validate(&g, &run.orientation).is_ok(),
+                "seed {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_grow_slowly_with_n() {
+        let mut maxima = Vec::new();
+        for n in [32usize, 128, 512] {
+            let mut worst = 0usize;
+            for s in 0..5 {
+                let g = generators::random_regular(n, 4, Seed(s));
+                let run = sinkless_randomized(&g, Seed(s + 50)).unwrap();
+                worst = worst.max(run.rounds);
+            }
+            maxima.push(worst);
+        }
+        // O(log n)-ish: the 16x larger instance should not need 16x rounds.
+        assert!(
+            maxima[2] <= 4 * maxima[0].max(2),
+            "round growth looks superlogarithmic: {maxima:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_variant_valid_and_reproducible() {
+        let g = generators::random_regular(24, 4, Seed(7));
+        let (r1, s1) = sinkless_deterministic(&g, 32).unwrap();
+        let (r2, s2) = sinkless_deterministic(&g, 32).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(r1, r2);
+        assert!(SinklessOrientation.validate(&g, &r1.orientation).is_ok());
+    }
+
+    #[test]
+    fn low_degree_nodes_are_unconstrained() {
+        // On a cycle there are no events at all.
+        let g = generators::cycle(10);
+        let inst = sinkless_instance(&g);
+        assert!(inst.events.is_empty());
+        let run = sinkless_randomized(&g, Seed(1)).unwrap();
+        assert_eq!(run.rounds, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Benchmarks for the coloring and LLL algorithms (E8/E9): Cole–Vishkin,
+//! randomized coloring, forest edge coloring, and Moser–Tardos sinkless
+//! orientation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csmpc_algorithms::coloring;
+use csmpc_algorithms::linial::linial_coloring;
+use csmpc_algorithms::sinkless::sinkless_randomized;
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{generators, Graph};
+use csmpc_local::LocalParams;
+
+fn bench_cole_vishkin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/cole_vishkin_cycle");
+    for n in [1024usize, 16384, 262144] {
+        let g = generators::shuffle_identity(&generators::cycle(n), 0, 0, Seed(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| coloring::cole_vishkin_cycle(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_randomized_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/randomized_delta_plus_one");
+    for n in [256usize, 1024] {
+        let g = generators::random_regular(n, 6, Seed(2));
+        let params = LocalParams::exact(n, 6, Seed(3));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| coloring::randomized_coloring(g, &params));
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_edge_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/forest_edge");
+    for n in [1024usize, 8192] {
+        let g = generators::random_tree(n, Seed(4));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| coloring::forest_edge_coloring(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_linial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/linial_reduction");
+    for n in [128usize, 512, 2048] {
+        let g = csmpc_graph::ops::relabel_ids(
+            &generators::random_regular(n, 4, Seed(7)),
+            |v, _| csmpc_graph::NodeId(v as u64 * 999_983 + 3),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| linial_coloring(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sinkless(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lll/sinkless_moser_tardos");
+    for n in [128usize, 512, 2048] {
+        let g = generators::random_regular(n, 4, Seed(5));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| sinkless_randomized(g, Seed(6)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cole_vishkin,
+    bench_randomized_coloring,
+    bench_forest_edge_coloring,
+    bench_linial,
+    bench_sinkless
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks for the connectivity baseline (E11): the conjecture's
+//! one-cycle-vs-two-cycles instance across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csmpc_algorithms::api::cluster_for;
+use csmpc_algorithms::connectivity::distinguish_cycles;
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{generators, Graph};
+
+fn bench_one_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity/one_cycle");
+    for n in [256usize, 1024, 4096] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| {
+                let mut cl = cluster_for(g, Seed(1));
+                distinguish_cycles(g, &mut cl).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity/two_cycles");
+    for n in [256usize, 1024, 4096] {
+        let g = generators::two_cycles(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| {
+                let mut cl = cluster_for(g, Seed(1));
+                distinguish_cycles(g, &mut cl).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_cycle, bench_two_cycles);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks for the derandomization stack (E6/E7): pairwise hashing, the
+//! exact interval oracle, and the full conditional-expectations run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csmpc_algorithms::det_is::{derandomized_is, PairwiseLuby};
+use csmpc_derand::hash::pairwise_for_domain;
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{generators, Graph};
+
+fn bench_hash_eval(c: &mut Criterion) {
+    let fam = pairwise_for_domain(1 << 20);
+    let h = fam.sample(Seed(1));
+    c.bench_function("derand/pairwise_eval_1k", |b| {
+        b.iter(|| (0..1000u64).map(|x| h.eval(x)).sum::<u64>());
+    });
+}
+
+fn bench_expected_size_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derand/expected_size_given_a");
+    for n in [64usize, 256, 1024] {
+        let g = generators::random_regular(n, 4, Seed(2));
+        let inst = PairwiseLuby::for_graph(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| inst.expected_size_given_a(g, 17));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_mce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derand/full_mce_derandomization");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| derandomized_is(g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash_eval,
+    bench_expected_size_oracle,
+    bench_full_mce
+);
+criterion_main!(benches);

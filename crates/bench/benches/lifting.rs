@@ -1,0 +1,79 @@
+//! Benchmarks for the lifting construction (E4): building simulation
+//! graphs and running one `B_st-conn` simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csmpc_core::lifting::{
+    build_simulation_graph, planted_levels, run_one_simulation, sim_size_for, LiftingPair,
+};
+use csmpc_core::sensitivity::ComponentMaxId;
+use csmpc_graph::ball::identical_ball_path_pair;
+use csmpc_graph::generators;
+use csmpc_graph::rng::Seed;
+
+fn make_pair(d: usize, tail: usize) -> LiftingPair {
+    let (g, c, gp, cp) = identical_ball_path_pair(d, tail);
+    LiftingPair {
+        g,
+        center_g: c,
+        gp,
+        center_gp: cp,
+        d,
+    }
+}
+
+fn bench_build_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifting/build_simulation_graph");
+    for d in [3usize, 6, 12] {
+        let pair = make_pair(d, 8);
+        let h_graph = generators::path(d + 2);
+        let order: Vec<usize> = (0..d + 2).collect();
+        let h = planted_levels(&order, d, d + 2).unwrap();
+        let n_target = sim_size_for(&pair, &h_graph);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                build_simulation_graph(
+                    &h_graph,
+                    0,
+                    d + 1,
+                    &h,
+                    &pair.g,
+                    pair.center_g,
+                    pair.d,
+                    n_target,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifting/run_one_simulation");
+    group.sample_size(20);
+    for d in [3usize, 6] {
+        let pair = make_pair(d, 8);
+        let h_graph = generators::path(d + 2);
+        let order: Vec<usize> = (0..d + 2).collect();
+        let h = planted_levels(&order, d, d + 2).unwrap();
+        let n_target = sim_size_for(&pair, &h_graph);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                run_one_simulation(
+                    &ComponentMaxId,
+                    &pair,
+                    &h_graph,
+                    0,
+                    d + 1,
+                    &h,
+                    n_target,
+                    Seed(1),
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_simulation, bench_one_simulation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks for the Theorem 5 algorithms (E5): one Luby step, the full
+//! MIS loop, and the amplified large-IS algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csmpc_algorithms::amplify::AmplifiedLargeIs;
+use csmpc_algorithms::api::{cluster_for, MpcVertexAlgorithm};
+use csmpc_algorithms::luby::{luby_mis, luby_step, random_chi};
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{generators, Graph};
+use csmpc_local::LocalParams;
+
+fn bench_luby_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("luby/step");
+    for n in [256usize, 1024, 4096] {
+        let g = generators::random_regular(n, 4, Seed(1));
+        let params = LocalParams::exact(n, 4, Seed(2));
+        let chi = random_chi(&g, &params);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| luby_step(g, &chi));
+        });
+    }
+    group.finish();
+}
+
+fn bench_luby_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("luby/full_mis");
+    for n in [256usize, 1024] {
+        let g = generators::random_regular(n, 4, Seed(3));
+        let params = LocalParams::exact(n, 4, Seed(4));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| luby_mis(g, &params));
+        });
+    }
+    group.finish();
+}
+
+fn bench_amplified(c: &mut Criterion) {
+    let mut group = c.benchmark_group("luby/amplified_large_is");
+    for n in [256usize, 1024] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| {
+                let mut cl = cluster_for(g, Seed(5));
+                AmplifiedLargeIs { repetitions: 0 }.run(g, &mut cl).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_luby_step, bench_luby_mis, bench_amplified);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the MPC simulator primitives (backing the
+//! performance columns of E10/E11-style tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csmpc_algorithms::api::{cluster_for, roomy_cluster_for};
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{generators, Graph};
+use csmpc_mpc::DistributedGraph;
+
+fn bench_distribute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/distribute");
+    for n in [256usize, 1024, 4096] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| {
+                let mut cl = cluster_for(g, Seed(1));
+                DistributedGraph::distribute(g, &mut cl).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbor_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/neighbor_reduce");
+    for n in [256usize, 1024, 4096] {
+        let g = generators::random_regular(n, 4, Seed(2));
+        let vals: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| {
+                let mut cl = cluster_for(g, Seed(1));
+                let dg = DistributedGraph::distribute(g, &mut cl).unwrap();
+                dg.neighbor_reduce(&mut cl, &vals, std::cmp::min)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_collect_balls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/collect_balls_r4");
+    for n in [256usize, 1024] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| {
+                let mut cl = roomy_cluster_for(g, Seed(1), 1 << 12);
+                let dg = DistributedGraph::distribute(g, &mut cl).unwrap();
+                dg.collect_balls(&mut cl, 4).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cc_labels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc/cc_labels");
+    for n in [256usize, 1024, 4096] {
+        let g = generators::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
+            b.iter(|| {
+                let mut cl = cluster_for(g, Seed(1));
+                let dg = DistributedGraph::distribute(g, &mut cl).unwrap();
+                dg.cc_labels(&mut cl)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distribute,
+    bench_neighbor_reduce,
+    bench_collect_balls,
+    bench_cc_labels
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Experiment runner: `experiments [all|e01|…|e13]`.
+
+use csmpc_bench::experiments as e;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "all" => e::run_all(),
+        "e01" => e::e01_consecutive_path(),
+        "e02" => e::e02_replicability(),
+        "e03" => e::e03_simulation_graphs(),
+        "e04" => e::e04_lifting(),
+        "e05" => e::e05_large_is(),
+        "e06" => e::e06_pairwise_luby(),
+        "e07" => e::e07_derand_equiv(),
+        "e08" => e::e08_sinkless(),
+        "e09" => e::e09_coloring(),
+        "e10" => e::e10_extendable(),
+        "e11" => e::e11_connectivity(),
+        "e12" => e::e12_stability_matrix(),
+        "e13" => e::e13_class_landscape(),
+        "e14" => e::e14_lower_bound_registry(),
+        "e15" => e::e15_linial(),
+        other => {
+            eprintln!("unknown experiment '{other}'; use all or e01..e15");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # csmpc-bench
+//!
+//! Experiment harness (E1–E13 of `DESIGN.md`) and Criterion benchmarks for
+//! the component-stability reproduction. Run the whole suite with:
+//!
+//! ```sh
+//! cargo run --release -p csmpc-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment with `-- e05` etc.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,117 @@
+//! The complexity-class landscape of Section 2.5 (Definitions 15–18) as a
+//! runnable taxonomy: every algorithm is placed into `S-DetMPC`,
+//! `S-RandMPC`, `DetMPC` or `RandMPC` by combining its declared determinism
+//! with the empirical stability verdict of [`crate::stability`].
+
+use crate::stability::{verify_component_stability, StabilityReport};
+use csmpc_algorithms::api::MpcVertexAlgorithm;
+use csmpc_graph::rng::Seed;
+use csmpc_graph::Graph;
+use csmpc_mpc::MpcError;
+use std::fmt;
+
+/// The four classes of Definitions 15–18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpcClass {
+    /// `S-DetMPC`: deterministic, component-stable.
+    StableDeterministic,
+    /// `S-RandMPC`: randomized, component-stable.
+    StableRandomized,
+    /// `DetMPC \ S-DetMPC`: deterministic, component-unstable.
+    UnstableDeterministic,
+    /// `RandMPC \ S-RandMPC`: randomized, component-unstable.
+    UnstableRandomized,
+}
+
+impl MpcClass {
+    /// The paper's name for the (sub)class.
+    #[must_use]
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            MpcClass::StableDeterministic => "S-DetMPC",
+            MpcClass::StableRandomized => "S-RandMPC",
+            MpcClass::UnstableDeterministic => "DetMPC (unstable)",
+            MpcClass::UnstableRandomized => "RandMPC (unstable)",
+        }
+    }
+
+    /// Containment per Definitions 15–18: every stable class sits inside
+    /// its unstable superclass.
+    #[must_use]
+    pub fn superclass(&self) -> &'static str {
+        match self {
+            MpcClass::StableDeterministic | MpcClass::UnstableDeterministic => "DetMPC",
+            MpcClass::StableRandomized | MpcClass::UnstableRandomized => "RandMPC",
+        }
+    }
+}
+
+impl fmt::Display for MpcClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The classification of one algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Assigned class.
+    pub class: MpcClass,
+    /// The stability evidence backing the placement.
+    pub report: StabilityReport,
+}
+
+/// Classifies an algorithm by determinism flag + empirical stability.
+///
+/// # Errors
+///
+/// Propagates algorithm errors from the stability probes.
+pub fn classify<A: MpcVertexAlgorithm>(
+    alg: &A,
+    component: &Graph,
+    trials: usize,
+    seed: Seed,
+) -> Result<Placement, MpcError> {
+    let report = verify_component_stability(alg, component, trials, seed)?;
+    let class = match (alg.deterministic(), report.looks_stable()) {
+        (true, true) => MpcClass::StableDeterministic,
+        (false, true) => MpcClass::StableRandomized,
+        (true, false) => MpcClass::UnstableDeterministic,
+        (false, false) => MpcClass::UnstableRandomized,
+    };
+    Ok(Placement {
+        algorithm: alg.name().to_string(),
+        class,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_algorithms::amplify::{AmplifiedLargeIs, StableOneShotIs};
+    use csmpc_algorithms::det_is::DerandomizedLargeIs;
+    use csmpc_graph::generators;
+
+    #[test]
+    fn landscape_matches_paper_assertions() {
+        let comp = generators::cycle(10);
+        let one_shot = classify(&StableOneShotIs, &comp, 8, Seed(1)).unwrap();
+        assert_eq!(one_shot.class, MpcClass::StableRandomized);
+
+        let amplified = classify(&AmplifiedLargeIs { repetitions: 8 }, &comp, 12, Seed(2))
+            .unwrap();
+        assert_eq!(amplified.class, MpcClass::UnstableRandomized);
+
+        let derand = classify(&DerandomizedLargeIs, &comp, 12, Seed(3)).unwrap();
+        assert_eq!(derand.class, MpcClass::UnstableDeterministic);
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(MpcClass::StableDeterministic.paper_name(), "S-DetMPC");
+        assert_eq!(MpcClass::StableRandomized.superclass(), "RandMPC");
+    }
+}

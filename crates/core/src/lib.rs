@@ -1,0 +1,46 @@
+//! # csmpc-core
+//!
+//! The primary contribution of *"Component Stability in Low-Space Massively
+//! Parallel Computation"* (Czumaj, Davies, Parter; PODC 2021) as a library:
+//!
+//! * [`stability`] — the revised component-stability notion
+//!   (Definition 13) with an **empirical verifier**: sibling-swap and
+//!   renaming probes that produce constructive instability witnesses;
+//! * [`sensitivity`] — `(D, ε, n, Δ)`-sensitivity (Definition 24), the
+//!   quantity Lemma 25 extracts from LOCAL hardness, measured over seeds;
+//! * [`lifting`] — the Lemma 27 / Theorem 14 reduction `B_st-conn`:
+//!   simulation graphs `G_H`, `G'_H` built from BFS layers of a
+//!   `D`-radius-identical pair, with the YES/NO dichotomy verified
+//!   structurally and end-to-end;
+//! * [`classes`] — the Section 2.5 landscape (`S-DetMPC ⊆ DetMPC`,
+//!   `S-RandMPC ⊆ RandMPC`) as a runnable classifier.
+//!
+//! Together with `csmpc-problems::replicability` (Definition 9, `Γ_G`)
+//! this covers every construction in the paper's framework sections.
+//!
+//! ```
+//! use csmpc_core::stability::verify_component_stability;
+//! use csmpc_algorithms::amplify::StableOneShotIs;
+//! use csmpc_graph::{generators, rng::Seed};
+//!
+//! let comp = generators::cycle(8);
+//! let report = verify_component_stability(&StableOneShotIs, &comp, 3, Seed(0))?;
+//! assert!(report.looks_stable());
+//! # Ok::<(), csmpc_mpc::MpcError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod classes;
+pub mod runner;
+pub mod lifting;
+pub mod lower_bounds;
+pub mod sensitivity;
+pub mod stability;
+
+pub use classes::{classify, MpcClass, Placement};
+pub use runner::{evaluate_edge, evaluate_vertex, success_probability, Evaluation};
+pub use lifting::{b_st_conn, BStConnRun, LiftingPair, StVerdict};
+pub use sensitivity::{estimate_sensitivity, CenteredPair};
+pub use stability::{verify_component_stability, StabilityReport};

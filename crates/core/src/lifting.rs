@@ -1,0 +1,478 @@
+//! The lifting reduction of Lemma 27 / Theorem 14: a *sensitive*
+//! component-stable MPC algorithm yields a fast algorithm `B_st-conn` for
+//! `D`-diameter `s-t` connectivity — which the connectivity conjecture
+//! forbids, completing the conditional lower bound.
+//!
+//! Given a `D`-radius-identical pair `(G, v)`, `(G', v')` and an `s-t`
+//! instance `H`, the reduction builds *simulation graphs* `G_H`, `G'_H`:
+//! every surviving node `u` of `H` draws a level `h(u) ∈ {0..D}` and is
+//! assigned a BFS layer of `G` (resp. `G'`) around the center — `s` gets
+//! the ball of radius `h(s)`, `t` gets everything beyond distance `D`,
+//! middle nodes get their exact layer. Edges follow `G`'s edges between
+//! layers assigned to adjacent (or equal) `H`-nodes. The construction
+//! guarantees:
+//!
+//! * if `s, t` are endpoints of a path whose levels increase consecutively
+//!   up to `D`, the component of `v_s` is **exactly `G`** in `G_H` and
+//!   **exactly `G'`** in `G'_H` — a sensitive algorithm answers differently;
+//! * if `s` and `t` are disconnected, the two components of `v_s` are
+//!   **identical**, so a component-stable algorithm answers identically.
+
+use csmpc_algorithms::api::MpcVertexAlgorithm;
+use csmpc_graph::rng::{Seed, SplitMix64};
+use csmpc_graph::{Graph, GraphBuilder, NodeId, NodeName};
+use csmpc_mpc::{Cluster, MpcConfig, MpcError};
+
+/// The `D`-radius-identical pair driving the reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiftingPair {
+    /// First graph `G`.
+    pub g: Graph,
+    /// Center of `G`.
+    pub center_g: usize,
+    /// Second graph `G'`.
+    pub gp: Graph,
+    /// Center of `G'`.
+    pub center_gp: usize,
+    /// The radius `D = T(N, Δ)` up to which the pair is identical.
+    pub d: usize,
+}
+
+impl LiftingPair {
+    /// Validates the Definition 23 precondition.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.g.n() == self.gp.n()
+            && csmpc_graph::ball::radius_identical(
+                &self.g,
+                self.center_g,
+                &self.gp,
+                self.center_gp,
+                self.d,
+            )
+    }
+}
+
+/// One simulation graph plus the index of the tracked copy `v_s` of the
+/// pair's center.
+#[derive(Debug, Clone)]
+pub struct SimulationGraph {
+    /// The assembled graph.
+    pub graph: Graph,
+    /// Index of `v_s` (the copy of the center assigned to `s`), if `s`
+    /// survived filtering.
+    pub v_s: Option<usize>,
+}
+
+/// Builds one simulation graph from `H` and the level assignment `h`,
+/// using base graph `base` with center `center` (either side of the pair).
+///
+/// `h[u]` is each surviving `H`-node's level; `s` is assigned the ball of
+/// radius `h[s]`, `t` the far set (distance > `d`), middle nodes their
+/// exact layer. A full fresh-named copy of `base` enforces `Δ`, and
+/// isolated nodes pad to `n_target`.
+///
+/// # Panics
+///
+/// Panics if `n_target` is too small for the construction.
+#[must_use]
+pub fn build_simulation_graph(
+    h_graph: &Graph,
+    s: usize,
+    t: usize,
+    h: &[usize],
+    base: &Graph,
+    center: usize,
+    d: usize,
+    n_target: usize,
+) -> SimulationGraph {
+    let dist = base.bfs_distances(center);
+    let layer = |lv: usize| -> Vec<usize> {
+        (0..base.n()).filter(|&w| dist[w] == lv).collect()
+    };
+    let ball = |r: usize| -> Vec<usize> {
+        (0..base.n()).filter(|&w| dist[w] <= r).collect()
+    };
+    let far: Vec<usize> = (0..base.n()).filter(|&w| dist[w] > d).collect();
+
+    // Filter H (paper: drop degree > 2 nodes; drop middle nodes whose
+    // radius-1 h-neighborhood is not a consecutive triplet, t exempt).
+    // Our revision adds one rule the legality analysis needs: a middle
+    // node adjacent to `s` must sit at level `h(s) + 1` (levels increase
+    // *away* from s), otherwise s's ball and the neighbor's layer would
+    // place two copies of the same ID in one component.
+    let keep: Vec<bool> = (0..h_graph.n())
+        .map(|u| {
+            if h_graph.degree(u) > 2 {
+                return false;
+            }
+            if u == s || u == t {
+                return h_graph.degree(u) == 1;
+            }
+            let nbrs: Vec<usize> = h_graph.neighbors(u).iter().map(|&w| w as usize).collect();
+            if nbrs.len() != 2 {
+                return false;
+            }
+            let mut non_t_levels = Vec::new();
+            for &w in &nbrs {
+                if w == t {
+                    continue; // no requirement on h(t)
+                }
+                if w == s && h[u] != h[s] + 1 {
+                    return false;
+                }
+                if h[w].abs_diff(h[u]) != 1 {
+                    return false;
+                }
+                non_t_levels.push(h[w]);
+            }
+            if non_t_levels.len() == 2 && non_t_levels[0].abs_diff(non_t_levels[1]) != 2 {
+                return false;
+            }
+            true
+        })
+        .collect();
+
+    // Assigned base-nodes per surviving H-node.
+    let assigned: Vec<Vec<usize>> = (0..h_graph.n())
+        .map(|u| {
+            if !keep[u] {
+                return Vec::new();
+            }
+            if u == s {
+                ball(h[s].min(d))
+            } else if u == t {
+                far.clone()
+            } else if h[u] <= d {
+                layer(h[u])
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    // Assemble: node (u, w) for each assigned w; IDs copy base, names fresh.
+    let mut b = GraphBuilder::new();
+    let mut index: std::collections::HashMap<(usize, usize), usize> = Default::default();
+    let mut name_counter = 0u64;
+    let mut v_s = None;
+    for (u, set) in assigned.iter().enumerate() {
+        for &w in set {
+            let idx = b.add_node(base.id(w), NodeName(name_counter));
+            name_counter += 1;
+            index.insert((u, w), idx);
+            if u == s && w == center {
+                v_s = Some(idx);
+            }
+        }
+    }
+    // Edges: for u = u' (within one assignment) and for adjacent surviving
+    // H-nodes, include every base edge between the assigned sets.
+    let mut seen_edges = std::collections::HashSet::new();
+    for (u, set) in assigned.iter().enumerate() {
+        // Candidate partners: u itself plus its surviving H-neighbors.
+        let mut partners: Vec<usize> = vec![u];
+        partners.extend(
+            h_graph
+                .neighbors(u)
+                .iter()
+                .map(|&w| w as usize)
+                .filter(|&w| keep[w]),
+        );
+        for &w in set {
+            for &x in base.neighbors(w) {
+                let x = x as usize;
+                for &up in &partners {
+                    if let (Some(&i), Some(&j)) = (index.get(&(u, w)), index.get(&(up, x))) {
+                        let key = (i.min(j), i.max(j));
+                        if i != j && seen_edges.insert(key) {
+                            b.add_edge(key.0, key.1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Δ-enforcing full copy of `base`, disconnected, fresh names.
+    let offset = b.node_count();
+    for w in 0..base.n() {
+        b.add_node(base.id(w), NodeName(name_counter));
+        name_counter += 1;
+        let _ = w;
+    }
+    for (wu, wv) in base.edges() {
+        b.add_edge(offset + wu, offset + wv);
+    }
+    // Pad with isolated nodes (shared fresh ID) to exactly n_target.
+    let have = b.node_count();
+    assert!(
+        n_target >= have,
+        "n_target {n_target} too small: construction already has {have} nodes"
+    );
+    let max_id = (0..base.n()).map(|w| base.id(w).0).max().unwrap_or(0);
+    for _ in have..n_target {
+        b.add_node(NodeId(max_id + 1), NodeName(name_counter));
+        name_counter += 1;
+    }
+    let graph = b.build().expect("simulation graph is structurally valid");
+    SimulationGraph { graph, v_s }
+}
+
+/// The planted *correct* level assignment for a path instance: `s = u_0,
+/// u_1, …, u_{p−1} = t` with `h(s) = d − (p − 2)` and `h(u_i) = h(s) + i`.
+/// Returns `None` when the path is too long (`p − 2 > d`).
+#[must_use]
+pub fn planted_levels(path_order: &[usize], d: usize, n_h: usize) -> Option<Vec<usize>> {
+    let p = path_order.len();
+    if p < 2 || p - 2 > d {
+        return None;
+    }
+    let mut h = vec![0usize; n_h];
+    let h_s = d - (p - 2);
+    for (i, &u) in path_order.iter().enumerate() {
+        h[u] = h_s + i;
+    }
+    Some(h)
+}
+
+/// Verdict of one `B_st-conn` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StVerdict {
+    /// Some simulation observed differing outputs at `v_s`: connected.
+    Yes,
+    /// All simulations agreed: (promised) disconnected.
+    No,
+}
+
+/// Statistics of a `B_st-conn` run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BStConnRun {
+    /// The verdict.
+    pub verdict: StVerdict,
+    /// Number of simulations executed.
+    pub simulations: usize,
+    /// Number of simulations whose `v_s` outputs differed.
+    pub hits: usize,
+}
+
+/// The reduction `B_st-conn` (Lemma 27): runs `simulations` parallel
+/// simulations with independent level draws; answers YES iff any
+/// simulation's component-stable algorithm outputs differ at `v_s` between
+/// `G_H` and `G'_H`.
+///
+/// # Errors
+///
+/// Propagates algorithm errors.
+pub fn b_st_conn<A: MpcVertexAlgorithm>(
+    alg: &A,
+    pair: &LiftingPair,
+    h_graph: &Graph,
+    s: usize,
+    t: usize,
+    simulations: usize,
+    master_seed: Seed,
+) -> Result<BStConnRun, MpcError> {
+    let n_target = sim_size_for(pair, h_graph);
+    let mut hits = 0usize;
+    for sim in 0..simulations {
+        let sim_seed = master_seed.derive(sim as u64);
+        let mut rng = SplitMix64::new(sim_seed.derive(1));
+        let h: Vec<usize> = (0..h_graph.n())
+            .map(|_| rng.index(pair.d + 1))
+            .collect();
+        if run_one_simulation(alg, pair, h_graph, s, t, &h, n_target, sim_seed)? {
+            hits += 1;
+        }
+    }
+    Ok(BStConnRun {
+        verdict: if hits > 0 { StVerdict::Yes } else { StVerdict::No },
+        simulations,
+        hits,
+    })
+}
+
+/// Like [`b_st_conn`] but with an explicit (e.g. planted) level assignment;
+/// returns whether the simulation detected a difference at `v_s`.
+///
+/// # Errors
+///
+/// Propagates algorithm errors.
+pub fn run_one_simulation<A: MpcVertexAlgorithm>(
+    alg: &A,
+    pair: &LiftingPair,
+    h_graph: &Graph,
+    s: usize,
+    t: usize,
+    h: &[usize],
+    n_target: usize,
+    seed: Seed,
+) -> Result<bool, MpcError> {
+    let sim_g = build_simulation_graph(
+        h_graph,
+        s,
+        t,
+        h,
+        &pair.g,
+        pair.center_g,
+        pair.d,
+        n_target,
+    );
+    let sim_gp = build_simulation_graph(
+        h_graph,
+        s,
+        t,
+        h,
+        &pair.gp,
+        pair.center_gp,
+        pair.d,
+        n_target,
+    );
+    let (Some(vs_g), Some(vs_gp)) = (sim_g.v_s, sim_gp.v_s) else {
+        return Ok(false);
+    };
+    let shared = seed.derive(7);
+    let la = run_padded(alg, &sim_g.graph, shared)?;
+    let lb = run_padded(alg, &sim_gp.graph, shared)?;
+    Ok(la[vs_g] != lb[vs_gp])
+}
+
+/// A common simulation-graph size for both sides.
+#[must_use]
+pub fn sim_size_for(pair: &LiftingPair, h_graph: &Graph) -> usize {
+    // Worst case: every H-node holds a full copy plus the Δ copy + slack.
+    (h_graph.n() + 2) * pair.g.n() + 8
+}
+
+fn run_padded<A: MpcVertexAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    seed: Seed,
+) -> Result<Vec<A::Label>, MpcError> {
+    let mut cfg = MpcConfig::default();
+    cfg.min_space = 1 << 14;
+    let mut cluster = Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed);
+    alg.run(g, &mut cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitivity::ComponentMaxId;
+    use csmpc_graph::ball::identical_ball_path_pair;
+    use csmpc_graph::generators;
+
+    fn pair(d: usize, k: usize) -> LiftingPair {
+        let (g, c, gp, cp) = identical_ball_path_pair(d, k);
+        LiftingPair {
+            g,
+            center_g: c,
+            gp,
+            center_gp: cp,
+            d,
+        }
+    }
+
+    /// The planted YES instance reconstructs G exactly as CC(v_s).
+    #[test]
+    fn planted_path_reconstructs_g() {
+        let pr = pair(4, 3);
+        assert!(pr.is_valid());
+        // H: a path of p = 4 nodes, s = 0, t = 3.
+        let h_graph = generators::path(4);
+        let order = [0usize, 1, 2, 3];
+        let h = planted_levels(&order, pr.d, 4).unwrap();
+        let n_target = sim_size_for(&pr, &h_graph);
+        let sim = build_simulation_graph(
+            &h_graph, 0, 3, &h, &pr.g, pr.center_g, pr.d, n_target,
+        );
+        let vs = sim.v_s.expect("s survives");
+        let (cc, pos) = csmpc_graph::ops::component_of(&sim.graph, vs);
+        assert_eq!(cc.n(), pr.g.n(), "component of v_s must be all of G");
+        assert_eq!(cc.m(), pr.g.m());
+        assert_eq!(cc.id(pos), pr.g.id(pr.center_g));
+        assert_eq!(cc.id_fingerprint(), pr.g.id_fingerprint());
+        assert!(sim.graph.is_legal(), "simulation graph must stay legal");
+    }
+
+    /// On a disconnected instance the two components of v_s coincide.
+    #[test]
+    fn disconnected_instance_components_identical() {
+        let pr = pair(3, 4);
+        // H: two disjoint paths; s in one, t in the other.
+        let a = generators::path(3);
+        let b = csmpc_graph::ops::with_fresh_names(&generators::path(3), 50);
+        let h_graph = csmpc_graph::ops::disjoint_union(&[&a, &b]);
+        let (s, t) = (0usize, 5usize);
+        let n_target = sim_size_for(&pr, &h_graph);
+        for trial in 0..10u64 {
+            let mut rng = SplitMix64::new(Seed(trial));
+            let h: Vec<usize> = (0..h_graph.n()).map(|_| rng.index(pr.d + 1)).collect();
+            let sg = build_simulation_graph(
+                &h_graph, s, t, &h, &pr.g, pr.center_g, pr.d, n_target,
+            );
+            let sgp = build_simulation_graph(
+                &h_graph, s, t, &h, &pr.gp, pr.center_gp, pr.d, n_target,
+            );
+            let (Some(i), Some(j)) = (sg.v_s, sgp.v_s) else {
+                continue;
+            };
+            let (cc_a, _) = csmpc_graph::ops::component_of(&sg.graph, i);
+            let (cc_b, _) = csmpc_graph::ops::component_of(&sgp.graph, j);
+            assert_eq!(
+                cc_a.id_fingerprint(),
+                cc_b.id_fingerprint(),
+                "trial {trial}: disconnected components must be identical"
+            );
+        }
+    }
+
+    /// End-to-end: B_st-conn distinguishes connected from disconnected
+    /// instances given a sensitive component-stable algorithm.
+    #[test]
+    fn b_st_conn_distinguishes() {
+        let pr = pair(3, 4);
+        // YES instance: path of 4 nodes, s-t at the ends.
+        let yes_h = generators::path(4);
+        // Use planted levels (deterministic YES witness) plus random sims.
+        let h = planted_levels(&[0, 1, 2, 3], pr.d, 4).unwrap();
+        let hit = run_one_simulation(
+            &ComponentMaxId,
+            &pr,
+            &yes_h,
+            0,
+            3,
+            &h,
+            sim_size_for(&pr, &yes_h),
+            Seed(1),
+        )
+        .unwrap();
+        assert!(hit, "planted YES simulation must detect the difference");
+
+        // NO instance: s and t in different components.
+        let a = generators::path(2);
+        let b2 = csmpc_graph::ops::with_fresh_names(&generators::path(2), 50);
+        let no_h = csmpc_graph::ops::disjoint_union(&[&a, &b2]);
+        let run = b_st_conn(&ComponentMaxId, &pr, &no_h, 0, 3, 40, Seed(2)).unwrap();
+        assert_eq!(run.verdict, StVerdict::No, "hits = {}", run.hits);
+    }
+
+    /// Randomized YES detection: with D small, random levels hit the
+    /// correct assignment within a reasonable number of simulations.
+    #[test]
+    fn b_st_conn_yes_with_random_levels() {
+        let pr = pair(2, 3);
+        let yes_h = generators::path(3); // p = 3, need h = [d-1, d, *]
+        let run = b_st_conn(&ComponentMaxId, &pr, &yes_h, 0, 2, 200, Seed(3)).unwrap();
+        assert_eq!(run.verdict, StVerdict::Yes, "no hit in 200 simulations");
+    }
+
+    #[test]
+    fn planted_levels_bounds() {
+        assert!(planted_levels(&[0, 1], 0, 2).is_some()); // p=2, d=0
+        assert!(planted_levels(&[0, 1, 2], 0, 3).is_none()); // too long
+        let h = planted_levels(&[0, 1, 2, 3], 5, 4).unwrap();
+        assert_eq!(h[0], 3);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[2], 5);
+    }
+}

@@ -1,0 +1,276 @@
+//! The conditional-lower-bound registry: Theorem 14's applications
+//! (Theorem 28, 38, 40, 42, 48, Lemma 51) as structured, checkable records,
+//! together with the *constrained function* notion of Definition 26 that
+//! gates which LOCAL bounds `T(N, Δ)` the lifting accepts.
+
+use std::fmt;
+
+/// A round-complexity function `T(N, Δ)`.
+pub type RoundFn = fn(f64, f64) -> f64;
+
+/// A named `T(N, Δ)` with the Definition 26 checks:
+/// `T(N, Δ) = O(log^γ N)` for some `γ ∈ (0, 1)`, and the smoothness law
+/// `T(N^c, Δ) ≤ c · T(N, Δ)` for all `c ≥ 1`.
+#[derive(Clone)]
+pub struct ConstrainedFn {
+    /// Display name, e.g. `"log* N"`.
+    pub name: &'static str,
+    /// The function itself.
+    pub f: RoundFn,
+    /// A witness exponent `γ ∈ (0, 1)` for the `O(log^γ N)` bound.
+    pub gamma: f64,
+}
+
+impl fmt::Debug for ConstrainedFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConstrainedFn")
+            .field("name", &self.name)
+            .field("gamma", &self.gamma)
+            .finish()
+    }
+}
+
+impl ConstrainedFn {
+    /// Evaluates `T(N, Δ)`.
+    #[must_use]
+    pub fn eval(&self, n: f64, delta: f64) -> f64 {
+        (self.f)(n, delta)
+    }
+
+    /// Numerically probes the two Definition 26 conditions over a grid of
+    /// `(N, Δ, c)` values; returns the first violation found.
+    ///
+    /// A probe, not a proof — but it *refutes* non-constrained functions
+    /// (e.g. `T = √N`), which is what the framework needs operationally.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated condition.
+    pub fn check_constrained(&self, slack: f64) -> Result<(), String> {
+        let ns = [1e2f64, 1e4, 1e8, 1e16, 1e32];
+        let deltas = [2.0f64, 8.0, 64.0];
+        let cs = [1.0f64, 1.5, 2.0, 4.0];
+        for &n in &ns {
+            for &delta in &deltas {
+                let d = delta.min(n - 1.0);
+                let t = self.eval(n, d);
+                let cap = slack * n.ln().max(1.0).powf(self.gamma);
+                if t > cap {
+                    return Err(format!(
+                        "{}: T({n:.0e}, {d}) = {t:.2} exceeds {slack}·log^{}(N) = {cap:.2}",
+                        self.name, self.gamma
+                    ));
+                }
+                for &c in &cs {
+                    let lhs = self.eval(n.powf(c), d);
+                    let rhs = c * t;
+                    if lhs > rhs + 1e-9 && t > 0.0 {
+                        return Err(format!(
+                            "{}: smoothness fails at N={n:.0e}, Δ={d}, c={c}: \
+                             T(N^c) = {lhs:.3} > c·T(N) = {rhs:.3}",
+                            self.name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `log*` of `x` (base 2).
+#[must_use]
+pub fn log_star(mut x: f64) -> f64 {
+    let mut k = 0.0;
+    while x > 1.0 {
+        x = x.log2();
+        k += 1.0;
+    }
+    k
+}
+
+/// The constrained functions used by the paper's applications.
+#[must_use]
+pub fn standard_functions() -> Vec<ConstrainedFn> {
+    vec![
+        ConstrainedFn {
+            name: "log^(1/3)_Δ N",
+            f: |n, d| (n.ln() / d.max(2.0).ln()).max(1.0).powf(1.0 / 3.0),
+            gamma: 0.34,
+        },
+        ConstrainedFn {
+            name: "sqrt(min(Δ, log N))",
+            f: |n, d| d.min(n.ln() / std::f64::consts::LN_2).max(1.0).sqrt(),
+            gamma: 0.5,
+        },
+        ConstrainedFn {
+            name: "log* N",
+            f: |n, _| log_star(n),
+            gamma: 0.2,
+        },
+    ]
+}
+
+/// One conditional lower bound produced by the Theorem 14 lifting.
+#[derive(Debug, Clone)]
+pub struct ConditionalLowerBound {
+    /// Problem name.
+    pub problem: &'static str,
+    /// Graph family the bound holds on (a *normal* family).
+    pub family: &'static str,
+    /// Where the LOCAL bound comes from.
+    pub local_bound_source: &'static str,
+    /// The LOCAL round bound `T(N, Δ)` being lifted.
+    pub local_t: ConstrainedFn,
+    /// Whether the bound holds for deterministic algorithms only (the
+    /// paper's new deterministic extension) or also randomized ones.
+    pub deterministic_only: bool,
+    /// Human-readable statement of the lifted MPC bound `Ω(log T)`.
+    pub lifted_statement: &'static str,
+}
+
+impl ConditionalLowerBound {
+    /// The lifted bound `log₂ T(N, Δ)` at concrete parameters — the paper's
+    /// `Ω(log T(n, Δ))` with constant 1, for plotting/reporting.
+    #[must_use]
+    pub fn lifted_rounds(&self, n: f64, delta: f64) -> f64 {
+        self.local_t.eval(n, delta).max(1.0).log2()
+    }
+}
+
+/// The registry of the paper's headline applications (Theorems 28, 38, 40,
+/// 42, 48; Lemma 51).
+#[must_use]
+pub fn registry() -> Vec<ConditionalLowerBound> {
+    let fns = standard_functions();
+    let log13 = fns[0].clone();
+    let sqrtmin = fns[1].clone();
+    let logstar = fns[2].clone();
+    vec![
+        ConditionalLowerBound {
+            problem: "maximal matching / MIS (randomized)",
+            family: "all graphs (matching: forests)",
+            local_bound_source: "KMW06 via GKU19 Thm V.1",
+            local_t: sqrtmin.clone(),
+            deterministic_only: false,
+            lifted_statement: "Ω(log log n) rounds for component-stable MPC (Theorem 28)",
+        },
+        ConditionalLowerBound {
+            problem: "sinkless orientation (deterministic)",
+            family: "forests (line graphs of)",
+            local_bound_source: "BFH+16 + CKP19",
+            local_t: log13.clone(),
+            deterministic_only: true,
+            lifted_statement: "Ω(log log_Δ n) rounds, stable deterministic MPC (Theorem 38)",
+        },
+        ConditionalLowerBound {
+            problem: "(2Δ−2)-edge coloring (deterministic)",
+            family: "forests",
+            local_bound_source: "CHL+20",
+            local_t: log13.clone(),
+            deterministic_only: true,
+            lifted_statement: "Ω(log log_Δ n) rounds, stable deterministic MPC (Theorem 40)",
+        },
+        ConditionalLowerBound {
+            problem: "Δ-vertex coloring (deterministic)",
+            family: "forests",
+            local_bound_source: "CKP19",
+            local_t: log13,
+            deterministic_only: true,
+            lifted_statement: "Ω(log log_Δ n) rounds, stable deterministic MPC (Theorem 42)",
+        },
+        ConditionalLowerBound {
+            problem: "maximal matching / MIS (deterministic)",
+            family: "all graphs",
+            local_bound_source: "BBH+19",
+            local_t: sqrtmin,
+            deterministic_only: true,
+            lifted_statement: "Ω(log Δ + log log n) rounds, stable deterministic MPC (Theorem 48)",
+        },
+        ConditionalLowerBound {
+            problem: "Ω(n/Δ) independent set (randomized)",
+            family: "all graphs",
+            local_bound_source: "KKSS20 (shared-randomness adaptation)",
+            local_t: logstar,
+            deterministic_only: false,
+            lifted_statement: "Ω(log log* n) rounds, stable MPC (Lemma 51 / Theorem 5)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_functions_are_constrained() {
+        for f in standard_functions() {
+            f.check_constrained(4.0)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn sqrt_n_is_not_constrained() {
+        let bad = ConstrainedFn {
+            name: "sqrt N",
+            f: |n, _| n.sqrt(),
+            gamma: 0.9,
+        };
+        assert!(bad.check_constrained(4.0).is_err());
+    }
+
+    #[test]
+    fn tower_function_violates_smoothness() {
+        // The paper's footnote 9 counterexample: a tower-of-2s of height
+        // log* N − 3 is O(log log N) but not smooth.
+        let tower = ConstrainedFn {
+            name: "tower(log* N − 3)",
+            f: |n, _| {
+                let h = (log_star(n) - 3.0).max(0.0) as u32;
+                let mut x = 1.0f64;
+                for _ in 0..h {
+                    x = f64::min(2f64.powf(x), 1e18);
+                }
+                x
+            },
+            gamma: 0.9,
+        };
+        assert!(
+            tower.check_constrained(4.0).is_err(),
+            "the footnote-9 counterexample must be rejected"
+        );
+    }
+
+    #[test]
+    fn registry_is_well_formed() {
+        let reg = registry();
+        assert_eq!(reg.len(), 6);
+        for b in &reg {
+            b.local_t
+                .check_constrained(4.0)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.problem));
+            // Lifted bounds grow (weakly) with n at fixed Δ.
+            let small = b.lifted_rounds(1e4, 8.0);
+            let large = b.lifted_rounds(1e16, 8.0);
+            assert!(
+                large + 1e-12 >= small,
+                "{}: lifted bound shrank with n",
+                b.problem
+            );
+        }
+    }
+
+    #[test]
+    fn lifted_values_match_paper_scales() {
+        let reg = registry();
+        // MIS randomized: log sqrt(log n) = Θ(log log n).
+        let mis = &reg[0];
+        let v = mis.lifted_rounds(1e9, 1e9);
+        let loglog = (1e9f64.ln() / std::f64::consts::LN_2).log2();
+        assert!(v <= loglog && v >= loglog / 4.0, "v={v}, loglog={loglog}");
+        // Large IS: log log* n is tiny.
+        let lis = &reg[5];
+        assert!(lis.lifted_rounds(1e9, 4.0) <= 3.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! `(D, ε, n, Δ)`-sensitivity (Definition 24): the probability, over the
+//! shared seed, that a component-stable algorithm outputs differently at
+//! the centers of two `D`-radius-identical graphs.
+//!
+//! Lemma 25 shows LOCAL hardness *forces* some pair to be sensitive; here
+//! we measure sensitivity empirically for concrete algorithm/pair
+//! combinations, which is the quantity the lifting reduction (Lemma 27)
+//! consumes.
+
+use csmpc_algorithms::api::MpcVertexAlgorithm;
+use csmpc_graph::ball::radius_identical;
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{ops, Graph, NodeId};
+use csmpc_mpc::{Cluster, MpcConfig, MpcError};
+
+/// A pair of centered graphs to test sensitivity against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CenteredPair {
+    /// First graph.
+    pub g: Graph,
+    /// Its center index.
+    pub center_g: usize,
+    /// Second graph.
+    pub gp: Graph,
+    /// Its center index.
+    pub center_gp: usize,
+}
+
+impl CenteredPair {
+    /// Checks `D`-radius identicality (Definition 23).
+    #[must_use]
+    pub fn is_radius_identical(&self, d: usize) -> bool {
+        radius_identical(&self.g, self.center_g, &self.gp, self.center_gp, d)
+    }
+}
+
+/// Embeds `g` as one component of an `n_total`-node input (padding with
+/// isolated nodes sharing a fresh ID) and runs `alg`, returning the label
+/// at `center` — the empirical realization of `A(G, v, n, Δ, S)`.
+///
+/// # Errors
+///
+/// Propagates algorithm errors.
+///
+/// # Panics
+///
+/// Panics if `n_total < g.n()`.
+pub fn run_as_component<A: MpcVertexAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    center: usize,
+    n_total: usize,
+    seed: Seed,
+) -> Result<A::Label, MpcError> {
+    assert!(n_total >= g.n(), "padding cannot shrink the graph");
+    let max_id = (0..g.n()).map(|v| g.id(v).0).max().unwrap_or(0);
+    let padded = ops::with_isolated_nodes(
+        g,
+        n_total - g.n(),
+        NodeId(max_id + 1),
+        3_000_000_017,
+    );
+    let mut cfg = MpcConfig::default();
+    cfg.min_space = 1 << 14;
+    let mut cluster = Cluster::new(cfg, padded.n(), csmpc_mpc::graph_words(&padded), seed);
+    let labels = alg.run(&padded, &mut cluster)?;
+    Ok(labels[center].clone())
+}
+
+/// Estimated sensitivity of `alg` with respect to a pair: the fraction of
+/// `trials` seeds on which the center outputs differ when each graph is
+/// embedded in an `n_total`-node input.
+///
+/// # Errors
+///
+/// Propagates algorithm errors.
+pub fn estimate_sensitivity<A: MpcVertexAlgorithm>(
+    alg: &A,
+    pair: &CenteredPair,
+    n_total: usize,
+    trials: usize,
+    master_seed: Seed,
+) -> Result<f64, MpcError> {
+    let mut differing = 0usize;
+    for t in 0..trials {
+        let seed = master_seed.derive(t as u64);
+        let a = run_as_component(alg, &pair.g, pair.center_g, n_total, seed)?;
+        let b = run_as_component(alg, &pair.gp, pair.center_gp, n_total, seed)?;
+        if a != b {
+            differing += 1;
+        }
+    }
+    Ok(differing as f64 / trials.max(1) as f64)
+}
+
+/// A deliberately *farsighted* component-stable algorithm used to
+/// demonstrate the lifting machinery: each node outputs the maximum ID in
+/// its connected component. Stable by construction (a function of `CC(v)`
+/// alone) and maximally sensitive to any pair differing in far IDs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComponentMaxId;
+
+impl MpcVertexAlgorithm for ComponentMaxId {
+    type Label = u64;
+
+    fn name(&self) -> &str {
+        "component-max-id (stable, deterministic, farsighted)"
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<u64>, MpcError> {
+        // O(log n) rounds of pointer jumping (the honest cost of gathering
+        // component-global information — exactly why Lemma 25 forces
+        // sub-logarithmic algorithms to be insensitive).
+        let dg = csmpc_mpc::DistributedGraph::distribute(g, cluster)?;
+        let (cc, _) = dg.cc_labels(cluster);
+        let mut max_by_label: std::collections::HashMap<u64, u64> = Default::default();
+        for v in 0..g.n() {
+            let e = max_by_label.entry(cc[v]).or_insert(0);
+            *e = (*e).max(g.id(v).0);
+        }
+        Ok((0..g.n()).map(|v| max_by_label[&cc[v]]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::ball::identical_ball_path_pair;
+
+    fn pair(d: usize, k: usize) -> CenteredPair {
+        let (g, c, gp, cp) = identical_ball_path_pair(d, k);
+        CenteredPair {
+            g,
+            center_g: c,
+            gp,
+            center_gp: cp,
+        }
+    }
+
+    #[test]
+    fn pair_is_radius_identical() {
+        let p = pair(4, 3);
+        assert!(p.is_radius_identical(4));
+        assert!(!p.is_radius_identical(5));
+    }
+
+    #[test]
+    fn farsighted_algorithm_is_fully_sensitive() {
+        let p = pair(3, 4);
+        let s = estimate_sensitivity(&ComponentMaxId, &p, 40, 5, Seed(1)).unwrap();
+        assert_eq!(s, 1.0, "max-ID differs on every seed");
+    }
+
+    #[test]
+    fn local_algorithm_is_insensitive() {
+        // A 1-ball algorithm cannot distinguish a D≥1-radius-identical pair.
+        #[derive(Debug)]
+        struct DegreeOut;
+        impl MpcVertexAlgorithm for DegreeOut {
+            type Label = usize;
+            fn name(&self) -> &str {
+                "degree"
+            }
+            fn deterministic(&self) -> bool {
+                true
+            }
+            fn run(
+                &self,
+                g: &Graph,
+                cluster: &mut Cluster,
+            ) -> Result<Vec<usize>, MpcError> {
+                cluster.charge_rounds(1);
+                Ok((0..g.n()).map(|v| g.degree(v)).collect())
+            }
+        }
+        let p = pair(2, 5);
+        let s = estimate_sensitivity(&DegreeOut, &p, 40, 5, Seed(2)).unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn run_as_component_pads_to_n() {
+        let p = pair(2, 2);
+        // n_total well above the component size: must still run and give
+        // the same (stable, deterministic) answer as any other n_total?
+        // No — Definition 13 *allows* n-dependency; we only check it runs.
+        let out = run_as_component(&ComponentMaxId, &p.g, p.center_g, 60, Seed(3)).unwrap();
+        let max_id = (0..p.g.n()).map(|v| p.g.id(v).0).max().unwrap();
+        assert_eq!(out, max_id);
+    }
+}

@@ -1,0 +1,202 @@
+//! Component stability (Definition 13) as a *testable* property.
+//!
+//! Definition 13 says: a randomized MPC algorithm is component-stable when
+//! its output at `v` is a deterministic function of
+//! `(CC(v), v, n, Δ, S)` — the topology and **IDs** (not names) of `v`'s
+//! component, the exact `n` and `Δ` of the whole input, and the shared
+//! seed. Two falsifiable consequences drive the verifier:
+//!
+//! 1. **Sibling swap** — replacing a *different* component with any other
+//!    graph of the same size and maximum degree must not change the output
+//!    on `CC(v)`;
+//! 2. **Renaming** — changing node *names* (keeping IDs) must not change
+//!    any output.
+//!
+//! A violation of either is a constructive witness of component
+//! *instability*; surviving many trials is (only) evidence of stability,
+//! which is the right epistemic status for an empirical check.
+
+use csmpc_algorithms::api::MpcVertexAlgorithm;
+use csmpc_graph::rng::{Seed, SplitMix64};
+use csmpc_graph::{generators, ops, Graph};
+use csmpc_mpc::{Cluster, MpcConfig, MpcError};
+
+/// A concrete witness that an algorithm is component-unstable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstabilityWitness {
+    /// Which probe produced the witness.
+    pub probe: ProbeKind,
+    /// Trial index (for reproduction).
+    pub trial: usize,
+    /// Index (within the observed component) of the first differing node.
+    pub node_in_component: usize,
+}
+
+/// The kind of stability probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Swapped an unrelated sibling component (same `n`, same `Δ`).
+    SiblingSwap,
+    /// Renamed all nodes (names only; IDs untouched).
+    Renaming,
+}
+
+/// Result of a stability verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilityReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Trials executed per probe kind.
+    pub trials: usize,
+    /// Witnesses found (empty = consistent with stability).
+    pub witnesses: Vec<InstabilityWitness>,
+}
+
+impl StabilityReport {
+    /// No witness was found.
+    #[must_use]
+    pub fn looks_stable(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+}
+
+/// Builds a cluster for stability probes (generous space so that the probes
+/// measure stability, not space limits).
+fn probe_cluster(g: &Graph, seed: Seed) -> Cluster {
+    let mut cfg = MpcConfig::default();
+    cfg.min_space = 1 << 14;
+    Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed)
+}
+
+/// Generates a sibling component with `n` nodes and maximum degree ≤
+/// `delta_cap`, with IDs in `0..n` and names drawn from `name_base..`.
+fn sibling(n: usize, delta_cap: usize, name_base: u64, seed: Seed) -> Graph {
+    let base = if n < 3 || delta_cap < 2 {
+        csmpc_graph::GraphBuilder::with_sequential_nodes(n)
+            .build()
+            .expect("isolated nodes are valid")
+    } else {
+        let mut rng = SplitMix64::new(seed);
+        match rng.index(3) {
+            0 => generators::cycle(n),
+            1 => generators::path(n),
+            _ => {
+                if n >= 6 && n % 2 == 0 {
+                    generators::two_cycles(n)
+                } else {
+                    generators::random_tree(n, seed.derive(1))
+                }
+            }
+        }
+    };
+    let shuffled = generators::shuffle_identity(&base, 0, 0, seed.derive(2));
+    ops::with_fresh_names(&shuffled, name_base)
+}
+
+/// Runs the Definition 13 verifier on `alg`, observing the component
+/// `component` embedded next to varying siblings.
+///
+/// # Errors
+///
+/// Propagates algorithm errors (e.g. space violations).
+pub fn verify_component_stability<A: MpcVertexAlgorithm>(
+    alg: &A,
+    component: &Graph,
+    trials: usize,
+    master_seed: Seed,
+) -> Result<StabilityReport, MpcError> {
+    let mut witnesses = Vec::new();
+    let nc = component.n();
+    let delta = component.max_degree();
+
+    // Reference embedding: component ⊎ reference sibling.
+    for trial in 0..trials {
+        let trial_seed = master_seed.derive(trial as u64);
+        let sib_a = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(10));
+        let sib_b = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(11));
+        // Ensure identical (n, Δ): regenerate b until Δ matches a.
+        let sib_b = if sib_b.max_degree() == sib_a.max_degree() {
+            sib_b
+        } else {
+            ops::with_fresh_names(
+                &generators::shuffle_identity(&sib_a, 0, 0, trial_seed.derive(12)),
+                10_000,
+            )
+        };
+        let ga = ops::disjoint_union(&[component, &sib_a]);
+        let gb = ops::disjoint_union(&[component, &sib_b]);
+        debug_assert_eq!(ga.n(), gb.n());
+        debug_assert_eq!(ga.max_degree(), gb.max_degree());
+        let shared = trial_seed.derive(99);
+        let la = alg.run(&ga, &mut probe_cluster(&ga, shared))?;
+        let lb = alg.run(&gb, &mut probe_cluster(&gb, shared))?;
+        if let Some(idx) = (0..nc).find(|&v| la[v] != lb[v]) {
+            witnesses.push(InstabilityWitness {
+                probe: ProbeKind::SiblingSwap,
+                trial,
+                node_in_component: idx,
+            });
+        }
+
+        // Renaming probe: same graph, fresh names everywhere.
+        let renamed = ops::with_fresh_names(&ga, 700_000 + trial as u64 * 1_000);
+        let lr = alg.run(&renamed, &mut probe_cluster(&renamed, shared))?;
+        if let Some(idx) = (0..nc).find(|&v| la[v] != lr[v]) {
+            witnesses.push(InstabilityWitness {
+                probe: ProbeKind::Renaming,
+                trial,
+                node_in_component: idx,
+            });
+        }
+    }
+    Ok(StabilityReport {
+        algorithm: alg.name().to_string(),
+        trials,
+        witnesses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_algorithms::amplify::{AmplifiedLargeIs, StableOneShotIs};
+    use csmpc_algorithms::det_is::DerandomizedLargeIs;
+
+    #[test]
+    fn stable_algorithm_passes() {
+        let comp = generators::cycle(10);
+        let report =
+            verify_component_stability(&StableOneShotIs, &comp, 6, Seed(1)).unwrap();
+        assert!(report.looks_stable(), "witnesses: {:?}", report.witnesses);
+    }
+
+    #[test]
+    fn amplified_algorithm_fails() {
+        let comp = generators::cycle(10);
+        let alg = AmplifiedLargeIs { repetitions: 8 };
+        let report = verify_component_stability(&alg, &comp, 12, Seed(2)).unwrap();
+        assert!(
+            !report.looks_stable(),
+            "amplification should be caught as unstable"
+        );
+    }
+
+    #[test]
+    fn derandomized_is_fails_renaming_or_swap() {
+        // The pairwise-MCE algorithm hashes node *ranks* and fixes the seed
+        // by global agreement — unstable under sibling swaps.
+        let comp = generators::cycle(10);
+        let report =
+            verify_component_stability(&DerandomizedLargeIs, &comp, 12, Seed(3)).unwrap();
+        assert!(!report.looks_stable());
+    }
+
+    #[test]
+    fn report_metadata() {
+        let comp = generators::path(5);
+        let report =
+            verify_component_stability(&StableOneShotIs, &comp, 3, Seed(4)).unwrap();
+        assert_eq!(report.trials, 3);
+        assert!(report.algorithm.contains("stable"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Non-uniform advice (Lemma 54 packaging): a per-`n` table of hard-coded
+//! seeds, the "different seed hard-coded for each n" object the paper's
+//! non-uniform deterministic MPC algorithms carry.
+
+use crate::mce::find_good_seed;
+use std::collections::BTreeMap;
+
+/// A non-uniform advice table: input size → hard-coded seed.
+///
+/// Built by exhaustive search (the proof's brute force) and then consulted
+/// in `O(1)` by the deterministic algorithm — mirroring how Lemma 54's
+/// machine hard-codes `S*` per `n`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdviceTable {
+    seeds: BTreeMap<usize, u64>,
+}
+
+impl AdviceTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        AdviceTable::default()
+    }
+
+    /// Builds advice for one `n` by searching `0..space` with the given
+    /// acceptance test ("seed is correct for *every* instance of size n").
+    /// Returns whether a seed was found.
+    pub fn search(&mut self, n: usize, space: u64, ok: impl FnMut(u64) -> bool) -> bool {
+        let (first, _) = find_good_seed(space, ok);
+        match first {
+            Some(s) => {
+                self.seeds.insert(n, s);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The hard-coded seed for `n`, if the table covers it.
+    #[must_use]
+    pub fn seed_for(&self, n: usize) -> Option<u64> {
+        self.seeds.get(&n).copied()
+    }
+
+    /// Number of input sizes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Is the table empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Total advice bits stored — `O(poly(n))` in the paper's accounting
+    /// (one seed per input size).
+    #[must_use]
+    pub fn advice_bits(&self) -> u32 {
+        self.seeds
+            .values()
+            .map(|s| 64 - s.leading_zeros())
+            .sum::<u32>()
+            .max(self.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut table = AdviceTable::new();
+        // "Algorithm succeeds" iff seed ≡ 3 mod 5, per n.
+        for n in [4usize, 8, 16] {
+            assert!(table.search(n, 32, |s| s % 5 == 3));
+        }
+        assert_eq!(table.seed_for(8), Some(3));
+        assert_eq!(table.seed_for(99), None);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        assert!(table.advice_bits() >= 3);
+    }
+
+    #[test]
+    fn search_failure_leaves_table_unchanged() {
+        let mut table = AdviceTable::new();
+        assert!(!table.search(4, 16, |_| false));
+        assert!(table.is_empty());
+    }
+}

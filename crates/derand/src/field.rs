@@ -1,0 +1,118 @@
+//! Prime-field arithmetic for the hash families of Section 4.1.
+
+/// Is `n` prime? Deterministic trial division — inputs here are small
+/// (`p = O(poly(n))` for graph sizes this workspace simulates).
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime `≥ n` (Bertrand guarantees one below `2n`).
+///
+/// # Panics
+///
+/// Panics on overflow (unreachable for realistic inputs).
+#[must_use]
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c = c.checked_add(1).expect("prime search overflow");
+    }
+}
+
+/// Modular multiplication via `u128`, safe for any `u64` modulus.
+#[must_use]
+pub fn mul_mod(a: u64, b: u64, p: u64) -> u64 {
+    ((a as u128 * b as u128) % p as u128) as u64
+}
+
+/// `base^exp mod p` by square-and-multiply.
+#[must_use]
+pub fn pow_mod(base: u64, mut exp: u64, p: u64) -> u64 {
+    let mut b = base % p;
+    let mut acc = 1u64 % p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, b, p);
+        }
+        b = mul_mod(b, b, p);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Evaluates the polynomial `Σ coeffs[i]·x^i mod p` (Horner).
+#[must_use]
+pub fn poly_eval(coeffs: &[u64], x: u64, p: u64) -> u64 {
+    let mut acc = 0u64;
+    for &c in coeffs.iter().rev() {
+        acc = (mul_mod(acc, x % p, p) + c % p) % p;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 101, 7919];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 9, 100, 7917] {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn next_prime_examples() {
+        assert_eq!(next_prime(1), 2);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(17), 17);
+        assert_eq!(next_prime(100), 101);
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        let p = 101;
+        for a in 1..20 {
+            assert_eq!(pow_mod(a, p - 1, p), 1, "Fermat fails for {a}");
+        }
+    }
+
+    #[test]
+    fn poly_eval_matches_naive() {
+        let p = 97;
+        let coeffs = [5u64, 3, 2, 7]; // 5 + 3x + 2x² + 7x³
+        for x in 0..10u64 {
+            let naive = (5 + 3 * x + 2 * x * x + 7 * x * x * x) % p;
+            assert_eq!(poly_eval(&coeffs, x, p), naive);
+        }
+    }
+
+    #[test]
+    fn mul_mod_no_overflow() {
+        let p = (1u64 << 61) - 1;
+        let big = p - 1;
+        // (p-1)² mod p = 1.
+        assert_eq!(mul_mod(big, big, p), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! `k`-wise independent hash families (Section 4.1.1).
+//!
+//! The classical polynomial construction: with `p` prime, the family
+//! `h_{a_0..a_{k−1}}(x) = Σ a_i x^i mod p` over domain `Z_p` is exactly
+//! `k`-wise independent. A seed of `k·⌈log p⌉` bits specifies a function —
+//! this is the (ε = 0 on domain `Z_p`) instantiation of the strongly
+//! `(ε, k)`-wise independent families of Theorem 31, and the seed lengths
+//! match the `O(k log |B| + log log |A|)` regime the paper's
+//! derandomizations budget for.
+
+use crate::field::{next_prime, poly_eval};
+use csmpc_graph::rng::{Seed, SplitMix64};
+
+/// One function from the degree-`(k−1)` polynomial family over `Z_p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyHash {
+    p: u64,
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Constructs the function with the given coefficients (`a_0` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or `p < 2`.
+    #[must_use]
+    pub fn new(p: u64, coeffs: Vec<u64>) -> Self {
+        assert!(p >= 2, "modulus must be at least 2");
+        assert!(!coeffs.is_empty(), "need at least one coefficient");
+        let coeffs = coeffs.into_iter().map(|c| c % p).collect();
+        PolyHash { p, coeffs }
+    }
+
+    /// The modulus `p`.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Independence level `k` (= number of coefficients).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates `h(x) ∈ [0, p)`.
+    #[must_use]
+    pub fn eval(&self, x: u64) -> u64 {
+        poly_eval(&self.coeffs, x % self.p, self.p)
+    }
+
+    /// `h(x)` mapped to the unit interval `[0, 1)` — the `χ_v` values of
+    /// Luby's algorithm (Section 5).
+    #[must_use]
+    pub fn unit(&self, x: u64) -> f64 {
+        self.eval(x) as f64 / self.p as f64
+    }
+
+    /// `h(x) mod m` — a near-uniform value in `[0, m)` (bias ≤ m/p).
+    #[must_use]
+    pub fn range(&self, x: u64, m: u64) -> u64 {
+        self.eval(x) % m
+    }
+
+    /// One pseudorandom bit: the parity of `h(x)`.
+    #[must_use]
+    pub fn bit(&self, x: u64) -> bool {
+        self.eval(x) & 1 == 1
+    }
+}
+
+/// The full family for a fixed `(p, k)`: seeds enumerate coefficient
+/// vectors, so the family has exactly `p^k` members — `k·⌈log₂ p⌉` seed
+/// bits, the budget all the paper's conditional-expectation arguments fix
+/// `Θ(log n)` bits of per MPC round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolyFamily {
+    /// The prime modulus.
+    pub p: u64,
+    /// Independence level.
+    pub k: usize,
+}
+
+impl PolyFamily {
+    /// A family with domain covering `0..domain` and independence `k`;
+    /// picks `p` = smallest prime ≥ `domain.max(2)`.
+    #[must_use]
+    pub fn for_domain(domain: u64, k: usize) -> Self {
+        PolyFamily {
+            p: next_prime(domain.max(2)),
+            k: k.max(1),
+        }
+    }
+
+    /// Number of functions in the family (`p^k`), saturating.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.p.saturating_pow(self.k as u32)
+    }
+
+    /// Seed length in bits.
+    #[must_use]
+    pub fn seed_bits(&self) -> u32 {
+        self.k as u32 * (64 - self.p.leading_zeros())
+    }
+
+    /// The member indexed by `index ∈ [0, p^k)` (base-`p` digits become
+    /// coefficients).
+    #[must_use]
+    pub fn member(&self, index: u64) -> PolyHash {
+        let mut coeffs = Vec::with_capacity(self.k);
+        let mut rest = index;
+        for _ in 0..self.k {
+            coeffs.push(rest % self.p);
+            rest /= self.p;
+        }
+        PolyHash::new(self.p, coeffs)
+    }
+
+    /// A uniformly random member.
+    #[must_use]
+    pub fn sample(&self, seed: Seed) -> PolyHash {
+        let mut rng = SplitMix64::new(seed);
+        let coeffs = (0..self.k).map(|_| rng.range(0, self.p)).collect();
+        PolyHash::new(self.p, coeffs)
+    }
+
+    /// Iterates the whole family — only sensible when `size()` is small
+    /// (exhaustive derandomization).
+    pub fn iter(&self) -> impl Iterator<Item = PolyHash> + '_ {
+        (0..self.size()).map(move |i| self.member(i))
+    }
+}
+
+/// Pairwise (`k = 2`) family, the workhorse of Claim 52 / Theorem 53.
+#[must_use]
+pub fn pairwise_for_domain(domain: u64) -> PolyFamily {
+    PolyFamily::for_domain(domain, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_in_range() {
+        let fam = PolyFamily::for_domain(100, 3);
+        let h = fam.sample(Seed(1));
+        for x in 0..200 {
+            assert!(h.eval(x) < fam.p);
+        }
+    }
+
+    /// Exact pairwise independence: over the whole family, every pair of
+    /// distinct inputs takes every pair of outputs equally often.
+    #[test]
+    fn pairwise_exactly_independent() {
+        let fam = pairwise_for_domain(5); // p = 5, 25 functions
+        let (x1, x2) = (1u64, 3u64);
+        let mut counts = std::collections::HashMap::new();
+        for h in fam.iter() {
+            *counts.entry((h.eval(x1), h.eval(x2))).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 25);
+        assert!(counts.values().all(|&c| c == 1), "non-uniform pair counts");
+    }
+
+    /// Degree-1 ("1-wise") families are uniform but NOT pairwise
+    /// independent — a sanity check that k matters.
+    #[test]
+    fn one_wise_is_not_pairwise() {
+        let fam = PolyFamily { p: 5, k: 1 };
+        let mut counts = std::collections::HashMap::new();
+        for h in fam.iter() {
+            *counts.entry((h.eval(1), h.eval(3))).or_insert(0usize) += 1;
+        }
+        // Constant functions: h(1) = h(3) always, only 5 pairs occur.
+        assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn member_round_trip() {
+        let fam = PolyFamily { p: 7, k: 2 };
+        for i in 0..fam.size() {
+            let h = fam.member(i);
+            assert_eq!(h.k(), 2);
+            assert!(h.eval(3) < 7);
+        }
+    }
+
+    #[test]
+    fn threewise_triple_uniformity() {
+        let fam = PolyFamily { p: 5, k: 3 };
+        let (x1, x2, x3) = (0u64, 2, 4);
+        let mut counts = std::collections::HashMap::new();
+        for h in fam.iter() {
+            *counts
+                .entry((h.eval(x1), h.eval(x2), h.eval(x3)))
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 125);
+        assert!(counts.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn unit_in_interval() {
+        let fam = pairwise_for_domain(1000);
+        let h = fam.sample(Seed(5));
+        for x in 0..100 {
+            let u = h.unit(x);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn seed_bits_reasonable() {
+        let fam = PolyFamily::for_domain(1000, 2);
+        // p = 1009 needs 10 bits; 2 coefficients = 20 bits.
+        assert_eq!(fam.seed_bits(), 20);
+    }
+
+    #[test]
+    fn sample_deterministic() {
+        let fam = pairwise_for_domain(50);
+        assert_eq!(fam.sample(Seed(9)), fam.sample(Seed(9)));
+    }
+}

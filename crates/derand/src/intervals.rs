@@ -1,0 +1,191 @@
+//! Cyclic-interval arithmetic over `Z_p`.
+//!
+//! Used by the exact conditional-expectation oracle for the derandomized
+//! Luby step (Claim 52 / Theorem 53): with a pairwise hash
+//! `h(x) = a·x + b (mod p)` and `a` fixed, each event
+//! "`h(v) < T` and `h(u) ≥ T` for every neighbor `u`" holds for `b` in
+//! `I_v \ ∪_u I_u`, where every `I` is a cyclic interval of length `T`.
+//! Counting that set exactly turns `E_b[cost | a]` into arithmetic.
+
+/// A half-open cyclic interval `[start, start+len) mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclicInterval {
+    /// Interval start in `[0, p)`.
+    pub start: u64,
+    /// Interval length, `≤ p`.
+    pub len: u64,
+    /// The modulus.
+    pub p: u64,
+}
+
+impl CyclicInterval {
+    /// Creates `[start, start+len) mod p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > p` or `start >= p`.
+    #[must_use]
+    pub fn new(start: u64, len: u64, p: u64) -> Self {
+        assert!(len <= p, "length {len} exceeds modulus {p}");
+        assert!(start < p, "start {start} outside [0,{p})");
+        CyclicInterval { start, len, p }
+    }
+
+    /// Does the interval contain `x`?
+    #[must_use]
+    pub fn contains(&self, x: u64) -> bool {
+        let x = x % self.p;
+        let offset = (x + self.p - self.start) % self.p;
+        offset < self.len
+    }
+
+    /// The set of `b` such that `(c + b) mod p < t` — a cyclic interval of
+    /// length `t` starting at `p − c (mod p)`.
+    #[must_use]
+    pub fn shift_preimage(c: u64, t: u64, p: u64) -> Self {
+        CyclicInterval::new((p - c % p) % p, t.min(p), p)
+    }
+}
+
+/// Exactly counts `|base \ (i₁ ∪ i₂ ∪ …)|`.
+///
+/// Strategy: re-anchor the circle so `base = [0, base.len)`, clip every
+/// other interval (splitting wrap-arounds) to that window, merge, and
+/// subtract the union's length.
+///
+/// # Panics
+///
+/// Panics if moduli disagree.
+#[must_use]
+pub fn count_difference(base: CyclicInterval, others: &[CyclicInterval]) -> u64 {
+    let p = base.p;
+    let mut clipped: Vec<(u64, u64)> = Vec::new();
+    for iv in others {
+        assert_eq!(iv.p, p, "mismatched moduli");
+        if iv.len == 0 {
+            continue;
+        }
+        if iv.len >= p {
+            return 0; // an interval covering everything erases the base
+        }
+        // Shift into base-anchored coordinates.
+        let s = (iv.start + p - base.start) % p;
+        let e = s + iv.len; // may exceed p -> wraps
+        if e <= p {
+            push_clipped(&mut clipped, s, e, base.len);
+        } else {
+            push_clipped(&mut clipped, s, p, base.len);
+            push_clipped(&mut clipped, 0, e - p, base.len);
+        }
+    }
+    clipped.sort_unstable();
+    let mut covered = 0u64;
+    let mut reach = 0u64;
+    for (s, e) in clipped {
+        let s = s.max(reach);
+        if e > s {
+            covered += e - s;
+            reach = e;
+        } else {
+            reach = reach.max(e);
+        }
+    }
+    base.len - covered
+}
+
+fn push_clipped(out: &mut Vec<(u64, u64)>, s: u64, e: u64, window: u64) {
+    let s = s.min(window);
+    let e = e.min(window);
+    if e > s {
+        out.push((s, e));
+    }
+}
+
+/// Brute-force reference for [`count_difference`], used in tests and
+/// property checks.
+#[must_use]
+pub fn count_difference_naive(base: CyclicInterval, others: &[CyclicInterval]) -> u64 {
+    (0..base.p)
+        .filter(|&b| base.contains(b) && !others.iter().any(|iv| iv.contains(b)))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::rng::{Seed, SplitMix64};
+
+    #[test]
+    fn contains_wrapping() {
+        let iv = CyclicInterval::new(8, 5, 10); // {8,9,0,1,2}
+        for x in [8u64, 9, 0, 1, 2] {
+            assert!(iv.contains(x), "{x} should be inside");
+        }
+        for x in [3u64, 7] {
+            assert!(!iv.contains(x), "{x} should be outside");
+        }
+    }
+
+    #[test]
+    fn shift_preimage_correct() {
+        let p = 11;
+        for c in 0..p {
+            for t in 0..=p {
+                let iv = CyclicInterval::shift_preimage(c, t, p);
+                for b in 0..p {
+                    let holds = (c + b) % p < t;
+                    assert_eq!(iv.contains(b), holds, "c={c}, t={t}, b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn difference_simple() {
+        let p = 10;
+        let base = CyclicInterval::new(0, 6, p); // {0..5}
+        let cut = CyclicInterval::new(2, 2, p); // {2,3}
+        assert_eq!(count_difference(base, &[cut]), 4);
+    }
+
+    #[test]
+    fn difference_wrapping_cut() {
+        let p = 10;
+        let base = CyclicInterval::new(8, 5, p); // {8,9,0,1,2}
+        let cut = CyclicInterval::new(9, 3, p); // {9,0,1}
+        assert_eq!(count_difference(base, &[cut]), 2); // {8,2}
+    }
+
+    #[test]
+    fn difference_matches_naive_randomized() {
+        let mut rng = SplitMix64::new(Seed(77));
+        for _ in 0..300 {
+            let p = 2 + rng.range(0, 40);
+            let base = CyclicInterval::new(rng.range(0, p), rng.range(0, p + 1), p);
+            let k = rng.index(4);
+            let others: Vec<CyclicInterval> = (0..k)
+                .map(|_| CyclicInterval::new(rng.range(0, p), rng.range(0, p + 1), p))
+                .collect();
+            assert_eq!(
+                count_difference(base, &others),
+                count_difference_naive(base, &others),
+                "p={p}, base={base:?}, others={others:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_cover_gives_zero() {
+        let p = 7;
+        let base = CyclicInterval::new(3, 4, p);
+        let all = CyclicInterval::new(0, 7, p);
+        assert_eq!(count_difference(base, &[all]), 0);
+    }
+
+    #[test]
+    fn empty_cuts_give_base_length() {
+        let p = 13;
+        let base = CyclicInterval::new(5, 9, p);
+        assert_eq!(count_difference(base, &[]), 9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # csmpc-derand
+//!
+//! The derandomization toolkit of *"Component Stability in Low-Space
+//! Massively Parallel Computation"* (PODC 2021), Sections 4.1 and 6:
+//!
+//! * [`field`] — prime-field arithmetic;
+//! * [`hash`] — exactly `k`-wise independent polynomial hash families
+//!   (the Theorem 31 / Section 4.1.1 objects at `ε = 0` over `Z_p`);
+//! * [`intervals`] — cyclic-interval counting, the engine behind *exact*
+//!   conditional expectations for threshold events such as Luby's step;
+//! * [`mce`] — the method of conditional expectations (with MPC round
+//!   accounting for the `Θ(log n)`-bits-per-round fixing schedule) and
+//!   exhaustive seed search, the laptop-scale realization of the
+//!   non-explicit PRG (Lemma 35) and non-uniform seed (Lemma 54) arguments.
+//!
+//! ```
+//! use csmpc_derand::hash::pairwise_for_domain;
+//!
+//! let fam = pairwise_for_domain(100);
+//! let h = fam.member(123 % fam.size());
+//! assert!(h.unit(42) < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod advice;
+pub mod field;
+pub mod hash;
+pub mod intervals;
+pub mod mce;
+pub mod stats;
+
+pub use hash::{pairwise_for_domain, PolyFamily, PolyHash};
+pub use mce::{best_seed_exhaustive, find_good_seed, ConditionalExpectation, FixedSeed};

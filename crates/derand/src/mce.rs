@@ -1,0 +1,212 @@
+//! The method of conditional expectations and exhaustive seed search —
+//! the two derandomization drivers the paper's upper bounds use
+//! (Sections 4.1–4.3, Lemmas 35, 54–55).
+//!
+//! * [`best_seed_exhaustive`] — brute force over a small seed space. This is
+//!   *literally* what the non-explicit PRG of Lemma 35 and the non-uniform
+//!   seed of Lemma 54 are found by in the proofs; we run the same search at
+//!   laptop scale.
+//! * [`ConditionalExpectation`] — fixes a seed coordinate-by-coordinate so
+//!   the conditional expectation of a cost never rises above its prior
+//!   value; the distributed implementation in the paper fixes `Θ(log n)`
+//!   bits per MPC round, so we also report how many MPC rounds the fixing
+//!   schedule would take.
+
+/// Exhaustively evaluates `cost` over seeds `0..space` and returns the
+/// minimizer `(seed, cost)`.
+///
+/// # Panics
+///
+/// Panics if `space == 0`.
+#[must_use]
+pub fn best_seed_exhaustive(space: u64, mut cost: impl FnMut(u64) -> f64) -> (u64, f64) {
+    assert!(space > 0, "empty seed space");
+    let mut best = (0u64, f64::INFINITY);
+    for s in 0..space {
+        let c = cost(s);
+        if c < best.1 {
+            best = (s, c);
+        }
+    }
+    best
+}
+
+/// Exhaustively searches seeds `0..space` for one on which `ok` holds
+/// (the Lemma 54 "there must be at least one good seed" search).
+/// Also returns the number of good seeds, for reporting success densities.
+#[must_use]
+pub fn find_good_seed(space: u64, mut ok: impl FnMut(u64) -> bool) -> (Option<u64>, u64) {
+    let mut first = None;
+    let mut good = 0u64;
+    for s in 0..space {
+        if ok(s) {
+            if first.is_none() {
+                first = Some(s);
+            }
+            good += 1;
+        }
+    }
+    (first, good)
+}
+
+/// Coordinate-wise method of conditional expectations over a seed vector
+/// with per-coordinate alphabet sizes.
+///
+/// The caller supplies an **exact conditional-expectation oracle**:
+/// `expected(prefix)` = `E[cost]` over the remaining uniformly random
+/// coordinates given the fixed `prefix`. Fixing coordinate `i` to the value
+/// minimizing the oracle can never increase the expectation, so the final
+/// fully-fixed cost is at most the unconditional expectation — the
+/// textbook (and the paper's) argument.
+#[derive(Debug, Clone)]
+pub struct ConditionalExpectation {
+    /// Alphabet size per coordinate (e.g. `[p, p]` for a pairwise family).
+    pub alphabet: Vec<u64>,
+    /// How many seed bits the paper's distributed implementation can fix
+    /// per MPC round (`Θ(log n)`).
+    pub bits_per_round: u32,
+}
+
+/// Result of a conditional-expectation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedSeed {
+    /// The chosen value of each coordinate.
+    pub values: Vec<u64>,
+    /// The oracle value after the last fix (= exact final cost).
+    pub final_cost: f64,
+    /// The unconditional expectation before any fixing.
+    pub prior_cost: f64,
+    /// MPC rounds the distributed fixing schedule would take:
+    /// `⌈seed bits / bits_per_round⌉`.
+    pub mpc_rounds: usize,
+}
+
+impl ConditionalExpectation {
+    /// A driver for `coords` coordinates over alphabet `p` each, fixing
+    /// `bits_per_round` bits per simulated MPC round.
+    #[must_use]
+    pub fn uniform(coords: usize, p: u64, bits_per_round: u32) -> Self {
+        ConditionalExpectation {
+            alphabet: vec![p; coords],
+            bits_per_round: bits_per_round.max(1),
+        }
+    }
+
+    /// Total seed length in bits.
+    #[must_use]
+    pub fn seed_bits(&self) -> u32 {
+        self.alphabet
+            .iter()
+            .map(|&a| 64 - a.saturating_sub(1).leading_zeros())
+            .sum()
+    }
+
+    /// Runs the method: `expected(prefix)` must return the exact expected
+    /// cost given that `prefix` coordinates are fixed (and the rest are
+    /// uniform). Lower cost is better.
+    pub fn run(&self, mut expected: impl FnMut(&[u64]) -> f64) -> FixedSeed {
+        let prior = expected(&[]);
+        let mut prefix: Vec<u64> = Vec::with_capacity(self.alphabet.len());
+        let mut last = prior;
+        for (i, &a) in self.alphabet.iter().enumerate() {
+            let mut best_v = 0u64;
+            let mut best_c = f64::INFINITY;
+            for v in 0..a {
+                prefix.push(v);
+                let c = expected(&prefix);
+                prefix.pop();
+                if c < best_c {
+                    best_c = c;
+                    best_v = v;
+                }
+            }
+            debug_assert!(
+                best_c <= last + 1e-9,
+                "conditional expectation rose at coordinate {i}: {best_c} > {last}"
+            );
+            prefix.push(best_v);
+            last = best_c;
+        }
+        FixedSeed {
+            values: prefix,
+            final_cost: last,
+            prior_cost: prior,
+            mpc_rounds: (self.seed_bits() as usize).div_ceil(self.bits_per_round as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_finds_minimum() {
+        let (s, c) = best_seed_exhaustive(100, |s| ((s as f64) - 42.0).abs());
+        assert_eq!(s, 42);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn good_seed_search() {
+        let (first, count) = find_good_seed(100, |s| s % 7 == 3);
+        assert_eq!(first, Some(3));
+        assert_eq!(count, 14); // s = 3, 10, …, 94
+    }
+
+    #[test]
+    fn good_seed_none() {
+        let (first, count) = find_good_seed(10, |_| false);
+        assert_eq!(first, None);
+        assert_eq!(count, 0);
+    }
+
+    /// Cost = number of 1-bits across two base-4 coordinates, in
+    /// expectation over unfixed coordinates. MCE should find (0, 0).
+    #[test]
+    fn mce_minimizes_exactly() {
+        let popcount_mean = |a: u64| -> f64 {
+            // mean popcount over 0..4 = (0+1+1+2)/4 = 1.0
+            let _ = a;
+            1.0
+        };
+        let driver = ConditionalExpectation::uniform(2, 4, 2);
+        let fixed = driver.run(|prefix| {
+            let mut e = 0.0;
+            for (i, slot) in [0usize, 1].iter().enumerate() {
+                let _ = slot;
+                if i < prefix.len() {
+                    e += prefix[i].count_ones() as f64;
+                } else {
+                    e += popcount_mean(0);
+                }
+            }
+            e
+        });
+        assert_eq!(fixed.values, vec![0, 0]);
+        assert_eq!(fixed.final_cost, 0.0);
+        assert_eq!(fixed.prior_cost, 2.0);
+    }
+
+    #[test]
+    fn mce_never_beats_exhaustive_oracle() {
+        // With an exact oracle the final cost is <= prior expectation.
+        let driver = ConditionalExpectation::uniform(3, 3, 4);
+        let fixed = driver.run(|prefix| {
+            // expected value of sum of coordinates (unfixed mean = 1.0)
+            let fixed_sum: u64 = prefix.iter().sum();
+            fixed_sum as f64 + (3 - prefix.len()) as f64 * 1.0
+        });
+        assert!(fixed.final_cost <= fixed.prior_cost);
+        assert_eq!(fixed.values, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn mpc_round_accounting() {
+        // 2 coordinates over p = 1024 -> 20 bits; at 10 bits/round -> 2.
+        let driver = ConditionalExpectation::uniform(2, 1024, 10);
+        assert_eq!(driver.seed_bits(), 20);
+        let fixed = driver.run(|prefix| prefix.iter().sum::<u64>() as f64);
+        assert_eq!(fixed.mpc_rounds, 2);
+    }
+}

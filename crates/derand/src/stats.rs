@@ -1,0 +1,112 @@
+//! Statistical validation of hash families — the empirical counterpart of
+//! the *strongly `(ε, k)`-wise independent* definition (Definition 30 /
+//! Theorem 31): over the whole family, any `t ≤ k` fixed inputs must take
+//! any `t` outputs with probability within `ε` of `|B|^{−t}`.
+
+use crate::hash::PolyFamily;
+
+/// Exact worst-case deviation of the family from `t`-wise uniformity on the
+/// given distinct inputs: `max_y |Pr[h(x_i) = y_i ∀i] − p^{−t}|`, computed
+/// by iterating the entire family (so only for small `p^k`).
+///
+/// For the polynomial family with `t ≤ k` and distinct inputs in `Z_p` the
+/// result is exactly `0` — the `ε = 0` case of Definition 30.
+///
+/// # Panics
+///
+/// Panics if inputs are not distinct mod `p` or the family is too large to
+/// enumerate.
+#[must_use]
+pub fn exact_independence_deviation(family: &PolyFamily, inputs: &[u64]) -> f64 {
+    let t = inputs.len();
+    assert!(t >= 1, "need at least one input");
+    let p = family.p;
+    for (i, &a) in inputs.iter().enumerate() {
+        for &b in &inputs[i + 1..] {
+            assert!(a % p != b % p, "inputs must be distinct mod p");
+        }
+    }
+    let size = family.size();
+    assert!(size <= 1 << 22, "family too large to enumerate exactly");
+    // Count occurrences of each output tuple.
+    let mut counts: std::collections::HashMap<Vec<u64>, u64> = Default::default();
+    for h in family.iter() {
+        let tuple: Vec<u64> = inputs.iter().map(|&x| h.eval(x)).collect();
+        *counts.entry(tuple).or_insert(0) += 1;
+    }
+    let uniform = (size as f64) / (p as f64).powi(t as i32);
+    let mut worst: f64 = 0.0;
+    // Tuples never observed deviate by `uniform/size = p^{-t}` exactly.
+    let total_tuples = (p as f64).powi(t as i32);
+    if (counts.len() as f64) < total_tuples {
+        worst = uniform / size as f64;
+    }
+    for &c in counts.values() {
+        let dev = (c as f64 / size as f64 - uniform / size as f64).abs();
+        worst = worst.max(dev);
+    }
+    worst
+}
+
+/// The theoretical seed-length budget of Theorem 31 for a strongly
+/// `(ε, k)`-wise independent family `A → B`:
+/// `O(log log |A| + k·log |B| + log(1/ε))` bits. Returned with constant 1
+/// for reporting alongside the concrete polynomial family's
+/// [`PolyFamily::seed_bits`].
+#[must_use]
+pub fn theorem31_seed_budget(domain: u64, range: u64, k: usize, epsilon: f64) -> f64 {
+    let loglog_a = (domain.max(4) as f64).ln().log2();
+    let k_log_b = k as f64 * (range.max(2) as f64).log2();
+    let log_eps = if epsilon > 0.0 {
+        (1.0 / epsilon).log2()
+    } else {
+        0.0
+    };
+    loglog_a + k_log_b + log_eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_family_has_zero_deviation() {
+        let fam = PolyFamily { p: 13, k: 2 };
+        assert_eq!(exact_independence_deviation(&fam, &[3, 7]), 0.0);
+        assert_eq!(exact_independence_deviation(&fam, &[0, 12]), 0.0);
+    }
+
+    #[test]
+    fn threewise_family_zero_on_triples() {
+        let fam = PolyFamily { p: 7, k: 3 };
+        assert_eq!(exact_independence_deviation(&fam, &[1, 2, 5]), 0.0);
+    }
+
+    #[test]
+    fn pairwise_family_fails_triples() {
+        // k = 2 cannot be 3-wise independent: deviation must be positive.
+        let fam = PolyFamily { p: 7, k: 2 };
+        let dev = exact_independence_deviation(&fam, &[1, 2, 4]);
+        assert!(dev > 0.0, "pairwise family should fail 3-wise uniformity");
+    }
+
+    #[test]
+    fn single_input_always_uniform() {
+        let fam = PolyFamily { p: 11, k: 1 };
+        assert_eq!(exact_independence_deviation(&fam, &[6]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_colliding_inputs() {
+        let fam = PolyFamily { p: 5, k: 2 };
+        let _ = exact_independence_deviation(&fam, &[2, 7]); // 7 ≡ 2 mod 5
+    }
+
+    #[test]
+    fn seed_budget_monotone() {
+        let small = theorem31_seed_budget(1 << 20, 2, 2, 1e-3);
+        let large = theorem31_seed_budget(1 << 20, 2, 8, 1e-9);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,156 @@
+//! Structural graph analysis helpers used by experiments and validators:
+//! bipartiteness, girth, triangle counts, and degree statistics.
+
+use crate::graph::Graph;
+
+/// Is the graph bipartite? (BFS 2-coloring over every component.)
+#[must_use]
+pub fn is_bipartite(g: &Graph) -> bool {
+    let mut color = vec![u8::MAX; g.n()];
+    for s in 0..g.n() {
+        if color[s] != u8::MAX {
+            continue;
+        }
+        color[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                let w = w as usize;
+                if color[w] == u8::MAX {
+                    color[w] = 1 - color[v];
+                    queue.push_back(w);
+                } else if color[w] == color[v] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The girth (length of a shortest cycle), or `None` for forests.
+///
+/// BFS from every node; a cross/back edge at depths `(a, b)` witnesses a
+/// cycle of length `a + b + 1`.
+#[must_use]
+pub fn girth(g: &Graph) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for s in 0..g.n() {
+        let mut dist = vec![usize::MAX; g.n()];
+        let mut parent = vec![usize::MAX; g.n()];
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                let w = w as usize;
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    parent[w] = v;
+                    queue.push_back(w);
+                } else if parent[v] != w && parent[w] != v {
+                    // Non-tree edge: cycle through s of this length (may
+                    // overestimate for cycles not through s; scanning all
+                    // start nodes fixes that).
+                    let len = dist[v] + dist[w] + 1;
+                    best = Some(best.map_or(len, |b| b.min(len)));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Number of triangles (3-cycles), each counted once.
+#[must_use]
+pub fn triangle_count(g: &Graph) -> usize {
+    let mut count = 0usize;
+    for (u, v) in g.edges() {
+        // Intersect sorted adjacency lists, counting only w > v > u to
+        // dedupe.
+        let (a, b) = (g.neighbors(u), g.neighbors(v));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if (a[i] as usize) > v {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes of degree `d`.
+#[must_use]
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.n() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Average degree `2m/n` (0 for the empty graph).
+#[must_use]
+pub fn average_degree(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        0.0
+    } else {
+        2.0 * g.m() as f64 / g.n() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::rng::Seed;
+
+    #[test]
+    fn bipartiteness() {
+        assert!(is_bipartite(&generators::cycle(6)));
+        assert!(!is_bipartite(&generators::cycle(5)));
+        assert!(is_bipartite(&generators::random_tree(20, Seed(1))));
+        assert!(is_bipartite(&generators::random_bipartite(20, 0.5, Seed(2))));
+        assert!(!is_bipartite(&generators::complete(3)));
+    }
+
+    #[test]
+    fn girth_values() {
+        assert_eq!(girth(&generators::cycle(7)), Some(7));
+        assert_eq!(girth(&generators::complete(4)), Some(3));
+        assert_eq!(girth(&generators::random_tree(15, Seed(3))), None);
+        assert_eq!(girth(&generators::grid(3, 3)), Some(4));
+    }
+
+    #[test]
+    fn triangles() {
+        assert_eq!(triangle_count(&generators::complete(4)), 4);
+        assert_eq!(triangle_count(&generators::complete(5)), 10);
+        assert_eq!(triangle_count(&generators::cycle(5)), 0);
+        assert_eq!(triangle_count(&generators::cycle(3)), 1);
+        assert_eq!(
+            triangle_count(&generators::random_bipartite(20, 0.6, Seed(4))),
+            0
+        );
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = generators::random_gnp(30, 0.2, Seed(5));
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn average_degree_of_regular() {
+        let g = generators::circulant(12, 4);
+        assert!((average_degree(&g) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! Centered graphs, radius balls, and `D`-radius-identical comparison
+//! (paper Definition 23).
+//!
+//! A *centered graph* is a connected graph with a designated center; two
+//! centered graphs are `D`-radius-identical when the topologies and node
+//! **IDs** (names are irrelevant) of the `D`-radius balls around their
+//! centers coincide. This is the indistinguishability notion on which both
+//! the LOCAL lower-bound machinery and the MPC lifting rest.
+
+use crate::graph::{Graph, NodeId};
+use crate::ops::induced;
+use std::collections::HashMap;
+
+/// A connected graph together with a designated center node index.
+///
+/// # Examples
+///
+/// ```
+/// use csmpc_graph::{generators, ball::CenteredGraph};
+/// let g = generators::path(5);
+/// let c = CenteredGraph::new(g, 2).unwrap();
+/// assert_eq!(c.radius_from_center(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CenteredGraph {
+    graph: Graph,
+    center: usize,
+}
+
+impl CenteredGraph {
+    /// Wraps a graph with a chosen center.
+    ///
+    /// Returns `None` if the graph is disconnected or the center index is out
+    /// of range (the paper's centered graphs are connected by definition).
+    #[must_use]
+    pub fn new(graph: Graph, center: usize) -> Option<Self> {
+        if center >= graph.n() || !graph.is_connected() || graph.is_empty() {
+            return None;
+        }
+        Some(CenteredGraph { graph, center })
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The center's node index.
+    #[must_use]
+    pub fn center(&self) -> usize {
+        self.center
+    }
+
+    /// The center's ID.
+    #[must_use]
+    pub fn center_id(&self) -> NodeId {
+        self.graph.id(self.center)
+    }
+
+    /// Maximum distance from the center to any node (its eccentricity).
+    #[must_use]
+    pub fn radius_from_center(&self) -> usize {
+        self.graph
+            .bfs_distances(self.center)
+            .into_iter()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The `r`-radius ball around node `v` of `g`: the induced subgraph on all
+/// nodes within distance `r`, returned as a graph plus the center's new index
+/// and the original indices of the ball's nodes.
+///
+/// # Panics
+///
+/// Panics if `v >= g.n()`.
+#[must_use]
+pub fn ball(g: &Graph, v: usize, r: usize) -> (Graph, usize, Vec<usize>) {
+    let dist = g.bfs_distances(v);
+    let nodes: Vec<usize> = (0..g.n()).filter(|&u| dist[u] <= r).collect();
+    let center_pos = nodes
+        .iter()
+        .position(|&u| u == v)
+        .expect("center is within its own ball");
+    let (sub, original) = induced(g, &nodes);
+    (sub, center_pos, original)
+}
+
+/// Tests whether the `d`-radius balls around `(g1, c1)` and `(g2, c2)` are
+/// identical in topology and IDs (Definition 23). Names are ignored.
+///
+/// Because IDs are component-unique, the correspondence between the two
+/// balls — if one exists — is forced: nodes must match by ID. The check is
+/// therefore exact, not an isomorphism search.
+#[must_use]
+pub fn radius_identical(g1: &Graph, c1: usize, g2: &Graph, c2: usize, d: usize) -> bool {
+    let (b1, ctr1, _) = ball(g1, c1, d);
+    let (b2, ctr2, _) = ball(g2, c2, d);
+    if b1.id(ctr1) != b2.id(ctr2) || b1.n() != b2.n() || b1.m() != b2.m() {
+        return false;
+    }
+    // Build ID -> index maps; duplicate IDs inside a ball are impossible for
+    // legal graphs (a ball is within one component).
+    let map1: HashMap<NodeId, usize> = (0..b1.n()).map(|i| (b1.id(i), i)).collect();
+    let map2: HashMap<NodeId, usize> = (0..b2.n()).map(|i| (b2.id(i), i)).collect();
+    if map1.len() != b1.n() || map2.len() != b2.n() {
+        return false; // illegal input: ambiguous correspondence
+    }
+    for (id, &i1) in &map1 {
+        let Some(&i2) = map2.get(id) else {
+            return false;
+        };
+        // Compare neighbor ID sets.
+        let mut n1: Vec<NodeId> = b1.neighbors(i1).iter().map(|&w| b1.id(w as usize)).collect();
+        let mut n2: Vec<NodeId> = b2.neighbors(i2).iter().map(|&w| b2.id(w as usize)).collect();
+        n1.sort_unstable();
+        n2.sort_unstable();
+        if n1 != n2 {
+            return false;
+        }
+    }
+    // Distances from the centers must also agree: the ball of radius d could
+    // otherwise match as a graph while nodes sit at different depths.
+    let d1 = b1.bfs_distances(ctr1);
+    let d2 = b2.bfs_distances(ctr2);
+    for (id, &i1) in &map1 {
+        if d1[i1] != d2[map2[id]] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Constructs the canonical pair of `D`-radius-identical centered graphs the
+/// lifting argument uses in spirit: two long paths whose centers see
+/// identical `D`-balls but whose far ends differ (in ID), so any problem
+/// whose output at the center must reflect the far end forces sensitivity.
+///
+/// Returns `(G, center, G', center')` with both graphs paths of `2d + 1 + k`
+/// nodes; IDs agree on the `d`-ball around the centers and differ beyond.
+#[must_use]
+pub fn identical_ball_path_pair(d: usize, k: usize) -> (Graph, usize, Graph, usize) {
+    use crate::generators::path;
+    use crate::ops::relabel_ids;
+    let n = 2 * d + 1 + k;
+    let center = d;
+    let g = path(n);
+    // g' alters IDs strictly outside the d-ball around the center.
+    let gp = relabel_ids(&g, |v, id| {
+        if v > 2 * d {
+            NodeId(id.0 + 1_000_000)
+        } else {
+            id
+        }
+    });
+    (g, center, gp, center)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ball_of_path() {
+        let g = generators::path(9);
+        let (b, c, orig) = ball(&g, 4, 2);
+        assert_eq!(b.n(), 5);
+        assert_eq!(b.m(), 4);
+        assert_eq!(orig, vec![2, 3, 4, 5, 6]);
+        assert_eq!(b.id(c), g.id(4));
+    }
+
+    #[test]
+    fn ball_radius_zero() {
+        let g = generators::cycle(5);
+        let (b, c, _) = ball(&g, 3, 0);
+        assert_eq!(b.n(), 1);
+        assert_eq!(b.id(c), g.id(3));
+    }
+
+    #[test]
+    fn ball_covers_component() {
+        let g = generators::cycle(6);
+        let (b, _, _) = ball(&g, 0, 10);
+        assert_eq!(b.n(), 6);
+        assert_eq!(b.m(), 6);
+    }
+
+    #[test]
+    fn identical_pair_is_identical_up_to_d() {
+        let d = 3;
+        let (g, c, gp, cp) = identical_ball_path_pair(d, 4);
+        for r in 0..=d {
+            assert!(radius_identical(&g, c, &gp, cp, r), "radius {r}");
+        }
+        assert!(!radius_identical(&g, c, &gp, cp, d + 1));
+    }
+
+    #[test]
+    fn different_topology_not_identical() {
+        let p = generators::path(5);
+        let c5 = generators::cycle(5);
+        assert!(!radius_identical(&p, 2, &c5, 2, 2));
+    }
+
+    #[test]
+    fn same_graph_identical_at_all_radii() {
+        let g = generators::random_tree(20, crate::rng::Seed(11));
+        for r in 0..5 {
+            assert!(radius_identical(&g, 7, &g, 7, r));
+        }
+    }
+
+    #[test]
+    fn different_center_ids_not_identical() {
+        let g = generators::path(5);
+        assert!(!radius_identical(&g, 1, &g, 3, 0));
+    }
+
+    #[test]
+    fn centered_graph_rejects_disconnected() {
+        let g = generators::two_cycles(8);
+        assert!(CenteredGraph::new(g, 0).is_none());
+    }
+
+    #[test]
+    fn centered_graph_radius() {
+        let g = generators::path(7);
+        let c = CenteredGraph::new(g, 0).unwrap();
+        assert_eq!(c.radius_from_center(), 6);
+    }
+
+    #[test]
+    fn names_are_ignored() {
+        let g = generators::path(5);
+        let renamed = crate::ops::with_fresh_names(&g, 10_000);
+        assert!(radius_identical(&g, 2, &renamed, 2, 2));
+    }
+
+    #[test]
+    fn depth_mismatch_detected() {
+        // A 6-cycle and a 6-path can have balls with equal node/edge counts
+        // at radius 3 from suitable centers, but depths differ.
+        let cyc = generators::cycle(6);
+        let p = generators::path(6);
+        assert!(!radius_identical(&cyc, 0, &p, 0, 3));
+    }
+}

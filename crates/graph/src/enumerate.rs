@@ -1,0 +1,95 @@
+//! Exhaustive enumeration of small graph families.
+//!
+//! The non-uniform derandomization of Lemma 54 argues over *all* graphs with
+//! at most `n` nodes and maximum degree `Δ` (`|G_{n,Δ}| ≤ 2^{n²}`): a seed is
+//! good if the algorithm succeeds on every member. Reproducing that argument
+//! requires actually iterating the family, which is feasible for small `n` —
+//! this module provides the iterator.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Iterates over **all** labeled simple graphs on exactly `n` nodes
+/// (IDs = names = `0..n`), optionally filtered by maximum degree.
+///
+/// There are `2^(n·(n−1)/2)` of them; callers should keep `n ≤ 6` or so.
+///
+/// # Examples
+///
+/// ```
+/// use csmpc_graph::enumerate::labeled_graphs;
+/// assert_eq!(labeled_graphs(3, None).count(), 8);
+/// ```
+pub fn labeled_graphs(n: usize, max_degree: Option<usize>) -> impl Iterator<Item = Graph> {
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+        .collect();
+    let total: u64 = 1u64
+        .checked_shl(pairs.len() as u32)
+        .expect("edge-set space too large to enumerate");
+    (0..total).filter_map(move |mask| {
+        let mut b = GraphBuilder::with_sequential_nodes(n);
+        for (bit, &(u, v)) in pairs.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build().expect("mask-generated graph is valid");
+        match max_degree {
+            Some(d) if g.max_degree() > d => None,
+            _ => Some(g),
+        }
+    })
+}
+
+/// Iterates over all labeled simple graphs with **at most** `n` nodes and
+/// maximum degree at most `max_degree` — the family `G_{n,Δ}` of Lemma 54.
+pub fn family_up_to(n: usize, max_degree: usize) -> impl Iterator<Item = Graph> {
+    (1..=n).flat_map(move |k| labeled_graphs(k, Some(max_degree)))
+}
+
+/// Counts the graphs [`family_up_to`] yields, for reporting.
+#[must_use]
+pub fn family_size(n: usize, max_degree: usize) -> usize {
+    family_up_to(n, max_degree).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_three_nodes() {
+        // 2^3 labeled graphs on 3 nodes.
+        assert_eq!(labeled_graphs(3, None).count(), 8);
+    }
+
+    #[test]
+    fn count_four_nodes() {
+        assert_eq!(labeled_graphs(4, None).count(), 64);
+    }
+
+    #[test]
+    fn degree_filter() {
+        // On 3 nodes with Δ ≤ 1: empty graph + 3 single edges = 4.
+        assert_eq!(labeled_graphs(3, Some(1)).count(), 4);
+    }
+
+    #[test]
+    fn family_up_to_counts() {
+        // n ≤ 2, Δ ≤ 1: K1; K2 empty; K2 with edge = 3 graphs.
+        assert_eq!(family_size(2, 1), 3);
+    }
+
+    #[test]
+    fn all_enumerated_graphs_are_legal() {
+        for g in family_up_to(4, 3) {
+            assert!(g.is_legal());
+        }
+    }
+
+    #[test]
+    fn enumeration_includes_triangle() {
+        let found = labeled_graphs(3, None).any(|g| g.m() == 3);
+        assert!(found);
+    }
+}

@@ -1,0 +1,233 @@
+//! Graph families and the *normal family* property (paper Definition 7).
+//!
+//! A family is **normal** when it is hereditary (closed under node removal)
+//! and closed under disjoint union. The lifting theorem (Theorem 14) only
+//! applies to normal families — e.g. *forests* are normal while *trees* are
+//! not, which is why the paper's matching lower bound transfers to forests
+//! but not trees.
+
+use crate::graph::Graph;
+use crate::ops::{disjoint_union, induced, with_fresh_names};
+use crate::rng::{Seed, SplitMix64};
+
+/// A (membership-testable) family of graphs.
+///
+/// Implementors supply [`GraphFamily::contains`]; the provided
+/// [`GraphFamily::check_normal_on`] empirically probes hereditariness and
+/// union-closure on concrete witnesses.
+pub trait GraphFamily {
+    /// Human-readable family name.
+    fn name(&self) -> &str;
+
+    /// Membership test.
+    fn contains(&self, g: &Graph) -> bool;
+
+    /// Empirically checks the two normality axioms on `samples` member
+    /// graphs: every induced subgraph obtained by deleting random subsets
+    /// stays in the family, and disjoint unions of members stay in the
+    /// family. Returns the first counterexample description, if any.
+    ///
+    /// This cannot *prove* normality (that is mathematics), but it is a
+    /// falsifier: the paper's claim "trees are not normal" is caught by it.
+    fn check_normal_on(&self, samples: &[Graph], seed: Seed) -> Result<(), String>
+    where
+        Self: Sized,
+    {
+        let mut rng = SplitMix64::new(seed.derive(0xfa11));
+        for (i, g) in samples.iter().enumerate() {
+            if !self.contains(g) {
+                return Err(format!("sample {i} is not in family {}", self.name()));
+            }
+            // Hereditary probes: random subsets.
+            for t in 0..4 {
+                let keep: Vec<usize> = (0..g.n()).filter(|_| rng.bit()).collect();
+                let (sub, _) = induced(g, &keep);
+                if !self.contains(&sub) {
+                    return Err(format!(
+                        "family {} not hereditary: sample {i}, probe {t} \
+                         (kept {} of {} nodes)",
+                        self.name(),
+                        keep.len(),
+                        g.n()
+                    ));
+                }
+            }
+        }
+        // Union-closure probes: pair up samples.
+        for (i, a) in samples.iter().enumerate() {
+            for (j, b) in samples.iter().enumerate() {
+                let b2 = with_fresh_names(b, 1_000_000 + (i * samples.len() + j) as u64 * 10_000);
+                let u = disjoint_union(&[a, &b2]);
+                if !self.contains(&u) {
+                    return Err(format!(
+                        "family {} not union-closed: samples {i} ⊎ {j}",
+                        self.name()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The family of all graphs — trivially normal, the paper's "worst case".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllGraphs;
+
+impl GraphFamily for AllGraphs {
+    fn name(&self) -> &str {
+        "all graphs"
+    }
+    fn contains(&self, _g: &Graph) -> bool {
+        true
+    }
+}
+
+/// Forests (acyclic graphs) — normal; the family the paper's tree lower
+/// bounds actually lift to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Forests;
+
+impl GraphFamily for Forests {
+    fn name(&self) -> &str {
+        "forests"
+    }
+    fn contains(&self, g: &Graph) -> bool {
+        // Acyclic iff m = n - (#components).
+        g.m() + g.component_count() == g.n()
+    }
+}
+
+/// Trees (connected forests) — **not** normal: not closed under disjoint
+/// union (and the empty probe of hereditariness disconnects them). Included
+/// to demonstrate the paper's forests-vs-trees distinction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Trees;
+
+impl GraphFamily for Trees {
+    fn name(&self) -> &str {
+        "trees"
+    }
+    fn contains(&self, g: &Graph) -> bool {
+        !g.is_empty() && g.is_connected() && g.m() + 1 == g.n()
+    }
+}
+
+/// Graphs of maximum degree at most `max_degree` — normal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxDegreeAtMost {
+    /// The degree cap.
+    pub max_degree: usize,
+}
+
+impl GraphFamily for MaxDegreeAtMost {
+    fn name(&self) -> &str {
+        "bounded-degree graphs"
+    }
+    fn contains(&self, g: &Graph) -> bool {
+        g.max_degree() <= self.max_degree
+    }
+}
+
+/// Triangle-free graphs — normal; the input family of Theorem 43.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TriangleFree;
+
+impl GraphFamily for TriangleFree {
+    fn name(&self) -> &str {
+        "triangle-free graphs"
+    }
+    fn contains(&self, g: &Graph) -> bool {
+        for (u, v) in g.edges() {
+            // Intersect sorted neighbor lists.
+            let (mut i, mut j) = (0usize, 0usize);
+            let (a, b) = (g.neighbors(u), g.neighbors(v));
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn forest_samples() -> Vec<Graph> {
+        vec![
+            generators::path(5),
+            generators::random_tree(8, Seed(1)),
+            generators::random_forest(&[3, 4], Seed(2)),
+            generators::star(4),
+        ]
+    }
+
+    #[test]
+    fn forests_are_normal() {
+        assert!(Forests.check_normal_on(&forest_samples(), Seed(3)).is_ok());
+    }
+
+    #[test]
+    fn trees_are_not_normal() {
+        let samples = vec![generators::path(4), generators::star(3)];
+        let err = Trees.check_normal_on(&samples, Seed(4)).unwrap_err();
+        assert!(
+            err.contains("not hereditary") || err.contains("not union-closed"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn all_graphs_normal() {
+        let samples = vec![generators::cycle(5), generators::complete(4)];
+        assert!(AllGraphs.check_normal_on(&samples, Seed(5)).is_ok());
+    }
+
+    #[test]
+    fn bounded_degree_normal() {
+        let fam = MaxDegreeAtMost { max_degree: 4 };
+        let samples = vec![
+            generators::cycle(6),
+            generators::circulant(10, 4),
+            generators::path(3),
+        ];
+        assert!(fam.check_normal_on(&samples, Seed(6)).is_ok());
+    }
+
+    #[test]
+    fn triangle_free_detects_triangles() {
+        assert!(!TriangleFree.contains(&generators::complete(3)));
+        assert!(TriangleFree.contains(&generators::cycle(4)));
+        assert!(TriangleFree.contains(&generators::random_bipartite(12, 0.6, Seed(7))));
+    }
+
+    #[test]
+    fn triangle_free_normal() {
+        let samples = vec![
+            generators::cycle(5),
+            generators::random_bipartite(10, 0.5, Seed(8)),
+            generators::path(6),
+        ];
+        assert!(TriangleFree.check_normal_on(&samples, Seed(9)).is_ok());
+    }
+
+    #[test]
+    fn forest_membership() {
+        assert!(Forests.contains(&generators::path(4)));
+        assert!(Forests.contains(&generators::random_forest(&[2, 5], Seed(10))));
+        assert!(!Forests.contains(&generators::cycle(4)));
+    }
+
+    #[test]
+    fn tree_membership() {
+        assert!(Trees.contains(&generators::path(4)));
+        assert!(!Trees.contains(&generators::random_forest(&[2, 5], Seed(11))));
+        assert!(!Trees.contains(&generators::cycle(4)));
+    }
+}

@@ -1,0 +1,358 @@
+//! Graph operations used throughout the framework: induced subgraphs,
+//! disjoint unions, line graphs, relabelings, and component extraction.
+//!
+//! These are exactly the operations the paper's constructions rely on:
+//! *normal families* (Definition 7) are closed under node removal
+//! ([`induced`]) and disjoint union ([`disjoint_union`]); edge-labeling
+//! problems are reduced to vertex labeling via the *line graph*
+//! ([`line_graph`], Section 2.3); simulation graphs re-name copies while
+//! keeping IDs ([`with_fresh_names`], Lemma 25).
+
+use crate::graph::{Graph, GraphBuilder, NodeId, NodeName};
+
+/// The induced subgraph on `nodes` (indices into `g`).
+///
+/// IDs and names are preserved. The returned mapping `old_index[i]` gives,
+/// for each new index `i`, the index the node had in `g`.
+///
+/// # Panics
+///
+/// Panics if any index in `nodes` is out of range or repeated.
+#[must_use]
+pub fn induced(g: &Graph, nodes: &[usize]) -> (Graph, Vec<usize>) {
+    let mut new_index = vec![usize::MAX; g.n()];
+    let mut b = GraphBuilder::new();
+    for (i, &v) in nodes.iter().enumerate() {
+        assert!(v < g.n(), "node index {v} out of range");
+        assert!(new_index[v] == usize::MAX, "node index {v} repeated");
+        new_index[v] = i;
+        b.add_node(g.id(v), g.name(v));
+    }
+    for &v in nodes {
+        for &w in g.neighbors(v) {
+            let w = w as usize;
+            if new_index[w] != usize::MAX && v < w {
+                b.add_edge(new_index[v], new_index[w]);
+            }
+        }
+    }
+    let sub = b.build().expect("induced subgraph of a valid graph is valid");
+    (sub, nodes.to_vec())
+}
+
+/// Extracts the connected component containing node index `v`.
+///
+/// Returns the component as a standalone graph together with the new index
+/// of `v` inside it.
+///
+/// # Panics
+///
+/// Panics if `v >= g.n()`.
+#[must_use]
+pub fn component_of(g: &Graph, v: usize) -> (Graph, usize) {
+    let labels = g.component_labels();
+    let target = labels[v];
+    let nodes: Vec<usize> = (0..g.n()).filter(|&u| labels[u] == target).collect();
+    let pos = nodes
+        .iter()
+        .position(|&u| u == v)
+        .expect("v is in its own component");
+    let (sub, _) = induced(g, &nodes);
+    (sub, pos)
+}
+
+/// Disjoint union of graphs, concatenating node sets in order.
+///
+/// IDs and names are copied verbatim — callers that need global name
+/// uniqueness (legality) should re-name copies with [`with_fresh_names`]
+/// first, exactly as the Lemma 25 construction does for the non-"true"
+/// copies of `G` inside `Γ_G`.
+#[must_use]
+pub fn disjoint_union(parts: &[&Graph]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let mut offset = 0usize;
+    for g in parts {
+        for v in 0..g.n() {
+            b.add_node(g.id(v), g.name(v));
+        }
+        for (u, v) in g.edges() {
+            b.add_edge(offset + u, offset + v);
+        }
+        offset += g.n();
+    }
+    b.build().expect("union of valid graphs is valid")
+}
+
+/// A copy of `g` whose names are replaced by `base, base+1, …` in index
+/// order. IDs are untouched.
+#[must_use]
+pub fn with_fresh_names(g: &Graph, base: u64) -> Graph {
+    let mut b = GraphBuilder::new();
+    for v in 0..g.n() {
+        b.add_node(g.id(v), NodeName(base + v as u64));
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    b.build().expect("renaming preserves validity")
+}
+
+/// A copy of `g` whose IDs are replaced via `f`. Names are untouched.
+#[must_use]
+pub fn relabel_ids(g: &Graph, f: impl Fn(usize, NodeId) -> NodeId) -> Graph {
+    let mut b = GraphBuilder::new();
+    for v in 0..g.n() {
+        b.add_node(f(v, g.id(v)), g.name(v));
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    b.build().expect("relabeling preserves validity")
+}
+
+/// Appends `k` isolated nodes, all sharing `id` (legal: they are in distinct
+/// components) with fresh names `name_base, name_base+1, …`.
+///
+/// This is the "enough isolated nodes to raise the number of nodes to
+/// exactly `N^{R+2}`" step of the Lemma 25 construction.
+#[must_use]
+pub fn with_isolated_nodes(g: &Graph, k: usize, id: NodeId, name_base: u64) -> Graph {
+    let mut b = GraphBuilder::new();
+    for v in 0..g.n() {
+        b.add_node(g.id(v), g.name(v));
+    }
+    for i in 0..k {
+        b.add_node(id, NodeName(name_base + i as u64));
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    b.build().expect("adding isolated nodes preserves validity")
+}
+
+/// The line graph `L(g)`: one node per edge of `g`, adjacent when the edges
+/// share an endpoint (paper Section 2.3).
+///
+/// IDs and names of a line-graph node are Cantor pairings of the endpoint
+/// IDs / names, making them component-unique / globally unique whenever `g`
+/// is legal. The returned `edge_of[i]` maps line-graph node `i` back to the
+/// `(u, v)` edge of `g` it represents (`u < v`).
+#[must_use]
+pub fn line_graph(g: &Graph) -> (Graph, Vec<(usize, usize)>) {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut b = GraphBuilder::new();
+    for &(u, v) in &edges {
+        let (ia, ib) = order(g.id(u).0, g.id(v).0);
+        let (na, nb) = order(g.name(u).0, g.name(v).0);
+        b.add_node(NodeId(cantor(ia, ib)), NodeName(cantor(na, nb)));
+    }
+    // Adjacency: group edge indices by endpoint.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); g.n()];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        incident[u].push(i);
+        incident[v].push(i);
+    }
+    for list in &incident {
+        for a in 0..list.len() {
+            for bidx in a + 1..list.len() {
+                b.add_edge(list[a], list[bidx]);
+            }
+        }
+    }
+    let lg = b.build().expect("line graph of a valid graph is valid");
+    (lg, edges)
+}
+
+fn order(a: u64, b: u64) -> (u64, u64) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Cantor pairing function, injective on ordered pairs.
+fn cantor(a: u64, b: u64) -> u64 {
+    (a + b) * (a + b + 1) / 2 + b
+}
+
+/// `k` disjoint copies of `g` that share `g`'s IDs, with copy `0` keeping
+/// `g`'s names (the *true copy*) and every other copy renamed to fresh names
+/// starting from `fresh_base` (Lemma 25 construction).
+#[must_use]
+pub fn replicated(g: &Graph, k: usize, fresh_base: u64) -> Graph {
+    let mut parts: Vec<Graph> = Vec::with_capacity(k);
+    for c in 0..k {
+        if c == 0 {
+            parts.push(g.clone());
+        } else {
+            let base = fresh_base + ((c - 1) as u64) * g.n() as u64;
+            parts.push(with_fresh_names(g, base));
+        }
+    }
+    let refs: Vec<&Graph> = parts.iter().collect();
+    disjoint_union(&refs)
+}
+
+
+/// The `k`-th power `G^k`: same nodes, edges between any two distinct
+/// nodes at distance ≤ `k` in `g`. (`G^1 = G`.) Used for ruling sets and
+/// the `Δ^{4t}`-coloring step of Theorem 45.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn power_graph(g: &Graph, k: usize) -> Graph {
+    assert!(k >= 1, "power must be at least 1");
+    let mut b = GraphBuilder::new();
+    for v in 0..g.n() {
+        b.add_node(g.id(v), g.name(v));
+    }
+    for v in 0..g.n() {
+        let dist = g.bfs_distances(v);
+        for w in v + 1..g.n() {
+            if dist[w] <= k {
+                b.add_edge(v, w);
+            }
+        }
+    }
+    b.build().expect("graph power is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::rng::Seed;
+
+    #[test]
+    fn power_graph_of_path() {
+        let g = generators::path(5);
+        let g2 = power_graph(&g, 2);
+        assert_eq!(g2.n(), 5);
+        // Path^2 on 5 nodes: edges at distance 1 (4) + distance 2 (3).
+        assert_eq!(g2.m(), 7);
+        assert!(g2.has_edge(0, 2));
+        assert!(!g2.has_edge(0, 3));
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = generators::random_gnp(12, 0.3, Seed(1));
+        let g1 = power_graph(&g, 1);
+        assert_eq!(g1.m(), g.m());
+        for (u, v) in g.edges() {
+            assert!(g1.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn induced_path_middle() {
+        let g = generators::path(5);
+        let (sub, back) = induced(&g, &[1, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2);
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(sub.id(0), g.id(1));
+    }
+
+    #[test]
+    fn component_extraction() {
+        let a = generators::cycle(4);
+        let b = generators::path(3);
+        let b2 = with_fresh_names(&b, 100);
+        let u = disjoint_union(&[&a, &b2]);
+        let (comp, pos) = component_of(&u, 5); // node 5 lies in the path part
+        assert_eq!(comp.n(), 3);
+        assert_eq!(comp.id(pos), u.id(5));
+    }
+
+    #[test]
+    fn union_counts() {
+        let a = generators::cycle(4);
+        let b = generators::path(3);
+        let u = disjoint_union(&[&a, &b]);
+        assert_eq!(u.n(), 7);
+        assert_eq!(u.m(), 4 + 2);
+        assert_eq!(u.component_count(), 2);
+    }
+
+    #[test]
+    fn fresh_names_unique_union_is_legal() {
+        let g = generators::cycle(5);
+        let g2 = with_fresh_names(&g, 1000);
+        let u = disjoint_union(&[&g, &g2]);
+        assert!(u.is_legal(), "same IDs in different components is legal");
+    }
+
+    #[test]
+    fn union_without_renaming_is_illegal() {
+        let g = generators::cycle(5);
+        let u = disjoint_union(&[&g, &g]);
+        assert!(!u.is_legal(), "duplicate names violate Definition 6");
+    }
+
+    #[test]
+    fn isolated_nodes_share_id_legally() {
+        let g = generators::path(3);
+        let big = with_isolated_nodes(&g, 4, NodeId(999), 500);
+        assert_eq!(big.n(), 7);
+        assert_eq!(big.m(), g.m());
+        assert!(big.is_legal());
+    }
+
+    #[test]
+    fn line_graph_of_path() {
+        // Path on 4 nodes has 3 edges; its line graph is a path on 3 nodes.
+        let g = generators::path(4);
+        let (lg, edge_of) = line_graph(&g);
+        assert_eq!(lg.n(), 3);
+        assert_eq!(lg.m(), 2);
+        assert_eq!(edge_of.len(), 3);
+        assert!(lg.is_legal());
+    }
+
+    #[test]
+    fn line_graph_of_star() {
+        // Star K_{1,4}: line graph is K_4.
+        let g = generators::star(4);
+        let (lg, _) = line_graph(&g);
+        assert_eq!(lg.n(), 4);
+        assert_eq!(lg.m(), 6);
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let g = generators::cycle(3);
+        let (lg, _) = line_graph(&g);
+        assert_eq!(lg.n(), 3);
+        assert_eq!(lg.m(), 3);
+    }
+
+    #[test]
+    fn replication_true_copy_keeps_names() {
+        let g = generators::random_gnp(8, 0.4, Seed(5));
+        let r = replicated(&g, 3, 10_000);
+        assert_eq!(r.n(), 24);
+        assert!(r.is_legal());
+        // True copy occupies indices 0..8 with original names.
+        for v in 0..8 {
+            assert_eq!(r.name(v), g.name(v));
+            assert_eq!(r.id(v), g.id(v));
+        }
+        // Other copies share IDs but not names.
+        for v in 0..8 {
+            assert_eq!(r.id(8 + v), g.id(v));
+            assert_ne!(r.name(8 + v), g.name(v));
+        }
+    }
+
+    #[test]
+    fn relabel_ids_keeps_names() {
+        let g = generators::path(3);
+        let h = relabel_ids(&g, |_, id| NodeId(id.0 + 100));
+        assert_eq!(h.id(0), NodeId(100));
+        assert_eq!(h.name(0), g.name(0));
+    }
+}

@@ -1,0 +1,313 @@
+//! Synchronous message-passing engine for the LOCAL model.
+//!
+//! Nodes are the computational entities; in each round every live node
+//! receives the messages sent to it in the previous round, performs
+//! arbitrary local computation, and either sends one (unbounded) message per
+//! incident edge or halts with an output. The engine counts rounds — the
+//! only resource the LOCAL model measures.
+
+use crate::params::LocalParams;
+use csmpc_graph::{Graph, NodeId};
+
+/// What a node sees of itself and its surroundings: its ID, degree, and the
+/// IDs at the far ends of its edges (known from the start, per the paper's
+/// model), plus the global parameters.
+#[derive(Debug, Clone)]
+pub struct NodeView<'a> {
+    /// This node's component-unique ID.
+    pub id: NodeId,
+    /// IDs of the neighbors, indexed by *port* (the position of the edge in
+    /// the node's adjacency list).
+    pub neighbor_ids: Vec<NodeId>,
+    /// Global knowledge: `N`, `Δ`, shared seed.
+    pub params: &'a LocalParams,
+}
+
+impl NodeView<'_> {
+    /// The node's degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+}
+
+/// A message received this round: the port it arrived on and its payload.
+#[derive(Debug, Clone)]
+pub struct Incoming<M> {
+    /// Port (index into this node's adjacency list) the message arrived on.
+    pub port: usize,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A node's decision at the end of a round.
+#[derive(Debug, Clone)]
+pub enum Action<M, O> {
+    /// Keep running, sending `(port, message)` pairs along chosen edges.
+    Send(Vec<(usize, M)>),
+    /// Keep running and broadcast the same message on every port.
+    Broadcast(M),
+    /// Halt with a final output; the node neither sends nor receives after.
+    Halt(O),
+}
+
+/// A LOCAL algorithm: per-node state machine run synchronously.
+///
+/// `init` is called once before round 1; `round` is called once per round
+/// with the inbox of messages that arrived. Round numbering starts at 1.
+pub trait LocalAlgorithm {
+    /// Per-node mutable state.
+    type State;
+    /// Message payload type.
+    type Message: Clone;
+    /// Final per-node output.
+    type Output: Clone;
+
+    /// Initializes a node's state from its initial view.
+    fn init(&self, view: &NodeView<'_>) -> Self::State;
+
+    /// One synchronous round; `round` starts at 1.
+    fn round(
+        &self,
+        state: &mut Self::State,
+        view: &NodeView<'_>,
+        round: usize,
+        inbox: &[Incoming<Self::Message>],
+    ) -> Action<Self::Message, Self::Output>;
+}
+
+/// Result of running a [`LocalAlgorithm`] to quiescence.
+#[derive(Debug, Clone)]
+pub struct LocalRun<O> {
+    /// Output per node index.
+    pub outputs: Vec<O>,
+    /// Rounds elapsed until the last node halted.
+    pub rounds: usize,
+    /// Total messages sent over the whole execution.
+    pub messages_sent: usize,
+}
+
+/// Error from the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalError {
+    /// A node exceeded the round cap without halting.
+    RoundLimitExceeded {
+        /// The cap that was hit.
+        limit: usize,
+    },
+    /// A node sent on a port it does not have.
+    BadPort {
+        /// Offending node index.
+        node: usize,
+        /// Offending port.
+        port: usize,
+    },
+}
+
+impl std::fmt::Display for LocalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalError::RoundLimitExceeded { limit } => {
+                write!(f, "round limit {limit} exceeded before all nodes halted")
+            }
+            LocalError::BadPort { node, port } => {
+                write!(f, "node {node} sent on nonexistent port {port}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LocalError {}
+
+/// Runs `alg` on `g` under `params`, up to `max_rounds` rounds.
+///
+/// # Errors
+///
+/// [`LocalError::RoundLimitExceeded`] if some node never halts within the
+/// cap; [`LocalError::BadPort`] on a malformed send.
+pub fn run_local<A: LocalAlgorithm>(
+    g: &Graph,
+    alg: &A,
+    params: &LocalParams,
+    max_rounds: usize,
+) -> Result<LocalRun<A::Output>, LocalError> {
+    let n = g.n();
+    let views: Vec<NodeView<'_>> = (0..n)
+        .map(|v| NodeView {
+            id: g.id(v),
+            neighbor_ids: g.neighbors(v).iter().map(|&w| g.id(w as usize)).collect(),
+            params,
+        })
+        .collect();
+    let mut states: Vec<A::State> = views.iter().map(|view| alg.init(view)).collect();
+    let mut halted: Vec<Option<A::Output>> = vec![None; n];
+    let mut inboxes: Vec<Vec<Incoming<A::Message>>> = vec![Vec::new(); n];
+    let mut messages_sent = 0usize;
+    // Port lookup: reverse_port[v][k] = the port index at neighbor on edge k.
+    let reverse_port: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .map(|&w| {
+                    g.neighbors(w as usize)
+                        .binary_search(&(v as u32))
+                        .expect("adjacency is symmetric")
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut rounds = 0usize;
+    for round in 1..=max_rounds {
+        if halted.iter().all(Option::is_some) {
+            break;
+        }
+        rounds = round;
+        let mut next_inboxes: Vec<Vec<Incoming<A::Message>>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if halted[v].is_some() {
+                continue;
+            }
+            let inbox = std::mem::take(&mut inboxes[v]);
+            let action = alg.round(&mut states[v], &views[v], round, &inbox);
+            let sends: Vec<(usize, A::Message)> = match action {
+                Action::Halt(out) => {
+                    halted[v] = Some(out);
+                    continue;
+                }
+                Action::Send(s) => s,
+                Action::Broadcast(m) => (0..g.degree(v)).map(|p| (p, m.clone())).collect(),
+            };
+            for (port, msg) in sends {
+                if port >= g.degree(v) {
+                    return Err(LocalError::BadPort { node: v, port });
+                }
+                let w = g.neighbors(v)[port] as usize;
+                // Deliver only to live nodes; halted nodes ignore messages.
+                if halted[w].is_none() {
+                    next_inboxes[w].push(Incoming {
+                        port: reverse_port[v][port],
+                        msg,
+                    });
+                }
+                messages_sent += 1;
+            }
+        }
+        inboxes = next_inboxes;
+    }
+    if halted.iter().any(Option::is_none) {
+        return Err(LocalError::RoundLimitExceeded { limit: max_rounds });
+    }
+    let outputs = halted.into_iter().map(Option::unwrap).collect();
+    Ok(LocalRun {
+        outputs,
+        rounds,
+        messages_sent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+    use csmpc_graph::rng::Seed;
+
+    /// Flood the maximum ID for `r` rounds; output the max seen.
+    struct MaxIdFlood {
+        r: usize,
+    }
+
+    impl LocalAlgorithm for MaxIdFlood {
+        type State = u64;
+        type Message = u64;
+        type Output = u64;
+
+        fn init(&self, view: &NodeView<'_>) -> u64 {
+            view.id.0
+        }
+
+        fn round(
+            &self,
+            state: &mut u64,
+            _view: &NodeView<'_>,
+            round: usize,
+            inbox: &[Incoming<u64>],
+        ) -> Action<u64, u64> {
+            for m in inbox {
+                *state = (*state).max(m.msg);
+            }
+            if round > self.r {
+                Action::Halt(*state)
+            } else {
+                Action::Broadcast(*state)
+            }
+        }
+    }
+
+    #[test]
+    fn flood_on_path_reaches_distance_r() {
+        let g = generators::path(7); // IDs 0..7 along the path
+        let params = LocalParams::exact(7, 2, Seed(0));
+        let run = run_local(&g, &MaxIdFlood { r: 3 }, &params, 100).unwrap();
+        // Node 0 sees max ID within distance 3 = 3.
+        assert_eq!(run.outputs[0], 3);
+        // Node 6 already holds the max.
+        assert_eq!(run.outputs[6], 6);
+        assert_eq!(run.rounds, 4); // r broadcast rounds + 1 halting round
+    }
+
+    #[test]
+    fn flood_respects_components() {
+        let g = generators::two_cycles(12); // IDs 0..6 and 6..12
+        let params = LocalParams::exact(12, 2, Seed(0));
+        let run = run_local(&g, &MaxIdFlood { r: 12 }, &params, 100).unwrap();
+        assert!(run.outputs[..6].iter().all(|&x| x == 5));
+        assert!(run.outputs[6..].iter().all(|&x| x == 11));
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = generators::path(4);
+        let params = LocalParams::exact(4, 2, Seed(0));
+        let err = run_local(&g, &MaxIdFlood { r: 50 }, &params, 10).unwrap_err();
+        assert_eq!(err, LocalError::RoundLimitExceeded { limit: 10 });
+    }
+
+    /// Halts immediately with the node's degree.
+    struct DegreeOutput;
+
+    impl LocalAlgorithm for DegreeOutput {
+        type State = ();
+        type Message = ();
+        type Output = usize;
+        fn init(&self, _v: &NodeView<'_>) {}
+        fn round(
+            &self,
+            _s: &mut (),
+            view: &NodeView<'_>,
+            _round: usize,
+            _inbox: &[Incoming<()>],
+        ) -> Action<(), usize> {
+            Action::Halt(view.degree())
+        }
+    }
+
+    #[test]
+    fn zero_round_algorithm() {
+        let g = generators::star(4);
+        let params = LocalParams::exact(5, 4, Seed(0));
+        let run = run_local(&g, &DegreeOutput, &params, 5).unwrap();
+        assert_eq!(run.outputs[0], 4);
+        assert!(run.outputs[1..].iter().all(|&d| d == 1));
+        assert_eq!(run.messages_sent, 0);
+    }
+
+    #[test]
+    fn message_count_on_cycle() {
+        let g = generators::cycle(5);
+        let params = LocalParams::exact(5, 2, Seed(0));
+        let run = run_local(&g, &MaxIdFlood { r: 1 }, &params, 10).unwrap();
+        // Round 1 broadcasts 2 messages per node = 5*2 = 10; round 2 halts.
+        assert_eq!(run.messages_sent, 10);
+    }
+}

@@ -1,0 +1,182 @@
+//! Indistinguishability — the engine of every LOCAL lower bound.
+//!
+//! If two (graph, node) pairs have identical `r`-radius balls (topology and
+//! IDs), then *every* `r`-round LOCAL algorithm outputs the same at the two
+//! nodes under the same shared seed. This module makes that argument
+//! executable: a generic checker that any [`BallAlgorithm`] provably
+//! satisfies (it is evaluated on the ball), plus a witness builder that
+//! quantifies how many rounds a problem forces, which experiments E1/E4
+//! use to exhibit the `n − 1` and `T(N, Δ)` obstructions.
+
+use crate::ball_eval::BallAlgorithm;
+use crate::params::LocalParams;
+use csmpc_graph::ball::{ball, radius_identical};
+use csmpc_graph::Graph;
+
+/// A pair of instances indistinguishable to radius `r` but requiring
+/// different outputs at the observed nodes — a *lower-bound witness*: no
+/// `r`-round LOCAL algorithm can be correct on both.
+#[derive(Debug, Clone)]
+pub struct LowerBoundWitness {
+    /// First instance.
+    pub g1: Graph,
+    /// Observed node in `g1`.
+    pub v1: usize,
+    /// Second instance.
+    pub g2: Graph,
+    /// Observed node in `g2`.
+    pub v2: usize,
+    /// Largest radius at which the balls around the observed nodes are
+    /// identical.
+    pub identical_radius: usize,
+}
+
+impl LowerBoundWitness {
+    /// Builds a witness from two instances, measuring the identical radius.
+    /// Returns `None` if the balls differ already at radius 0.
+    #[must_use]
+    pub fn measure(g1: Graph, v1: usize, g2: Graph, v2: usize) -> Option<Self> {
+        if !radius_identical(&g1, v1, &g2, v2, 0) {
+            return None;
+        }
+        let cap = g1.n().max(g2.n());
+        let mut identical_radius = 0usize;
+        for r in 1..=cap {
+            if radius_identical(&g1, v1, &g2, v2, r) {
+                identical_radius = r;
+            } else {
+                break;
+            }
+        }
+        Some(LowerBoundWitness {
+            g1,
+            v1,
+            g2,
+            v2,
+            identical_radius,
+        })
+    }
+
+    /// The round lower bound this witness certifies for any algorithm whose
+    /// outputs at the two nodes must differ: `identical_radius + 1`.
+    #[must_use]
+    pub fn certified_rounds(&self) -> usize {
+        self.identical_radius + 1
+    }
+
+    /// Checks the indistinguishability law on a concrete algorithm: for
+    /// every radius `r ≤ identical_radius`, an `r`-round algorithm (here:
+    /// `alg` truncated to its declared radius, required `≤ r`) produces
+    /// equal outputs at the two nodes. Returns the offending radius if the
+    /// law is violated (which would indicate a non-local algorithm).
+    pub fn check_indistinguishable<A>(&self, alg: &A, params: &LocalParams) -> Result<(), usize>
+    where
+        A: BallAlgorithm,
+        A::Output: PartialEq,
+    {
+        let r = alg.radius(params);
+        if r > self.identical_radius {
+            return Ok(()); // the algorithm is allowed to distinguish
+        }
+        let (b1, c1, _) = ball(&self.g1, self.v1, r);
+        let (b2, c2, _) = ball(&self.g2, self.v2, r);
+        if alg.evaluate(&b1, c1, params) == alg.evaluate(&b2, c2, params) {
+            Ok(())
+        } else {
+            Err(r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+    use csmpc_graph::rng::Seed;
+
+    #[test]
+    fn consecutive_path_witness_certifies_n_minus_one() {
+        // The Section 2.1 obstruction: YES and broken instances are
+        // identical around node 0 up to radius n−2.
+        let n = 12;
+        let w = LowerBoundWitness::measure(
+            generators::consecutive_id_path(n),
+            0,
+            generators::consecutive_id_path_broken(n),
+            0,
+        )
+        .expect("balls agree at radius 0");
+        assert_eq!(w.identical_radius, n - 2);
+        assert_eq!(w.certified_rounds(), n - 1);
+    }
+
+    #[test]
+    fn identical_pair_witness() {
+        let (g, c, gp, cp) = csmpc_graph::ball::identical_ball_path_pair(4, 3);
+        let w = LowerBoundWitness::measure(g, c, gp, cp).unwrap();
+        assert_eq!(w.identical_radius, 4);
+    }
+
+    #[test]
+    fn ball_algorithms_obey_indistinguishability() {
+        // Any BallAlgorithm must agree within the identical radius.
+        struct MinId {
+            r: usize,
+        }
+        impl BallAlgorithm for MinId {
+            type Output = u64;
+            fn radius(&self, _p: &LocalParams) -> usize {
+                self.r
+            }
+            fn evaluate(&self, ball: &Graph, _c: usize, _p: &LocalParams) -> u64 {
+                ball.ids().iter().map(|i| i.0).min().unwrap()
+            }
+        }
+        let (g, c, gp, cp) = csmpc_graph::ball::identical_ball_path_pair(3, 5);
+        let w = LowerBoundWitness::measure(g, c, gp, cp).unwrap();
+        let params = LocalParams::exact(20, 2, Seed(0));
+        for r in 0..=w.identical_radius {
+            assert!(w.check_indistinguishable(&MinId { r }, &params).is_ok());
+        }
+    }
+
+    #[test]
+    fn distinguishing_needs_radius_beyond_identical() {
+        // A whole-ball max-ID algorithm distinguishes exactly when its
+        // radius exceeds the identical radius.
+        struct MaxId {
+            r: usize,
+        }
+        impl BallAlgorithm for MaxId {
+            type Output = u64;
+            fn radius(&self, _p: &LocalParams) -> usize {
+                self.r
+            }
+            fn evaluate(&self, ball: &Graph, _c: usize, _p: &LocalParams) -> u64 {
+                ball.ids().iter().map(|i| i.0).max().unwrap()
+            }
+        }
+        let (g, c, gp, cp) = csmpc_graph::ball::identical_ball_path_pair(2, 1);
+        let w = LowerBoundWitness::measure(g.clone(), c, gp.clone(), cp).unwrap();
+        let params = LocalParams::exact(g.n(), 2, Seed(0));
+        // Within the identical radius: agreement.
+        assert!(w
+            .check_indistinguishable(&MaxId { r: w.identical_radius }, &params)
+            .is_ok());
+        // Beyond: outputs genuinely differ (the IDs diverge).
+        let r = w.identical_radius + 1;
+        let (b1, c1, _) = ball(&g, c, r);
+        let (b2, c2, _) = ball(&gp, cp, r);
+        let a1 = MaxId { r }.evaluate(&b1, c1, &params);
+        let a2 = MaxId { r }.evaluate(&b2, c2, &params);
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn mismatched_centers_yield_no_witness() {
+        let g1 = generators::path(5);
+        let g2 = generators::cycle(5);
+        // Different center IDs at radius 0 → no witness.
+        assert!(LowerBoundWitness::measure(g1, 0, g2, 2, ).is_none());
+    }
+}

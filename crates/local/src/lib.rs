@@ -1,0 +1,51 @@
+//! # csmpc-local
+//!
+//! A simulator for the **LOCAL model** of distributed computing, as used by
+//! the PODC 2021 paper *"Component Stability in Low-Space Massively Parallel
+//! Computation"* (Section 2.4.1).
+//!
+//! Two complementary execution semantics are provided and cross-checked:
+//!
+//! * [`engine`] — an explicit synchronous message-passing engine (nodes,
+//!   ports, unbounded messages, per-node halting) that *counts rounds*;
+//! * [`ball_eval`] — the equivalent ball-collection semantics: a `T`-round
+//!   algorithm's output at a node is a function of its `T`-radius ball,
+//!   which is the form all indistinguishability arguments (and the MPC
+//!   simulation of LOCAL after graph exponentiation) use.
+//!
+//! Randomness follows the paper's *shared randomness* convention: every node
+//! reads the same seed ([`params::LocalParams::shared_rng`]); private coins
+//! are the seed portion indexed by the node's ID
+//! ([`params::LocalParams::node_rng`]).
+//!
+//! ```
+//! use csmpc_graph::{generators, rng::Seed};
+//! use csmpc_local::params::LocalParams;
+//! use csmpc_local::ball_eval::{BallAlgorithm, run_ball_algorithm};
+//!
+//! struct MinIdWithin1;
+//! impl BallAlgorithm for MinIdWithin1 {
+//!     type Output = u64;
+//!     fn radius(&self, _p: &LocalParams) -> usize { 1 }
+//!     fn evaluate(&self, ball: &csmpc_graph::Graph, _c: usize, _p: &LocalParams) -> u64 {
+//!         ball.ids().iter().map(|i| i.0).min().unwrap()
+//!     }
+//! }
+//!
+//! let g = generators::cycle(6);
+//! let params = LocalParams::exact(6, 2, Seed(0));
+//! let out = run_ball_algorithm(&g, &MinIdWithin1, &params);
+//! assert_eq!(out[0], 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ball_eval;
+pub mod indistinguishability;
+pub mod engine;
+pub mod params;
+
+pub use ball_eval::{run_ball_algorithm, BallAlgorithm};
+pub use engine::{run_local, Action, Incoming, LocalAlgorithm, LocalError, LocalRun, NodeView};
+pub use params::LocalParams;

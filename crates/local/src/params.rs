@@ -1,0 +1,80 @@
+//! Input parameters handed to LOCAL algorithms (paper Section 2.4.1).
+//!
+//! LOCAL algorithms receive the exact maximum degree `Δ`, an input-size
+//! estimate `N` with `n ≤ N ≤ poly(n)` (some lower bounds, e.g. the
+//! large-IS bound of KKSS20, only hold when `n` is not known exactly), and —
+//! for randomized algorithms — a shared random seed.
+
+use csmpc_graph::rng::{Seed, SplitMix64};
+use csmpc_graph::NodeId;
+
+/// Global knowledge available to every node of a LOCAL execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalParams {
+    /// Input-size estimate `N`, with `n ≤ N ≤ poly(n)`.
+    pub n_estimate: usize,
+    /// The exact maximum degree `Δ` of the input graph.
+    pub max_degree: usize,
+    /// The shared random seed `S` (unbounded in the paper; a generator seed
+    /// here). Deterministic algorithms must ignore it.
+    pub shared_seed: Seed,
+}
+
+impl LocalParams {
+    /// Parameters with an exact size estimate (`N = n`), the common case for
+    /// most LOCAL lower bounds.
+    #[must_use]
+    pub fn exact(n: usize, max_degree: usize, shared_seed: Seed) -> Self {
+        LocalParams {
+            n_estimate: n,
+            max_degree,
+            shared_seed,
+        }
+    }
+
+    /// A per-node random generator derived from the shared seed and the
+    /// node's ID.
+    ///
+    /// Under *shared* randomness each node can read the entire seed, so
+    /// "private" coins are simply the portion of the shared randomness
+    /// indexed by the node's ID — which is exactly how the paper's model
+    /// subsumes private randomness.
+    #[must_use]
+    pub fn node_rng(&self, id: NodeId, stream: u64) -> SplitMix64 {
+        SplitMix64::new(self.shared_seed.derive(id.0).derive(stream))
+    }
+
+    /// A generator over the shared seed itself (identical at every node).
+    #[must_use]
+    pub fn shared_rng(&self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(self.shared_seed.derive(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_rngs_differ_across_ids() {
+        let p = LocalParams::exact(10, 3, Seed(1));
+        let a = p.node_rng(NodeId(1), 0).next_u64();
+        let b = p.node_rng(NodeId(2), 0).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shared_rng_identical_everywhere() {
+        let p = LocalParams::exact(10, 3, Seed(1));
+        assert_eq!(p.shared_rng(7).next_u64(), p.shared_rng(7).next_u64());
+    }
+
+    #[test]
+    fn node_rng_reproducible() {
+        let p = LocalParams::exact(10, 3, Seed(2));
+        assert_eq!(
+            p.node_rng(NodeId(5), 3).next_u64(),
+            p.node_rng(NodeId(5), 3).next_u64()
+        );
+    }
+}

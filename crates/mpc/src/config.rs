@@ -1,0 +1,125 @@
+//! Configuration of the low-space MPC model (paper Sections 1 and 2.4.2).
+//!
+//! The model has `M = poly(n)` machines, each with `S = Θ(n^φ)` words of
+//! local space for a constant `φ ∈ (0, 1)`. All messages sent and received
+//! by a machine in one round, as well as its stored state, must fit in `S`.
+
+/// Parameters of a low-space MPC deployment.
+///
+/// # Examples
+///
+/// ```
+/// use csmpc_mpc::MpcConfig;
+/// let cfg = MpcConfig::with_phi(0.5);
+/// // S = ceil(10_000^0.5) = 100 words per machine
+/// assert_eq!(cfg.local_space(10_000), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcConfig {
+    /// The space exponent `φ ∈ (0, 1)`: each machine holds `Θ(n^φ)` words.
+    pub phi: f64,
+    /// Floor on machine space so that asymptotic statements survive tiny
+    /// test inputs (the model is asymptotic; a 20-node graph with `φ = 0.5`
+    /// would otherwise give 5-word machines).
+    pub min_space: usize,
+    /// Multiplier on `n^φ` (the `Θ(·)` constant).
+    pub space_factor: f64,
+}
+
+impl MpcConfig {
+    /// A configuration with the given `φ` and default constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < φ < 1`.
+    #[must_use]
+    pub fn with_phi(phi: f64) -> Self {
+        assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0,1), got {phi}");
+        MpcConfig {
+            phi,
+            min_space: 32,
+            space_factor: 1.0,
+        }
+    }
+
+    /// Local space `S` (in words) for an `n`-node input.
+    #[must_use]
+    pub fn local_space(&self, n: usize) -> usize {
+        let s = ((n as f64).powf(self.phi) * self.space_factor).ceil() as usize;
+        s.max(self.min_space)
+    }
+
+    /// Number of machines needed to hold `total_words` of input with local
+    /// space `S`, with constant-factor headroom for intermediate data.
+    #[must_use]
+    pub fn machines_for(&self, n: usize, total_words: usize) -> usize {
+        let s = self.local_space(n);
+        (4 * total_words).div_ceil(s).max(2)
+    }
+
+    /// The fan-in of aggregation/broadcast trees: a machine can merge up to
+    /// `S` children's summaries per round, so trees have branching factor
+    /// `S` and depth `⌈log_S M⌉ = O(1/φ)`.
+    #[must_use]
+    pub fn tree_fan_in(&self, n: usize) -> usize {
+        self.local_space(n).max(2)
+    }
+
+    /// Depth of an `S`-ary tree over `m` leaves — the round cost of one
+    /// aggregation or broadcast.
+    #[must_use]
+    pub fn tree_depth(&self, n: usize, leaves: usize) -> usize {
+        if leaves <= 1 {
+            return 1;
+        }
+        let b = self.tree_fan_in(n) as f64;
+        ((leaves as f64).ln() / b.ln()).ceil().max(1.0) as usize
+    }
+}
+
+impl Default for MpcConfig {
+    /// `φ = 0.5`, the canonical strongly sublinear regime.
+    fn default() -> Self {
+        MpcConfig::with_phi(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_scales_with_phi() {
+        let c = MpcConfig::with_phi(0.5);
+        assert_eq!(c.local_space(10_000), 100);
+        let c2 = MpcConfig::with_phi(0.25);
+        assert_eq!(c2.local_space(65_536), 32); // floor dominates 65536^0.25 = 16
+    }
+
+    #[test]
+    fn min_space_floor_applies() {
+        let c = MpcConfig::with_phi(0.5);
+        assert_eq!(c.local_space(4), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must lie in (0,1)")]
+    fn rejects_bad_phi() {
+        let _ = MpcConfig::with_phi(1.5);
+    }
+
+    #[test]
+    fn machines_cover_input() {
+        let c = MpcConfig::with_phi(0.5);
+        let m = c.machines_for(10_000, 50_000);
+        assert!(m * c.local_space(10_000) >= 50_000);
+    }
+
+    #[test]
+    fn tree_depth_small_for_large_fanin() {
+        let c = MpcConfig::with_phi(0.5);
+        // S = 100, 10_000 leaves -> depth 2.
+        assert_eq!(c.tree_depth(10_000, 10_000), 2);
+        assert_eq!(c.tree_depth(10_000, 1), 1);
+    }
+}

@@ -1,0 +1,380 @@
+//! A graph distributed across the cluster, with accounted MPC primitives.
+//!
+//! The input graph's edges are spread over machines (the paper's "input is
+//! arbitrarily distributed"); each node has a *home machine* responsible for
+//! its output. Every primitive charges its textbook low-space round cost to
+//! the cluster ledger and asserts space feasibility; see the module docs of
+//! [`crate::cluster`] for the accounting philosophy.
+//!
+//! Round costs charged (with `d = ⌈log_S M⌉ = O(1/φ)` the aggregation-tree
+//! depth):
+//!
+//! | primitive                   | rounds charged |
+//! |-----------------------------|----------------|
+//! | `distribute`                | 1              |
+//! | `aggregate` / `broadcast`   | `d`            |
+//! | `count_nodes`, `max_degree` | `d`            |
+//! | `neighbor_reduce` (sort)    | `2d`           |
+//! | `collect_balls(r)`          | `(⌈log₂ r⌉+1)·2d` |
+//! | `cc_labels_pointer_jumping` | `O(log n)` measured iterations × 2 |
+
+use crate::cluster::{Cluster, MpcError};
+use csmpc_graph::ball::ball;
+use csmpc_graph::rng::SplitMix64;
+use csmpc_graph::Graph;
+
+/// Words needed to describe a graph fragment: node records (id, name) plus
+/// edge records (two endpoints).
+#[must_use]
+pub fn graph_words(g: &Graph) -> usize {
+    2 * g.n() + 2 * g.m()
+}
+
+/// A graph whose edges and node records live on cluster machines.
+#[derive(Debug)]
+pub struct DistributedGraph<'a> {
+    g: &'a Graph,
+    node_home: Vec<usize>,
+    edge_home: Vec<usize>,
+}
+
+impl<'a> DistributedGraph<'a> {
+    /// Distributes `g` over the cluster's machines: edges are placed
+    /// pseudo-randomly (the "arbitrary initial distribution"), node records
+    /// go to `hash(name) mod M`. Charges 1 round.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::SpaceExceeded`] if any machine's share exceeds `S`.
+    pub fn distribute(g: &'a Graph, cluster: &mut Cluster) -> Result<Self, MpcError> {
+        let m = cluster.num_machines();
+        let mut rng = SplitMix64::new(cluster.shared_seed().derive(0xd157));
+        let node_home: Vec<usize> = (0..g.n())
+            .map(|v| {
+                // Finalizer-quality hash so sequential names spread evenly
+                // regardless of the machine count's factorization.
+                let mut z = g.name(v).0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                ((z ^ (z >> 31)) % m as u64) as usize
+            })
+            .collect();
+        let edge_home: Vec<usize> = (0..g.m()).map(|_| rng.index(m)).collect();
+        // Space check: count words per machine.
+        let mut load = vec![0usize; m];
+        for &h in &node_home {
+            load[h] += 2;
+        }
+        for &h in &edge_home {
+            load[h] += 2;
+        }
+        cluster.charge_rounds(1);
+        let (argmax, &max) = load
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &w)| w)
+            .unwrap_or((0, &0));
+        cluster.charge_words(max, graph_words(g) as u64);
+        cluster.charge_storage(argmax, max)?;
+        Ok(DistributedGraph {
+            g,
+            node_home,
+            edge_home,
+        })
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// Home machine of node `v`.
+    #[must_use]
+    pub fn node_home(&self, v: usize) -> usize {
+        self.node_home[v]
+    }
+
+    /// Home machine of edge `e` (by edge index in `g.edges()` order).
+    #[must_use]
+    pub fn edge_home(&self, e: usize) -> usize {
+        self.edge_home[e]
+    }
+
+    /// Node indices homed on machine `mid`.
+    #[must_use]
+    pub fn nodes_on(&self, mid: usize) -> Vec<usize> {
+        (0..self.g.n())
+            .filter(|&v| self.node_home[v] == mid)
+            .collect()
+    }
+
+    /// Exact node count via an aggregation tree. Charges `d` rounds.
+    pub fn count_nodes(&self, cluster: &mut Cluster) -> usize {
+        let d = cluster
+            .config()
+            .tree_depth(cluster.input_n(), cluster.num_machines());
+        cluster.charge_rounds(d);
+        self.g.n()
+    }
+
+    /// Exact maximum degree via aggregation. Charges `2d` rounds (one
+    /// neighbor count pass + one max pass).
+    pub fn max_degree(&self, cluster: &mut Cluster) -> usize {
+        let d = cluster
+            .config()
+            .tree_depth(cluster.input_n(), cluster.num_machines());
+        cluster.charge_rounds(2 * d);
+        self.g.max_degree()
+    }
+
+    /// Broadcasts a value from one machine to all. Charges `d` rounds.
+    pub fn broadcast<T: Clone>(&self, cluster: &mut Cluster, value: &T) -> T {
+        let d = cluster
+            .config()
+            .tree_depth(cluster.input_n(), cluster.num_machines());
+        cluster.charge_rounds(d);
+        value.clone()
+    }
+
+    /// Aggregates per-node values with a commutative, associative `op`.
+    /// Charges `d` rounds. Returns `None` on an empty graph.
+    pub fn aggregate<T: Clone>(
+        &self,
+        cluster: &mut Cluster,
+        values: &[T],
+        op: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        assert_eq!(values.len(), self.g.n(), "one value per node expected");
+        let d = cluster
+            .config()
+            .tree_depth(cluster.input_n(), cluster.num_machines());
+        cluster.charge_rounds(d);
+        values
+            .iter()
+            .cloned()
+            .reduce(op)
+    }
+
+    /// For each node, reduces `op` over the values of its *neighbors*
+    /// (`None` for isolated nodes). Implemented in real MPC by sorting edge
+    /// records keyed by endpoint and segmented reduction; charges `2d`
+    /// rounds.
+    pub fn neighbor_reduce<T: Clone>(
+        &self,
+        cluster: &mut Cluster,
+        values: &[T],
+        op: impl Fn(T, T) -> T,
+    ) -> Vec<Option<T>> {
+        assert_eq!(values.len(), self.g.n(), "one value per node expected");
+        let d = cluster
+            .config()
+            .tree_depth(cluster.input_n(), cluster.num_machines());
+        cluster.charge_rounds(2 * d);
+        (0..self.g.n())
+            .map(|v| {
+                self.g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&w| values[w as usize].clone())
+                    .reduce(&op)
+            })
+            .collect()
+    }
+
+    /// Collects the `r`-radius ball of every node via graph exponentiation
+    /// (doubling). Charges `(⌈log₂ r⌉ + 1) · 2d` rounds and asserts every
+    /// ball fits in a machine (`graph_words(ball) ≤ S`).
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::SpaceExceeded`] when some ball is too large — exactly the
+    /// regime where the paper's `Δ^{O(T)} ≤ n^φ` side conditions fail.
+    pub fn collect_balls(
+        &self,
+        cluster: &mut Cluster,
+        r: usize,
+    ) -> Result<Vec<(Graph, usize)>, MpcError> {
+        let doublings = if r <= 1 {
+            1
+        } else {
+            (usize::BITS - (r - 1).leading_zeros()) as usize + 1
+        };
+        let d = cluster
+            .config()
+            .tree_depth(cluster.input_n(), cluster.num_machines());
+        cluster.charge_rounds(doublings * 2 * d);
+        let mut out = Vec::with_capacity(self.g.n());
+        let mut worst = 0usize;
+        for v in 0..self.g.n() {
+            let (b, c, _) = ball(self.g, v, r);
+            worst = worst.max(graph_words(&b));
+            out.push((b, c));
+        }
+        cluster.charge_words(worst, (self.g.n() * worst) as u64);
+        cluster.require_fits(worst)?;
+        Ok(out)
+    }
+
+    /// Connected-component labels (minimum node *name* in the component) via
+    /// pointer jumping, the `O(log n)`-round technique matching the
+    /// connectivity-conjecture baseline. Works for any graph; each
+    /// iteration doubles the reach. Charges `2d` rounds per measured
+    /// iteration and returns `(labels, iterations)`.
+    pub fn cc_labels(&self, cluster: &mut Cluster) -> (Vec<u64>, usize) {
+        let n = self.g.n();
+        let d = cluster
+            .config()
+            .tree_depth(cluster.input_n(), cluster.num_machines());
+        // labels start as own name; pointer[v] = min name within current
+        // reach. Each iteration: label[v] <- min(label[v], min over nbrs'
+        // labels), then pointer-jump: label[v] <- label[argmin] — realized
+        // here as doubling by composing the "min over my reach set" map.
+        let mut label: Vec<u64> = (0..n).map(|v| self.g.name(v).0).collect();
+        // reach[v]: representative node index achieving label[v].
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            cluster.charge_rounds(2 * d);
+            let mut next = label.clone();
+            // Hook: take min over neighbors.
+            for v in 0..n {
+                for &w in self.g.neighbors(v) {
+                    let lw = label[w as usize];
+                    if lw < next[v] {
+                        next[v] = lw;
+                    }
+                }
+            }
+            // Jump: label[v] <- label of the node whose name is next[v]
+            // (pointer doubling through the current label map).
+            let by_name: std::collections::HashMap<u64, usize> =
+                (0..n).map(|v| (self.g.name(v).0, v)).collect();
+            let mut jumped = next.clone();
+            for v in 0..n {
+                if let Some(&rep) = by_name.get(&next[v]) {
+                    jumped[v] = jumped[v].min(label[rep]).min(next[rep]);
+                }
+            }
+            if jumped == label {
+                break;
+            }
+            label = jumped;
+        }
+        (label, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+    use csmpc_graph::generators;
+    use csmpc_graph::rng::Seed;
+
+    fn cluster_for(g: &Graph) -> Cluster {
+        Cluster::new(MpcConfig::with_phi(0.5), g.n(), graph_words(g), Seed(7))
+    }
+
+    #[test]
+    fn distribute_counts_and_space() {
+        let g = generators::cycle(64);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        assert_eq!(cl.stats().rounds, 1);
+        assert_eq!(dg.count_nodes(&mut cl), 64);
+        assert!(cl.stats().rounds > 1);
+    }
+
+    #[test]
+    fn max_degree_correct() {
+        let g = generators::star(9);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        assert_eq!(dg.max_degree(&mut cl), 9);
+    }
+
+    #[test]
+    fn neighbor_reduce_min_on_path() {
+        let g = generators::path(5);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let vals: Vec<u64> = (0..5).map(|v| v as u64 * 10).collect();
+        let mins = dg.neighbor_reduce(&mut cl, &vals, std::cmp::min);
+        assert_eq!(mins[0], Some(10));
+        assert_eq!(mins[2], Some(10));
+        assert_eq!(mins[4], Some(30));
+    }
+
+    #[test]
+    fn neighbor_reduce_isolated_none() {
+        let g = csmpc_graph::GraphBuilder::with_sequential_nodes(3)
+            .build()
+            .unwrap();
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let mins = dg.neighbor_reduce(&mut cl, &[1u64, 2, 3], std::cmp::min);
+        assert!(mins.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn collect_balls_small_radius() {
+        let g = generators::cycle(32);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let balls = dg.collect_balls(&mut cl, 2).unwrap();
+        assert!(balls.iter().all(|(b, _)| b.n() == 5));
+    }
+
+    #[test]
+    fn collect_balls_space_violation() {
+        // A big star: the ball around the center is the whole graph and
+        // exceeds S = sqrt(n).
+        let g = generators::star(400);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let err = dg.collect_balls(&mut cl, 1).unwrap_err();
+        assert!(matches!(err, MpcError::SpaceExceeded { .. }));
+    }
+
+    #[test]
+    fn cc_labels_cycle_vs_two_cycles() {
+        let one = generators::cycle(64);
+        let mut cl = cluster_for(&one);
+        let dg = DistributedGraph::distribute(&one, &mut cl).unwrap();
+        let (labels, _) = dg.cc_labels(&mut cl);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+
+        let two = generators::two_cycles(64);
+        let mut cl2 = cluster_for(&two);
+        let dg2 = DistributedGraph::distribute(&two, &mut cl2).unwrap();
+        let (labels2, _) = dg2.cc_labels(&mut cl2);
+        let distinct: std::collections::HashSet<u64> = labels2.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn cc_iterations_logarithmic() {
+        // Pointer jumping converges in O(log n) iterations on a cycle.
+        let g = generators::cycle(256);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let (_, iters) = dg.cc_labels(&mut cl);
+        assert!(
+            iters <= 2 * (256f64).log2() as usize + 2,
+            "iterations {iters} not logarithmic"
+        );
+        assert!(iters >= 4, "suspiciously fast: {iters}");
+    }
+
+    #[test]
+    fn aggregate_sum() {
+        let g = generators::path(10);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let total = dg
+            .aggregate(&mut cl, &vec![1u64; 10], |a, b| a + b)
+            .unwrap();
+        assert_eq!(total, 10);
+    }
+}

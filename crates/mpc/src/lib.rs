@@ -1,0 +1,42 @@
+//! # csmpc-mpc
+//!
+//! A simulator for the **low-space Massively Parallel Computation (MPC)**
+//! model of the PODC 2021 paper *"Component Stability in Low-Space Massively
+//! Parallel Computation"* (Sections 1, 2.4.2): `M = poly(n)` machines, each
+//! with `S = Θ(n^φ)` words (`φ < 1`), synchronous rounds, per-round
+//! send/receive volume capped at `S`.
+//!
+//! * [`config`] — the `φ`, `S`, machine-count arithmetic;
+//! * [`cluster`] — the resource ledger, the exact word-moving engine with
+//!   bandwidth/space enforcement, and the accounting API used by
+//!   higher-level primitives;
+//! * [`distributed`] — a graph distributed over machines with the textbook
+//!   low-space primitives (aggregation trees, neighbor reductions, graph
+//!   exponentiation, pointer-jumping connectivity), each charging its
+//!   documented round cost and asserting space feasibility.
+//!
+//! ```
+//! use csmpc_graph::{generators, rng::Seed};
+//! use csmpc_mpc::{Cluster, MpcConfig, DistributedGraph, graph_words};
+//!
+//! let g = generators::cycle(64);
+//! let mut cluster = Cluster::new(MpcConfig::with_phi(0.5), g.n(), graph_words(&g), Seed(1));
+//! let dg = DistributedGraph::distribute(&g, &mut cluster)?;
+//! let n = dg.count_nodes(&mut cluster);
+//! assert_eq!(n, 64);
+//! println!("rounds so far: {}", cluster.stats().rounds);
+//! # Ok::<(), csmpc_mpc::MpcError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod config;
+pub mod distributed;
+pub mod primitives;
+
+pub use cluster::{Cluster, MachineProgram, Message, MpcError, Stats};
+pub use config::MpcConfig;
+pub use distributed::{graph_words, DistributedGraph};
+pub use primitives::{exact_aggregate_sum, prefix_sums, sort_keys};

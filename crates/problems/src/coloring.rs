@@ -1,0 +1,224 @@
+//! Coloring problems: `(Δ+1)`- and `Δ`-vertex coloring, `O(Δ/log Δ)`
+//! coloring of triangle-free graphs (Theorem 43), and edge colorings via the
+//! line graph (Theorems 40–41).
+
+use crate::matching::EdgeProblem;
+use crate::problem::{GraphProblem, Violation};
+use csmpc_graph::ops::line_graph;
+use csmpc_graph::Graph;
+
+/// Proper vertex coloring with a fixed palette `0..palette`.
+/// 1-radius checkable (an LCL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexColoring {
+    /// Number of allowed colors.
+    pub palette: usize,
+}
+
+impl VertexColoring {
+    /// The `(Δ+1)`-coloring instance for a concrete graph.
+    #[must_use]
+    pub fn delta_plus_one(g: &Graph) -> Self {
+        VertexColoring {
+            palette: g.max_degree() + 1,
+        }
+    }
+
+    /// The `Δ`-coloring instance (Theorem 42's problem; requires `Δ ≥ 3`
+    /// on trees for solvability).
+    #[must_use]
+    pub fn delta(g: &Graph) -> Self {
+        VertexColoring {
+            palette: g.max_degree().max(1),
+        }
+    }
+}
+
+impl GraphProblem for VertexColoring {
+    type Label = usize;
+
+    fn name(&self) -> &str {
+        "vertex-coloring"
+    }
+
+    fn validate(&self, g: &Graph, labels: &[usize]) -> Result<(), Violation> {
+        if labels.len() != g.n() {
+            return Err(Violation::global("label count mismatch"));
+        }
+        for v in 0..g.n() {
+            if labels[v] >= self.palette {
+                return Err(Violation::at(
+                    v,
+                    format!("color {} outside palette of {}", labels[v], self.palette),
+                ));
+            }
+            for &w in g.neighbors(v) {
+                if labels[w as usize] == labels[v] {
+                    return Err(Violation::at(
+                        v,
+                        format!("neighbors {v} and {w} share color {}", labels[v]),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_radius(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn validate_node_ball(&self, ball: &Graph, center: usize, labels: &[usize]) -> bool {
+        labels[center] < self.palette
+            && !ball
+                .neighbors(center)
+                .iter()
+                .any(|&w| labels[w as usize] == labels[center])
+    }
+}
+
+/// Proper edge coloring with palette `0..palette`, validated on the original
+/// graph; equivalent to vertex coloring of the line graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeColoring {
+    /// Number of allowed colors.
+    pub palette: usize,
+}
+
+impl EdgeColoring {
+    /// The `(2Δ−2)`-edge-coloring instance of Theorem 40.
+    #[must_use]
+    pub fn two_delta_minus_two(g: &Graph) -> Self {
+        EdgeColoring {
+            palette: (2 * g.max_degree()).saturating_sub(2).max(1),
+        }
+    }
+
+    /// The `(2Δ−1)`-edge-coloring instance (the greedy bound).
+    #[must_use]
+    pub fn two_delta_minus_one(g: &Graph) -> Self {
+        EdgeColoring {
+            palette: (2 * g.max_degree()).saturating_sub(1).max(1),
+        }
+    }
+}
+
+impl EdgeProblem for EdgeColoring {
+    type Label = usize;
+
+    fn name(&self) -> &str {
+        "edge-coloring"
+    }
+
+    fn validate(&self, g: &Graph, edge_labels: &[usize]) -> Result<(), Violation> {
+        if edge_labels.len() != g.m() {
+            return Err(Violation::global("edge label count mismatch"));
+        }
+        // Equivalent to vertex coloring on the line graph.
+        let (lg, _) = line_graph(g);
+        VertexColoring {
+            palette: self.palette,
+        }
+        .validate(&lg, edge_labels)
+    }
+}
+
+/// `⌈c·Δ/ln Δ⌉`-vertex-coloring of triangle-free graphs (Theorem 43's
+/// target palette, parameterized by the constant `c`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleFreeColoring {
+    /// The constant multiplier on `Δ/ln Δ`.
+    pub c: f64,
+}
+
+impl TriangleFreeColoring {
+    /// Palette size for maximum degree `delta`.
+    #[must_use]
+    pub fn palette(&self, delta: usize) -> usize {
+        if delta <= 2 {
+            return delta + 1;
+        }
+        ((self.c * delta as f64 / (delta as f64).ln()).ceil() as usize).max(2)
+    }
+
+    /// The concrete [`VertexColoring`] instance for a graph.
+    #[must_use]
+    pub fn instance(&self, g: &Graph) -> VertexColoring {
+        VertexColoring {
+            palette: self.palette(g.max_degree()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+
+    #[test]
+    fn proper_coloring_accepted() {
+        let g = generators::cycle(6);
+        let p = VertexColoring { palette: 2 };
+        assert!(p.is_valid(&g, &[0, 1, 0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn monochromatic_edge_rejected() {
+        let g = generators::path(3);
+        let p = VertexColoring { palette: 3 };
+        let err = p.validate(&g, &[0, 0, 1]).unwrap_err();
+        assert!(err.reason.contains("share color"));
+    }
+
+    #[test]
+    fn palette_overflow_rejected() {
+        let g = generators::path(2);
+        let p = VertexColoring { palette: 2 };
+        assert!(p.validate(&g, &[0, 5]).is_err());
+    }
+
+    #[test]
+    fn delta_plus_one_instance() {
+        let g = generators::star(4);
+        assert_eq!(VertexColoring::delta_plus_one(&g).palette, 5);
+    }
+
+    #[test]
+    fn edge_coloring_of_path() {
+        let g = generators::path(4); // 3 edges, alternating colors suffice
+        let p = EdgeColoring { palette: 2 };
+        assert!(p.validate(&g, &[0, 1, 0]).is_ok());
+        assert!(p.validate(&g, &[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn two_delta_minus_two_palette() {
+        let g = generators::star(4); // Δ = 4
+        assert_eq!(EdgeColoring::two_delta_minus_two(&g).palette, 6);
+    }
+
+    #[test]
+    fn star_edge_coloring_needs_delta_colors() {
+        let g = generators::star(3);
+        let p = EdgeColoring { palette: 3 };
+        assert!(p.validate(&g, &[0, 1, 2]).is_ok());
+        assert!(p.validate(&g, &[0, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn triangle_free_palette_shrinks() {
+        let t = TriangleFreeColoring { c: 4.0 };
+        let big = t.palette(64);
+        assert!(big < 64, "palette {big} should be o(Δ)");
+        assert!(big >= 2);
+    }
+
+    #[test]
+    fn coloring_radius_checkable() {
+        use crate::problem::radius_checkability_violations;
+        let g = generators::cycle(8);
+        let p = VertexColoring { palette: 3 };
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 2];
+        assert!(radius_checkability_violations(&p, &g, &labels).is_empty());
+    }
+}

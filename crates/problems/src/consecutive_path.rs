@@ -1,0 +1,149 @@
+//! The Section 2.1 counterexample problem: every node outputs **YES** iff
+//! the entire graph is a simple path with consecutive node IDs.
+//!
+//! The paper uses this problem to show that once component-stable
+//! algorithms may depend on `n` (which they must, to include nontrivial
+//! randomized algorithms), not every LOCAL lower bound can lift: this
+//! problem has an `O(1)`-round MPC algorithm yet a trivial `n−1`-round
+//! LOCAL lower bound. It is *not* `O(1)`-replicable — which is exactly how
+//! the replicability restriction (Definition 9) excludes it.
+
+use crate::problem::{GraphProblem, Violation};
+use csmpc_graph::Graph;
+
+/// Ground truth: is `g` a simple path whose IDs are consecutive along it?
+#[must_use]
+pub fn is_consecutive_id_path(g: &Graph) -> bool {
+    let n = g.n();
+    if n == 0 || !g.is_connected() {
+        return false;
+    }
+    if n == 1 {
+        return true;
+    }
+    let deg1: Vec<usize> = (0..n).filter(|&v| g.degree(v) == 1).collect();
+    if deg1.len() != 2 || (0..n).any(|v| g.degree(v) > 2) {
+        return false;
+    }
+    // Walk from one endpoint; IDs must step by +1 or −1 consistently.
+    let mut prev = usize::MAX;
+    let mut cur = deg1[0];
+    let mut step: Option<i64> = None;
+    for _ in 1..n {
+        let next = g
+            .neighbors(cur)
+            .iter()
+            .map(|&w| w as usize)
+            .find(|&w| w != prev);
+        let Some(next) = next else { return false };
+        let diff = g.id(next).0 as i64 - g.id(cur).0 as i64;
+        match step {
+            None => {
+                if diff != 1 && diff != -1 {
+                    return false;
+                }
+                step = Some(diff);
+            }
+            Some(s) => {
+                if diff != s {
+                    return false;
+                }
+            }
+        }
+        prev = cur;
+        cur = next;
+    }
+    true
+}
+
+/// The YES/NO problem; every node must output the same, correct verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsecutiveIdPath;
+
+impl GraphProblem for ConsecutiveIdPath {
+    type Label = bool;
+
+    fn name(&self) -> &str {
+        "consecutive-id-path"
+    }
+
+    fn validate(&self, g: &Graph, labels: &[bool]) -> Result<(), Violation> {
+        if labels.len() != g.n() {
+            return Err(Violation::global("label count mismatch"));
+        }
+        let truth = is_consecutive_id_path(g);
+        match labels.iter().position(|&b| b != truth) {
+            None => Ok(()),
+            Some(v) => Err(Violation::at(
+                v,
+                format!("answered {} but the truth is {truth}", labels[v]),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+
+    #[test]
+    fn yes_instance() {
+        let g = generators::consecutive_id_path(8);
+        assert!(is_consecutive_id_path(&g));
+        assert!(ConsecutiveIdPath.is_valid(&g, &vec![true; 8]));
+        assert!(!ConsecutiveIdPath.is_valid(&g, &vec![false; 8]));
+    }
+
+    #[test]
+    fn endpoint_flip_makes_no_instance() {
+        let g = generators::consecutive_id_path_broken(8);
+        assert!(!is_consecutive_id_path(&g));
+        assert!(ConsecutiveIdPath.is_valid(&g, &vec![false; 8]));
+    }
+
+    #[test]
+    fn cycle_is_no() {
+        assert!(!is_consecutive_id_path(&generators::cycle(5)));
+    }
+
+    #[test]
+    fn disconnected_is_no() {
+        let g = generators::random_forest(&[3, 3], csmpc_graph::rng::Seed(1));
+        assert!(!is_consecutive_id_path(&g));
+    }
+
+    #[test]
+    fn single_node_is_yes() {
+        let g = csmpc_graph::GraphBuilder::with_sequential_nodes(1)
+            .build()
+            .unwrap();
+        assert!(is_consecutive_id_path(&g));
+    }
+
+    #[test]
+    fn descending_ids_also_yes() {
+        let g = generators::path(5);
+        let rev = csmpc_graph::ops::relabel_ids(&g, |v, _| csmpc_graph::NodeId((4 - v) as u64));
+        assert!(is_consecutive_id_path(&rev));
+    }
+
+    #[test]
+    fn shuffled_ids_are_no() {
+        let g = generators::path(6);
+        let shuffled =
+            generators::shuffle_identity(&g, 100, 0, csmpc_graph::rng::Seed(3));
+        // A random permutation of 6 IDs is consecutive-in-order with
+        // negligible probability; this seed gives a NO instance.
+        assert!(!is_consecutive_id_path(&shuffled));
+    }
+
+    #[test]
+    fn mixed_answers_rejected() {
+        let g = generators::consecutive_id_path(4);
+        let mut labels = vec![true; 4];
+        labels[2] = false;
+        let err = ConsecutiveIdPath.validate(&g, &labels).unwrap_err();
+        assert_eq!(err.node, Some(2));
+    }
+}

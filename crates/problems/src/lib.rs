@@ -1,0 +1,47 @@
+//! # csmpc-problems
+//!
+//! The graph-problem framework of *"Component Stability in Low-Space
+//! Massively Parallel Computation"* (PODC 2021), Section 2.3:
+//!
+//! * [`problem`] — vertex-labeling problems, `r`-radius checkability
+//!   (Definition 8) and per-node validation;
+//! * [`replicability`] — `R`-replicability (Definition 9), the `Γ_G`
+//!   simulation-graph construction, and an empirical probe that confirms
+//!   Lemmas 10–12 and *refutes* replicability of the Section 2.1
+//!   counterexample;
+//! * concrete problems used across the paper's separations:
+//!   [`mis::Mis`], [`mis::LargeIndependentSet`] (Theorem 5),
+//!   [`matching::MaximalMatching`] / [`matching::ApproxMaximumMatching`]
+//!   (Lemma 12, Theorem 48), [`coloring::VertexColoring`] /
+//!   [`coloring::EdgeColoring`] / [`coloring::TriangleFreeColoring`]
+//!   (Theorems 40–43), [`sinkless::SinklessOrientation`] (Theorems 38–39),
+//!   and [`consecutive_path::ConsecutiveIdPath`] (Section 2.1).
+//!
+//! Edge-labeling problems implement [`matching::EdgeProblem`] over the
+//! original graph and are lifted to vertex problems on the line graph, the
+//! reduction the paper uses throughout.
+//!
+//! ```
+//! use csmpc_graph::generators;
+//! use csmpc_problems::mis::Mis;
+//! use csmpc_problems::problem::GraphProblem;
+//!
+//! let g = generators::path(5);
+//! assert!(Mis.is_valid(&g, &[true, false, true, false, true]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coloring;
+pub mod ruling_set;
+pub mod vertex_cover;
+pub mod consecutive_path;
+pub mod matching;
+pub mod mis;
+pub mod problem;
+pub mod replicability;
+pub mod sinkless;
+
+pub use matching::EdgeProblem;
+pub use problem::{GraphProblem, Violation};

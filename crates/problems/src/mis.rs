@@ -1,0 +1,207 @@
+//! Maximal independent set (MIS) and the large-independent-set problem of
+//! Theorem 5.
+
+use crate::problem::{GraphProblem, Violation};
+use csmpc_graph::Graph;
+
+/// Maximal independent set: `true` = in the set. Valid iff no two adjacent
+/// nodes are in the set and every node outside has a neighbor inside.
+/// 1-radius checkable (an LCL).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mis;
+
+impl GraphProblem for Mis {
+    type Label = bool;
+
+    fn name(&self) -> &str {
+        "maximal-independent-set"
+    }
+
+    fn validate(&self, g: &Graph, labels: &[bool]) -> Result<(), Violation> {
+        if labels.len() != g.n() {
+            return Err(Violation::global("label count mismatch"));
+        }
+        for v in 0..g.n() {
+            if labels[v] {
+                if let Some(&w) = g.neighbors(v).iter().find(|&&w| labels[w as usize]) {
+                    return Err(Violation::at(
+                        v,
+                        format!("adjacent nodes {v} and {w} both in the set"),
+                    ));
+                }
+            } else if !g.neighbors(v).iter().any(|&w| labels[w as usize]) {
+                return Err(Violation::at(v, "outside the set with no neighbor inside"));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_radius(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn validate_node_ball(&self, ball: &Graph, center: usize, labels: &[bool]) -> bool {
+        if labels[center] {
+            !ball.neighbors(center).iter().any(|&w| labels[w as usize])
+        } else {
+            ball.neighbors(center).iter().any(|&w| labels[w as usize])
+        }
+    }
+}
+
+/// Independence (without maximality): the building block validator.
+#[must_use]
+pub fn is_independent_set(g: &Graph, labels: &[bool]) -> bool {
+    (0..g.n()).all(|v| {
+        !labels[v] || !g.neighbors(v).iter().any(|&w| labels[w as usize])
+    })
+}
+
+/// Size of the set.
+#[must_use]
+pub fn set_size(labels: &[bool]) -> usize {
+    labels.iter().filter(|&&b| b).count()
+}
+
+/// The Theorem 5 problem: an independent set of size at least
+/// `c · n / max(Δ, 1)`. An approximation problem — *not* radius checkable —
+/// and 2-replicable (Lemma 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LargeIndependentSet {
+    /// The constant `c` in the `c·n/Δ` size bound.
+    pub c: f64,
+}
+
+impl Default for LargeIndependentSet {
+    /// `c = 1/4`, matching the deterministic guarantee of Claim 52
+    /// (`n/(4Δ+1) ≥ n/(4Δ)·(1−o(1))`).
+    fn default() -> Self {
+        LargeIndependentSet { c: 0.2 }
+    }
+}
+
+impl LargeIndependentSet {
+    /// The size threshold on an `n`-node graph of maximum degree `Δ`.
+    #[must_use]
+    pub fn threshold(&self, n: usize, delta: usize) -> usize {
+        (self.c * n as f64 / delta.max(1) as f64).floor() as usize
+    }
+}
+
+impl GraphProblem for LargeIndependentSet {
+    type Label = bool;
+
+    fn name(&self) -> &str {
+        "large-independent-set"
+    }
+
+    fn validate(&self, g: &Graph, labels: &[bool]) -> Result<(), Violation> {
+        if labels.len() != g.n() {
+            return Err(Violation::global("label count mismatch"));
+        }
+        for v in 0..g.n() {
+            if labels[v] {
+                if let Some(&w) = g.neighbors(v).iter().find(|&&w| labels[w as usize]) {
+                    return Err(Violation::at(
+                        v,
+                        format!("adjacent nodes {v} and {w} both in the set"),
+                    ));
+                }
+            }
+        }
+        let need = self.threshold(g.n(), g.max_degree());
+        let have = set_size(labels);
+        if have < need {
+            return Err(Violation::global(format!(
+                "independent set of size {have} below threshold {need}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+
+    #[test]
+    fn mis_on_path_valid() {
+        let g = generators::path(5);
+        assert!(Mis.is_valid(&g, &[true, false, true, false, true]));
+    }
+
+    #[test]
+    fn mis_rejects_adjacent_pair() {
+        let g = generators::path(3);
+        let err = Mis.validate(&g, &[true, true, false]).unwrap_err();
+        assert!(err.reason.contains("both in the set"));
+    }
+
+    #[test]
+    fn mis_rejects_non_maximal() {
+        let g = generators::path(3);
+        let err = Mis.validate(&g, &[false, false, false]).unwrap_err();
+        assert!(err.reason.contains("no neighbor inside"));
+    }
+
+    #[test]
+    fn mis_radius_checkable_consistency() {
+        use crate::problem::radius_checkability_violations;
+        let g = generators::cycle(6);
+        let valid = vec![true, false, true, false, true, false];
+        assert!(radius_checkability_violations(&Mis, &g, &valid).is_empty());
+        let invalid = vec![true, true, false, false, false, false];
+        assert!(radius_checkability_violations(&Mis, &g, &invalid).is_empty());
+    }
+
+    #[test]
+    fn independence_helper() {
+        let g = generators::complete(4);
+        assert!(is_independent_set(&g, &[true, false, false, false]));
+        assert!(!is_independent_set(&g, &[true, true, false, false]));
+    }
+
+    #[test]
+    fn large_is_threshold() {
+        let p = LargeIndependentSet { c: 0.5 };
+        assert_eq!(p.threshold(100, 5), 10);
+        assert_eq!(p.threshold(100, 0), 50); // Δ clamped to 1
+    }
+
+    #[test]
+    fn large_is_accepts_big_enough_set() {
+        let g = generators::cycle(10); // Δ = 2
+        let p = LargeIndependentSet { c: 0.5 }; // need ≥ 2 nodes
+        let mut labels = vec![false; 10];
+        labels[0] = true;
+        labels[2] = true;
+        labels[4] = true;
+        assert!(p.is_valid(&g, &labels));
+    }
+
+    #[test]
+    fn large_is_rejects_small_set() {
+        let g = generators::cycle(10);
+        let p = LargeIndependentSet { c: 0.5 };
+        let mut labels = vec![false; 10];
+        labels[0] = true;
+        let err = p.validate(&g, &labels).unwrap_err();
+        assert!(err.reason.contains("below threshold"));
+    }
+
+    #[test]
+    fn large_is_rejects_dependent_set() {
+        let g = generators::cycle(10);
+        let p = LargeIndependentSet { c: 0.1 };
+        let mut labels = vec![false; 10];
+        labels[0] = true;
+        labels[1] = true;
+        assert!(!p.is_valid(&g, &labels));
+    }
+
+    #[test]
+    fn large_is_not_radius_checkable() {
+        assert!(LargeIndependentSet::default().check_radius().is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! The problem framework of Section 2.3: vertex-labeling graph problems,
+//! `r`-radius checkability (Definition 8), and per-node validity.
+//!
+//! A problem assigns to every legal input graph a set of valid output
+//! labelings; validity may depend on topology and **IDs** but never on
+//! names. `r`-radius-checkable problems additionally have a notion of a
+//! *single node's* output being valid, decidable from its `r`-ball — these
+//! are exactly the problems verifiable in `r` LOCAL rounds, and include all
+//! LCL problems.
+
+use csmpc_graph::ball::ball;
+use csmpc_graph::Graph;
+use std::fmt;
+
+/// Why a labeling was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The node index the violation is attributed to, when there is one.
+    pub node: Option<usize>,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl Violation {
+    /// A violation pinned to a node.
+    #[must_use]
+    pub fn at(node: usize, reason: impl Into<String>) -> Self {
+        Violation {
+            node: Some(node),
+            reason: reason.into(),
+        }
+    }
+
+    /// A global violation.
+    #[must_use]
+    pub fn global(reason: impl Into<String>) -> Self {
+        Violation {
+            node: None,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(v) => write!(f, "node {v}: {}", self.reason),
+            None => write!(f, "{}", self.reason),
+        }
+    }
+}
+
+/// A vertex-labeling graph problem (Section 2.3).
+pub trait GraphProblem {
+    /// The finite output alphabet `Σ`.
+    type Label: Clone + PartialEq + fmt::Debug;
+
+    /// Problem name for reporting.
+    fn name(&self) -> &str;
+
+    /// Checks an overall labeling. Must not depend on node names.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Violation`] found.
+    fn validate(&self, g: &Graph, labels: &[Self::Label]) -> Result<(), Violation>;
+
+    /// `Some(r)` when the problem is `r`-radius checkable (Definition 8):
+    /// a node's output validity is a function of its `r`-ball and the
+    /// outputs therein. `None` for global/approximation problems.
+    fn check_radius(&self) -> Option<usize> {
+        None
+    }
+
+    /// For `r`-radius-checkable problems: validity of one node's output
+    /// given its `r`-ball (with ball-local labels, the center's included).
+    ///
+    /// Default panics; problems returning `Some(r)` from
+    /// [`GraphProblem::check_radius`] must override it.
+    fn validate_node_ball(
+        &self,
+        _ball: &Graph,
+        _center: usize,
+        _ball_labels: &[Self::Label],
+    ) -> bool {
+        unimplemented!("problem {} is not radius-checkable", self.name())
+    }
+
+    /// Convenience: is the labeling valid?
+    fn is_valid(&self, g: &Graph, labels: &[Self::Label]) -> bool {
+        self.validate(g, labels).is_ok()
+    }
+}
+
+/// For an `r`-radius-checkable problem, validates node `v` of `g` by
+/// extracting its ball and delegating to
+/// [`GraphProblem::validate_node_ball`].
+///
+/// # Panics
+///
+/// Panics if the problem is not radius-checkable.
+pub fn validate_node<P: GraphProblem>(
+    problem: &P,
+    g: &Graph,
+    v: usize,
+    labels: &[P::Label],
+) -> bool {
+    let r = problem
+        .check_radius()
+        .expect("validate_node requires a radius-checkable problem");
+    let (b, c, original) = ball(g, v, r);
+    let ball_labels: Vec<P::Label> = original.iter().map(|&u| labels[u].clone()).collect();
+    problem.validate_node_ball(&b, c, &ball_labels)
+}
+
+/// Checks the Definition 8 consistency law on a concrete instance: for an
+/// `r`-radius-checkable problem, the overall validation must accept exactly
+/// when every node's ball validation accepts.
+///
+/// Returns node indices where the two disagree (empty = consistent).
+pub fn radius_checkability_violations<P: GraphProblem>(
+    problem: &P,
+    g: &Graph,
+    labels: &[P::Label],
+) -> Vec<usize> {
+    let overall = problem.is_valid(g, labels);
+    let per_node: Vec<bool> = (0..g.n())
+        .map(|v| validate_node(problem, g, v, labels))
+        .collect();
+    let all_nodes = per_node.iter().all(|&b| b);
+    if overall == all_nodes {
+        Vec::new()
+    } else {
+        (0..g.n()).filter(|&v| !per_node[v]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+
+    /// Toy problem: every node must output its own degree.
+    struct DegreeLabeling;
+
+    impl GraphProblem for DegreeLabeling {
+        type Label = usize;
+        fn name(&self) -> &str {
+            "degree-labeling"
+        }
+        fn validate(&self, g: &Graph, labels: &[usize]) -> Result<(), Violation> {
+            for v in 0..g.n() {
+                if labels[v] != g.degree(v) {
+                    return Err(Violation::at(v, "label is not the degree"));
+                }
+            }
+            Ok(())
+        }
+        fn check_radius(&self) -> Option<usize> {
+            Some(1)
+        }
+        fn validate_node_ball(&self, ball: &Graph, center: usize, labels: &[usize]) -> bool {
+            labels[center] == ball.degree(center)
+        }
+    }
+
+    #[test]
+    fn degree_labeling_valid() {
+        let g = generators::star(3);
+        let labels = vec![3usize, 1, 1, 1];
+        assert!(DegreeLabeling.is_valid(&g, &labels));
+        assert!(radius_checkability_violations(&DegreeLabeling, &g, &labels).is_empty());
+    }
+
+    #[test]
+    fn degree_labeling_invalid() {
+        let g = generators::star(3);
+        let labels = vec![2usize, 1, 1, 1];
+        let err = DegreeLabeling.validate(&g, &labels).unwrap_err();
+        assert_eq!(err.node, Some(0));
+        // Per-node and overall agree (both invalid), so no *checkability*
+        // violation even though the labeling is wrong.
+        assert!(radius_checkability_violations(&DegreeLabeling, &g, &labels).is_empty());
+    }
+
+    #[test]
+    fn node_validation_matches() {
+        let g = generators::path(4);
+        let labels = vec![1usize, 2, 2, 1];
+        for v in 0..4 {
+            assert!(validate_node(&DegreeLabeling, &g, v, &labels));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! `R`-replicability (Definition 9) and its empirical checker.
+//!
+//! A problem is `R`-replicable when validity on the *simulation graph*
+//! `Γ_G` — at least `|V(G)|^R` ID-sharing copies of `G` plus fewer than
+//! `|V(G)|` isolated nodes — of the copy-wise labeling `L'` implies validity
+//! of `L` on `G` itself. This is the minimal property that lets Lemma 25
+//! transfer a component-stable MPC algorithm's guarantee on `Γ_G` back to
+//! `G`, and it is what excludes contrived problems like
+//! [`crate::consecutive_path::ConsecutiveIdPath`] from the lifting theorem.
+
+use crate::problem::GraphProblem;
+use csmpc_graph::ops::{replicated, with_isolated_nodes};
+use csmpc_graph::{Graph, NodeId};
+
+/// The `Γ_G` construction: `copies ≥ |V(G)|^R` disjoint copies of `G` (same
+/// IDs, fresh names except the true copy) plus `isolated < |V(G)|` isolated
+/// nodes sharing one ID.
+///
+/// Returns the graph and the number of nodes per copy (for label layout).
+///
+/// # Panics
+///
+/// Panics if `g` is empty or `isolated >= g.n()`.
+#[must_use]
+pub fn gamma_graph(g: &Graph, copies: usize, isolated: usize) -> Graph {
+    assert!(g.n() >= 1, "Γ_G needs a non-empty base graph");
+    assert!(
+        isolated < g.n().max(1),
+        "Definition 9 requires fewer than |V(G)| isolated nodes"
+    );
+    let body = replicated(g, copies, 1_000_000_007);
+    let max_id = (0..g.n()).map(|v| g.id(v).0).max().unwrap_or(0);
+    with_isolated_nodes(&body, isolated, NodeId(max_id + 1), 2_000_000_011)
+}
+
+/// Lays out `L'` on `Γ_G`: `labels` on every copy, `iso_label` on isolated
+/// nodes.
+#[must_use]
+pub fn gamma_labels<L: Clone>(
+    labels: &[L],
+    copies: usize,
+    isolated: usize,
+    iso_label: &L,
+) -> Vec<L> {
+    let mut out = Vec::with_capacity(labels.len() * copies + isolated);
+    for _ in 0..copies {
+        out.extend(labels.iter().cloned());
+    }
+    out.extend(std::iter::repeat(iso_label.clone()).take(isolated));
+    out
+}
+
+/// Outcome of one replicability probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicabilityProbe {
+    /// Was `L'` valid on `Γ_G`?
+    pub gamma_valid: bool,
+    /// Was `L` valid on `G`?
+    pub g_valid: bool,
+    /// Number of copies used.
+    pub copies: usize,
+    /// Number of isolated nodes used.
+    pub isolated: usize,
+}
+
+impl ReplicabilityProbe {
+    /// The Definition 9 implication: `gamma_valid ⇒ g_valid`.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        !self.gamma_valid || self.g_valid
+    }
+
+    /// A *witness of non-replicability*: `Γ_G` accepted but `G` rejected.
+    #[must_use]
+    pub fn refutes(&self) -> bool {
+        !self.holds()
+    }
+}
+
+/// Probes `R`-replicability of `problem` on one `(G, L, ℓ)` triple, using
+/// exactly `max(|V|^R, 1)` copies and `|V| − 1` isolated nodes.
+///
+/// # Panics
+///
+/// Panics if `|V(G)| < 2` (Definition 9 assumes `|V| ≥ 2`) or the number of
+/// copies overflows practical limits (keep `|V|^R` small).
+#[must_use]
+pub fn probe<P: GraphProblem>(
+    problem: &P,
+    g: &Graph,
+    labels: &[P::Label],
+    iso_label: &P::Label,
+    r: u32,
+) -> ReplicabilityProbe {
+    assert!(g.n() >= 2, "Definition 9 assumes |V(G)| >= 2");
+    let copies = g.n().pow(r).max(1);
+    let isolated = g.n() - 1;
+    let gamma = gamma_graph(g, copies, isolated);
+    let glabels = gamma_labels(labels, copies, isolated, iso_label);
+    ReplicabilityProbe {
+        gamma_valid: problem.is_valid(&gamma, &glabels),
+        g_valid: problem.is_valid(g, labels),
+        copies,
+        isolated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consecutive_path::ConsecutiveIdPath;
+    use crate::mis::{LargeIndependentSet, Mis};
+    use csmpc_graph::generators;
+    use csmpc_graph::rng::{Seed, SplitMix64};
+
+    #[test]
+    fn gamma_structure() {
+        let g = generators::cycle(4);
+        let gamma = gamma_graph(&g, 3, 2);
+        assert_eq!(gamma.n(), 3 * 4 + 2);
+        assert_eq!(gamma.m(), 3 * 4);
+        assert_eq!(gamma.component_count(), 3 + 2);
+        assert!(gamma.is_legal());
+    }
+
+    #[test]
+    fn mis_replicability_holds_on_valid_and_invalid_labelings() {
+        // Lemma 10: r-radius checkable => 0-replicable (so also 1-, 2-...).
+        let g = generators::path(4);
+        let valid = vec![true, false, false, true];
+        let invalid = vec![true, true, false, false];
+        for labels in [&valid, &invalid] {
+            for iso in [true, false] {
+                let p = probe(&Mis, &g, labels, &iso, 1);
+                assert!(p.holds(), "MIS replicability must hold: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mis_gamma_validity_tracks_copy_validity() {
+        let g = generators::path(4);
+        let valid = vec![true, false, false, true];
+        // iso = true keeps isolated nodes maximal (isolated node must be in
+        // any MIS), so Γ should be valid exactly when the copy labeling is.
+        let p = probe(&Mis, &g, &valid, &true, 1);
+        assert!(p.gamma_valid && p.g_valid);
+        // iso = false makes isolated nodes violate maximality on Γ.
+        let p2 = probe(&Mis, &g, &valid, &false, 1);
+        assert!(!p2.gamma_valid && p2.g_valid);
+        assert!(p2.holds());
+    }
+
+    #[test]
+    fn large_is_two_replicable_on_samples() {
+        // Lemma 11: the Ω(n/Δ)-IS problem is 2-replicable.
+        let mut rng = SplitMix64::new(Seed(42));
+        let problem = LargeIndependentSet { c: 0.25 };
+        for t in 0..20 {
+            let g = generators::random_gnp(6, 0.4, Seed(t));
+            if g.n() < 2 {
+                continue;
+            }
+            let labels: Vec<bool> = (0..g.n()).map(|_| rng.bit()).collect();
+            let p = probe(&problem, &g, &labels, &false, 2);
+            assert!(p.holds(), "Lemma 11 violated on sample {t}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn consecutive_path_is_not_replicable() {
+        // The Section 2.1 counterexample: G is a YES instance; label it all-NO
+        // (invalid on G). Γ_G is disconnected, hence a NO instance, so the
+        // all-NO labeling is *valid* on Γ_G — the implication fails.
+        let g = generators::consecutive_id_path(4);
+        let all_no = vec![false; 4];
+        let p = probe(&ConsecutiveIdPath, &g, &all_no, &false, 2);
+        assert!(
+            p.refutes(),
+            "expected a non-replicability witness, got {p:?}"
+        );
+    }
+
+    #[test]
+    fn probe_counts() {
+        let g = generators::path(3);
+        let p = probe(&Mis, &g, &[true, false, true], &true, 2);
+        assert_eq!(p.copies, 9);
+        assert_eq!(p.isolated, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "|V(G)| >= 2")]
+    fn probe_rejects_tiny_graphs() {
+        let g = csmpc_graph::GraphBuilder::with_sequential_nodes(1)
+            .build()
+            .unwrap();
+        let _ = probe(&Mis, &g, &[true], &true, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! `(α, β)`-ruling sets — the problem family whose deterministic LOCAL
+//! lower bounds (Balliu–Brandt–Olivetti, FOCS 2020) the paper cites as
+//! further grist for the Theorem 14 lifting ("for some more lower bounds to
+//! which the framework is applicable, see … ruling sets").
+//!
+//! A set `R` is an `(α, β)`-ruling set when nodes of `R` are pairwise at
+//! distance ≥ α and every node is within distance β of `R`. `(2, 1)`-ruling
+//! sets are exactly maximal independent sets.
+
+use crate::problem::{GraphProblem, Violation};
+use csmpc_graph::Graph;
+
+/// The `(α, β)`-ruling-set problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RulingSet {
+    /// Minimum pairwise distance between chosen nodes (`α ≥ 1`).
+    pub alpha: usize,
+    /// Maximum distance from any node to the set (`β ≥ 1`).
+    pub beta: usize,
+}
+
+impl RulingSet {
+    /// The MIS instance `(2, 1)`.
+    #[must_use]
+    pub fn mis() -> Self {
+        RulingSet { alpha: 2, beta: 1 }
+    }
+}
+
+/// Multi-source BFS distances to the chosen set (`usize::MAX` if none
+/// reachable).
+#[must_use]
+pub fn distance_to_set(g: &Graph, in_set: &[bool]) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..g.n() {
+        if in_set[v] {
+            dist[v] = 0;
+            queue.push_back(v);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            let w = w as usize;
+            if dist[w] == usize::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+impl GraphProblem for RulingSet {
+    type Label = bool;
+
+    fn name(&self) -> &str {
+        "ruling-set"
+    }
+
+    fn validate(&self, g: &Graph, labels: &[bool]) -> Result<(), Violation> {
+        if labels.len() != g.n() {
+            return Err(Violation::global("label count mismatch"));
+        }
+        // Pairwise distance ≥ α: BFS from each chosen node to depth α−1.
+        for v in 0..g.n() {
+            if !labels[v] {
+                continue;
+            }
+            let dist = g.bfs_distances(v);
+            for w in 0..g.n() {
+                if w != v && labels[w] && dist[w] < self.alpha {
+                    return Err(Violation::at(
+                        v,
+                        format!("chosen nodes {v},{w} at distance {} < α={}", dist[w], self.alpha),
+                    ));
+                }
+            }
+        }
+        // Domination within β.
+        let d = distance_to_set(g, labels);
+        if let Some(v) = (0..g.n()).find(|&v| d[v] == usize::MAX || d[v] > self.beta) {
+            return Err(Violation::at(
+                v,
+                format!("node {v} at distance > β={} from the set", self.beta),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_radius(&self) -> Option<usize> {
+        Some(self.alpha.max(self.beta))
+    }
+
+    fn validate_node_ball(&self, ball: &Graph, center: usize, labels: &[bool]) -> bool {
+        let dist = ball.bfs_distances(center);
+        if labels[center] {
+            // No other chosen node within α−1.
+            !(0..ball.n()).any(|w| w != center && labels[w] && dist[w] < self.alpha)
+        } else {
+            // Some chosen node within β.
+            (0..ball.n()).any(|w| labels[w] && dist[w] <= self.beta)
+        }
+    }
+}
+
+/// Greedy `(2, β)`-ruling set: greedy MIS on `G^{β}`-style spacing — here
+/// simply greedy by ID with an exclusion radius of `spacing − 1`.
+#[must_use]
+pub fn greedy_ruling_set(g: &Graph, alpha: usize, _beta: usize) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..g.n()).collect();
+    order.sort_by_key(|&v| g.id(v));
+    let mut chosen = vec![false; g.n()];
+    let mut blocked = vec![false; g.n()];
+    for v in order {
+        if blocked[v] {
+            continue;
+        }
+        chosen[v] = true;
+        // Block everything within distance α−1.
+        let dist = g.bfs_distances(v);
+        for w in 0..g.n() {
+            if dist[w] < alpha {
+                blocked[w] = true;
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::Mis;
+    use csmpc_graph::generators;
+    use csmpc_graph::rng::Seed;
+
+    #[test]
+    fn two_one_equals_mis() {
+        for s in 0..8 {
+            let g = generators::random_gnp(20, 0.2, Seed(s));
+            let rs = greedy_ruling_set(&g, 2, 1);
+            assert!(RulingSet::mis().is_valid(&g, &rs), "seed {s}");
+            assert!(Mis.is_valid(&g, &rs), "(2,1)-ruling set must be an MIS");
+        }
+    }
+
+    #[test]
+    fn greedy_three_two_on_cycle() {
+        let g = generators::cycle(30);
+        let rs = greedy_ruling_set(&g, 3, 2);
+        let p = RulingSet { alpha: 3, beta: 2 };
+        assert!(p.is_valid(&g, &rs));
+    }
+
+    #[test]
+    fn spacing_violation_detected() {
+        let g = generators::path(4);
+        let p = RulingSet { alpha: 3, beta: 2 };
+        // Nodes 0 and 2 are at distance 2 < 3.
+        let labels = vec![true, false, true, false];
+        let err = p.validate(&g, &labels).unwrap_err();
+        assert!(err.reason.contains("< α"));
+    }
+
+    #[test]
+    fn domination_violation_detected() {
+        let g = generators::path(7);
+        let p = RulingSet { alpha: 2, beta: 1 };
+        // Only node 0 chosen: node 6 at distance 6 > 1.
+        let mut labels = vec![false; 7];
+        labels[0] = true;
+        let err = p.validate(&g, &labels).unwrap_err();
+        assert!(err.reason.contains("> β"));
+    }
+
+    #[test]
+    fn ball_validation_consistent() {
+        use crate::problem::radius_checkability_violations;
+        let g = generators::cycle(12);
+        let p = RulingSet { alpha: 3, beta: 2 };
+        let rs = greedy_ruling_set(&g, 3, 2);
+        assert!(radius_checkability_violations(&p, &g, &rs).is_empty());
+    }
+
+    #[test]
+    fn ruling_sets_are_replicable() {
+        // Radius-checkable ⇒ 0-replicable (Lemma 10): probe it.
+        use crate::replicability::probe;
+        let p = RulingSet { alpha: 3, beta: 2 };
+        let g = generators::cycle(9);
+        let rs = greedy_ruling_set(&g, 3, 2);
+        let pr = probe(&p, &g, &rs, &true, 1);
+        assert!(pr.holds());
+    }
+}

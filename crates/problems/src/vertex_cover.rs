@@ -1,0 +1,145 @@
+//! Minimum vertex cover, in the `O(1)`-approximation form the paper's
+//! Theorem 28 lower bound concerns ("a constant approximation of vertex
+//! cover"). The complement of the matching-based 2-approximation provides
+//! the standard witness.
+
+use crate::problem::{GraphProblem, Violation};
+use csmpc_graph::Graph;
+
+/// Is `in_cover` a vertex cover (every edge has a covered endpoint)?
+#[must_use]
+pub fn is_vertex_cover(g: &Graph, in_cover: &[bool]) -> bool {
+    g.edges().all(|(u, v)| in_cover[u] || in_cover[v])
+}
+
+/// The classical 2-approximation: both endpoints of a greedy maximal
+/// matching.
+#[must_use]
+pub fn matching_two_approx_cover(g: &Graph) -> Vec<bool> {
+    let matching = crate::matching::greedy_maximal_matching(g);
+    let mut cover = vec![false; g.n()];
+    for (i, (u, v)) in g.edges().enumerate() {
+        if matching[i] {
+            cover[u] = true;
+            cover[v] = true;
+        }
+    }
+    cover
+}
+
+/// A lower bound on the optimum: any maximal matching's size (each matched
+/// edge needs a distinct cover node).
+#[must_use]
+pub fn optimum_lower_bound(g: &Graph) -> usize {
+    crate::matching::greedy_maximal_matching(g)
+        .iter()
+        .filter(|&&b| b)
+        .count()
+}
+
+/// `ratio`-approximate minimum vertex cover: a cover of size at most
+/// `ratio ×` the optimum. The optimum is bounded below by a maximal
+/// matching, so the check `|C| ≤ ratio · 2 · |M|` is used with a documented
+/// 2-factor slack (exact on graphs where the matching bound is tight).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxVertexCover {
+    /// Required approximation ratio `≥ 1`.
+    pub ratio: f64,
+}
+
+impl GraphProblem for ApproxVertexCover {
+    type Label = bool;
+
+    fn name(&self) -> &str {
+        "approx-vertex-cover"
+    }
+
+    fn validate(&self, g: &Graph, labels: &[bool]) -> Result<(), Violation> {
+        if labels.len() != g.n() {
+            return Err(Violation::global("label count mismatch"));
+        }
+        if let Some((u, v)) = g.edges().find(|&(u, v)| !labels[u] && !labels[v]) {
+            return Err(Violation::at(u, format!("edge ({u},{v}) uncovered")));
+        }
+        let have = labels.iter().filter(|&&b| b).count();
+        // optimum ∈ [|M|, 2|M|]; accept when |C| ≤ ratio·2·|M| (and always
+        // accept covers no larger than the trivial 2-approximation bound).
+        let m = optimum_lower_bound(g);
+        let allowed = (self.ratio * 2.0 * m as f64).ceil() as usize;
+        if m > 0 && have > allowed {
+            return Err(Violation::global(format!(
+                "cover of size {have} above {allowed} (= {} × 2 × matching bound {m})",
+                self.ratio
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+    use csmpc_graph::rng::Seed;
+
+    #[test]
+    fn matching_cover_covers() {
+        for s in 0..10 {
+            let g = generators::random_gnp(25, 0.2, Seed(s));
+            let cover = matching_two_approx_cover(&g);
+            assert!(is_vertex_cover(&g, &cover), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn two_approx_validates() {
+        let p = ApproxVertexCover { ratio: 1.0 };
+        for s in 0..10 {
+            let g = generators::random_gnp(25, 0.2, Seed(100 + s));
+            let cover = matching_two_approx_cover(&g);
+            assert!(p.is_valid(&g, &cover), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn uncovered_edge_rejected() {
+        let g = generators::path(3);
+        let p = ApproxVertexCover { ratio: 2.0 };
+        let err = p.validate(&g, &[false, false, true]).unwrap_err();
+        assert!(err.reason.contains("uncovered"));
+    }
+
+    #[test]
+    fn bloated_cover_rejected() {
+        // A star: matching bound 1, so covers bigger than ratio·2 fail.
+        let g = generators::star(20);
+        let p = ApproxVertexCover { ratio: 1.0 };
+        assert!(p.validate(&g, &vec![true; 21]).is_err());
+        // Center alone is optimal.
+        let mut opt = vec![false; 21];
+        opt[0] = true;
+        assert!(p.is_valid(&g, &opt));
+    }
+
+    #[test]
+    fn empty_graph_trivially_covered() {
+        let g = csmpc_graph::GraphBuilder::with_sequential_nodes(4)
+            .build()
+            .unwrap();
+        let p = ApproxVertexCover { ratio: 1.0 };
+        assert!(p.is_valid(&g, &vec![false; 4]));
+    }
+
+    #[test]
+    fn replicability_of_approx_cover() {
+        // O(1)-approx vertex cover is O(1)-replicable (Lemma 12's sibling).
+        use crate::replicability::probe;
+        let p = ApproxVertexCover { ratio: 1.5 };
+        for s in 0..10 {
+            let g = generators::random_gnp(5, 0.5, Seed(s));
+            let cover = matching_two_approx_cover(&g);
+            let pr = probe(&p, &g, &cover, &false, 2);
+            assert!(pr.holds(), "seed {s}: {pr:?}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: a tour of the workspace in one binary.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use component_stability::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a legal input graph (IDs component-unique, names global).
+    let g = generators::cycle(64);
+    println!("input: {g}");
+    assert!(g.is_legal());
+
+    // 2. Provision a low-space MPC cluster (φ = 0.5) and run the
+    //    component-unstable O(1)-round large-IS algorithm of Theorem 5.
+    let mut cluster = cluster_for(&g, Seed(42));
+    let labels = AmplifiedLargeIs { repetitions: 0 }.run(&g, &mut cluster)?;
+    let size = labels.iter().filter(|&&b| b).count();
+    println!(
+        "amplified IS: size {size} (threshold n/(4Δ+1) = {}), {}",
+        64 / 9,
+        cluster.stats()
+    );
+
+    // 3. The same problem, deterministically, via pairwise hashing + the
+    //    method of conditional expectations (Theorem 53).
+    let mut cluster = cluster_for(&g, Seed(0));
+    let det = DerandomizedLargeIs.run(&g, &mut cluster)?;
+    println!(
+        "derandomized IS: size {} in {} rounds",
+        det.iter().filter(|&&b| b).count(),
+        cluster.stats().rounds
+    );
+
+    // 4. Certify stability status empirically (Definition 13).
+    let comp = generators::cycle(10);
+    for placement in [
+        classify(&StableOneShotIs, &comp, 8, Seed(1))?,
+        classify(&AmplifiedLargeIs { repetitions: 8 }, &comp, 12, Seed(2))?,
+        classify(&DerandomizedLargeIs, &comp, 12, Seed(3))?,
+    ] {
+        println!("{:<50} -> {}", placement.algorithm, placement.class);
+    }
+
+    // 5. Validate outputs with the problem framework.
+    use component_stability::problems::mis::LargeIndependentSet;
+    let problem = LargeIndependentSet { c: 0.2 };
+    println!(
+        "validator accepts amplified output: {}",
+        problem.is_valid(&g, &labels)
+    );
+    Ok(())
+}

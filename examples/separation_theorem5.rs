@@ -1,0 +1,83 @@
+//! The Theorem 5 separation, measured: component-stable one-shot Luby vs
+//! the unstable amplified algorithm vs the deterministic pairwise-MCE
+//! algorithm, on the `Ω(n/Δ)` independent-set problem.
+//!
+//! Two thresholds make the mechanism visible:
+//!
+//! * an **aggressive** threshold `(2/3)·n/Δ` (on a cycle: exactly the
+//!   one-step expectation `n/3`) — the stable one-shot algorithm fails with
+//!   constant probability at every `n`, while the best of `Θ(log n)`
+//!   repetitions (component-unstable!) passes essentially always;
+//! * the **guarantee** threshold `0.2·n/Δ ≈ n/(4Δ+1)` — which the
+//!   deterministic conditional-expectations algorithm (Theorem 53) meets
+//!   on every input, with certainty, in `O(1)` rounds.
+//!
+//! ```sh
+//! cargo run --release --example separation_theorem5
+//! ```
+
+use component_stability::prelude::*;
+use component_stability::problems::mis::LargeIndependentSet;
+
+fn success_rate<A: MpcVertexAlgorithm<Label = bool>>(
+    alg: &A,
+    g: &Graph,
+    problem: &LargeIndependentSet,
+    trials: u64,
+) -> (f64, usize) {
+    let mut ok = 0u64;
+    let mut rounds = 0usize;
+    for s in 0..trials {
+        let mut cluster = cluster_for(g, Seed(s));
+        let labels = alg.run(g, &mut cluster).expect("run");
+        rounds = cluster.stats().rounds;
+        if problem.is_valid(g, &labels) {
+            ok += 1;
+        }
+    }
+    (ok as f64 / trials as f64, rounds)
+}
+
+fn main() {
+    let aggressive = LargeIndependentSet { c: 2.0 / 3.0 };
+    let guarantee = LargeIndependentSet { c: 0.2 };
+    let trials = 300;
+
+    println!("aggressive threshold (2/3)·n/Δ (success probability @ rounds):");
+    println!(
+        "{:<8} {:>24} {:>24}",
+        "n", "stable one-shot", "unstable amplified"
+    );
+    println!("{:-<60}", "");
+    for n in [60usize, 120, 240, 480] {
+        let g = generators::cycle(n);
+        let (p_stable, r_stable) = success_rate(&StableOneShotIs, &g, &aggressive, trials);
+        let (p_amp, r_amp) =
+            success_rate(&AmplifiedLargeIs { repetitions: 0 }, &g, &aggressive, trials);
+        println!("{n:<8} {p_stable:>17.3} @ {r_stable:>2}r {p_amp:>17.3} @ {r_amp:>2}r");
+    }
+
+    println!();
+    println!("guarantee threshold 0.2·n/Δ (deterministic, Theorem 53):");
+    println!("{:<8} {:>12} {:>10} {:>10}", "n", "IS size", "need", "rounds");
+    println!("{:-<44}", "");
+    for n in [60usize, 120, 240, 480] {
+        let g = generators::cycle(n);
+        let mut cluster = cluster_for(&g, Seed(0));
+        let labels = DerandomizedLargeIs.run(&g, &mut cluster).expect("run");
+        let size = labels.iter().filter(|&&b| b).count();
+        let need = guarantee.threshold(g.n(), g.max_degree());
+        assert!(guarantee.is_valid(&g, &labels));
+        println!("{n:<8} {size:>12} {need:>10} {:>10}", cluster.stats().rounds);
+    }
+
+    println!();
+    println!(
+        "paper claim (Theorem 5): success amplification — inherently \
+         component-unstable — turns the\nexpectation-only guarantee of one \
+         Luby step into a 1 − 1/n guarantee without extra rounds,\nand \
+         Theorem 53 derandomizes it in O(1) rounds; no o(log log* n)-round \
+         component-stable\nalgorithm can do this, conditioned on the \
+         connectivity conjecture."
+    );
+}

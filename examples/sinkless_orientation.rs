@@ -1,0 +1,52 @@
+//! Sinkless orientation (Theorems 38–39): the constructive-LLL upper bound
+//! in randomized and deterministic (seed-searched, component-unstable)
+//! form, with MPC round accounting via the edge-algorithm wrapper.
+//!
+//! ```sh
+//! cargo run --release --example sinkless_orientation
+//! ```
+
+use component_stability::algorithms::mpc_edge::{
+    DeterministicSinklessMpc, SinklessOrientationMpc,
+};
+use component_stability::algorithms::sinkless::sinkless_instance;
+use component_stability::core::runner::evaluate_edge;
+use component_stability::prelude::*;
+use component_stability::problems::sinkless::SinklessOrientation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<8} {:<4} {:>10} {:>12} {:>12} {:>10}",
+        "n", "d", "LLL ok", "rand rounds", "det rounds", "valid"
+    );
+    println!("{:-<62}", "");
+    for (n, d) in [(32usize, 4usize), (128, 4), (512, 4), (128, 5)] {
+        let g = generators::random_regular(n, d, Seed(n as u64 + d as u64));
+        let instance = sinkless_instance(&g);
+        let criterion_ok = instance.satisfies_lll_criterion();
+
+        let rand = evaluate_edge(&SinklessOrientationMpc, &SinklessOrientation, &g, Seed(1))?;
+        let det = evaluate_edge(
+            &DeterministicSinklessMpc { seed_space: 64 },
+            &SinklessOrientation,
+            &g,
+            Seed(2),
+        )?;
+        println!(
+            "{n:<8} {d:<4} {:>10} {:>12} {:>12} {:>10}",
+            criterion_ok,
+            rand.stats.rounds,
+            det.stats.rounds,
+            rand.valid() && det.valid()
+        );
+        assert!(rand.valid() && det.valid());
+    }
+    println!();
+    println!(
+        "the deterministic variant agrees globally on one Moser–Tardos seed \
+         — the component-unstable step that\nlets it beat the Theorem 38 \
+         conditional lower bound for component-stable deterministic \
+         algorithms."
+    );
+    Ok(())
+}

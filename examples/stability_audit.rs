@@ -1,0 +1,50 @@
+//! Audit every MPC algorithm in the workspace with the Definition 13
+//! stability verifier and print the resulting class landscape — the
+//! Section 2.5 picture, computed rather than asserted.
+//!
+//! ```sh
+//! cargo run --release --example stability_audit
+//! ```
+
+use component_stability::algorithms::mpc_edge::BallGreedyColoringMpc;
+use component_stability::algorithms::path_check::ConsecutivePathCheck;
+use component_stability::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let comp = generators::cycle(10);
+    println!(
+        "{:<56} {:>20} {:>10}",
+        "algorithm", "class", "witnesses"
+    );
+    println!("{:-<90}", "");
+
+    let placements = vec![
+        classify(&StableOneShotIs, &comp, 10, Seed(1))?,
+        classify(&AmplifiedLargeIs { repetitions: 8 }, &comp, 14, Seed(2))?,
+        classify(&DerandomizedLargeIs, &comp, 14, Seed(3))?,
+        classify(&ComponentMaxId, &comp, 10, Seed(4))?,
+        classify(&ConsecutivePathCheck, &comp, 10, Seed(5))?,
+        classify(&BallGreedyColoringMpc { radius: 10 }, &comp, 10, Seed(6))?,
+    ];
+    for p in &placements {
+        println!(
+            "{:<56} {:>20} {:>10}",
+            p.algorithm,
+            p.class.to_string(),
+            p.report.witnesses.len()
+        );
+    }
+
+    println!();
+    println!("containments (Definitions 15–18):");
+    for p in &placements {
+        println!("  {} ⊆ {}", p.class, p.class.superclass());
+    }
+    println!();
+    println!(
+        "reading: every 'unstable' row is an algorithm whose power comes \
+         from global coordination\n(amplification argmax, conditional-\
+         expectation seed agreement) — the paper's thesis made mechanical."
+    );
+    Ok(())
+}

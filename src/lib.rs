@@ -1,0 +1,69 @@
+//! # component-stability
+//!
+//! A full reproduction of *"Component Stability in Low-Space Massively
+//! Parallel Computation"* (Artur Czumaj, Peter Davies, Merav Parter;
+//! PODC 2021) as a Rust workspace. This facade crate re-exports the public
+//! API of every subsystem:
+//!
+//! * [`graph`] (`csmpc-graph`) — legal graphs (IDs vs names), generators,
+//!   normal families, centered balls, `D`-radius-identical pairs;
+//! * [`local`] (`csmpc-local`) — the LOCAL model (message passing + ball
+//!   semantics, shared randomness);
+//! * [`mpc`] (`csmpc-mpc`) — the low-space MPC simulator (space and
+//!   bandwidth enforcement, round accounting, graph primitives);
+//! * [`problems`] (`csmpc-problems`) — the problem framework: `r`-radius
+//!   checkability, `R`-replicability, MIS/matching/coloring/sinkless
+//!   orientation/large-IS validators;
+//! * [`derand`] (`csmpc-derand`) — k-wise hash families, conditional
+//!   expectations, exhaustive seed search;
+//! * [`algorithms`] (`csmpc-algorithms`) — both sides of every separation
+//!   (Luby, amplification, derandomized Luby, LLL, Cole–Vishkin,
+//!   connectivity, extendable simulation);
+//! * [`core`] (`csmpc-core`) — the component-stability framework itself
+//!   (Definition 13 verifier, sensitivity, the `B_st-conn` lifting
+//!   reduction, the class landscape).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use component_stability::prelude::*;
+//!
+//! // The Theorem 5 separation in three lines: the unstable amplified
+//! // algorithm finds a large independent set in O(1) rounds...
+//! let g = generators::cycle(64);
+//! let mut cluster = cluster_for(&g, Seed(1));
+//! let labels = AmplifiedLargeIs { repetitions: 0 }.run(&g, &mut cluster)?;
+//! assert!(labels.iter().filter(|&&b| b).count() >= 64 / 9);
+//!
+//! // ...and the stability verifier certifies it is NOT component-stable.
+//! let report = verify_component_stability(
+//!     &AmplifiedLargeIs { repetitions: 8 }, &generators::cycle(10), 12, Seed(2))?;
+//! assert!(!report.looks_stable());
+//! # Ok::<(), component_stability::mpc::MpcError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use csmpc_algorithms as algorithms;
+pub use csmpc_core as core;
+pub use csmpc_derand as derand;
+pub use csmpc_graph as graph;
+pub use csmpc_local as local;
+pub use csmpc_mpc as mpc;
+pub use csmpc_problems as problems;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use csmpc_algorithms::amplify::{AmplifiedLargeIs, StableOneShotIs};
+    pub use csmpc_algorithms::api::{cluster_for, roomy_cluster_for, MpcVertexAlgorithm};
+    pub use csmpc_algorithms::det_is::DerandomizedLargeIs;
+    pub use csmpc_core::classes::{classify, MpcClass};
+    pub use csmpc_core::lifting::{b_st_conn, LiftingPair, StVerdict};
+    pub use csmpc_core::sensitivity::{estimate_sensitivity, CenteredPair, ComponentMaxId};
+    pub use csmpc_core::stability::verify_component_stability;
+    pub use csmpc_graph::rng::Seed;
+    pub use csmpc_graph::{ball, generators, ops, Graph, GraphBuilder, NodeId, NodeName};
+    pub use csmpc_local::LocalParams;
+    pub use csmpc_mpc::{Cluster, MpcConfig};
+    pub use csmpc_problems::problem::GraphProblem;
+}

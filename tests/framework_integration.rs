@@ -1,0 +1,177 @@
+//! Cross-crate integration: the full pipeline from graphs through
+//! algorithms to the component-stability framework.
+
+use component_stability::core::lifting::{
+    b_st_conn, planted_levels, run_one_simulation, sim_size_for, LiftingPair,
+};
+use component_stability::prelude::*;
+use component_stability::problems::mis::{LargeIndependentSet, Mis};
+use component_stability::problems::replicability::{gamma_graph, gamma_labels};
+
+#[test]
+fn theorem5_pipeline_end_to_end() {
+    // Generate → run all three algorithms → validate → classify.
+    let g = generators::cycle(80);
+    let problem = LargeIndependentSet { c: 0.2 };
+
+    let mut cl = cluster_for(&g, Seed(1));
+    let amp = AmplifiedLargeIs { repetitions: 0 }.run(&g, &mut cl).unwrap();
+    assert!(problem.is_valid(&g, &amp));
+    let amp_rounds = cl.stats().rounds;
+
+    let mut cl = cluster_for(&g, Seed(2));
+    let det = DerandomizedLargeIs.run(&g, &mut cl).unwrap();
+    assert!(problem.is_valid(&g, &det));
+
+    let comp = generators::cycle(10);
+    let p_amp = classify(&AmplifiedLargeIs { repetitions: 8 }, &comp, 12, Seed(3)).unwrap();
+    let p_det = classify(&DerandomizedLargeIs, &comp, 12, Seed(4)).unwrap();
+    assert_eq!(p_amp.class, MpcClass::UnstableRandomized);
+    assert_eq!(p_det.class, MpcClass::UnstableDeterministic);
+    assert!(amp_rounds < 20, "O(1) rounds expected, got {amp_rounds}");
+}
+
+#[test]
+fn gamma_graph_respects_stable_outputs_and_validity_transfer() {
+    // Lemma 25's mechanism: stable outputs on Γ_G are copy-identical, and
+    // validity on Γ_G implies validity on G (replicability).
+    let g = generators::cycle(8);
+    let copies = 10usize;
+    let gamma = gamma_graph(&g, copies, 5);
+    assert!(gamma.is_legal());
+
+    let mut cl = cluster_for(&gamma, Seed(5));
+    let labels = StableOneShotIs.run(&gamma, &mut cl).unwrap();
+    for c in 1..copies {
+        assert_eq!(
+            &labels[..g.n()],
+            &labels[c * g.n()..(c + 1) * g.n()],
+            "copy {c} diverged under a stable algorithm"
+        );
+    }
+    // Validity transfer via the replicability layout.
+    let copy_labels = labels[..g.n()].to_vec();
+    let relaid = gamma_labels(&copy_labels, copies, 5, &labels[copies * g.n()]);
+    let problem = LargeIndependentSet { c: 0.05 };
+    if problem.is_valid(&gamma, &relaid) {
+        assert!(problem.is_valid(&g, &copy_labels), "Definition 9 violated");
+    }
+}
+
+#[test]
+fn lifting_yes_no_dichotomy_with_two_algorithms() {
+    let d = 3;
+    let (g, c, gp, cp) = ball::identical_ball_path_pair(d, 4);
+    let pair = LiftingPair {
+        g,
+        center_g: c,
+        gp,
+        center_gp: cp,
+        d,
+    };
+    assert!(pair.is_valid());
+    let yes_h = generators::path(d + 2);
+    let order: Vec<usize> = (0..d + 2).collect();
+    let h = planted_levels(&order, d, d + 2).unwrap();
+
+    // A sensitive stable algorithm detects the planted YES.
+    assert!(run_one_simulation(
+        &ComponentMaxId,
+        &pair,
+        &yes_h,
+        0,
+        d + 1,
+        &h,
+        sim_size_for(&pair, &yes_h),
+        Seed(1),
+    )
+    .unwrap());
+
+    // An insensitive (1-local) stable algorithm does not — sensitivity is
+    // genuinely necessary for the reduction.
+    #[derive(Debug)]
+    struct Degree;
+    impl MpcVertexAlgorithm for Degree {
+        type Label = usize;
+        fn name(&self) -> &str {
+            "degree"
+        }
+        fn deterministic(&self) -> bool {
+            true
+        }
+        fn run(
+            &self,
+            g: &Graph,
+            cluster: &mut Cluster,
+        ) -> Result<Vec<usize>, component_stability::mpc::MpcError> {
+            cluster.charge_rounds(1);
+            Ok((0..g.n()).map(|v| g.degree(v)).collect())
+        }
+    }
+    assert!(!run_one_simulation(
+        &Degree,
+        &pair,
+        &yes_h,
+        0,
+        d + 1,
+        &h,
+        sim_size_for(&pair, &yes_h),
+        Seed(2),
+    )
+    .unwrap());
+
+    // NO instances never trigger either algorithm.
+    let a = generators::path(2);
+    let b2 = ops::with_fresh_names(&generators::path(2), 50);
+    let no_h = ops::disjoint_union(&[&a, &b2]);
+    let run = b_st_conn(&ComponentMaxId, &pair, &no_h, 0, 3, 50, Seed(3)).unwrap();
+    assert_eq!(run.hits, 0);
+}
+
+#[test]
+fn mis_ball_simulation_agrees_with_local_engine_semantics() {
+    // The extendable MPC simulation and a direct whole-graph truncated run
+    // must agree node-for-node (ball semantics = LOCAL semantics).
+    use component_stability::algorithms::extendable::simulate_extendable_mis;
+    use component_stability::algorithms::luby::TruncatedLubyMis;
+
+    let g = generators::random_tree(60, Seed(7));
+    let phases = 3;
+    let mut cl = roomy_cluster_for(&g, Seed(8), 1 << 14);
+    let run = simulate_extendable_mis(&g, &mut cl, phases).unwrap();
+
+    let params = LocalParams::exact(g.n(), g.max_degree(), Seed(8));
+    let direct = TruncatedLubyMis { phases }.statuses(&g, &params);
+    let direct_full = component_stability::algorithms::luby::extend_partial_mis(&g, &direct);
+    assert_eq!(run.labels, direct_full);
+    assert!(Mis.is_valid(&g, &run.labels));
+}
+
+#[test]
+fn stability_report_is_deterministic_given_seeds() {
+    let comp = generators::cycle(10);
+    let r1 =
+        verify_component_stability(&AmplifiedLargeIs { repetitions: 8 }, &comp, 8, Seed(9))
+            .unwrap();
+    let r2 =
+        verify_component_stability(&AmplifiedLargeIs { repetitions: 8 }, &comp, 8, Seed(9))
+            .unwrap();
+    assert_eq!(r1.witnesses, r2.witnesses);
+}
+
+#[test]
+fn edge_problems_roundtrip_through_line_graphs() {
+    use component_stability::problems::matching::{
+        greedy_maximal_matching, EdgeProblem, MaximalMatching,
+    };
+    for s in 0..5 {
+        let g = generators::random_gnp(15, 0.3, Seed(s));
+        if g.m() == 0 {
+            continue;
+        }
+        let matching = greedy_maximal_matching(&g);
+        assert!(MaximalMatching.validate(&g, &matching).is_ok());
+        let (lg, _) = ops::line_graph(&g);
+        assert!(Mis.is_valid(&lg, &matching), "matching ≠ MIS on L(G), seed {s}");
+    }
+}

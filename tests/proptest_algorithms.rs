@@ -1,0 +1,151 @@
+//! Property-based tests on algorithms and derandomization invariants.
+
+use component_stability::algorithms::det_is::{derandomized_is, PairwiseLuby};
+use component_stability::algorithms::luby::{
+    extend_partial_mis, luby_mis, luby_step, random_chi, TruncatedLubyMis,
+};
+use component_stability::derand::field::{is_prime, next_prime};
+use component_stability::derand::intervals::{
+    count_difference, count_difference_naive, CyclicInterval,
+};
+use component_stability::graph::rng::{Seed, SplitMix64};
+use component_stability::graph::{generators, Graph};
+use component_stability::local::LocalParams;
+use component_stability::problems::mis::{is_independent_set, Mis};
+use component_stability::problems::problem::GraphProblem;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24, 0u64..500, 0..=60u32).prop_map(|(n, seed, pct)| {
+        generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed))
+    })
+}
+
+proptest! {
+    #[test]
+    fn luby_step_always_independent(g in arb_graph(), seed in 0u64..1000) {
+        let params = LocalParams::exact(g.n(), g.max_degree(), Seed(seed));
+        let labels = luby_step(&g, &random_chi(&g, &params));
+        prop_assert!(is_independent_set(&g, &labels));
+        // Non-empty on non-empty graphs: the global χ-minimum always joins.
+        prop_assert!(labels.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn luby_mis_always_valid(g in arb_graph(), seed in 0u64..300) {
+        let params = LocalParams::exact(g.n(), g.max_degree(), Seed(seed));
+        let (labels, phases) = luby_mis(&g, &params);
+        prop_assert!(Mis.is_valid(&g, &labels));
+        prop_assert!(phases >= 1);
+    }
+
+    #[test]
+    fn truncated_plus_extension_is_valid_mis(
+        g in arb_graph(), seed in 0u64..200, phases in 0usize..4
+    ) {
+        let params = LocalParams::exact(g.n(), g.max_degree(), Seed(seed));
+        let status = TruncatedLubyMis { phases }.statuses(&g, &params);
+        let full = extend_partial_mis(&g, &status);
+        prop_assert!(Mis.is_valid(&g, &full));
+    }
+
+    #[test]
+    fn pairwise_selection_independent_for_all_seeds(
+        g in arb_graph(), a in 0u64..50, b in 0u64..50
+    ) {
+        let inst = PairwiseLuby::for_graph(&g);
+        let labels = inst.select(&g, a % inst.p, b % inst.p);
+        prop_assert!(is_independent_set(&g, &labels));
+    }
+
+    #[test]
+    fn interval_oracle_matches_brute_force(g in arb_graph(), a in 0u64..30) {
+        let inst = PairwiseLuby::for_graph(&g);
+        let a = a % inst.p;
+        let analytic = inst.expected_size_given_a(&g, a);
+        let brute: f64 = (0..inst.p)
+            .map(|b| inst.select(&g, a, b).iter().filter(|&&x| x).count() as f64)
+            .sum::<f64>() / inst.p as f64;
+        prop_assert!((analytic - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mce_achieves_expectation(g in arb_graph()) {
+        let run = derandomized_is(&g);
+        prop_assert!(run.achieved as f64 + 1e-9 >= run.prior_expectation);
+        prop_assert!(is_independent_set(&g, &run.labels));
+    }
+
+    #[test]
+    fn cyclic_intervals_match_naive(
+        p in 2u64..40,
+        base_start in 0u64..40,
+        base_len in 0u64..41,
+        cuts in proptest::collection::vec((0u64..40, 0u64..41), 0..4)
+    ) {
+        let base = CyclicInterval::new(base_start % p, base_len.min(p), p);
+        let others: Vec<CyclicInterval> = cuts
+            .into_iter()
+            .map(|(s, l)| CyclicInterval::new(s % p, l.min(p), p))
+            .collect();
+        prop_assert_eq!(
+            count_difference(base, &others),
+            count_difference_naive(base, &others)
+        );
+    }
+
+    #[test]
+    fn next_prime_is_prime_and_minimal(n in 2u64..5000) {
+        let p = next_prime(n);
+        prop_assert!(is_prime(p));
+        prop_assert!(p >= n);
+        for q in n..p {
+            prop_assert!(!is_prime(q));
+        }
+    }
+
+    #[test]
+    fn shared_seed_reproducibility(g in arb_graph(), seed in 0u64..500) {
+        // Identical seeds must give identical executions everywhere.
+        let params = LocalParams::exact(g.n(), g.max_degree(), Seed(seed));
+        let (l1, p1) = luby_mis(&g, &params);
+        let (l2, p2) = luby_mis(&g, &params);
+        prop_assert_eq!(l1, l2);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn splitmix_range_uniform_enough(seed in 0u64..200, span in 1u64..50) {
+        let mut rng = SplitMix64::new(Seed(seed));
+        for _ in 0..100 {
+            let v = rng.range(0, span);
+            prop_assert!(v < span);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stable_one_shot_component_invariance(
+        comp_n in 4usize..10, sib_seed in 0u64..50, shared in 0u64..50
+    ) {
+        // Property form of the Definition 13 check for the stable one-shot
+        // algorithm: the component's labels are independent of the sibling.
+        use component_stability::prelude::*;
+        let comp = generators::cycle(comp_n.max(3));
+        let sib_a = ops::with_fresh_names(
+            &generators::cycle(comp_n.max(3)), 10_000);
+        let sib_b = ops::with_fresh_names(
+            &generators::shuffle_identity(
+                &generators::cycle(comp_n.max(3)), 50, 0, Seed(sib_seed)),
+            10_000,
+        );
+        let ga = ops::disjoint_union(&[&comp, &sib_a]);
+        let gb = ops::disjoint_union(&[&comp, &sib_b]);
+        let la = StableOneShotIs.run(&ga, &mut cluster_for(&ga, Seed(shared))).unwrap();
+        let lb = StableOneShotIs.run(&gb, &mut cluster_for(&gb, Seed(shared))).unwrap();
+        prop_assert_eq!(&la[..comp.n()], &lb[..comp.n()]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests on the graph substrate.
+
+use component_stability::graph::ball::{ball, radius_identical};
+use component_stability::graph::ops;
+use component_stability::graph::rng::Seed;
+use component_stability::graph::{generators, Graph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30, 0u64..1000, 0..=100u32).prop_map(|(n, seed, pct)| {
+        generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed))
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let degree_sum: usize = (0..g.n()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph()) {
+        let comps = g.components();
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.n());
+        let mut seen = vec![false; g.n()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v], "node in two components");
+                seen[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_is_subgraph(g in arb_graph(), mask_seed in 0u64..500) {
+        let mut rng = component_stability::graph::rng::SplitMix64::new(Seed(mask_seed));
+        let keep: Vec<usize> = (0..g.n()).filter(|_| rng.bit()).collect();
+        let (sub, back) = ops::induced(&g, &keep);
+        prop_assert_eq!(sub.n(), keep.len());
+        for (u, v) in sub.edges() {
+            prop_assert!(g.has_edge(back[u], back[v]));
+        }
+        // Every g-edge inside the kept set must appear.
+        let pos: std::collections::HashMap<usize, usize> =
+            back.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        for (u, v) in g.edges() {
+            if let (Some(&a), Some(&b)) = (pos.get(&u), pos.get(&v)) {
+                prop_assert!(sub.has_edge(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_union_counts(a in arb_graph(), b in arb_graph()) {
+        let b2 = ops::with_fresh_names(&b, 1_000_000);
+        let u = ops::disjoint_union(&[&a, &b2]);
+        prop_assert_eq!(u.n(), a.n() + b.n());
+        prop_assert_eq!(u.m(), a.m() + b.m());
+        prop_assert!(u.is_legal());
+        prop_assert_eq!(u.component_count(), a.component_count() + b.component_count());
+    }
+
+    #[test]
+    fn line_graph_handshake(g in arb_graph()) {
+        let (lg, edge_of) = ops::line_graph(&g);
+        prop_assert_eq!(lg.n(), g.m());
+        prop_assert_eq!(edge_of.len(), g.m());
+        // Whitney: |E(L(G))| = Σ C(deg v, 2).
+        let expected: usize = (0..g.n()).map(|v| {
+            let d = g.degree(v);
+            d * d.saturating_sub(1) / 2
+        }).sum();
+        prop_assert_eq!(lg.m(), expected);
+    }
+
+    #[test]
+    fn ball_monotone_in_radius(g in arb_graph(), v_seed in 0u64..100) {
+        let v = (v_seed as usize) % g.n();
+        let mut last = 0usize;
+        for r in 0..5 {
+            let (b, c, _) = ball(&g, v, r);
+            prop_assert!(b.n() >= last);
+            prop_assert_eq!(b.id(c), g.id(v));
+            last = b.n();
+        }
+    }
+
+    #[test]
+    fn radius_identical_is_reflexive_and_symmetric(
+        g in arb_graph(), v_seed in 0u64..100, r in 0usize..4
+    ) {
+        let v = (v_seed as usize) % g.n();
+        prop_assert!(radius_identical(&g, v, &g, v, r));
+        let renamed = ops::with_fresh_names(&g, 5_000_000);
+        prop_assert_eq!(
+            radius_identical(&g, v, &renamed, v, r),
+            radius_identical(&renamed, v, &g, v, r)
+        );
+        prop_assert!(radius_identical(&g, v, &renamed, v, r));
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_renaming(g in arb_graph()) {
+        let renamed = ops::with_fresh_names(&g, 9_000_000);
+        prop_assert_eq!(g.id_fingerprint(), renamed.id_fingerprint());
+    }
+
+    #[test]
+    fn bfs_distances_triangle_inequality(g in arb_graph(), s in 0u64..100) {
+        let src = (s as usize) % g.n();
+        let dist = g.bfs_distances(src);
+        for (u, v) in g.edges() {
+            if dist[u] != usize::MAX && dist[v] != usize::MAX {
+                prop_assert!(dist[u].abs_diff(dist[v]) <= 1);
+            } else {
+                prop_assert_eq!(dist[u], dist[v], "edge spans reachability boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_properties(n in 1usize..60, seed in 0u64..500) {
+        let t = generators::random_tree(n, Seed(seed));
+        prop_assert_eq!(t.n(), n);
+        prop_assert_eq!(t.m(), n - 1);
+        prop_assert!(t.is_connected());
+    }
+
+    #[test]
+    fn random_regular_properties(k in 1usize..5, seed in 0u64..100) {
+        let n = 4 * k + 8;
+        let d = 3;
+        let g = generators::random_regular(n, d, Seed(seed));
+        prop_assert!((0..n).all(|v| g.degree(v) == d));
+    }
+
+    #[test]
+    fn shuffle_identity_preserves_structure(g in arb_graph(), seed in 0u64..100) {
+        let h = generators::shuffle_identity(&g, 0, 0, Seed(seed));
+        prop_assert_eq!(h.n(), g.n());
+        prop_assert_eq!(h.m(), g.m());
+        prop_assert!(h.is_legal());
+        for (u, v) in g.edges() {
+            prop_assert!(h.has_edge(u, v));
+        }
+    }
+}

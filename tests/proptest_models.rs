@@ -1,0 +1,135 @@
+//! Property-based cross-validation of the two computation models: the
+//! LOCAL engine vs ball semantics, and the MPC accounted primitives vs
+//! direct computation / the exact engine.
+
+use component_stability::algorithms::api::roomy_cluster_for;
+use component_stability::algorithms::local_engine::BallCollector;
+use component_stability::algorithms::luby::TruncatedLubyMis;
+use component_stability::graph::rng::Seed;
+use component_stability::graph::{generators, Graph};
+use component_stability::local::ball_eval::run_ball_algorithm;
+use component_stability::local::engine::run_local;
+use component_stability::local::LocalParams;
+use component_stability::mpc::{exact_aggregate_sum, prefix_sums, sort_keys, DistributedGraph};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20, 0u64..300, 0..=50u32).prop_map(|(n, seed, pct)| {
+        generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flooding BallCollector inside the message engine computes the
+    /// same outputs as direct ball evaluation, on arbitrary graphs.
+    #[test]
+    fn engine_equals_ball_semantics(g in arb_graph(), seed in 0u64..200, phases in 0usize..3) {
+        let params = LocalParams::exact(g.n(), g.max_degree(), Seed(seed));
+        let alg = TruncatedLubyMis { phases };
+        let engine = run_local(&g, &BallCollector { algorithm: alg }, &params, 100)
+            .unwrap();
+        let direct = run_ball_algorithm(&g, &alg, &params);
+        prop_assert_eq!(engine.outputs, direct);
+    }
+
+    /// MPC connected-component labels agree with the graph's components.
+    #[test]
+    fn cc_labels_match_components(g in arb_graph(), seed in 0u64..100) {
+        let mut cl = roomy_cluster_for(&g, Seed(seed), 1 << 12);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let (labels, _) = dg.cc_labels(&mut cl);
+        let reference = g.component_labels();
+        for u in 0..g.n() {
+            for v in u + 1..g.n() {
+                prop_assert_eq!(
+                    labels[u] == labels[v],
+                    reference[u] == reference[v],
+                    "nodes {} and {} disagree", u, v
+                );
+            }
+        }
+    }
+
+    /// Neighbor reductions agree with direct computation.
+    #[test]
+    fn neighbor_reduce_matches_direct(g in arb_graph(), seed in 0u64..100) {
+        let mut cl = roomy_cluster_for(&g, Seed(seed), 1 << 12);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let vals: Vec<u64> = (0..g.n() as u64).map(|v| v * 31 + 7).collect();
+        let mins = dg.neighbor_reduce(&mut cl, &vals, std::cmp::min);
+        for v in 0..g.n() {
+            let expect = g.neighbors(v).iter().map(|&w| vals[w as usize]).min();
+            prop_assert_eq!(mins[v], expect);
+        }
+    }
+
+    /// The exact message-by-message aggregation tree computes correct sums
+    /// within its bandwidth/space envelope.
+    #[test]
+    fn exact_aggregation_sums(values in proptest::collection::vec(0u64..1000, 0..60)) {
+        let g = generators::cycle(64);
+        let mut cl = roomy_cluster_for(&g, Seed(1), 64);
+        let (sum, rounds) = exact_aggregate_sum(&mut cl, &values).unwrap();
+        prop_assert_eq!(sum, values.iter().sum::<u64>());
+        prop_assert!(rounds >= 1);
+    }
+
+    /// Accounted sort matches std sort; ranks are a permutation.
+    #[test]
+    fn sort_keys_correct(keys in proptest::collection::vec(0u64..500, 0..50)) {
+        let g = generators::cycle(32);
+        let mut cl = roomy_cluster_for(&g, Seed(2), 1 << 10);
+        let (sorted, ranks) = sort_keys(&mut cl, &keys);
+        let mut reference = keys.clone();
+        reference.sort_unstable();
+        prop_assert_eq!(&sorted, &reference);
+        let mut seen = vec![false; keys.len()];
+        for (&k, &r) in keys.iter().zip(&ranks) {
+            prop_assert!(!seen[r]);
+            seen[r] = true;
+            prop_assert_eq!(sorted[r], k);
+        }
+    }
+
+    /// Prefix sums are exclusive and consistent.
+    #[test]
+    fn prefix_sums_correct(values in proptest::collection::vec(0u64..100, 0..50)) {
+        let g = generators::cycle(32);
+        let mut cl = roomy_cluster_for(&g, Seed(3), 1 << 10);
+        let out = prefix_sums(&mut cl, &values);
+        prop_assert_eq!(out.len(), values.len());
+        let mut acc = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(out[i], acc);
+            acc += v;
+        }
+    }
+
+    /// Ball collection never silently exceeds machine space: either every
+    /// ball fits (and is correct) or the call errors.
+    #[test]
+    fn ball_collection_sound(g in arb_graph(), r in 0usize..4) {
+        let mut cl = roomy_cluster_for(&g, Seed(4), 64);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        match dg.collect_balls(&mut cl, r) {
+            Ok(balls) => {
+                prop_assert_eq!(balls.len(), g.n());
+                for (v, (ball, center)) in balls.iter().enumerate() {
+                    prop_assert_eq!(ball.id(*center), g.id(v));
+                    let dist = g.bfs_distances(v);
+                    let expected = (0..g.n()).filter(|&u| dist[u] <= r).count();
+                    prop_assert_eq!(ball.n(), expected);
+                }
+            }
+            Err(e) => {
+                let is_space = matches!(
+                    e,
+                    component_stability::mpc::MpcError::SpaceExceeded { .. }
+                );
+                prop_assert!(is_space);
+            }
+        }
+    }
+}
