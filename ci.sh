@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI: format, lint, build, test, model-conformance scan.
+# Mirrors what a hosted pipeline would run; fails fast on the first error.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> model-conformance scan"
+cargo run -q --release -p csmpc-conformance --bin conformance
+
+echo "CI green."

@@ -100,24 +100,25 @@ impl MpcVertexAlgorithm for AmplifiedLargeIs {
             .tree_depth(cluster.input_n(), cluster.num_machines());
         let reps = self.repetitions_for(g.n());
         let seed = cluster.shared_seed();
-        let out = amplify(
-            reps,
-            |rep| {
+        let candidates: Vec<Vec<bool>> = (0..reps)
+            .map(|rep| {
                 let rep_seed = seed.derive(0xa3b0).derive(rep as u64);
                 let chi: Vec<f64> = (0..g.n())
-                    .map(|v| {
-                        csmpc_graph::rng::SplitMix64::new(rep_seed.derive(g.name(v).0)).f64()
-                    })
+                    .map(|v| csmpc_graph::rng::SplitMix64::new(rep_seed.derive(g.name(v).0)).f64())
                     .collect();
                 luby_step(g, &chi)
-            },
-            |labels| labels.iter().filter(|&&b| b).count() as f64,
-        );
-        // Parallel cost: one Luby step (2d: neighbor-min), one per-rep size
-        // aggregation (d), one global argmax (d), one winner broadcast (d).
-        cluster.charge_rounds(2 * d + 3 * d);
-        let _ = &dg;
-        Ok(out.labels)
+            })
+            .collect();
+        // Parallel cost: one Luby step across all repetitions at once
+        // (2d: neighbor-min). The global winner selection (per-rep size
+        // aggregation + argmax + winner broadcast, 3d) is the accounted —
+        // and provenance-tracked — unstable step.
+        cluster.charge_rounds(2 * d);
+        let (winner, labels, scores) = dg.select_best_global(cluster, &candidates, |labels| {
+            labels.iter().filter(|&&b| b).count() as f64
+        });
+        let _ = (winner, scores);
+        Ok(labels)
     }
 }
 
@@ -137,6 +138,10 @@ impl MpcVertexAlgorithm for StableOneShotIs {
 
     fn deterministic(&self) -> bool {
         false
+    }
+
+    fn component_stable(&self) -> bool {
+        true
     }
 
     fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<bool>, MpcError> {
@@ -165,11 +170,7 @@ mod tests {
 
     #[test]
     fn amplify_picks_max() {
-        let out = amplify(
-            5,
-            |rep| vec![rep],
-            |labels| labels[0] as f64,
-        );
+        let out = amplify(5, |rep| vec![rep], |labels| labels[0] as f64);
         assert_eq!(out.winner, 4);
         assert_eq!(out.scores.len(), 5);
     }
@@ -199,7 +200,9 @@ mod tests {
         for n in [64usize, 256, 1024] {
             let g = generators::cycle(n);
             let mut cl = cluster_for(&g, Seed(1));
-            let _ = AmplifiedLargeIs { repetitions: 0 }.run(&g, &mut cl).unwrap();
+            let _ = AmplifiedLargeIs { repetitions: 0 }
+                .run(&g, &mut cl)
+                .unwrap();
             counts.push(cl.stats().rounds);
         }
         // Rounds scale with the O(1/φ) tree depth, never with n itself:

@@ -21,6 +21,19 @@ pub trait MpcVertexAlgorithm {
     /// `true` when the algorithm ignores the shared seed.
     fn deterministic(&self) -> bool;
 
+    /// `true` when the algorithm *declares* itself component-stable
+    /// (Definition 13): output at `v` depends only on `(CC(v), v, n, Δ, S)`.
+    ///
+    /// The declaration is a claim, not a proof — it is checked two ways:
+    /// empirically by `csmpc_core::stability::verify_component_stability`,
+    /// and at runtime by the provenance detector, which flags any
+    /// cross-component data flow performed by a stable-declared algorithm.
+    /// Defaults to `false` (the safe direction: unstable algorithms are
+    /// never flagged).
+    fn component_stable(&self) -> bool {
+        false
+    }
+
     /// Runs on `g` using (and charging) `cluster`. Outputs are indexed by
     /// node index of `g`.
     ///
@@ -67,8 +80,10 @@ pub fn cluster_for(g: &Graph, seed: csmpc_graph::rng::Seed) -> Cluster {
 /// test-scale inputs.
 #[must_use]
 pub fn roomy_cluster_for(g: &Graph, seed: csmpc_graph::rng::Seed, min_space: usize) -> Cluster {
-    let mut cfg = csmpc_mpc::MpcConfig::default();
-    cfg.min_space = min_space;
+    let cfg = csmpc_mpc::MpcConfig {
+        min_space,
+        ..Default::default()
+    };
     Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed)
 }
 

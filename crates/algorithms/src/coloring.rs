@@ -64,7 +64,7 @@ pub fn forest_edge_coloring(g: &Graph) -> Vec<usize> {
         "forest_edge_coloring requires an acyclic graph"
     );
     let edges: Vec<(usize, usize)> = g.edges().collect();
-    let mut edge_index = std::collections::HashMap::new();
+    let mut edge_index = std::collections::BTreeMap::new();
     for (i, &(u, v)) in edges.iter().enumerate() {
         edge_index.insert((u.min(v), u.max(v)), i);
     }
@@ -164,7 +164,7 @@ pub fn randomized_coloring(g: &Graph, params: &LocalParams) -> ColoringRun {
                     return None;
                 }
                 let mut rng = params.node_rng(g.id(v), 0xc0_10 + round as u64);
-                let used: std::collections::HashSet<usize> = g
+                let used: std::collections::BTreeSet<usize> = g
                     .neighbors(v)
                     .iter()
                     .filter_map(|&w| {
@@ -193,7 +193,10 @@ pub fn randomized_coloring(g: &Graph, params: &LocalParams) -> ColoringRun {
         colors.iter().all(|&c| c != usize::MAX),
         "randomized coloring failed to converge within {cap} rounds"
     );
-    ColoringRun { colors, rounds: cap }
+    ColoringRun {
+        colors,
+        rounds: cap,
+    }
 }
 
 /// Cole–Vishkin color reduction on an **oriented cycle** (nodes indexed in
@@ -275,8 +278,8 @@ pub fn log_star(mut x: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csmpc_graph::rng::Seed;
     use csmpc_graph::generators;
+    use csmpc_graph::rng::Seed;
     use csmpc_problems::coloring::{EdgeColoring, VertexColoring};
     use csmpc_problems::matching::EdgeProblem;
     use csmpc_problems::problem::GraphProblem;
@@ -355,12 +358,7 @@ mod tests {
     #[test]
     fn cole_vishkin_three_colors_in_log_star_steps() {
         for n in [16usize, 64, 256, 1024] {
-            let g = generators::shuffle_identity(
-                &generators::cycle(n),
-                0,
-                0,
-                Seed(n as u64),
-            );
+            let g = generators::shuffle_identity(&generators::cycle(n), 0, 0, Seed(n as u64));
             let run = cole_vishkin_cycle(&g);
             assert!(
                 run.colors.iter().all(|&c| c < 3),

@@ -30,7 +30,7 @@ pub fn distinguish_cycles(
 ) -> Result<(CycleVerdict, usize), MpcError> {
     let dg = DistributedGraph::distribute(g, cluster)?;
     let (labels, iterations) = dg.cc_labels(cluster);
-    let distinct: std::collections::HashSet<u64> = labels.iter().copied().collect();
+    let distinct: std::collections::BTreeSet<u64> = labels.iter().copied().collect();
     let verdict = if distinct.len() <= 1 {
         CycleVerdict::OneCycle
     } else {
@@ -121,7 +121,10 @@ mod tests {
             iters[3] <= iters[0] + 14,
             "iterations not logarithmic: {iters:?}"
         );
-        assert!(iters[3] > iters[0], "iterations suspiciously flat: {iters:?}");
+        assert!(
+            iters[3] > iters[0],
+            "iterations suspiciously flat: {iters:?}"
+        );
     }
 
     #[test]

@@ -54,9 +54,7 @@ impl PairwiseLuby {
     pub fn select(&self, g: &Graph, a: u64, b: u64) -> Vec<bool> {
         let h: Vec<u64> = (0..g.n()).map(|v| self.hash(a, b, v as u64)).collect();
         (0..g.n())
-            .map(|v| {
-                h[v] < self.t && g.neighbors(v).iter().all(|&w| h[w as usize] >= self.t)
-            })
+            .map(|v| h[v] < self.t && g.neighbors(v).iter().all(|&w| h[w as usize] >= self.t))
             .collect()
     }
 
@@ -131,8 +129,7 @@ pub fn derandomized_is(g: &Graph) -> DerandomizedIsRun {
         }
         1 => {
             let a = prefix[0];
-            let e = per_a[a as usize]
-                .get_or_insert_with(|| inst.expected_size_given_a(g, a));
+            let e = per_a[a as usize].get_or_insert_with(|| inst.expected_size_given_a(g, a));
             -*e
         }
         _ => {
@@ -283,10 +280,7 @@ mod tests {
             let _ = DerandomizedLargeIs.run(&g, &mut cl).unwrap();
             counts.push(cl.stats().rounds);
         }
-        assert!(
-            counts[2] <= counts[0] + 8,
-            "rounds grew with n: {counts:?}"
-        );
+        assert!(counts[2] <= counts[0] + 8, "rounds grew with n: {counts:?}");
     }
 
     #[test]

@@ -153,9 +153,7 @@ pub fn deterministic_extendable_mis(
         let params = LocalParams::exact(g.n(), g.max_degree(), Seed(s).derive(0xe7e7));
         balls
             .iter()
-            .filter(|(ball, center)| {
-                alg.statuses(ball, &params)[*center] == MisStatus::Undecided
-            })
+            .filter(|(ball, center)| alg.statuses(ball, &params)[*center] == MisStatus::Undecided)
             .count()
     };
     let (first, good) = find_good_seed(seed_space, |s| undecided_for(s) == 0);
@@ -213,7 +211,10 @@ mod tests {
             let mut cl = roomy_cluster_for(&g, Seed(4), 1 << 14);
             u.push(simulate_extendable_mis(&g, &mut cl, t).unwrap().undecided);
         }
-        assert!(u[2] <= u[1] && u[1] <= u[0], "undecided not shrinking: {u:?}");
+        assert!(
+            u[2] <= u[1] && u[1] <= u[0],
+            "undecided not shrinking: {u:?}"
+        );
     }
 
     #[test]
@@ -247,7 +248,7 @@ mod tests {
     fn auto_phase_budget_reasonable() {
         let alg = ExtendableMis { phases: 0 };
         let t = alg.phases_for(1_000_000, 8);
-        assert!(t >= 5 && t <= 16, "budget {t} out of expected band");
+        assert!((5..=16).contains(&t), "budget {t} out of expected band");
     }
 
     #[test]

@@ -62,17 +62,16 @@ pub fn linial_step(g: &Graph, colors: &[u64], k: u64) -> (Vec<u64>, u64) {
         .map(|v| {
             for &w in g.neighbors(v) {
                 assert_ne!(
-                    colors[v],
-                    colors[w as usize],
+                    colors[v], colors[w as usize],
                     "input coloring is not proper at edge ({v},{w})"
                 );
             }
             let x = (0..q)
                 .find(|&x| {
                     let mine = poly_eval(&polys[v], x, q);
-                    g.neighbors(v).iter().all(|&w| {
-                        poly_eval(&polys[w as usize], x, q) != mine
-                    })
+                    g.neighbors(v)
+                        .iter()
+                        .all(|&w| poly_eval(&polys[w as usize], x, q) != mine)
                 })
                 .expect("q > d·Δ guarantees a good evaluation point");
             x * q + poly_eval(&polys[v], x, q)
@@ -138,11 +137,8 @@ pub fn reduce_to_delta_plus_one(g: &Graph, colors: &[u64], k: u64) -> Vec<u64> {
                 if colors[v] != c {
                     return colors[v];
                 }
-                let used: std::collections::HashSet<u64> = g
-                    .neighbors(v)
-                    .iter()
-                    .map(|&w| colors[w as usize])
-                    .collect();
+                let used: std::collections::BTreeSet<u64> =
+                    g.neighbors(v).iter().map(|&w| colors[w as usize]).collect();
                 (0..target)
                     .find(|x| !used.contains(x))
                     .expect("Δ neighbors cannot block Δ+1 colors")
@@ -257,8 +253,8 @@ mod tests {
         // Any two nodes within distance 2t must differ.
         for v in 0..g.n() {
             let dist = g.bfs_distances(v);
-            for w in 0..g.n() {
-                if w != v && dist[w] <= 2 * t {
+            for (w, &dw) in dist.iter().enumerate() {
+                if w != v && dw <= 2 * t {
                     assert_ne!(run.colors[v], run.colors[w], "({v},{w})");
                 }
             }

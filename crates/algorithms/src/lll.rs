@@ -30,7 +30,10 @@ impl PatternEvent {
     #[must_use]
     pub fn new(vars: Vec<usize>, pattern: Vec<bool>) -> Self {
         assert_eq!(vars.len(), pattern.len(), "pattern length mismatch");
-        assert!(!vars.is_empty(), "events must observe at least one variable");
+        assert!(
+            !vars.is_empty(),
+            "events must observe at least one variable"
+        );
         PatternEvent { vars, pattern }
     }
 
@@ -97,10 +100,7 @@ impl LllInstance {
     /// Does the instance satisfy the symmetric criterion `e·p·(d+1) ≤ 1`?
     #[must_use]
     pub fn satisfies_lll_criterion(&self) -> bool {
-        std::f64::consts::E
-            * self.max_probability()
-            * (self.dependency_degree() + 1) as f64
-            <= 1.0
+        std::f64::consts::E * self.max_probability() * (self.dependency_degree() + 1) as f64 <= 1.0
     }
 
     /// Indices of events violated by `assignment`.

@@ -93,8 +93,7 @@ impl LocalAlgorithm for LubyMisEngine {
             if state.decided.is_none() {
                 let my = chi(view.params, view.id, phase);
                 let is_min = (0..view.degree()).all(|p| {
-                    !state.active_neighbors[p]
-                        || my < chi(view.params, view.neighbor_ids[p], phase)
+                    !state.active_neighbors[p] || my < chi(view.params, view.neighbor_ids[p], phase)
                 });
                 if is_min {
                     state.decided = Some(true);
@@ -141,10 +140,7 @@ where
 
     fn init(&self, view: &NodeView<'_>) -> CollectorState {
         let mut records = std::collections::BTreeMap::new();
-        records.insert(
-            view.id.0,
-            view.neighbor_ids.iter().map(|i| i.0).collect(),
-        );
+        records.insert(view.id.0, view.neighbor_ids.iter().map(|i| i.0).collect());
         CollectorState { records }
     }
 
@@ -197,8 +193,8 @@ fn reconstruct_ball(
         }
         if let Some(nbrs) = records.get(&x) {
             for &y in nbrs {
-                if !dist.contains_key(&y) {
-                    dist.insert(y, dx + 1);
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(y) {
+                    e.insert(dx + 1);
                     queue.push_back(y);
                 }
             }
@@ -283,13 +279,8 @@ mod tests {
         for s in 0..5 {
             let g = generators::random_tree(20, Seed(s));
             let params = LocalParams::exact(g.n(), g.max_degree(), Seed(50 + s));
-            let via_engine = run_local(
-                &g,
-                &BallCollector { algorithm: alg },
-                &params,
-                100,
-            )
-            .unwrap();
+            let via_engine =
+                run_local(&g, &BallCollector { algorithm: alg }, &params, 100).unwrap();
             let via_ball = run_ball_algorithm(&g, &alg, &params);
             assert_eq!(via_engine.outputs, via_ball, "seed {s}");
             // r flooding rounds + 1 halting round.

@@ -36,11 +36,7 @@ pub fn luby_mis(g: &Graph, params: &LocalParams) -> (Vec<bool>, usize) {
     while alive.iter().any(|&a| a) {
         phases += 1;
         let chi: Vec<f64> = (0..n)
-            .map(|v| {
-                params
-                    .node_rng(g.id(v), 0x100 + phases as u64)
-                    .f64()
-            })
+            .map(|v| params.node_rng(g.id(v), 0x100 + phases as u64).f64())
             .collect();
         let joins: Vec<usize> = (0..n)
             .filter(|&v| {
@@ -188,8 +184,8 @@ pub fn one_step_expected_lower_bound(g: &Graph) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csmpc_graph::rng::Seed;
     use csmpc_graph::generators;
+    use csmpc_graph::rng::Seed;
     use csmpc_problems::mis::{is_independent_set, Mis};
     use csmpc_problems::problem::GraphProblem;
 

@@ -72,9 +72,8 @@ impl MpcEdgeAlgorithm for SinklessOrientationMpc {
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
-        let run = sinkless_randomized(g, cluster.shared_seed()).map_err(|_| {
-            MpcError::RoundLimitExceeded { limit: 10_000 }
-        })?;
+        let run = sinkless_randomized(g, cluster.shared_seed())
+            .map_err(|_| MpcError::RoundLimitExceeded { limit: 10_000 })?;
         cluster.charge_rounds((run.rounds + 1) * 2 * d);
         Ok(run.orientation)
     }
@@ -171,10 +170,7 @@ mod tests {
             }
             let mut cl = roomy_cluster_for(&g, Seed(10 + s), 1 << 15);
             let labels = MaximalMatchingMpc { phases: 4 }.run(&g, &mut cl).unwrap();
-            assert!(
-                MaximalMatching.validate(&g, &labels).is_ok(),
-                "seed {s}"
-            );
+            assert!(MaximalMatching.validate(&g, &labels).is_ok(), "seed {s}");
         }
     }
 
@@ -202,8 +198,12 @@ mod tests {
         let g = generators::random_regular(24, 4, Seed(3));
         let mut c1 = roomy_cluster_for(&g, Seed(4), 1 << 12);
         let mut c2 = roomy_cluster_for(&g, Seed(999), 1 << 12);
-        let l1 = DeterministicSinklessMpc { seed_space: 32 }.run(&g, &mut c1).unwrap();
-        let l2 = DeterministicSinklessMpc { seed_space: 32 }.run(&g, &mut c2).unwrap();
+        let l1 = DeterministicSinklessMpc { seed_space: 32 }
+            .run(&g, &mut c1)
+            .unwrap();
+        let l2 = DeterministicSinklessMpc { seed_space: 32 }
+            .run(&g, &mut c2)
+            .unwrap();
         assert_eq!(l1, l2);
         assert!(SinklessOrientation.validate(&g, &l1).is_ok());
     }
@@ -215,7 +215,9 @@ mod tests {
         for s in 0..5 {
             let g = generators::random_tree(18, Seed(s));
             let mut cl = roomy_cluster_for(&g, Seed(s), 1 << 14);
-            let colors = BallGreedyColoringMpc { radius: 18 }.run(&g, &mut cl).unwrap();
+            let colors = BallGreedyColoringMpc { radius: 18 }
+                .run(&g, &mut cl)
+                .unwrap();
             let p = VertexColoring::delta_plus_one(&g);
             assert!(p.is_valid(&g, &colors), "seed {s}");
         }

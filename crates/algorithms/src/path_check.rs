@@ -156,10 +156,7 @@ mod tests {
             let _ = consecutive_path_verdict(&g, &mut cl).unwrap();
             rounds.push(cl.stats().rounds);
         }
-        assert!(
-            rounds[2] <= rounds[0] + 3,
-            "rounds grew with n: {rounds:?}"
-        );
+        assert!(rounds[2] <= rounds[0] + 3, "rounds grew with n: {rounds:?}");
     }
 
     #[test]

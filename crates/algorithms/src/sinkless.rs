@@ -2,9 +2,7 @@
 //! on top of [`crate::lll`]), in randomized and deterministic
 //! (seed-searched, component-unstable) variants.
 
-use crate::lll::{
-    deterministic_lll, parallel_moser_tardos, LllInstance, MtDiverged, PatternEvent,
-};
+use crate::lll::{deterministic_lll, parallel_moser_tardos, LllInstance, MtDiverged, PatternEvent};
 use csmpc_graph::rng::Seed;
 use csmpc_graph::Graph;
 use csmpc_problems::sinkless::EdgeDir;
@@ -21,11 +19,11 @@ pub fn sinkless_instance(g: &Graph) -> LllInstance {
         incident[v].push(i);
     }
     let mut events = Vec::new();
-    for v in 0..g.n() {
+    for (v, inc) in incident.iter().enumerate() {
         if g.degree(v) < 3 {
             continue;
         }
-        let vars = incident[v].clone();
+        let vars = inc.clone();
         // Edge i = (a, b), a < b. Incoming to v: if v == b, Forward (true);
         // if v == a, Backward (false). Bad pattern = all incoming.
         let pattern: Vec<bool> = vars.iter().map(|&i| edges[i].1 == v).collect();
@@ -42,7 +40,13 @@ pub fn sinkless_instance(g: &Graph) -> LllInstance {
 pub fn assignment_to_orientation(assignment: &[bool]) -> Vec<EdgeDir> {
     assignment
         .iter()
-        .map(|&b| if b { EdgeDir::Forward } else { EdgeDir::Backward })
+        .map(|&b| {
+            if b {
+                EdgeDir::Forward
+            } else {
+                EdgeDir::Backward
+            }
+        })
         .collect()
 }
 
@@ -77,7 +81,10 @@ pub fn sinkless_randomized(g: &Graph, seed: Seed) -> Result<SinklessRun, MtDiver
 /// # Errors
 ///
 /// [`MtDiverged`] if no seed in the space works.
-pub fn sinkless_deterministic(g: &Graph, seed_space: u64) -> Result<(SinklessRun, u64), MtDiverged> {
+pub fn sinkless_deterministic(
+    g: &Graph,
+    seed_space: u64,
+) -> Result<(SinklessRun, u64), MtDiverged> {
     let inst = sinkless_instance(g);
     let (run, seed) = deterministic_lll(&inst, seed_space, 10_000)?;
     Ok((

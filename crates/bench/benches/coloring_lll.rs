@@ -47,10 +47,10 @@ fn bench_forest_edge_coloring(c: &mut Criterion) {
 fn bench_linial(c: &mut Criterion) {
     let mut group = c.benchmark_group("coloring/linial_reduction");
     for n in [128usize, 512, 2048] {
-        let g = csmpc_graph::ops::relabel_ids(
-            &generators::random_regular(n, 4, Seed(7)),
-            |v, _| csmpc_graph::NodeId(v as u64 * 999_983 + 3),
-        );
+        let g =
+            csmpc_graph::ops::relabel_ids(&generators::random_regular(n, 4, Seed(7)), |v, _| {
+                csmpc_graph::NodeId(v as u64 * 999_983 + 3)
+            });
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g: &Graph| {
             b.iter(|| linial_coloring(g));
         });

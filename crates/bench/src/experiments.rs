@@ -12,7 +12,9 @@ use csmpc_algorithms::luby::{luby_step, random_chi, MisStatus, TruncatedLubyMis}
 use csmpc_algorithms::path_check::consecutive_path_verdict;
 use csmpc_algorithms::sinkless::{sinkless_deterministic, sinkless_randomized};
 use csmpc_core::classes::classify;
-use csmpc_core::lifting::{b_st_conn, planted_levels, run_one_simulation, sim_size_for, LiftingPair};
+use csmpc_core::lifting::{
+    b_st_conn, planted_levels, run_one_simulation, sim_size_for, LiftingPair,
+};
 use csmpc_core::sensitivity::{estimate_sensitivity, CenteredPair, ComponentMaxId};
 use csmpc_graph::ball::{identical_ball_path_pair, radius_identical};
 use csmpc_graph::rng::{Seed, SplitMix64};
@@ -39,7 +41,13 @@ pub fn e01_consecutive_path() {
          (n−1)-round LOCAL lower bound; hence n-dependent component-stable \
          algorithms cannot admit universal lifting",
     );
-    let mut t = Table::new(&["n", "verdict(yes)", "verdict(broken)", "MPC rounds", "LOCAL balls identical to radius"]);
+    let mut t = Table::new(&[
+        "n",
+        "verdict(yes)",
+        "verdict(broken)",
+        "MPC rounds",
+        "LOCAL balls identical to radius",
+    ]);
     for n in [16usize, 64, 256, 1024] {
         let yes = generators::consecutive_id_path(n);
         let no = generators::consecutive_id_path_broken(n);
@@ -92,7 +100,13 @@ pub fn e02_replicability() {
             mis_hold += 1;
         }
     }
-    t.row(crate::cells!["maximal-independent-set", 1, probes, mis_hold, probes - mis_hold]);
+    t.row(crate::cells![
+        "maximal-independent-set",
+        1,
+        probes,
+        mis_hold,
+        probes - mis_hold
+    ]);
 
     let lis = LargeIndependentSet { c: 0.25 };
     let mut lis_hold = 0usize;
@@ -103,14 +117,20 @@ pub fn e02_replicability() {
             lis_hold += 1;
         }
     }
-    t.row(crate::cells!["large-independent-set", 2, probes, lis_hold, probes - lis_hold]);
+    t.row(crate::cells![
+        "large-independent-set",
+        2,
+        probes,
+        lis_hold,
+        probes - lis_hold
+    ]);
 
     // The counterexample: all-NO labels on a YES path refute replicability.
     let g = generators::consecutive_id_path(5);
     let pr = probe(
         &csmpc_problems::consecutive_path::ConsecutiveIdPath,
         &g,
-        &vec![false; 5],
+        &[false; 5],
         &false,
         2,
     );
@@ -141,7 +161,10 @@ pub fn e03_simulation_graphs() {
     let gamma = csmpc_problems::replicability::gamma_graph(&g, copies, 3);
     let mut t = Table::new(&["algorithm", "copies agree", "trials"]);
     for (name, agree) in [
-        ("stable one-shot", copy_agreement(&StableOneShotIs, &gamma, &g, copies)),
+        (
+            "stable one-shot",
+            copy_agreement(&StableOneShotIs, &gamma, &g, copies),
+        ),
         (
             "unstable amplified",
             copy_agreement(&AmplifiedLargeIs { repetitions: 6 }, &gamma, &g, copies),
@@ -182,7 +205,13 @@ pub fn e04_lifting() {
          level assignment occurs (probability ≥ D^-D per simulation); NO \
          instances are never misclassified",
     );
-    let mut t = Table::new(&["D", "sensitivity ε", "planted hit", "YES verdict (sims)", "NO hits (sims)"]);
+    let mut t = Table::new(&[
+        "D",
+        "sensitivity ε",
+        "planted hit",
+        "YES verdict (sims)",
+        "NO hits (sims)",
+    ]);
     for d in [2usize, 3, 4] {
         let (g, c, gp, cp) = identical_ball_path_pair(d, 4);
         let pair = LiftingPair {
@@ -282,7 +311,9 @@ pub fn e05_large_is() {
         let (pa, ra) = rate(
             &|s| {
                 let mut cl = cluster_for(&g, Seed(s));
-                let l = AmplifiedLargeIs { repetitions: 0 }.run(&g, &mut cl).unwrap();
+                let l = AmplifiedLargeIs { repetitions: 0 }
+                    .run(&g, &mut cl)
+                    .unwrap();
                 (l, cl.stats().rounds)
             },
             &aggressive,
@@ -315,7 +346,15 @@ pub fn e06_pairwise_luby() {
         "E[|IS|] ≥ n·(T/p)·(1−Δ·T/p) ≈ n/(4Δ); the method of conditional \
          expectations finds a seed achieving at least the expectation",
     );
-    let mut t = Table::new(&["graph", "n", "Δ", "Claim52 bound", "E[|IS|]", "MCE achieved", "seed (a,b)"]);
+    let mut t = Table::new(&[
+        "graph",
+        "n",
+        "Δ",
+        "Claim52 bound",
+        "E[|IS|]",
+        "MCE achieved",
+        "seed (a,b)",
+    ]);
     let cases: Vec<(&str, Graph)> = vec![
         ("cycle", generators::cycle(60)),
         ("4-regular", generators::random_regular(40, 4, Seed(1))),
@@ -364,7 +403,7 @@ pub fn e07_derand_equiv() {
             family.iter().all(|g| {
                 let params = LocalParams::exact(g.n(), g.max_degree(), Seed(s));
                 let status = alg.statuses(g, &params);
-                if status.iter().any(|&x| x == MisStatus::Undecided) {
+                if status.contains(&MisStatus::Undecided) {
                     return false;
                 }
                 let labels: Vec<bool> = status.iter().map(|&x| x == MisStatus::In).collect();
@@ -385,11 +424,8 @@ pub fn e07_derand_equiv() {
                 let out = amplify(
                     reps,
                     |r| {
-                        let params = LocalParams::exact(
-                            g.n(),
-                            g.max_degree(),
-                            Seed(t).derive(r as u64),
-                        );
+                        let params =
+                            LocalParams::exact(g.n(), g.max_degree(), Seed(t).derive(r as u64));
                         luby_step(&g, &random_chi(&g, &params))
                     },
                     |labels| labels.iter().filter(|&&b| b).count() as f64,
@@ -397,7 +433,10 @@ pub fn e07_derand_equiv() {
                 out.labels.iter().filter(|&&b| b).count() >= 10
             })
             .count();
-        t2.row(crate::cells![reps, format!("{:.3}", ok as f64 / trials as f64)]);
+        t2.row(crate::cells![
+            reps,
+            format!("{:.3}", ok as f64 / trials as f64)
+        ]);
     }
     t2.print();
     println!("\nmeasured: failure decays geometrically in the repetition count; universal seeds appear once the per-seed failure rate is small enough.");
@@ -412,7 +451,14 @@ pub fn e08_sinkless() {
          Moser–Tardos rounds; deterministically after a global seed search \
          (component-unstable)",
     );
-    let mut t = Table::new(&["n", "d", "valid", "MT rounds (max of 5)", "det seed", "det valid"]);
+    let mut t = Table::new(&[
+        "n",
+        "d",
+        "valid",
+        "MT rounds (max of 5)",
+        "det seed",
+        "det valid",
+    ]);
     for (n, d) in [(32usize, 4usize), (128, 4), (512, 4), (128, 5), (128, 6)] {
         let mut worst = 0usize;
         let mut all_valid = true;
@@ -429,7 +475,9 @@ pub fn e08_sinkless() {
         assert!(all_valid && det_ok);
     }
     t.print();
-    println!("\nmeasured: validity always; resampling rounds grow slowly with n and shrink with d.");
+    println!(
+        "\nmeasured: validity always; resampling rounds grow slowly with n and shrink with d."
+    );
 }
 
 /// E9 — colorings (Theorems 40–43).
@@ -457,7 +505,12 @@ pub fn e09_coloring() {
         let g = generators::shuffle_identity(&generators::cycle(n), 0, 0, Seed(n as u64));
         let run = coloring::cole_vishkin_cycle(&g);
         let palette = run.colors.iter().copied().max().unwrap() + 1;
-        t2.row(crate::cells![n, run.rounds, coloring::log_star(n as f64) + 4, palette]);
+        t2.row(crate::cells![
+            n,
+            run.rounds,
+            coloring::log_star(n as f64) + 4,
+            palette
+        ]);
         assert!(coloring::is_proper_ring_coloring(n, &run.colors));
         assert!(palette <= 3);
     }
@@ -469,7 +522,12 @@ pub fn e09_coloring() {
         let colors = coloring::bipartite_two_coloring(&g).unwrap();
         let delta = g.max_degree();
         let target = (delta as f64 / (delta.max(3) as f64).ln()).ceil();
-        t3.row(crate::cells![n, delta, colors.iter().max().unwrap() + 1, target]);
+        t3.row(crate::cells![
+            n,
+            delta,
+            colors.iter().max().unwrap() + 1,
+            target
+        ]);
     }
     t3.print();
     println!("\nmeasured: all palettes as claimed; CV steps track log* n.");
@@ -490,7 +548,12 @@ pub fn e10_extendable() {
         let mut cl = roomy_cluster_for(&g, Seed(6), 1 << 14);
         let run = simulate_extendable_mis(&g, &mut cl, phases).unwrap();
         let valid = Mis.is_valid(&g, &run.labels);
-        t.row(crate::cells![phases, cl.stats().rounds, run.undecided, valid]);
+        t.row(crate::cells![
+            phases,
+            cl.stats().rounds,
+            run.undecided,
+            valid
+        ]);
         assert!(valid);
     }
     t.print();
@@ -532,7 +595,9 @@ pub fn e11_connectivity() {
         ]);
     }
     t.print();
-    println!("\nmeasured: iterations track log2(n); the conjecture's baseline scaling is reproduced.");
+    println!(
+        "\nmeasured: iterations track log2(n); the conjecture's baseline scaling is reproduced."
+    );
 }
 
 /// E12 — the stability classification matrix (Definition 13 verifier).
@@ -567,7 +632,9 @@ pub fn e12_stability_matrix() {
         ]);
     }
     t.print();
-    println!("\nmeasured: the matrix matches the paper's assertions about which techniques are stable.");
+    println!(
+        "\nmeasured: the matrix matches the paper's assertions about which techniques are stable."
+    );
 }
 
 /// E13 — the Section 2.5 class landscape on one shared instance.
@@ -601,7 +668,9 @@ pub fn e13_class_landscape() {
     ]);
 
     let mut cl = cluster_for(&g, Seed(3));
-    let unstable_rand = AmplifiedLargeIs { repetitions: 0 }.run(&g, &mut cl).unwrap();
+    let unstable_rand = AmplifiedLargeIs { repetitions: 0 }
+        .run(&g, &mut cl)
+        .unwrap();
     t.row(crate::cells![
         "RandMPC (unstable)",
         "amplified Luby",
@@ -624,7 +693,6 @@ pub fn e13_class_landscape() {
          randomized round counts (Theorem 22's collapse)."
     );
 }
-
 
 /// E14 — the conditional lower-bound registry (Theorem 14 applications)
 /// with Definition 26 constraint checks.
@@ -660,7 +728,6 @@ pub fn e14_lower_bound_registry() {
     println!("\nmeasured: every registered T passes the Definition 26 probes; non-constrained counterexamples (√N, the footnote-9 tower) are rejected by the same checker (see unit tests).");
 }
 
-
 /// E15 — Linial color reduction: the O(log* n) name-space-reduction step
 /// of Theorem 45 and the Lin92 machinery behind Theorem 41's final stage.
 pub fn e15_linial() {
@@ -671,9 +738,15 @@ pub fn e15_linial() {
          O(log* n) deterministic LOCAL rounds; coloring G^{2t} shrinks \
          names to O(t log Δ) bits for the Theorem 45 simulation",
     );
-    use csmpc_algorithms::linial::{linial_coloring, power_graph_coloring, reduce_to_delta_plus_one};
+    use csmpc_algorithms::linial::{
+        linial_coloring, power_graph_coloring, reduce_to_delta_plus_one,
+    };
     let mut t = Table::new(&["graph", "ID space", "steps", "palette", "after Δ+1 sweep"]);
-    for (name, n, scale) in [("cycle", 64usize, 1u64), ("cycle", 4096, 1_000_003), ("4-regular", 128, 999_983)] {
+    for (name, n, scale) in [
+        ("cycle", 64usize, 1u64),
+        ("cycle", 4096, 1_000_003),
+        ("4-regular", 128, 999_983),
+    ] {
         let base = if name == "cycle" {
             generators::cycle(n)
         } else {
@@ -682,7 +755,10 @@ pub fn e15_linial() {
         let g = ops::relabel_ids(&base, |v, _| csmpc_graph::NodeId(v as u64 * scale + 7));
         let run = linial_coloring(&g);
         let final_colors = reduce_to_delta_plus_one(&g, &run.colors, run.palette);
-        let used = final_colors.iter().collect::<std::collections::HashSet<_>>().len();
+        let used = final_colors
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
         t.row(crate::cells![
             format!("{name}({n})"),
             (n as u64 - 1) * scale + 8,

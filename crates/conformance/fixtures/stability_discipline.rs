@@ -1,0 +1,56 @@
+//! Fixture: seeded `stability-discipline` violations. Not compiled —
+//! scanned by the analyzer's tests, which assert the exact lines below.
+
+pub struct GlobalPeeker;
+
+impl MpcVertexAlgorithm for GlobalPeeker {
+    type Label = u64;
+
+    fn name(&self) -> &str {
+        "global-peeker"
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn component_stable(&self) -> bool {
+        true // the lie the lint exists to catch
+    }
+
+    fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<u64>, MpcError> {
+        let dg = DistributedGraph::distribute(g, cluster)?;
+        let ones = vec![1u64; g.n()];
+        let total = dg.aggregate(cluster, &ones, |a, b| a + b); // line 24: violation
+        let tag = g.name(0); // line 25: violation (name read)
+        let echo = dg.broadcast(cluster, &total); // line 26: violation
+        let me = self.name(); // self.name() is the algorithm's own name: fine
+        let n = dg.count_nodes(cluster); // approved API: fine
+        let delta = dg.max_degree(cluster); // approved API: fine
+        let _ = (tag, echo, me, delta);
+        Ok(vec![n as u64; g.n()])
+    }
+}
+
+pub struct HonestGlobal;
+
+/// Does the same global reads but declares itself unstable — the lint must
+/// stay silent here.
+impl MpcVertexAlgorithm for HonestGlobal {
+    type Label = u64;
+
+    fn name(&self) -> &str {
+        "honest-global"
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<u64>, MpcError> {
+        let dg = DistributedGraph::distribute(g, cluster)?;
+        let ones = vec![1u64; g.n()];
+        let total = dg.aggregate(cluster, &ones, |a, b| a + b); // fine: unstable
+        Ok(vec![total.unwrap_or(0); g.n()])
+    }
+}

@@ -1,0 +1,989 @@
+//! # csmpc-conformance
+//!
+//! The **static half** of the model-conformance analyzer: a self-contained,
+//! dependency-free source scanner that enforces the repository's MPC-model
+//! discipline (the runtime half lives in `csmpc_core::conformance`).
+//!
+//! Three lints, each tied to a definition of the source paper
+//! (*Component Stability in Low-Space Massively Parallel Computation*,
+//! PODC 2021):
+//!
+//! * [`Lint::Nondeterminism`] — simulator code must be replayable from the
+//!   shared seed (Definition 9, replicability). Wall-clock reads
+//!   (`SystemTime`, `Instant`), OS entropy (`thread_rng`, `OsRng`, …) and
+//!   order-nondeterministic collections (`HashMap`, `HashSet`) are
+//!   forbidden in non-test code of `crates/algorithms`, `crates/mpc`, and
+//!   `crates/derand`; all randomness must derive from
+//!   `csmpc_graph::rng::Seed`.
+//! * [`Lint::UnaccountedPrimitive`] — every public graph-touching
+//!   primitive in `crates/mpc/src/distributed.rs` that drives a
+//!   `&mut Cluster` must charge the `Stats` ledger (via `charge_rounds`,
+//!   `charge_words`, `charge_storage`, `require_fits`, or `run_program`)
+//!   before returning. Unaccounted primitives silently break the paper's
+//!   round/space cost model (`S = n^φ`, Section 2.4.2).
+//! * [`Lint::StabilityDiscipline`] — an `MpcVertexAlgorithm` impl that
+//!   declares `component_stable() == true` (Definition 13) must not reach
+//!   global quantities except through the approved API: `count_nodes` and
+//!   `max_degree` (Definition 13 allows `n` and `Δ`), and the
+//!   component-local primitives (`neighbor_reduce`, `collect_balls`,
+//!   `cc_labels`). Global mixes (`aggregate`, `broadcast`,
+//!   `select_best_global`, `amplify`) and node-*name* reads (`g.name(v)` —
+//!   stable outputs may depend on IDs, never names) are flagged.
+//!
+//! Diagnostics carry `file:line` locations; a finding can be suppressed by
+//! placing `// conformance: allow(<lint>)` (or `allow(all)`) on the same or
+//! the immediately preceding line. [`Report::to_json`] renders a
+//! machine-readable summary.
+//!
+//! The scanner is token/line-level by design: it blanks comments and string
+//! literals, tracks `#[cfg(test)]` module regions (test code is exempt from
+//! [`Lint::Nondeterminism`]), and brace-counts function and impl bodies. It
+//! deliberately avoids a full parser — the lints only need identifier-level
+//! precision, and a zero-dependency analyzer can run anywhere the workspace
+//! builds.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lints the analyzer knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Forbidden sources of nondeterminism (breaks Definition 9
+    /// replicability).
+    Nondeterminism,
+    /// A public cluster-driving primitive that never charges the `Stats`
+    /// ledger.
+    UnaccountedPrimitive,
+    /// A component-stable-declared algorithm reaching global quantities
+    /// outside the approved API (breaks Definition 13).
+    StabilityDiscipline,
+}
+
+impl Lint {
+    /// The lint's machine-readable name (used in `allow(...)` suppressions
+    /// and JSON output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::Nondeterminism => "nondeterminism",
+            Lint::UnaccountedPrimitive => "unaccounted-primitive",
+            Lint::StabilityDiscipline => "stability-discipline",
+        }
+    }
+
+    /// Parses a lint name (as used in suppression comments).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Lint> {
+        match name {
+            "nondeterminism" => Some(Lint::Nondeterminism),
+            "unaccounted-primitive" => Some(Lint::UnaccountedPrimitive),
+            "stability-discipline" => Some(Lint::StabilityDiscipline),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, anchored to a `file:line` location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// File the finding is in (as passed to the checker; the workspace
+    /// scanner uses workspace-relative paths).
+    pub file: PathBuf,
+    /// 1-indexed line of the finding.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Result of scanning a set of files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// `true` when no lint fired.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable JSON summary.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"violations\": {},\n", self.diagnostics.len()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                d.lint,
+                json_escape(&d.file.display().to_string()),
+                d.line,
+                json_escape(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Source scrubbing: blank comments and string/char literals so the lints
+// match code tokens only, while keeping comment text for suppressions.
+// ---------------------------------------------------------------------------
+
+/// A source file split into per-line code text (comments and literals
+/// blanked) and per-line comment text (for suppression lookup).
+#[derive(Debug, Clone, Default)]
+struct Scrubbed {
+    /// Code with comments and string/char literal *contents* removed.
+    code: Vec<String>,
+    /// Comment text, concatenated per line.
+    comments: Vec<String>,
+}
+
+fn scrub(source: &str) -> Scrubbed {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        CharLit,
+    }
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push(String::new());
+            comments.push(String::new());
+            i += 1;
+            continue;
+        }
+        let line = code.len() - 1;
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    comments[line].push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == 'r'
+                    && matches!(next, Some('"') | Some('#'))
+                    && !prev_is_ident(&chars, i)
+                {
+                    // Raw string r"..." / r#"..."# (any hash depth).
+                    let mut j = i + 1;
+                    let mut hashes = 0usize;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        code[line].push(c);
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    state = State::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: 'x' or '\x...' is a literal.
+                    if next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\'')) {
+                        state = State::CharLit;
+                        i += 1;
+                    } else {
+                        code[line].push(c);
+                        i += 1;
+                    }
+                } else {
+                    code[line].push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comments[line].push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comments[line].push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closed = (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    Scrubbed { code, comments }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident_char(chars[i - 1])
+}
+
+/// `true` when `ident` occurs in `hay` as a standalone identifier.
+fn contains_ident(hay: &str, ident: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = hay[start..].find(ident) {
+        let p = start + pos;
+        let before_ok = p == 0 || !hay[..p].ends_with(is_ident_char);
+        let after = p + ident.len();
+        let after_ok = after >= hay.len() || !hay[after..].starts_with(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + ident.len();
+    }
+    false
+}
+
+/// Index of the line on which the brace block opening at-or-after
+/// `start` closes (falls back to the last line for unbalanced input).
+fn block_end(code: &[String], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (j, line) in code.iter().enumerate().skip(start) {
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items (test modules are exempt
+/// from the nondeterminism lint — tests may use HashMap scaffolding).
+fn test_region_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < code.len() {
+                let mut done = false;
+                for ch in code[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if opened && depth == 0 {
+                                done = true;
+                                break;
+                            }
+                        }
+                        // `#[cfg(test)] use x;` — item ends without a block.
+                        ';' if !opened => {
+                            done = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                mask[j] = true;
+                if done {
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Lint 1: nondeterminism
+// ---------------------------------------------------------------------------
+
+const NONDET_TOKENS: &[(&str, &str)] = &[
+    (
+        "SystemTime",
+        "wall-clock read; simulator runs must be replayable from csmpc_graph::rng::Seed (Definition 9)",
+    ),
+    (
+        "Instant",
+        "monotonic-clock read; simulator runs must be replayable from csmpc_graph::rng::Seed (Definition 9)",
+    ),
+    (
+        "thread_rng",
+        "OS-seeded RNG breaks replicability (Definition 9); derive randomness from csmpc_graph::rng::Seed",
+    ),
+    (
+        "OsRng",
+        "OS entropy breaks replicability (Definition 9); derive randomness from csmpc_graph::rng::Seed",
+    ),
+    (
+        "from_entropy",
+        "OS entropy breaks replicability (Definition 9); derive randomness from csmpc_graph::rng::Seed",
+    ),
+    (
+        "getrandom",
+        "OS entropy breaks replicability (Definition 9); derive randomness from csmpc_graph::rng::Seed",
+    ),
+    (
+        "RandomState",
+        "randomized hasher state makes iteration order nondeterministic; use BTreeMap/BTreeSet",
+    ),
+    (
+        "HashMap",
+        "iteration order is nondeterministic across runs; use BTreeMap so executions are replayable",
+    ),
+    (
+        "HashSet",
+        "iteration order is nondeterministic across runs; use BTreeSet so executions are replayable",
+    ),
+];
+
+fn lint_nondeterminism(scrubbed: &Scrubbed, mask: &[bool], file: &Path, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in scrubbed.code.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        for &(token, why) in NONDET_TOKENS {
+            if contains_ident(line, token) {
+                out.push(Diagnostic {
+                    lint: Lint::Nondeterminism,
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    message: format!("use of `{token}`: {why}"),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lint 2: unaccounted-primitive
+// ---------------------------------------------------------------------------
+
+const CHARGE_TOKENS: &[&str] = &[
+    "charge_rounds",
+    "charge_words",
+    "charge_storage",
+    "require_fits",
+    "run_program",
+];
+
+fn lint_unaccounted_primitive(
+    scrubbed: &Scrubbed,
+    mask: &[bool],
+    file: &Path,
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = &scrubbed.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        if mask[i] || !code[i].contains("pub fn") {
+            i += 1;
+            continue;
+        }
+        // Collect the signature up to the body-opening brace (or a `;`).
+        let mut sig = String::new();
+        let mut open_line = None;
+        let mut j = i;
+        while j < code.len() {
+            sig.push_str(&code[j]);
+            sig.push(' ');
+            if code[j].contains('{') {
+                open_line = Some(j);
+                break;
+            }
+            if code[j].contains(';') {
+                break;
+            }
+            j += 1;
+        }
+        let drives_cluster = sig
+            .split_whitespace()
+            .collect::<String>()
+            .contains("&mutCluster");
+        let Some(open) = open_line else {
+            i = j + 1;
+            continue;
+        };
+        if !drives_cluster {
+            i += 1;
+            continue;
+        }
+        let end = block_end(code, open);
+        let body = code[open..=end].join("\n");
+        if !CHARGE_TOKENS.iter().any(|t| contains_ident(&body, t)) {
+            let fn_name = sig
+                .split("fn ")
+                .nth(1)
+                .and_then(|rest| {
+                    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                    (!name.is_empty()).then_some(name)
+                })
+                .unwrap_or_else(|| "<unknown>".to_string());
+            out.push(Diagnostic {
+                lint: Lint::UnaccountedPrimitive,
+                file: file.to_path_buf(),
+                line: i + 1,
+                message: format!(
+                    "public primitive `{fn_name}` drives `&mut Cluster` but never charges the \
+                     Stats ledger (expected one of charge_rounds/charge_words/charge_storage/\
+                     require_fits/run_program); unaccounted primitives break the S = n^phi cost \
+                     model"
+                ),
+            });
+        }
+        i = end + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lint 3: stability-discipline
+// ---------------------------------------------------------------------------
+
+/// Global-mixing calls a component-stable algorithm must not make. The
+/// approved API is: `count_nodes`/`max_degree` (Definition 13 allows `n`
+/// and `Δ`) and component-local primitives (`neighbor_reduce`,
+/// `collect_balls`, `cc_labels`).
+const GLOBAL_MIX_CALLS: &[(&str, &str)] = &[
+    (
+        ".aggregate(",
+        "global aggregation mixes all components; Definition 13 allows a stable output to depend only on (CC(v), v, n, Delta, S)",
+    ),
+    (
+        ".broadcast(",
+        "broadcast hands every component a value of unrestricted origin; use count_nodes/max_degree for the global reads Definition 13 allows",
+    ),
+    (
+        ".select_best_global(",
+        "global winner selection is the canonical component-unstable step (Theorem 5)",
+    ),
+    (
+        "amplify(",
+        "success amplification selects a global winner and is component-unstable (Theorem 5)",
+    ),
+];
+
+fn declares_stable(block: &[String]) -> bool {
+    for (k, line) in block.iter().enumerate() {
+        if line.contains("fn component_stable") {
+            let end = block_end(block, k);
+            let body = block[k..=end].join(" ");
+            return contains_ident(&body, "true");
+        }
+    }
+    false
+}
+
+/// `true` when `line` calls `.name(` on a receiver other than `self`
+/// (node-name reads; stable outputs may depend on IDs, never names).
+fn has_nonself_name_call(line: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find(".name(") {
+        let p = start + pos;
+        let recv_rev: String = line[..p]
+            .chars()
+            .rev()
+            .take_while(|&c| is_ident_char(c))
+            .collect();
+        let recv: String = recv_rev.chars().rev().collect();
+        if recv != "self" {
+            return true;
+        }
+        start = p + ".name(".len();
+    }
+    false
+}
+
+fn lint_stability_discipline(
+    scrubbed: &Scrubbed,
+    mask: &[bool],
+    file: &Path,
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = &scrubbed.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        let is_impl = code[i].contains("impl") && code[i].contains("MpcVertexAlgorithm for");
+        if mask[i] || !is_impl {
+            i += 1;
+            continue;
+        }
+        let end = block_end(code, i);
+        if declares_stable(&code[i..=end]) {
+            for (k, line) in code[i..=end].iter().enumerate() {
+                let abs = i + k;
+                if mask[abs] {
+                    continue;
+                }
+                for &(call, why) in GLOBAL_MIX_CALLS {
+                    if line.contains(call) {
+                        let shown = call.trim_start_matches('.').trim_end_matches('(');
+                        out.push(Diagnostic {
+                            lint: Lint::StabilityDiscipline,
+                            file: file.to_path_buf(),
+                            line: abs + 1,
+                            message: format!(
+                                "component-stable-declared algorithm calls `{shown}`: {why}"
+                            ),
+                        });
+                    }
+                }
+                if has_nonself_name_call(line) {
+                    out.push(Diagnostic {
+                        lint: Lint::StabilityDiscipline,
+                        file: file.to_path_buf(),
+                        line: abs + 1,
+                        message: "component-stable-declared algorithm reads a node *name*; \
+                                  Definition 13 allows outputs to depend on IDs, never names"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        i = end + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression + entry points
+// ---------------------------------------------------------------------------
+
+/// `true` when the comment text suppresses `lint`
+/// (`conformance: allow(<lint>)`, comma-separated lists, or `allow(all)`).
+fn comment_allows(comment: &str, lint: Lint) -> bool {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("conformance: allow(") {
+        let after = &rest[pos + "conformance: allow(".len()..];
+        if let Some(close) = after.find(')') {
+            if after[..close]
+                .split(',')
+                .map(str::trim)
+                .any(|name| name == "all" || name == lint.name())
+            {
+                return true;
+            }
+            rest = &after[close..];
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn is_suppressed(comments: &[String], line: usize, lint: Lint) -> bool {
+    // `line` is 1-indexed; check the same and the preceding line.
+    let same = comments
+        .get(line - 1)
+        .is_some_and(|c| comment_allows(c, lint));
+    let prev = line >= 2
+        && comments
+            .get(line - 2)
+            .is_some_and(|c| comment_allows(c, lint));
+    same || prev
+}
+
+/// Runs the given lints over one source text. `file` is used only for
+/// diagnostic locations.
+#[must_use]
+pub fn check_source(file: &Path, source: &str, lints: &[Lint]) -> Vec<Diagnostic> {
+    let scrubbed = scrub(source);
+    let mask = test_region_mask(&scrubbed.code);
+    let mut diags = Vec::new();
+    for &lint in lints {
+        match lint {
+            Lint::Nondeterminism => {
+                lint_nondeterminism(&scrubbed, &mask, file, &mut diags);
+            }
+            Lint::UnaccountedPrimitive => {
+                lint_unaccounted_primitive(&scrubbed, &mask, file, &mut diags);
+            }
+            Lint::StabilityDiscipline => {
+                lint_stability_discipline(&scrubbed, &mask, file, &mut diags);
+            }
+        }
+    }
+    diags.retain(|d| !is_suppressed(&scrubbed.comments, d.line, d.lint));
+    diags.sort_by_key(|a| (a.line, a.lint));
+    diags
+}
+
+/// The lints that apply to a workspace-relative path (`/`-separated).
+#[must_use]
+pub fn lints_for_path(rel: &str) -> Vec<Lint> {
+    let mut lints = vec![Lint::StabilityDiscipline];
+    const NONDET_ROOTS: &[&str] = &[
+        "crates/algorithms/src/",
+        "crates/mpc/src/",
+        "crates/derand/src/",
+    ];
+    if NONDET_ROOTS.iter().any(|p| rel.starts_with(p)) {
+        lints.push(Lint::Nondeterminism);
+    }
+    if rel == "crates/mpc/src/distributed.rs" {
+        lints.push(Lint::UnaccountedPrimitive);
+    }
+    lints
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    // Deterministic scan order — the analyzer obeys its own nondeterminism
+    // rule.
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans `<root>/crates/*/src/**/*.rs`, applying each file's applicable
+/// lints ([`lints_for_path`]). Diagnostics use workspace-relative paths.
+///
+/// # Errors
+///
+/// I/O errors reading the tree.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut report = Report::default();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        for file in files {
+            let rel: String = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let source = fs::read_to_string(&file)?;
+            let lints = lints_for_path(&rel);
+            report
+                .diagnostics
+                .extend(check_source(Path::new(&rel), &source, &lints));
+            report.files_scanned += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[Lint] = &[
+        Lint::Nondeterminism,
+        Lint::UnaccountedPrimitive,
+        Lint::StabilityDiscipline,
+    ];
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let s = scrub("let x = \"HashMap\"; // HashMap here\nlet y = 1; /* Instant */");
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(s.comments[0].contains("HashMap here"));
+        assert!(!s.code[1].contains("Instant"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_chars() {
+        let s = scrub("let p = r#\"thread_rng\"#; let c = '\\n'; let l: &'static str = x;");
+        assert!(!s.code[0].contains("thread_rng"));
+        assert!(s.code[0].contains("static"), "lifetime kept: {}", s.code[0]);
+    }
+
+    #[test]
+    fn ident_matching_requires_boundaries() {
+        assert!(contains_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_ident("MyHashMapLike", "HashMap"));
+        assert!(!contains_ident("HashMapx", "HashMap"));
+    }
+
+    #[test]
+    fn nondeterminism_flags_clock_and_hash() {
+        let src = "use std::time::Instant;\nfn f() { let m = HashMap::new(); }\n";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Nondeterminism]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Nondeterminism]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn suppression_same_and_previous_line() {
+        let src = "\
+let a = HashMap::new(); // conformance: allow(nondeterminism)
+// conformance: allow(nondeterminism)
+let b = HashMap::new();
+let c = HashMap::new();
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Nondeterminism]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn allow_all_and_lists() {
+        assert!(comment_allows(
+            "// conformance: allow(all)",
+            Lint::Nondeterminism
+        ));
+        assert!(comment_allows(
+            "// conformance: allow(nondeterminism, stability-discipline)",
+            Lint::StabilityDiscipline
+        ));
+        assert!(!comment_allows(
+            "// conformance: allow(nondeterminism)",
+            Lint::StabilityDiscipline
+        ));
+    }
+
+    #[test]
+    fn unaccounted_primitive_fires_and_charged_passes() {
+        let src = "\
+impl Dg {
+    pub fn counted(&self, cluster: &mut Cluster) -> usize {
+        cluster.charge_rounds(1);
+        0
+    }
+    pub fn leaky(&self, cluster: &mut Cluster) -> usize {
+        let _ = cluster;
+        0
+    }
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::UnaccountedPrimitive]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 6);
+        assert!(d[0].message.contains("leaky"));
+    }
+
+    #[test]
+    fn unaccounted_ignores_cluster_free_fns() {
+        let src = "pub fn pure(x: usize) -> usize { x + 1 }\n";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::UnaccountedPrimitive]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn stability_discipline_fires_only_when_declared_stable() {
+        let stable = "\
+impl MpcVertexAlgorithm for A {
+    fn component_stable(&self) -> bool {
+        true
+    }
+    fn run(&self) {
+        let t = dg.aggregate(cluster, &v, f);
+        let nm = g.name(0);
+        let me = self.name();
+    }
+}
+";
+        let d = check_source(Path::new("x.rs"), stable, &[Lint::StabilityDiscipline]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 6);
+        assert_eq!(d[1].line, 7);
+
+        let unstable = stable.replace("true", "false");
+        let d = check_source(Path::new("x.rs"), &unstable, &[Lint::StabilityDiscipline]);
+        assert!(d.is_empty(), "{d:?}");
+
+        let undeclared = "\
+impl MpcVertexAlgorithm for B {
+    fn run(&self) {
+        let t = dg.aggregate(cluster, &v, f);
+    }
+}
+";
+        let d = check_source(Path::new("x.rs"), undeclared, &[Lint::StabilityDiscipline]);
+        assert!(d.is_empty(), "default component_stable() is false: {d:?}");
+    }
+
+    #[test]
+    fn lint_selection_by_path() {
+        assert!(
+            lints_for_path("crates/mpc/src/distributed.rs").contains(&Lint::UnaccountedPrimitive)
+        );
+        assert!(lints_for_path("crates/algorithms/src/luby.rs").contains(&Lint::Nondeterminism));
+        assert!(!lints_for_path("crates/graph/src/graph.rs").contains(&Lint::Nondeterminism));
+        assert!(lints_for_path("crates/graph/src/graph.rs").contains(&Lint::StabilityDiscipline));
+    }
+
+    #[test]
+    fn json_summary_is_well_formed() {
+        let diagnostics = check_source(
+            Path::new("a.rs"),
+            "use std::time::Instant;\n",
+            &[Lint::Nondeterminism],
+        );
+        let r = Report {
+            diagnostics,
+            files_scanned: 2,
+        };
+        let js = r.to_json();
+        assert!(js.contains("\"violations\": 1"), "{js}");
+        assert!(js.contains("\"line\": 1"), "{js}");
+        assert!(js.contains("\"lint\": \"nondeterminism\""), "{js}");
+    }
+
+    #[test]
+    fn run_all_lints_on_clean_source() {
+        let src = "\
+pub fn count(cluster: &mut Cluster) -> usize {
+    cluster.charge_rounds(1);
+    let m = std::collections::BTreeMap::<u64, u64>::new();
+    m.len()
+}
+";
+        let d = check_source(Path::new("x.rs"), src, ALL);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

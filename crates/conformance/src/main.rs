@@ -1,0 +1,88 @@
+//! `conformance` — run the static model-conformance lints over the
+//! workspace.
+//!
+//! ```text
+//! conformance [--json] [ROOT]
+//! ```
+//!
+//! * `ROOT` — workspace root (defaults to the nearest ancestor of the
+//!   current directory containing a `crates/` subdirectory).
+//! * `--json` — emit the machine-readable summary instead of plain text.
+//!
+//! Exit status: `0` when the workspace is clean, `1` when any lint fired,
+//! `2` on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use csmpc_conformance::check_workspace;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: conformance [--json] [ROOT]");
+                println!("Static model-conformance lints: nondeterminism,");
+                println!("unaccounted-primitive, stability-discipline.");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown flag: {arg}");
+                return ExitCode::from(2);
+            }
+            _ => root_arg = Some(PathBuf::from(arg)),
+        }
+    }
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("conformance: no `crates/` directory found above the current dir");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conformance: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "conformance: {} violation(s) across {} file(s) scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

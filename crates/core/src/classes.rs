@@ -101,8 +101,7 @@ mod tests {
         let one_shot = classify(&StableOneShotIs, &comp, 8, Seed(1)).unwrap();
         assert_eq!(one_shot.class, MpcClass::StableRandomized);
 
-        let amplified = classify(&AmplifiedLargeIs { repetitions: 8 }, &comp, 12, Seed(2))
-            .unwrap();
+        let amplified = classify(&AmplifiedLargeIs { repetitions: 8 }, &comp, 12, Seed(2)).unwrap();
         assert_eq!(amplified.class, MpcClass::UnstableRandomized);
 
         let derand = classify(&DerandomizedLargeIs, &comp, 12, Seed(3)).unwrap();

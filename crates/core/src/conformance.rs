@@ -1,0 +1,330 @@
+//! Runtime model-conformance checking — the dynamic half of the
+//! conformance analyzer (the static half lives in `csmpc-conformance`).
+//!
+//! Running an algorithm through [`run_with_conformance`] produces, besides
+//! its output, a list of [`RuntimeViolation`]s:
+//!
+//! * **Cross-component flows** — reported only when the algorithm *declares*
+//!   itself component-stable ([`MpcVertexAlgorithm::component_stable`]).
+//!   Definition 13 allows the output at `v` to depend on
+//!   `(CC(v), v, n, Δ, S)` alone, so any data flow between components
+//!   observed by the provenance detector ([`csmpc_mpc::ProvenanceLog`])
+//!   contradicts the declaration. This is the runtime counterpart of
+//!   [`crate::stability::InstabilityWitness`]: the witness is behavioral
+//!   (outputs changed under a probe), the flow is mechanistic (here is the
+//!   primitive, round, and component pair that leaked).
+//! * **Space-budget and round-cap violations** — `S = n^φ` words per
+//!   machine, per-round send/receive volume capped at `S` (paper
+//!   Section 2.4.2). These are converted from the round-stamped
+//!   [`MpcError`] variants and reported for *every* algorithm, stable or
+//!   not.
+
+use csmpc_algorithms::api::MpcVertexAlgorithm;
+use csmpc_graph::Graph;
+use csmpc_mpc::{Cluster, MpcError};
+
+/// One runtime violation of the MPC model or of a stability declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeViolation {
+    /// A component-stable-declared algorithm moved data across a component
+    /// boundary (violates Definition 13).
+    CrossComponentFlow {
+        /// The primitive (or engine path) that moved the data.
+        primitive: &'static str,
+        /// Round counter value when the flow was recorded.
+        round: usize,
+        /// Component the data originated from.
+        from_component: u32,
+        /// Component whose machines observed the data.
+        to_component: u32,
+    },
+    /// A machine's storage exceeded the `S = n^φ` space budget.
+    SpaceBudget {
+        /// Machine index.
+        machine: usize,
+        /// Round counter value when the violation occurred.
+        round: usize,
+        /// Words stored.
+        words: usize,
+        /// The budget `S`.
+        limit: usize,
+    },
+    /// A machine sent or received more than `S` words in one round.
+    RoundCap {
+        /// Machine index.
+        machine: usize,
+        /// The violating round.
+        round: usize,
+        /// Words moved.
+        words: usize,
+        /// The cap `S`.
+        limit: usize,
+    },
+}
+
+impl core::fmt::Display for RuntimeViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuntimeViolation::CrossComponentFlow {
+                primitive,
+                round,
+                from_component,
+                to_component,
+            } => write!(
+                f,
+                "stability violation: {primitive} moved data from component \
+                 {from_component} into component {to_component} in round {round}"
+            ),
+            RuntimeViolation::SpaceBudget {
+                machine,
+                round,
+                words,
+                limit,
+            } => write!(
+                f,
+                "space violation: machine {machine} stored {words} words in \
+                 round {round} (budget S = {limit})"
+            ),
+            RuntimeViolation::RoundCap {
+                machine,
+                round,
+                words,
+                limit,
+            } => write!(
+                f,
+                "bandwidth violation: machine {machine} moved {words} words in \
+                 round {round} (cap S = {limit})"
+            ),
+        }
+    }
+}
+
+/// Outcome of a conformance-checked run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceRun<L> {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Whether the algorithm declared itself component-stable.
+    pub declared_stable: bool,
+    /// The output labels, when the run completed. `None` when the run was
+    /// aborted by a model violation (which then appears in `violations`).
+    pub labels: Option<Vec<L>>,
+    /// All violations observed, in detection order.
+    pub violations: Vec<RuntimeViolation>,
+}
+
+impl<L> ConformanceRun<L> {
+    /// `true` when the run observed no violation of any kind.
+    #[must_use]
+    pub fn is_conformant(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Converts a resource-limit [`MpcError`] to its violation report.
+/// `UnknownMachine`/`RoundLimitExceeded` are programming errors, not model
+/// violations, and map to `None`.
+#[must_use]
+pub fn violation_from_error(err: &MpcError) -> Option<RuntimeViolation> {
+    match *err {
+        MpcError::SpaceExceeded {
+            machine,
+            words,
+            limit,
+            round,
+        } => Some(RuntimeViolation::SpaceBudget {
+            machine,
+            round,
+            words,
+            limit,
+        }),
+        MpcError::BandwidthExceeded {
+            machine,
+            words,
+            limit,
+            round,
+        } => Some(RuntimeViolation::RoundCap {
+            machine,
+            round,
+            words,
+            limit,
+        }),
+        _ => None,
+    }
+}
+
+/// Runs `alg` on `g` through `cluster` with the runtime conformance
+/// detector armed.
+///
+/// The cluster's provenance log is cleared first so the report covers this
+/// run alone. Resource-limit errors are converted to violations rather than
+/// propagated; other errors (`UnknownMachine`, `RoundLimitExceeded`) are
+/// returned as errors since they indicate bugs, not model violations.
+///
+/// # Errors
+///
+/// Propagates non-resource [`MpcError`]s.
+pub fn run_with_conformance<A: MpcVertexAlgorithm>(
+    alg: &A,
+    g: &Graph,
+    cluster: &mut Cluster,
+) -> Result<ConformanceRun<A::Label>, MpcError> {
+    cluster.provenance_mut().clear();
+    let mut violations = Vec::new();
+    let labels = match alg.run(g, cluster) {
+        Ok(labels) => Some(labels),
+        Err(err) => match violation_from_error(&err) {
+            Some(v) => {
+                violations.push(v);
+                None
+            }
+            None => return Err(err),
+        },
+    };
+    if alg.component_stable() {
+        for flow in cluster.provenance().flows() {
+            violations.push(RuntimeViolation::CrossComponentFlow {
+                primitive: flow.primitive,
+                round: flow.round,
+                from_component: flow.from_component,
+                to_component: flow.to_component,
+            });
+        }
+    }
+    Ok(ConformanceRun {
+        algorithm: alg.name().to_string(),
+        declared_stable: alg.component_stable(),
+        labels,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_algorithms::amplify::{AmplifiedLargeIs, StableOneShotIs};
+    use csmpc_algorithms::api::cluster_for;
+    use csmpc_graph::rng::Seed;
+    use csmpc_graph::{generators, ops};
+
+    fn two_component_input() -> Graph {
+        let a = generators::cycle(12);
+        let b = ops::with_fresh_names(&generators::cycle(12), 500);
+        ops::disjoint_union(&[&a, &b])
+    }
+
+    #[test]
+    fn stable_algorithm_is_conformant_on_multi_component_input() {
+        let g = two_component_input();
+        let mut cl = cluster_for(&g, Seed(1));
+        let run = run_with_conformance(&StableOneShotIs, &g, &mut cl).unwrap();
+        assert!(run.declared_stable);
+        assert!(run.is_conformant(), "violations: {:?}", run.violations);
+        assert!(run.labels.is_some());
+    }
+
+    #[test]
+    fn amplifier_flows_are_logged_but_not_flagged() {
+        // The amplifier is honest about being unstable: its global winner
+        // selection shows up in the provenance log but is not a violation.
+        let g = two_component_input();
+        let mut cl = cluster_for(&g, Seed(2));
+        let alg = AmplifiedLargeIs { repetitions: 4 };
+        let run = run_with_conformance(&alg, &g, &mut cl).unwrap();
+        assert!(!run.declared_stable);
+        assert!(run.is_conformant());
+        assert!(
+            cl.provenance().has_cross_component_flow(),
+            "global selection must appear in the provenance log"
+        );
+    }
+
+    #[test]
+    fn lying_stable_declaration_is_caught() {
+        // Wrap the amplifier in a facade that *claims* stability; the
+        // detector must convert its global-selection flows into violations.
+        struct LyingAmplifier(AmplifiedLargeIs);
+        impl MpcVertexAlgorithm for LyingAmplifier {
+            type Label = bool;
+            fn name(&self) -> &str {
+                "amplified-large-is (falsely declared stable)"
+            }
+            fn deterministic(&self) -> bool {
+                false
+            }
+            fn component_stable(&self) -> bool {
+                true // the lie
+            }
+            fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<bool>, MpcError> {
+                self.0.run(g, cluster)
+            }
+        }
+
+        let g = two_component_input();
+        let mut cl = cluster_for(&g, Seed(3));
+        let alg = LyingAmplifier(AmplifiedLargeIs { repetitions: 4 });
+        let run = run_with_conformance(&alg, &g, &mut cl).unwrap();
+        assert!(!run.is_conformant());
+        let flow = run
+            .violations
+            .iter()
+            .find_map(|v| match v {
+                RuntimeViolation::CrossComponentFlow {
+                    primitive,
+                    from_component,
+                    to_component,
+                    ..
+                } => Some((*primitive, *from_component, *to_component)),
+                _ => None,
+            })
+            .expect("expected a cross-component flow violation");
+        assert_eq!(flow.0, "select-best-global");
+        assert_ne!(flow.1, flow.2);
+    }
+
+    #[test]
+    fn single_component_input_never_flags_stability() {
+        // With one component there is no boundary to cross; even a falsely
+        // stable-declared amplifier is conformant.
+        let g = generators::cycle(16);
+        let mut cl = cluster_for(&g, Seed(4));
+        let alg = AmplifiedLargeIs { repetitions: 4 };
+        let run = run_with_conformance(&alg, &g, &mut cl).unwrap();
+        assert!(run.is_conformant());
+        assert!(!cl.provenance().has_cross_component_flow());
+    }
+
+    #[test]
+    fn space_violation_is_reported_with_machine_and_round() {
+        // A tiny space floor forces distribution itself over budget.
+        let g = generators::random_gnp(64, 0.5, Seed(7));
+        let cfg = csmpc_mpc::MpcConfig {
+            min_space: 1, // pathologically small S
+            ..Default::default()
+        };
+        let mut cl = Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(&g), Seed(7));
+        let run = run_with_conformance(&StableOneShotIs, &g, &mut cl).unwrap();
+        assert!(run.labels.is_none());
+        match run.violations.as_slice() {
+            [RuntimeViolation::SpaceBudget { words, limit, .. }] => {
+                assert!(words > limit);
+            }
+            other => panic!("expected one space violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violation_display_names_machine_round_words() {
+        let v = RuntimeViolation::RoundCap {
+            machine: 3,
+            round: 7,
+            words: 900,
+            limit: 512,
+        };
+        let s = v.to_string();
+        assert!(s.contains("machine 3"), "{s}");
+        assert!(s.contains("round 7"), "{s}");
+        assert!(s.contains("900"), "{s}");
+        assert!(s.contains("512"), "{s}");
+    }
+}

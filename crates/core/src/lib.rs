@@ -13,7 +13,10 @@
 //!   `D`-radius-identical pair, with the YES/NO dichotomy verified
 //!   structurally and end-to-end;
 //! * [`classes`] — the Section 2.5 landscape (`S-DetMPC ⊆ DetMPC`,
-//!   `S-RandMPC ⊆ RandMPC`) as a runnable classifier.
+//!   `S-RandMPC ⊆ RandMPC`) as a runnable classifier;
+//! * [`conformance`] — the runtime half of the model-conformance analyzer:
+//!   converts provenance flows recorded by the simulator plus round-stamped
+//!   resource errors into [`conformance::RuntimeViolation`] reports.
 //!
 //! Together with `csmpc-problems::replicability` (Definition 9, `Γ_G`)
 //! this covers every construction in the paper's framework sections.
@@ -33,14 +36,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod classes;
-pub mod runner;
+pub mod conformance;
 pub mod lifting;
 pub mod lower_bounds;
+pub mod runner;
 pub mod sensitivity;
 pub mod stability;
 
 pub use classes::{classify, MpcClass, Placement};
-pub use runner::{evaluate_edge, evaluate_vertex, success_probability, Evaluation};
+pub use conformance::{run_with_conformance, ConformanceRun, RuntimeViolation};
 pub use lifting::{b_st_conn, BStConnRun, LiftingPair, StVerdict};
+pub use runner::{evaluate_edge, evaluate_vertex, success_probability, Evaluation};
 pub use sensitivity::{estimate_sensitivity, CenteredPair};
 pub use stability::{verify_component_stability, StabilityReport};

@@ -76,6 +76,7 @@ pub struct SimulationGraph {
 ///
 /// Panics if `n_target` is too small for the construction.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn build_simulation_graph(
     h_graph: &Graph,
     s: usize,
@@ -87,12 +88,8 @@ pub fn build_simulation_graph(
     n_target: usize,
 ) -> SimulationGraph {
     let dist = base.bfs_distances(center);
-    let layer = |lv: usize| -> Vec<usize> {
-        (0..base.n()).filter(|&w| dist[w] == lv).collect()
-    };
-    let ball = |r: usize| -> Vec<usize> {
-        (0..base.n()).filter(|&w| dist[w] <= r).collect()
-    };
+    let layer = |lv: usize| -> Vec<usize> { (0..base.n()).filter(|&w| dist[w] == lv).collect() };
+    let ball = |r: usize| -> Vec<usize> { (0..base.n()).filter(|&w| dist[w] <= r).collect() };
     let far: Vec<usize> = (0..base.n()).filter(|&w| dist[w] > d).collect();
 
     // Filter H (paper: drop degree > 2 nodes; drop middle nodes whose
@@ -153,7 +150,7 @@ pub fn build_simulation_graph(
 
     // Assemble: node (u, w) for each assigned w; IDs copy base, names fresh.
     let mut b = GraphBuilder::new();
-    let mut index: std::collections::HashMap<(usize, usize), usize> = Default::default();
+    let mut index: std::collections::BTreeMap<(usize, usize), usize> = Default::default();
     let mut name_counter = 0u64;
     let mut v_s = None;
     for (u, set) in assigned.iter().enumerate() {
@@ -168,7 +165,7 @@ pub fn build_simulation_graph(
     }
     // Edges: for u = u' (within one assignment) and for adjacent surviving
     // H-nodes, include every base edge between the assigned sets.
-    let mut seen_edges = std::collections::HashSet::new();
+    let mut seen_edges = std::collections::BTreeSet::new();
     for (u, set) in assigned.iter().enumerate() {
         // Candidate partners: u itself plus its surviving H-neighbors.
         let mut partners: Vec<usize> = vec![u];
@@ -277,15 +274,17 @@ pub fn b_st_conn<A: MpcVertexAlgorithm>(
     for sim in 0..simulations {
         let sim_seed = master_seed.derive(sim as u64);
         let mut rng = SplitMix64::new(sim_seed.derive(1));
-        let h: Vec<usize> = (0..h_graph.n())
-            .map(|_| rng.index(pair.d + 1))
-            .collect();
+        let h: Vec<usize> = (0..h_graph.n()).map(|_| rng.index(pair.d + 1)).collect();
         if run_one_simulation(alg, pair, h_graph, s, t, &h, n_target, sim_seed)? {
             hits += 1;
         }
     }
     Ok(BStConnRun {
-        verdict: if hits > 0 { StVerdict::Yes } else { StVerdict::No },
+        verdict: if hits > 0 {
+            StVerdict::Yes
+        } else {
+            StVerdict::No
+        },
         simulations,
         hits,
     })
@@ -297,6 +296,7 @@ pub fn b_st_conn<A: MpcVertexAlgorithm>(
 /// # Errors
 ///
 /// Propagates algorithm errors.
+#[allow(clippy::too_many_arguments)]
 pub fn run_one_simulation<A: MpcVertexAlgorithm>(
     alg: &A,
     pair: &LiftingPair,
@@ -307,26 +307,9 @@ pub fn run_one_simulation<A: MpcVertexAlgorithm>(
     n_target: usize,
     seed: Seed,
 ) -> Result<bool, MpcError> {
-    let sim_g = build_simulation_graph(
-        h_graph,
-        s,
-        t,
-        h,
-        &pair.g,
-        pair.center_g,
-        pair.d,
-        n_target,
-    );
-    let sim_gp = build_simulation_graph(
-        h_graph,
-        s,
-        t,
-        h,
-        &pair.gp,
-        pair.center_gp,
-        pair.d,
-        n_target,
-    );
+    let sim_g = build_simulation_graph(h_graph, s, t, h, &pair.g, pair.center_g, pair.d, n_target);
+    let sim_gp =
+        build_simulation_graph(h_graph, s, t, h, &pair.gp, pair.center_gp, pair.d, n_target);
     let (Some(vs_g), Some(vs_gp)) = (sim_g.v_s, sim_gp.v_s) else {
         return Ok(false);
     };
@@ -348,8 +331,10 @@ fn run_padded<A: MpcVertexAlgorithm>(
     g: &Graph,
     seed: Seed,
 ) -> Result<Vec<A::Label>, MpcError> {
-    let mut cfg = MpcConfig::default();
-    cfg.min_space = 1 << 14;
+    let cfg = MpcConfig {
+        min_space: 1 << 14,
+        ..Default::default()
+    };
     let mut cluster = Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed);
     alg.run(g, &mut cluster)
 }
@@ -382,9 +367,7 @@ mod tests {
         let order = [0usize, 1, 2, 3];
         let h = planted_levels(&order, pr.d, 4).unwrap();
         let n_target = sim_size_for(&pr, &h_graph);
-        let sim = build_simulation_graph(
-            &h_graph, 0, 3, &h, &pr.g, pr.center_g, pr.d, n_target,
-        );
+        let sim = build_simulation_graph(&h_graph, 0, 3, &h, &pr.g, pr.center_g, pr.d, n_target);
         let vs = sim.v_s.expect("s survives");
         let (cc, pos) = csmpc_graph::ops::component_of(&sim.graph, vs);
         assert_eq!(cc.n(), pr.g.n(), "component of v_s must be all of G");
@@ -407,12 +390,9 @@ mod tests {
         for trial in 0..10u64 {
             let mut rng = SplitMix64::new(Seed(trial));
             let h: Vec<usize> = (0..h_graph.n()).map(|_| rng.index(pr.d + 1)).collect();
-            let sg = build_simulation_graph(
-                &h_graph, s, t, &h, &pr.g, pr.center_g, pr.d, n_target,
-            );
-            let sgp = build_simulation_graph(
-                &h_graph, s, t, &h, &pr.gp, pr.center_gp, pr.d, n_target,
-            );
+            let sg = build_simulation_graph(&h_graph, s, t, &h, &pr.g, pr.center_g, pr.d, n_target);
+            let sgp =
+                build_simulation_graph(&h_graph, s, t, &h, &pr.gp, pr.center_gp, pr.d, n_target);
             let (Some(i), Some(j)) = (sg.v_s, sgp.v_s) else {
                 continue;
             };

@@ -205,8 +205,7 @@ mod tests {
     #[test]
     fn standard_functions_are_constrained() {
         for f in standard_functions() {
-            f.check_constrained(4.0)
-                .unwrap_or_else(|e| panic!("{e}"));
+            f.check_constrained(4.0).unwrap_or_else(|e| panic!("{e}"));
         }
     }
 

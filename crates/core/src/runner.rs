@@ -35,8 +35,10 @@ impl<L> Evaluation<L> {
 /// Builds the standard evaluation cluster (`φ = 0.5`, roomy floor).
 #[must_use]
 pub fn evaluation_cluster(g: &Graph, seed: Seed) -> Cluster {
-    let mut cfg = MpcConfig::default();
-    cfg.min_space = 1 << 14;
+    let cfg = MpcConfig {
+        min_space: 1 << 14,
+        ..Default::default()
+    };
     Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed)
 }
 
@@ -147,8 +149,7 @@ mod tests {
     #[test]
     fn edge_evaluation_roundtrip() {
         let g = generators::random_regular(24, 4, Seed(2));
-        let ev = evaluate_edge(&SinklessOrientationMpc, &SinklessOrientation, &g, Seed(3))
-            .unwrap();
+        let ev = evaluate_edge(&SinklessOrientationMpc, &SinklessOrientation, &g, Seed(3)).unwrap();
         assert!(ev.valid());
         assert_eq!(ev.labels.len(), g.m());
     }
@@ -160,8 +161,7 @@ mod tests {
         let p = LargeIndependentSet { c: 2.0 / 3.0 };
         let ps = success_probability(&StableOneShotIs, &p, &g, 60, Seed(4)).unwrap();
         let pa =
-            success_probability(&AmplifiedLargeIs { repetitions: 0 }, &p, &g, 60, Seed(5))
-                .unwrap();
+            success_probability(&AmplifiedLargeIs { repetitions: 0 }, &p, &g, 60, Seed(5)).unwrap();
         assert!(pa >= ps, "amplified {pa} vs one-shot {ps}");
         assert!(pa > 0.9);
     }

@@ -54,14 +54,11 @@ pub fn run_as_component<A: MpcVertexAlgorithm>(
 ) -> Result<A::Label, MpcError> {
     assert!(n_total >= g.n(), "padding cannot shrink the graph");
     let max_id = (0..g.n()).map(|v| g.id(v).0).max().unwrap_or(0);
-    let padded = ops::with_isolated_nodes(
-        g,
-        n_total - g.n(),
-        NodeId(max_id + 1),
-        3_000_000_017,
-    );
-    let mut cfg = MpcConfig::default();
-    cfg.min_space = 1 << 14;
+    let padded = ops::with_isolated_nodes(g, n_total - g.n(), NodeId(max_id + 1), 3_000_000_017);
+    let cfg = MpcConfig {
+        min_space: 1 << 14,
+        ..Default::default()
+    };
     let mut cluster = Cluster::new(cfg, padded.n(), csmpc_mpc::graph_words(&padded), seed);
     let labels = alg.run(&padded, &mut cluster)?;
     Ok(labels[center].clone())
@@ -111,15 +108,19 @@ impl MpcVertexAlgorithm for ComponentMaxId {
         true
     }
 
+    fn component_stable(&self) -> bool {
+        true
+    }
+
     fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<u64>, MpcError> {
         // O(log n) rounds of pointer jumping (the honest cost of gathering
         // component-global information — exactly why Lemma 25 forces
         // sub-logarithmic algorithms to be insensitive).
         let dg = csmpc_mpc::DistributedGraph::distribute(g, cluster)?;
         let (cc, _) = dg.cc_labels(cluster);
-        let mut max_by_label: std::collections::HashMap<u64, u64> = Default::default();
-        for v in 0..g.n() {
-            let e = max_by_label.entry(cc[v]).or_insert(0);
+        let mut max_by_label: std::collections::BTreeMap<u64, u64> = Default::default();
+        for (v, &label) in cc.iter().enumerate() {
+            let e = max_by_label.entry(label).or_insert(0);
             *e = (*e).max(g.id(v).0);
         }
         Ok((0..g.n()).map(|v| max_by_label[&cc[v]]).collect())
@@ -168,11 +169,7 @@ mod tests {
             fn deterministic(&self) -> bool {
                 true
             }
-            fn run(
-                &self,
-                g: &Graph,
-                cluster: &mut Cluster,
-            ) -> Result<Vec<usize>, MpcError> {
+            fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<usize>, MpcError> {
                 cluster.charge_rounds(1);
                 Ok((0..g.n()).map(|v| g.degree(v)).collect())
             }

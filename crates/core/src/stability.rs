@@ -63,8 +63,10 @@ impl StabilityReport {
 /// Builds a cluster for stability probes (generous space so that the probes
 /// measure stability, not space limits).
 fn probe_cluster(g: &Graph, seed: Seed) -> Cluster {
-    let mut cfg = MpcConfig::default();
-    cfg.min_space = 1 << 14;
+    let cfg = MpcConfig {
+        min_space: 1 << 14,
+        ..Default::default()
+    };
     Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed)
 }
 
@@ -81,7 +83,7 @@ fn sibling(n: usize, delta_cap: usize, name_base: u64, seed: Seed) -> Graph {
             0 => generators::cycle(n),
             1 => generators::path(n),
             _ => {
-                if n >= 6 && n % 2 == 0 {
+                if n >= 6 && n.is_multiple_of(2) {
                     generators::two_cycles(n)
                 } else {
                     generators::random_tree(n, seed.derive(1))
@@ -165,8 +167,7 @@ mod tests {
     #[test]
     fn stable_algorithm_passes() {
         let comp = generators::cycle(10);
-        let report =
-            verify_component_stability(&StableOneShotIs, &comp, 6, Seed(1)).unwrap();
+        let report = verify_component_stability(&StableOneShotIs, &comp, 6, Seed(1)).unwrap();
         assert!(report.looks_stable(), "witnesses: {:?}", report.witnesses);
     }
 
@@ -186,16 +187,14 @@ mod tests {
         // The pairwise-MCE algorithm hashes node *ranks* and fixes the seed
         // by global agreement — unstable under sibling swaps.
         let comp = generators::cycle(10);
-        let report =
-            verify_component_stability(&DerandomizedLargeIs, &comp, 12, Seed(3)).unwrap();
+        let report = verify_component_stability(&DerandomizedLargeIs, &comp, 12, Seed(3)).unwrap();
         assert!(!report.looks_stable());
     }
 
     #[test]
     fn report_metadata() {
         let comp = generators::path(5);
-        let report =
-            verify_component_stability(&StableOneShotIs, &comp, 3, Seed(4)).unwrap();
+        let report = verify_component_stability(&StableOneShotIs, &comp, 3, Seed(4)).unwrap();
         assert_eq!(report.trials, 3);
         assert!(report.algorithm.contains("stable"));
     }

@@ -29,7 +29,7 @@ pub fn exact_independence_deviation(family: &PolyFamily, inputs: &[u64]) -> f64 
     let size = family.size();
     assert!(size <= 1 << 22, "family too large to enumerate exactly");
     // Count occurrences of each output tuple.
-    let mut counts: std::collections::HashMap<Vec<u64>, u64> = Default::default();
+    let mut counts: std::collections::BTreeMap<Vec<u64>, u64> = Default::default();
     for h in family.iter() {
         let tuple: Vec<u64> = inputs.iter().map(|&x| h.eval(x)).collect();
         *counts.entry(tuple).or_insert(0) += 1;

@@ -117,7 +117,11 @@ mod tests {
         assert!(is_bipartite(&generators::cycle(6)));
         assert!(!is_bipartite(&generators::cycle(5)));
         assert!(is_bipartite(&generators::random_tree(20, Seed(1))));
-        assert!(is_bipartite(&generators::random_bipartite(20, 0.5, Seed(2))));
+        assert!(is_bipartite(&generators::random_bipartite(
+            20,
+            0.5,
+            Seed(2)
+        )));
         assert!(!is_bipartite(&generators::complete(3)));
     }
 

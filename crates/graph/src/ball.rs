@@ -9,7 +9,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::ops::induced;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A connected graph together with a designated center node index.
 ///
@@ -104,8 +104,8 @@ pub fn radius_identical(g1: &Graph, c1: usize, g2: &Graph, c2: usize, d: usize) 
     }
     // Build ID -> index maps; duplicate IDs inside a ball are impossible for
     // legal graphs (a ball is within one component).
-    let map1: HashMap<NodeId, usize> = (0..b1.n()).map(|i| (b1.id(i), i)).collect();
-    let map2: HashMap<NodeId, usize> = (0..b2.n()).map(|i| (b2.id(i), i)).collect();
+    let map1: BTreeMap<NodeId, usize> = (0..b1.n()).map(|i| (b1.id(i), i)).collect();
+    let map2: BTreeMap<NodeId, usize> = (0..b2.n()).map(|i| (b2.id(i), i)).collect();
     if map1.len() != b1.n() || map2.len() != b2.n() {
         return false; // illegal input: ambiguous correspondence
     }
@@ -114,8 +114,16 @@ pub fn radius_identical(g1: &Graph, c1: usize, g2: &Graph, c2: usize, d: usize) 
             return false;
         };
         // Compare neighbor ID sets.
-        let mut n1: Vec<NodeId> = b1.neighbors(i1).iter().map(|&w| b1.id(w as usize)).collect();
-        let mut n2: Vec<NodeId> = b2.neighbors(i2).iter().map(|&w| b2.id(w as usize)).collect();
+        let mut n1: Vec<NodeId> = b1
+            .neighbors(i1)
+            .iter()
+            .map(|&w| b1.id(w as usize))
+            .collect();
+        let mut n2: Vec<NodeId> = b2
+            .neighbors(i2)
+            .iter()
+            .map(|&w| b2.id(w as usize))
+            .collect();
         n1.sort_unstable();
         n2.sort_unstable();
         if n1 != n2 {

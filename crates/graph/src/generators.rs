@@ -43,7 +43,7 @@ pub fn cycle(n: usize) -> Graph {
 /// Panics if `n < 6` or `n` is odd.
 #[must_use]
 pub fn two_cycles(n: usize) -> Graph {
-    assert!(n >= 6 && n % 2 == 0, "need even n >= 6, got {n}");
+    assert!(n >= 6 && n.is_multiple_of(2), "need even n >= 6, got {n}");
     let half = n / 2;
     let mut b = GraphBuilder::with_sequential_nodes(n);
     for c in 0..2 {
@@ -110,7 +110,7 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 pub fn circulant(n: usize, d: usize) -> Graph {
     assert!(d < n, "degree {d} must be below n={n}");
     if d % 2 == 1 {
-        assert!(n % 2 == 0, "odd degree needs even n");
+        assert!(n.is_multiple_of(2), "odd degree needs even n");
     }
     let half = d / 2;
     assert!(half <= (n - 1) / 2, "offset overlap for n={n}, d={d}");
@@ -209,23 +209,24 @@ pub fn random_forest(sizes: &[usize], seed: Seed) -> Graph {
 /// repair loop fails to converge.
 #[must_use]
 pub fn random_regular(n: usize, d: usize, seed: Seed) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree {d} must be below n={n}");
     if n == 0 || d == 0 {
         return GraphBuilder::with_sequential_nodes(n).build().unwrap();
     }
     let mut rng = SplitMix64::new(seed);
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     rng.shuffle(&mut stubs);
     let mut edges: Vec<(usize, usize)> = stubs.chunks(2).map(|p| (p[0], p[1])).collect();
     let key = |u: usize, v: usize| (u.min(v), u.max(v));
-    let mut multiset: std::collections::HashMap<(usize, usize), usize> = Default::default();
+    let mut multiset: std::collections::BTreeMap<(usize, usize), usize> = Default::default();
     for &(u, v) in &edges {
         *multiset.entry(key(u, v)).or_insert(0) += 1;
     }
-    let conflicting = |ms: &std::collections::HashMap<(usize, usize), usize>,
-                       u: usize,
-                       v: usize| u == v || ms.get(&key(u, v)).copied().unwrap_or(0) > 1;
+    let conflicting =
+        |ms: &std::collections::BTreeMap<(usize, usize), usize>, u: usize, v: usize| {
+            u == v || ms.get(&key(u, v)).copied().unwrap_or(0) > 1
+        };
     let total = edges.len();
     let mut budget = 1_000_000usize.max(100 * total);
     loop {
@@ -253,7 +254,7 @@ pub fn random_regular(n: usize, d: usize, seed: Seed) -> Graph {
             }
             let new1 = key(a, dnode);
             let new2 = key(c, bnode);
-            let count = |ms: &std::collections::HashMap<(usize, usize), usize>, k| {
+            let count = |ms: &std::collections::BTreeMap<(usize, usize), usize>, k| {
                 ms.get(&k).copied().unwrap_or(0)
             };
             let extra = usize::from(new1 == new2);
@@ -362,7 +363,6 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     }
     b.build().expect("caterpillar is valid")
 }
-
 
 /// The `dim`-dimensional hypercube (`2^dim` nodes, degree `dim`).
 #[must_use]

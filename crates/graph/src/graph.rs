@@ -12,7 +12,7 @@
 //! Internally nodes are indexed `0..n`; indices are an implementation detail
 //! and never part of the model semantics.
 
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Component-unique node identifier (paper Definition 6).
@@ -306,16 +306,16 @@ impl Graph {
     /// Returns [`GraphError::DuplicateName`] or
     /// [`GraphError::DuplicateIdInComponent`] on the first violation.
     pub fn check_legal(&self) -> Result<(), GraphError> {
-        let mut names = HashMap::with_capacity(self.n());
+        let mut names = BTreeSet::new();
         for &nm in &self.names {
-            if names.insert(nm, ()).is_some() {
+            if !names.insert(nm) {
                 return Err(GraphError::DuplicateName { name: nm });
             }
         }
         for comp in self.components() {
-            let mut ids = HashMap::with_capacity(comp.len());
+            let mut ids = BTreeSet::new();
             for v in comp {
-                if ids.insert(self.ids[v], ()).is_some() {
+                if !ids.insert(self.ids[v]) {
                     return Err(GraphError::DuplicateIdInComponent { id: self.ids[v] });
                 }
             }
@@ -514,11 +514,7 @@ impl GraphBuilder {
                 return Err(GraphError::DuplicateEdge { u, v: dup });
             }
         }
-        Ok(Graph::from_parts(
-            self.ids.clone(),
-            self.names.clone(),
-            adj,
-        ))
+        Ok(Graph::from_parts(self.ids.clone(), self.names.clone(), adj))
     }
 
     /// Validates, assembles, and additionally checks legality (Definition 6).

@@ -36,7 +36,9 @@ pub fn induced(g: &Graph, nodes: &[usize]) -> (Graph, Vec<usize>) {
             }
         }
     }
-    let sub = b.build().expect("induced subgraph of a valid graph is valid");
+    let sub = b
+        .build()
+        .expect("induced subgraph of a valid graph is valid");
     (sub, nodes.to_vec())
 }
 
@@ -194,7 +196,6 @@ pub fn replicated(g: &Graph, k: usize, fresh_base: u64) -> Graph {
     disjoint_union(&refs)
 }
 
-
 /// The `k`-th power `G^k`: same nodes, edges between any two distinct
 /// nodes at distance ≤ `k` in `g`. (`G^1 = G`.) Used for ruling sets and
 /// the `Δ^{4t}`-coloring step of Theorem 45.
@@ -211,8 +212,8 @@ pub fn power_graph(g: &Graph, k: usize) -> Graph {
     }
     for v in 0..g.n() {
         let dist = g.bfs_distances(v);
-        for w in v + 1..g.n() {
-            if dist[w] <= k {
+        for (w, d) in dist.iter().enumerate().skip(v + 1) {
+            if *d <= k {
                 b.add_edge(v, w);
             }
         }

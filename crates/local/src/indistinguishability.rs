@@ -161,7 +161,12 @@ mod tests {
         let params = LocalParams::exact(g.n(), 2, Seed(0));
         // Within the identical radius: agreement.
         assert!(w
-            .check_indistinguishable(&MaxId { r: w.identical_radius }, &params)
+            .check_indistinguishable(
+                &MaxId {
+                    r: w.identical_radius
+                },
+                &params
+            )
             .is_ok());
         // Beyond: outputs genuinely differ (the IDs diverge).
         let r = w.identical_radius + 1;
@@ -177,6 +182,6 @@ mod tests {
         let g1 = generators::path(5);
         let g2 = generators::cycle(5);
         // Different center IDs at radius 0 → no witness.
-        assert!(LowerBoundWitness::measure(g1, 0, g2, 2, ).is_none());
+        assert!(LowerBoundWitness::measure(g1, 0, g2, 2,).is_none());
     }
 }

@@ -42,8 +42,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ball_eval;
-pub mod indistinguishability;
 pub mod engine;
+pub mod indistinguishability;
 pub mod params;
 
 pub use ball_eval::{run_ball_algorithm, BallAlgorithm};

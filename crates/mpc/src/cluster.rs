@@ -14,7 +14,9 @@
 //!   paper, which explicitly allows unbounded local computation.
 
 use crate::config::MpcConfig;
+use crate::provenance::{ComponentId, ProvenanceLog};
 use csmpc_graph::rng::Seed;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Resource ledger for one MPC execution.
@@ -62,6 +64,8 @@ pub enum MpcError {
         words: usize,
         /// The cap `S`.
         limit: usize,
+        /// Value of the round counter when the violation occurred.
+        round: usize,
     },
     /// A machine's storage exceeded `S` words.
     SpaceExceeded {
@@ -71,6 +75,8 @@ pub enum MpcError {
         words: usize,
         /// The cap `S`.
         limit: usize,
+        /// Value of the round counter when the violation occurred.
+        round: usize,
     },
     /// A message was addressed to a machine that does not exist.
     UnknownMachine {
@@ -93,17 +99,19 @@ impl fmt::Display for MpcError {
                 machine,
                 words,
                 limit,
+                round,
             } => write!(
                 f,
-                "machine {machine} moved {words} words in a round (limit {limit})"
+                "machine {machine} moved {words} words in round {round} (limit {limit})"
             ),
             MpcError::SpaceExceeded {
                 machine,
                 words,
                 limit,
+                round,
             } => write!(
                 f,
-                "machine {machine} stored {words} words (limit {limit})"
+                "machine {machine} stored {words} words in round {round} (limit {limit})"
             ),
             MpcError::UnknownMachine { machine, count } => {
                 write!(f, "machine {machine} does not exist ({count} machines)")
@@ -147,6 +155,10 @@ pub struct Cluster {
     num_machines: usize,
     shared_seed: Seed,
     stats: Stats,
+    provenance: ProvenanceLog,
+    /// Components whose words each machine currently holds, for the exact
+    /// engine's message-level provenance propagation.
+    machine_components: Vec<BTreeSet<ComponentId>>,
 }
 
 impl Cluster {
@@ -162,6 +174,8 @@ impl Cluster {
             num_machines,
             shared_seed,
             stats: Stats::default(),
+            provenance: ProvenanceLog::new(),
+            machine_components: vec![BTreeSet::new(); num_machines],
         }
     }
 
@@ -206,6 +220,35 @@ impl Cluster {
         self.stats = Stats::default();
     }
 
+    /// The component-provenance log of this execution.
+    #[must_use]
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.provenance
+    }
+
+    /// Mutable access to the provenance log, for accounted primitives that
+    /// record flows and for clearing between repetitions.
+    pub fn provenance_mut(&mut self) -> &mut ProvenanceLog {
+        &mut self.provenance
+    }
+
+    /// Tags `machine` as holding words originating from `component`. Called
+    /// when input data is first placed on machines (e.g. by
+    /// [`crate::DistributedGraph::distribute`]); the exact engine then
+    /// propagates tags along messages.
+    pub fn tag_machine(&mut self, machine: usize, component: ComponentId) {
+        if let Some(set) = self.machine_components.get_mut(machine) {
+            set.insert(component);
+        }
+    }
+
+    /// The components whose words `machine` currently holds.
+    #[must_use]
+    pub fn machine_components(&self, machine: usize) -> &BTreeSet<ComponentId> {
+        static EMPTY: BTreeSet<ComponentId> = BTreeSet::new();
+        self.machine_components.get(machine).unwrap_or(&EMPTY)
+    }
+
     /// Charges `rounds` rounds to the ledger (used by accounted primitives).
     pub fn charge_rounds(&mut self, rounds: usize) {
         self.stats.rounds += rounds;
@@ -229,6 +272,7 @@ impl Cluster {
                 machine,
                 words,
                 limit: self.local_space,
+                round: self.stats.rounds,
             });
         }
         Ok(())
@@ -271,17 +315,23 @@ impl Cluster {
         }
         for _ in 0..max_rounds {
             let mut outgoing: Vec<Vec<Message>> = vec![Vec::new(); self.num_machines];
+            // Component tags travel with messages: a delivery hands the
+            // receiver every component tag the sender held.
+            let mut incoming_tags: Vec<BTreeSet<ComponentId>> =
+                vec![BTreeSet::new(); self.num_machines];
             let mut any_sent = false;
             let mut round_max = 0usize;
             let mut round_total = 0u64;
-            for id in 0..self.num_machines {
-                let inbox = std::mem::take(&mut inboxes[id]);
+            let round = self.stats.rounds + 1;
+            for (id, inbox_slot) in inboxes.iter_mut().enumerate() {
+                let inbox = std::mem::take(inbox_slot);
                 let received: usize = inbox.iter().map(|m| m.words.len()).sum();
                 if received > self.local_space {
                     return Err(MpcError::BandwidthExceeded {
                         machine: id,
                         words: received,
                         limit: self.local_space,
+                        round,
                     });
                 }
                 let outs = program.round(id, &inbox);
@@ -291,10 +341,28 @@ impl Cluster {
                         machine: id,
                         words: sent,
                         limit: self.local_space,
+                        round,
                     });
                 }
                 let storage = program.storage_words(id);
-                self.charge_storage(id, storage)?;
+                // Stamp the in-flight round (the ledger's counter advances
+                // only once the round completes).
+                if let Err(err) = self.charge_storage(id, storage) {
+                    return Err(match err {
+                        MpcError::SpaceExceeded {
+                            machine,
+                            words,
+                            limit,
+                            ..
+                        } => MpcError::SpaceExceeded {
+                            machine,
+                            words,
+                            limit,
+                            round,
+                        },
+                        other => other,
+                    });
+                }
                 round_max = round_max.max(sent.max(received));
                 round_total += sent as u64;
                 if !outs.is_empty() {
@@ -307,8 +375,32 @@ impl Cluster {
                             count: self.num_machines,
                         });
                     }
+                    if m.to != id && !m.words.is_empty() {
+                        incoming_tags[m.to].extend(self.machine_components[id].iter().copied());
+                    }
                     outgoing[m.to].push(m);
                 }
+            }
+            // Merge propagated tags and record cross-component deliveries:
+            // a machine already holding component `a` that receives words
+            // tagged with component `b ≠ a` has observed a cross-component
+            // flow.
+            for (to, tags) in incoming_tags.into_iter().enumerate() {
+                if tags.is_empty() {
+                    continue;
+                }
+                let fresh: Vec<ComponentId> = tags
+                    .iter()
+                    .copied()
+                    .filter(|c| !self.machine_components[to].contains(c))
+                    .collect();
+                for &from in &fresh {
+                    for &held in self.machine_components[to].iter() {
+                        self.provenance
+                            .record("exact-engine message", round, from, held);
+                    }
+                }
+                self.machine_components[to].extend(tags);
             }
             self.stats.rounds += 1;
             self.charge_words(round_max, round_total);
@@ -427,7 +519,9 @@ mod tests {
     fn storage_cap_enforced() {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
-        let err = cluster.run_program(&mut Hoarder, Vec::new(), 10).unwrap_err();
+        let err = cluster
+            .run_program(&mut Hoarder, Vec::new(), 10)
+            .unwrap_err();
         assert!(matches!(err, MpcError::SpaceExceeded { .. }));
     }
 
@@ -450,6 +544,213 @@ mod tests {
         assert_eq!(a.max_round_words, 50);
         assert_eq!(a.max_storage_words, 20);
         assert_eq!(a.total_words, 107);
+    }
+
+    #[test]
+    fn stats_absorb_default_is_identity() {
+        let mut a = Stats {
+            rounds: 4,
+            max_round_words: 11,
+            max_storage_words: 13,
+            total_words: 99,
+        };
+        let before = a.clone();
+        a.absorb(&Stats::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn stats_absorb_accumulates_across_sub_computations() {
+        // Three absorbed sub-computations: rounds and total_words add up,
+        // space figures take the running maximum.
+        let mut main = Stats::default();
+        let subs = [
+            Stats {
+                rounds: 2,
+                max_round_words: 8,
+                max_storage_words: 64,
+                total_words: 100,
+            },
+            Stats {
+                rounds: 0, // a free (local-only) sub-computation
+                max_round_words: 0,
+                max_storage_words: 0,
+                total_words: 0,
+            },
+            Stats {
+                rounds: 5,
+                max_round_words: 32,
+                max_storage_words: 16,
+                total_words: 250,
+            },
+        ];
+        for s in &subs {
+            main.absorb(s);
+        }
+        assert_eq!(main.rounds, 7);
+        assert_eq!(main.max_round_words, 32);
+        assert_eq!(main.max_storage_words, 64);
+        assert_eq!(main.total_words, 350);
+    }
+
+    #[test]
+    fn absorbed_cluster_run_matches_own_ledger() {
+        // Running a sub-computation on its own cluster and absorbing its
+        // ledger must land the same totals as the sub-cluster reports.
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut sub = Cluster::new(cfg, 100, 100, Seed(0));
+        let m = sub.num_machines();
+        let mut prog = SumToZero {
+            values: (0..m as u64).collect(),
+            acc: 0,
+            sent: vec![false; m],
+        };
+        sub.run_program(&mut prog, Vec::new(), 10).unwrap();
+        let sub_stats = sub.stats().clone();
+        assert!(sub_stats.total_words > 0);
+
+        let mut main = Cluster::new(cfg, 100, 100, Seed(1));
+        main.charge_rounds(3);
+        main.charge_words(1, 5);
+        let mut expect = main.stats().clone();
+        expect.absorb(&sub_stats);
+        let mut merged = main.stats().clone();
+        merged.absorb(&sub_stats);
+        assert_eq!(merged, expect);
+        assert_eq!(merged.rounds, 3 + sub_stats.rounds);
+        assert_eq!(merged.total_words, 5 + sub_stats.total_words);
+    }
+
+    /// Sends exactly `words` words from machine 1 to machine 0, once.
+    struct ExactSender {
+        words: usize,
+        fired: bool,
+    }
+
+    impl MachineProgram for ExactSender {
+        fn round(&mut self, id: usize, _inbox: &[Message]) -> Vec<Message> {
+            if id == 1 && !self.fired {
+                self.fired = true;
+                vec![Message {
+                    to: 0,
+                    words: vec![7; self.words],
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+        fn storage_words(&self, _id: usize) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn send_exactly_at_cap_is_legal() {
+        // The cap is inclusive: moving exactly S words must succeed and be
+        // recorded as the round high-water mark.
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let s = cluster.local_space();
+        let mut prog = ExactSender {
+            words: s,
+            fired: false,
+        };
+        cluster.run_program(&mut prog, Vec::new(), 10).unwrap();
+        assert_eq!(cluster.stats().max_round_words, s);
+        assert_eq!(cluster.stats().total_words, s as u64);
+    }
+
+    #[test]
+    fn one_word_over_cap_is_rejected() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let s = cluster.local_space();
+        let mut prog = ExactSender {
+            words: s + 1,
+            fired: false,
+        };
+        let err = cluster.run_program(&mut prog, Vec::new(), 10).unwrap_err();
+        match err {
+            MpcError::BandwidthExceeded {
+                machine,
+                words,
+                limit,
+                round,
+            } => {
+                assert_eq!(machine, 1);
+                assert_eq!(words, s + 1);
+                assert_eq!(limit, s);
+                assert_eq!(round, 1, "violation must name the in-flight round");
+            }
+            other => panic!("expected BandwidthExceeded, got {other:?}"),
+        }
+    }
+
+    /// Sends zero-word messages forever (up to the round limit).
+    struct ZeroWordChatter {
+        rounds_left: usize,
+    }
+
+    impl MachineProgram for ZeroWordChatter {
+        fn round(&mut self, id: usize, _inbox: &[Message]) -> Vec<Message> {
+            if id == 1 && self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                vec![Message {
+                    to: 0,
+                    words: Vec::new(),
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+        fn storage_words(&self, _id: usize) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn zero_word_rounds_count_rounds_but_no_words() {
+        // Empty messages still cost a synchronous round (the barrier is the
+        // resource) but move no words.
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let mut prog = ZeroWordChatter { rounds_left: 3 };
+        cluster.run_program(&mut prog, Vec::new(), 10).unwrap();
+        assert!(cluster.stats().rounds >= 3);
+        assert_eq!(cluster.stats().max_round_words, 0);
+        assert_eq!(cluster.stats().total_words, 0);
+    }
+
+    #[test]
+    fn space_violation_in_engine_names_round_one() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let err = cluster
+            .run_program(&mut Hoarder, Vec::new(), 10)
+            .unwrap_err();
+        match err {
+            MpcError::SpaceExceeded { machine, round, .. } => {
+                assert_eq!(machine, 0);
+                assert_eq!(
+                    round, 1,
+                    "engine space violations stamp the in-flight round"
+                );
+            }
+            other => panic!("expected SpaceExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violation_display_includes_round() {
+        let err = MpcError::BandwidthExceeded {
+            machine: 2,
+            words: 300,
+            limit: 256,
+            round: 4,
+        };
+        let s = err.to_string();
+        assert!(s.contains("machine 2"), "{s}");
+        assert!(s.contains("round 4"), "{s}");
     }
 
     #[test]

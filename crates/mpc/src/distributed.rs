@@ -19,6 +19,7 @@
 //! | `cc_labels_pointer_jumping` | `O(log n)` measured iterations × 2 |
 
 use crate::cluster::{Cluster, MpcError};
+use crate::provenance::ComponentId;
 use csmpc_graph::ball::ball;
 use csmpc_graph::rng::SplitMix64;
 use csmpc_graph::Graph;
@@ -36,6 +37,7 @@ pub struct DistributedGraph<'a> {
     g: &'a Graph,
     node_home: Vec<usize>,
     edge_home: Vec<usize>,
+    component_of: Vec<ComponentId>,
 }
 
 impl<'a> DistributedGraph<'a> {
@@ -76,10 +78,24 @@ impl<'a> DistributedGraph<'a> {
             .unwrap_or((0, &0));
         cluster.charge_words(max, graph_words(g) as u64);
         cluster.charge_storage(argmax, max)?;
+        // Component-provenance seeding: every machine holding a node or
+        // edge record is tagged with that record's connected component.
+        let component_of: Vec<ComponentId> = g
+            .component_labels()
+            .into_iter()
+            .map(|c| c as ComponentId)
+            .collect();
+        for (v, &h) in node_home.iter().enumerate() {
+            cluster.tag_machine(h, component_of[v]);
+        }
+        for (e, (u, _)) in g.edges().enumerate() {
+            cluster.tag_machine(edge_home[e], component_of[u]);
+        }
         Ok(DistributedGraph {
             g,
             node_home,
             edge_home,
+            component_of,
         })
     }
 
@@ -109,6 +125,20 @@ impl<'a> DistributedGraph<'a> {
             .collect()
     }
 
+    /// Connected-component label of node `v` (provenance numbering).
+    #[must_use]
+    pub fn component_of(&self, v: usize) -> ComponentId {
+        self.component_of[v]
+    }
+
+    /// `true` when the graph spans more than one connected component.
+    #[must_use]
+    pub fn is_multi_component(&self) -> bool {
+        // Labels are numbered 0.. in order of first appearance, so any
+        // nonzero label means a second component exists.
+        self.component_of.iter().any(|&c| c != 0)
+    }
+
     /// Exact node count via an aggregation tree. Charges `d` rounds.
     pub fn count_nodes(&self, cluster: &mut Cluster) -> usize {
         let d = cluster
@@ -129,16 +159,33 @@ impl<'a> DistributedGraph<'a> {
     }
 
     /// Broadcasts a value from one machine to all. Charges `d` rounds.
+    ///
+    /// A broadcast hands every machine — and therefore every component's
+    /// home machines — a value of unrestricted origin, so on a
+    /// multi-component input it records a global provenance mix. Use
+    /// [`DistributedGraph::count_nodes`] / [`DistributedGraph::max_degree`]
+    /// for the global quantities Definition 13 explicitly allows.
     pub fn broadcast<T: Clone>(&self, cluster: &mut Cluster, value: &T) -> T {
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
         cluster.charge_rounds(d);
+        let round = cluster.stats().rounds;
+        cluster.provenance_mut().record_global_mix(
+            "broadcast",
+            round,
+            self.component_of.iter().copied(),
+        );
         value.clone()
     }
 
     /// Aggregates per-node values with a commutative, associative `op`.
     /// Charges `d` rounds. Returns `None` on an empty graph.
+    ///
+    /// The result mixes data from every component, so on a multi-component
+    /// input this records a global provenance mix — aggregation over the
+    /// whole input is exactly the kind of global read a component-stable
+    /// algorithm (Definition 13) must not perform.
     pub fn aggregate<T: Clone>(
         &self,
         cluster: &mut Cluster,
@@ -150,10 +197,57 @@ impl<'a> DistributedGraph<'a> {
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
         cluster.charge_rounds(d);
-        values
-            .iter()
-            .cloned()
-            .reduce(op)
+        let round = cluster.stats().rounds;
+        cluster.provenance_mut().record_global_mix(
+            "aggregate",
+            round,
+            self.component_of.iter().copied(),
+        );
+        values.iter().cloned().reduce(op)
+    }
+
+    /// Global winner selection over `candidates` — the accounted form of
+    /// success amplification (Theorem 5): all repetitions are scored by a
+    /// concurrent per-repetition aggregation (`d` rounds), a global argmax
+    /// picks the winner (`d` rounds), and the winning labels are broadcast
+    /// back (`d` rounds). Ties keep the earliest repetition.
+    ///
+    /// Selection depends on outcomes in *all* components simultaneously —
+    /// the paper's canonical component-unstable step — so on a
+    /// multi-component input this records a global provenance mix.
+    ///
+    /// Returns `(winner_index, winner_labels, scores)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn select_best_global<L: Clone>(
+        &self,
+        cluster: &mut Cluster,
+        candidates: &[Vec<L>],
+        score: impl Fn(&[L]) -> f64,
+    ) -> (usize, Vec<L>, Vec<f64>) {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        let d = cluster
+            .config()
+            .tree_depth(cluster.input_n(), cluster.num_machines());
+        // Concurrent per-repetition score aggregation, global argmax,
+        // winner broadcast.
+        cluster.charge_rounds(3 * d);
+        let round = cluster.stats().rounds;
+        cluster.provenance_mut().record_global_mix(
+            "select-best-global",
+            round,
+            self.component_of.iter().copied(),
+        );
+        let scores: Vec<f64> = candidates.iter().map(|c| score(c)).collect();
+        let mut winner = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > scores[winner] {
+                winner = i;
+            }
+        }
+        (winner, candidates[winner].clone(), scores)
     }
 
     /// For each node, reduces `op` over the values of its *neighbors*
@@ -238,17 +332,17 @@ impl<'a> DistributedGraph<'a> {
             cluster.charge_rounds(2 * d);
             let mut next = label.clone();
             // Hook: take min over neighbors.
-            for v in 0..n {
+            for (v, nv) in next.iter_mut().enumerate() {
                 for &w in self.g.neighbors(v) {
                     let lw = label[w as usize];
-                    if lw < next[v] {
-                        next[v] = lw;
+                    if lw < *nv {
+                        *nv = lw;
                     }
                 }
             }
             // Jump: label[v] <- label of the node whose name is next[v]
             // (pointer doubling through the current label map).
-            let by_name: std::collections::HashMap<u64, usize> =
+            let by_name: std::collections::BTreeMap<u64, usize> =
                 (0..n).map(|v| (self.g.name(v).0, v)).collect();
             let mut jumped = next.clone();
             for v in 0..n {
@@ -372,9 +466,7 @@ mod tests {
         let g = generators::path(10);
         let mut cl = cluster_for(&g);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
-        let total = dg
-            .aggregate(&mut cl, &vec![1u64; 10], |a, b| a + b)
-            .unwrap();
+        let total = dg.aggregate(&mut cl, &[1u64; 10], |a, b| a + b).unwrap();
         assert_eq!(total, 10);
     }
 }

@@ -35,8 +35,10 @@ pub mod cluster;
 pub mod config;
 pub mod distributed;
 pub mod primitives;
+pub mod provenance;
 
 pub use cluster::{Cluster, MachineProgram, Message, MpcError, Stats};
 pub use config::MpcConfig;
 pub use distributed::{graph_words, DistributedGraph};
 pub use primitives::{exact_aggregate_sum, prefix_sums, sort_keys};
+pub use provenance::{ComponentId, CrossComponentFlow, ProvenanceLog};

@@ -1,0 +1,178 @@
+//! Component-provenance tracking — the runtime half of the model-conformance
+//! analyzer.
+//!
+//! Definition 13 (component stability) allows an algorithm's output at `v`
+//! to depend only on `(CC(v), v, n, Δ, S)`. The simulator therefore tags
+//! data with the connected component it originated from and records every
+//! **cross-component flow**: a word derived from component `a` reaching
+//! machines or outputs associated with component `b ≠ a`. For an algorithm
+//! that *declares* itself component-stable such a flow is a concrete
+//! conformance violation (the runtime counterpart of
+//! `csmpc_core::stability::InstabilityWitness`); for an unstable algorithm
+//! (e.g. global success amplification, Theorem 5) it is expected behavior
+//! and merely documented in the log.
+//!
+//! Two layers feed the log:
+//!
+//! * the **exact engine** ([`crate::Cluster::run_program`]) propagates
+//!   per-machine component tag sets message by message and records a flow
+//!   whenever a delivery hands a machine words from a component it serves
+//!   but did not previously hold;
+//! * the **accounted primitives** ([`crate::DistributedGraph`]) record flows
+//!   for the operations that mix components by construction (global
+//!   aggregation, global winner selection, broadcast of component-derived
+//!   values). Purely edge-local primitives (`neighbor_reduce`,
+//!   `collect_balls`, `cc_labels`) never cross a component boundary and
+//!   record nothing. Reading `n` or `Δ` is allowed by Definition 13 and
+//!   records nothing either.
+
+use std::collections::BTreeSet;
+
+/// Identifier of a connected component of the input graph (its index in
+/// `Graph::component_labels` numbering).
+pub type ComponentId = u32;
+
+/// One observed cross-component data flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossComponentFlow {
+    /// The primitive (or engine path) that moved the data.
+    pub primitive: &'static str,
+    /// Value of the cluster round counter when the flow was recorded.
+    pub round: usize,
+    /// Component the data originated from.
+    pub from_component: ComponentId,
+    /// Component whose machines or outputs observed the data.
+    pub to_component: ComponentId,
+}
+
+impl core::fmt::Display for CrossComponentFlow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "round {}: {} moved data from component {} into component {}",
+            self.round, self.primitive, self.from_component, self.to_component
+        )
+    }
+}
+
+/// Ledger of component provenance across one execution.
+///
+/// Flows are deduplicated by `(primitive, from, to)` — the first round a
+/// given flow is observed is kept — so the log stays small even for long
+/// executions.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceLog {
+    flows: Vec<CrossComponentFlow>,
+    seen: BTreeSet<(&'static str, ComponentId, ComponentId)>,
+}
+
+impl ProvenanceLog {
+    /// A fresh, empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        ProvenanceLog::default()
+    }
+
+    /// Records a cross-component flow (no-op for `from == to` or for a
+    /// `(primitive, from, to)` triple already recorded).
+    pub fn record(
+        &mut self,
+        primitive: &'static str,
+        round: usize,
+        from_component: ComponentId,
+        to_component: ComponentId,
+    ) {
+        if from_component == to_component {
+            return;
+        }
+        if self.seen.insert((primitive, from_component, to_component)) {
+            self.flows.push(CrossComponentFlow {
+                primitive,
+                round,
+                from_component,
+                to_component,
+            });
+        }
+    }
+
+    /// Records a global mix: data from every listed component reaches every
+    /// other — the signature of aggregation/selection over the whole input.
+    pub fn record_global_mix(
+        &mut self,
+        primitive: &'static str,
+        round: usize,
+        components: impl IntoIterator<Item = ComponentId>,
+    ) {
+        let distinct: BTreeSet<ComponentId> = components.into_iter().collect();
+        for &from in &distinct {
+            for &to in &distinct {
+                self.record(primitive, round, from, to);
+            }
+        }
+    }
+
+    /// All recorded flows, in observation order.
+    #[must_use]
+    pub fn flows(&self) -> &[CrossComponentFlow] {
+        &self.flows
+    }
+
+    /// `true` when at least one cross-component flow was observed.
+    #[must_use]
+    pub fn has_cross_component_flow(&self) -> bool {
+        !self.flows.is_empty()
+    }
+
+    /// Clears the log (e.g. between repetitions).
+    pub fn clear(&mut self) {
+        self.flows.clear();
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_ignores_self_flows() {
+        let mut log = ProvenanceLog::new();
+        log.record("p", 1, 3, 3);
+        assert!(!log.has_cross_component_flow());
+    }
+
+    #[test]
+    fn record_dedupes_by_triple() {
+        let mut log = ProvenanceLog::new();
+        log.record("p", 1, 0, 1);
+        log.record("p", 9, 0, 1);
+        log.record("q", 9, 0, 1);
+        assert_eq!(log.flows().len(), 2);
+        assert_eq!(log.flows()[0].round, 1, "first observation wins");
+    }
+
+    #[test]
+    fn global_mix_records_all_ordered_pairs() {
+        let mut log = ProvenanceLog::new();
+        log.record_global_mix("agg", 2, [0, 1, 2]);
+        assert_eq!(log.flows().len(), 6);
+    }
+
+    #[test]
+    fn global_mix_single_component_is_silent() {
+        let mut log = ProvenanceLog::new();
+        log.record_global_mix("agg", 2, [5, 5, 5]);
+        assert!(!log.has_cross_component_flow());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = ProvenanceLog::new();
+        log.record("p", 1, 0, 1);
+        log.clear();
+        assert!(!log.has_cross_component_flow());
+        log.record("p", 4, 0, 1);
+        assert_eq!(log.flows().len(), 1);
+        assert_eq!(log.flows()[0].round, 4);
+    }
+}

@@ -91,15 +91,15 @@ mod tests {
     fn yes_instance() {
         let g = generators::consecutive_id_path(8);
         assert!(is_consecutive_id_path(&g));
-        assert!(ConsecutiveIdPath.is_valid(&g, &vec![true; 8]));
-        assert!(!ConsecutiveIdPath.is_valid(&g, &vec![false; 8]));
+        assert!(ConsecutiveIdPath.is_valid(&g, &[true; 8]));
+        assert!(!ConsecutiveIdPath.is_valid(&g, &[false; 8]));
     }
 
     #[test]
     fn endpoint_flip_makes_no_instance() {
         let g = generators::consecutive_id_path_broken(8);
         assert!(!is_consecutive_id_path(&g));
-        assert!(ConsecutiveIdPath.is_valid(&g, &vec![false; 8]));
+        assert!(ConsecutiveIdPath.is_valid(&g, &[false; 8]));
     }
 
     #[test]
@@ -131,8 +131,7 @@ mod tests {
     #[test]
     fn shuffled_ids_are_no() {
         let g = generators::path(6);
-        let shuffled =
-            generators::shuffle_identity(&g, 100, 0, csmpc_graph::rng::Seed(3));
+        let shuffled = generators::shuffle_identity(&g, 100, 0, csmpc_graph::rng::Seed(3));
         // A random permutation of 6 IDs is consecutive-in-order with
         // negligible probability; this seed gives a NO instance.
         assert!(!is_consecutive_id_path(&shuffled));

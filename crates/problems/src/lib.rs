@@ -34,14 +34,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod coloring;
-pub mod ruling_set;
-pub mod vertex_cover;
 pub mod consecutive_path;
 pub mod matching;
 pub mod mis;
 pub mod problem;
 pub mod replicability;
+pub mod ruling_set;
 pub mod sinkless;
+pub mod vertex_cover;
 
 pub use matching::EdgeProblem;
 pub use problem::{GraphProblem, Violation};

@@ -258,10 +258,7 @@ mod tests {
         for s in 0..5 {
             let g = generators::random_tree(30, Seed(s));
             let opt = max_matching_forest(&g);
-            let greedy = greedy_maximal_matching(&g)
-                .iter()
-                .filter(|&&b| b)
-                .count();
+            let greedy = greedy_maximal_matching(&g).iter().filter(|&&b| b).count();
             assert!(greedy <= opt, "greedy {greedy} exceeds optimum {opt}");
             assert!(2 * greedy >= opt, "greedy below half of optimum");
         }

@@ -52,9 +52,7 @@ impl GraphProblem for Mis {
 /// Independence (without maximality): the building block validator.
 #[must_use]
 pub fn is_independent_set(g: &Graph, labels: &[bool]) -> bool {
-    (0..g.n()).all(|v| {
-        !labels[v] || !g.neighbors(v).iter().any(|&w| labels[w as usize])
-    })
+    (0..g.n()).all(|v| !labels[v] || !g.neighbors(v).iter().any(|&w| labels[w as usize]))
 }
 
 /// Size of the set.

@@ -149,8 +149,8 @@ mod tests {
             "degree-labeling"
         }
         fn validate(&self, g: &Graph, labels: &[usize]) -> Result<(), Violation> {
-            for v in 0..g.n() {
-                if labels[v] != g.degree(v) {
+            for (v, &label) in labels.iter().enumerate() {
+                if label != g.degree(v) {
                     return Err(Violation::at(v, "label is not the degree"));
                 }
             }

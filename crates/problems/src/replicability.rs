@@ -46,7 +46,7 @@ pub fn gamma_labels<L: Clone>(
     for _ in 0..copies {
         out.extend(labels.iter().cloned());
     }
-    out.extend(std::iter::repeat(iso_label.clone()).take(isolated));
+    out.extend(std::iter::repeat_n(iso_label.clone(), isolated));
     out
 }
 

@@ -72,7 +72,10 @@ impl GraphProblem for RulingSet {
                 if w != v && labels[w] && dist[w] < self.alpha {
                     return Err(Violation::at(
                         v,
-                        format!("chosen nodes {v},{w} at distance {} < α={}", dist[w], self.alpha),
+                        format!(
+                            "chosen nodes {v},{w} at distance {} < α={}",
+                            dist[w], self.alpha
+                        ),
                     ));
                 }
             }

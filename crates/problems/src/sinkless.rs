@@ -51,8 +51,8 @@ impl EdgeProblem for SinklessOrientation {
             return Err(Violation::global("edge label count mismatch"));
         }
         let out = Self::out_degrees(g, labels);
-        for v in 0..g.n() {
-            if g.degree(v) >= 3 && out[v] == 0 {
+        for (v, &outdeg) in out.iter().enumerate() {
+            if g.degree(v) >= 3 && outdeg == 0 {
                 return Err(Violation::at(v, "sink: no outgoing edge"));
             }
         }

@@ -114,7 +114,7 @@ mod tests {
         // A star: matching bound 1, so covers bigger than ratio·2 fail.
         let g = generators::star(20);
         let p = ApproxVertexCover { ratio: 1.0 };
-        assert!(p.validate(&g, &vec![true; 21]).is_err());
+        assert!(p.validate(&g, &[true; 21]).is_err());
         // Center alone is optimal.
         let mut opt = vec![false; 21];
         opt[0] = true;
@@ -127,7 +127,7 @@ mod tests {
             .build()
             .unwrap();
         let p = ApproxVertexCover { ratio: 1.0 };
-        assert!(p.is_valid(&g, &vec![false; 4]));
+        assert!(p.is_valid(&g, &[false; 4]));
     }
 
     #[test]

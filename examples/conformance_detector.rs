@@ -1,0 +1,76 @@
+//! Demonstrate the runtime model-conformance detector: run algorithms on a
+//! two-component input with provenance tagging armed and print the
+//! violation report each produces.
+//!
+//! ```sh
+//! cargo run --release --example conformance_detector
+//! ```
+//!
+//! Three scenarios:
+//!
+//! 1. A genuinely component-stable algorithm — conformant.
+//! 2. An honest amplifier — its global winner selection crosses component
+//!    boundaries, but since it *declares* itself unstable that is not a
+//!    violation (Definition 13 only constrains stable-declared algorithms).
+//! 3. The same amplifier falsely declaring stability — every
+//!    cross-component flow becomes a violation naming the primitive, round,
+//!    and component pair.
+
+use component_stability::prelude::*;
+use csmpc_graph::Graph;
+use csmpc_mpc::MpcError;
+
+/// The amplifier with its `component_stable` declaration flipped to `true`
+/// — the lie the provenance detector exists to catch.
+struct LyingAmplifier(AmplifiedLargeIs);
+
+impl MpcVertexAlgorithm for LyingAmplifier {
+    type Label = bool;
+    fn name(&self) -> &str {
+        "amplified-large-is (falsely declared stable)"
+    }
+    fn deterministic(&self) -> bool {
+        false
+    }
+    fn component_stable(&self) -> bool {
+        true
+    }
+    fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<bool>, MpcError> {
+        self.0.run(g, cluster)
+    }
+}
+
+fn report<A: MpcVertexAlgorithm>(alg: &A, g: &Graph) -> Result<(), MpcError> {
+    let mut cl = cluster_for(g, Seed(11));
+    let run = run_with_conformance(alg, g, &mut cl)?;
+    println!(
+        "{} (declared {}):",
+        run.algorithm,
+        if run.declared_stable {
+            "stable"
+        } else {
+            "unstable"
+        }
+    );
+    if run.is_conformant() {
+        println!("  conformant — no violations");
+    } else {
+        for v in &run.violations {
+            println!("  {v}");
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), MpcError> {
+    // Two disjoint cycles with well-separated name spaces.
+    let a = generators::cycle(12);
+    let b = ops::with_fresh_names(&generators::cycle(12), 500);
+    let g = ops::disjoint_union(&[&a, &b]);
+
+    report(&StableOneShotIs, &g)?;
+    report(&AmplifiedLargeIs { repetitions: 4 }, &g)?;
+    report(&LyingAmplifier(AmplifiedLargeIs { repetitions: 4 }), &g)?;
+    Ok(())
+}

@@ -13,9 +13,7 @@ use component_stability::graph::enumerate::family_up_to;
 use component_stability::prelude::*;
 use component_stability::problems::mis::Mis;
 
-use component_stability::algorithms::luby::{
-    luby_step, random_chi, MisStatus, TruncatedLubyMis,
-};
+use component_stability::algorithms::luby::{luby_step, random_chi, MisStatus, TruncatedLubyMis};
 
 fn main() {
     // The family G_{n,Δ}: all labeled graphs with ≤ 4 nodes, Δ ≤ 3.
@@ -33,11 +31,10 @@ fn main() {
             family.iter().all(|g| {
                 let params = LocalParams::exact(g.n(), g.max_degree(), Seed(s));
                 let status = alg.statuses(g, &params);
-                if status.iter().any(|&x| x == MisStatus::Undecided) {
+                if status.contains(&MisStatus::Undecided) {
                     return false;
                 }
-                let labels: Vec<bool> =
-                    status.iter().map(|&x| x == MisStatus::In).collect();
+                let labels: Vec<bool> = status.iter().map(|&x| x == MisStatus::In).collect();
                 Mis.is_valid(g, &labels)
             })
         };
@@ -64,11 +61,8 @@ fn main() {
         let ok = (0..trials)
             .filter(|&t| {
                 (0..reps).any(|r| {
-                    let params = LocalParams::exact(
-                        g.n(),
-                        g.max_degree(),
-                        Seed(t).derive(r as u64),
-                    );
+                    let params =
+                        LocalParams::exact(g.n(), g.max_degree(), Seed(t).derive(r as u64));
                     let labels = luby_step(&g, &random_chi(&g, &params));
                     labels.iter().filter(|&&b| b).count() >= threshold
                 })

@@ -52,14 +52,21 @@ fn main() {
     for n in [60usize, 120, 240, 480] {
         let g = generators::cycle(n);
         let (p_stable, r_stable) = success_rate(&StableOneShotIs, &g, &aggressive, trials);
-        let (p_amp, r_amp) =
-            success_rate(&AmplifiedLargeIs { repetitions: 0 }, &g, &aggressive, trials);
+        let (p_amp, r_amp) = success_rate(
+            &AmplifiedLargeIs { repetitions: 0 },
+            &g,
+            &aggressive,
+            trials,
+        );
         println!("{n:<8} {p_stable:>17.3} @ {r_stable:>2}r {p_amp:>17.3} @ {r_amp:>2}r");
     }
 
     println!();
     println!("guarantee threshold 0.2·n/Δ (deterministic, Theorem 53):");
-    println!("{:<8} {:>12} {:>10} {:>10}", "n", "IS size", "need", "rounds");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10}",
+        "n", "IS size", "need", "rounds"
+    );
     println!("{:-<44}", "");
     for n in [60usize, 120, 240, 480] {
         let g = generators::cycle(n);
@@ -68,7 +75,10 @@ fn main() {
         let size = labels.iter().filter(|&&b| b).count();
         let need = guarantee.threshold(g.n(), g.max_degree());
         assert!(guarantee.is_valid(&g, &labels));
-        println!("{n:<8} {size:>12} {need:>10} {:>10}", cluster.stats().rounds);
+        println!(
+            "{n:<8} {size:>12} {need:>10} {:>10}",
+            cluster.stats().rounds
+        );
     }
 
     println!();

@@ -6,9 +6,7 @@
 //! cargo run --release --example sinkless_orientation
 //! ```
 
-use component_stability::algorithms::mpc_edge::{
-    DeterministicSinklessMpc, SinklessOrientationMpc,
-};
+use component_stability::algorithms::mpc_edge::{DeterministicSinklessMpc, SinklessOrientationMpc};
 use component_stability::algorithms::sinkless::sinkless_instance;
 use component_stability::core::runner::evaluate_edge;
 use component_stability::prelude::*;

@@ -12,10 +12,7 @@ use component_stability::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let comp = generators::cycle(10);
-    println!(
-        "{:<56} {:>20} {:>10}",
-        "algorithm", "class", "witnesses"
-    );
+    println!("{:<56} {:>20} {:>10}", "algorithm", "class", "witnesses");
     println!("{:-<90}", "");
 
     let placements = vec![

@@ -58,6 +58,7 @@ pub mod prelude {
     pub use csmpc_algorithms::api::{cluster_for, roomy_cluster_for, MpcVertexAlgorithm};
     pub use csmpc_algorithms::det_is::DerandomizedLargeIs;
     pub use csmpc_core::classes::{classify, MpcClass};
+    pub use csmpc_core::conformance::{run_with_conformance, ConformanceRun, RuntimeViolation};
     pub use csmpc_core::lifting::{b_st_conn, LiftingPair, StVerdict};
     pub use csmpc_core::sensitivity::{estimate_sensitivity, CenteredPair, ComponentMaxId};
     pub use csmpc_core::stability::verify_component_stability;

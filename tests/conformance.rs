@@ -1,0 +1,78 @@
+//! Workspace-level model-conformance gate.
+//!
+//! The static analyzer (`csmpc-conformance`) runs over the entire
+//! workspace from this integration test, so `cargo test` fails the moment
+//! anyone introduces a nondeterminism source, an unaccounted primitive, or
+//! a stability-discipline breach. The same scan is available as a binary
+//! (`cargo run -p csmpc-conformance --bin conformance`).
+
+use std::path::Path;
+
+use csmpc_conformance::{check_source, check_workspace, Lint};
+
+#[test]
+fn workspace_has_zero_conformance_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = check_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned >= 40,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "conformance violations:\n{}",
+        report.to_json()
+    );
+}
+
+#[test]
+fn the_gate_actually_bites() {
+    // Guard against the scanner rotting into a yes-machine: a seeded
+    // violation of each lint must still be caught.
+    let nondet = "use std::time::Instant;\n";
+    assert_eq!(
+        check_source(Path::new("x.rs"), nondet, &[Lint::Nondeterminism]).len(),
+        1
+    );
+
+    let unaccounted = "pub fn probe(cluster: &mut Cluster) -> usize {\n    0\n}\n";
+    assert_eq!(
+        check_source(
+            Path::new("x.rs"),
+            unaccounted,
+            &[Lint::UnaccountedPrimitive]
+        )
+        .len(),
+        1
+    );
+
+    let unstable = "\
+impl MpcVertexAlgorithm for Liar {
+    fn component_stable(&self) -> bool { true }
+    fn run(&self) { dg.aggregate(cluster, &v, f); }
+}
+";
+    assert_eq!(
+        check_source(Path::new("x.rs"), unstable, &[Lint::StabilityDiscipline]).len(),
+        1
+    );
+}
+
+#[test]
+fn fixture_violations_are_reported_with_file_and_line() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fixture = root.join("crates/conformance/fixtures/nondeterminism_violation.rs");
+    let source = std::fs::read_to_string(&fixture).expect("fixture readable");
+    let diags = check_source(
+        Path::new("crates/conformance/fixtures/nondeterminism_violation.rs"),
+        &source,
+        &[Lint::Nondeterminism],
+    );
+    assert!(!diags.is_empty());
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/conformance/fixtures/nondeterminism_violation.rs:4:"),
+        "{rendered}"
+    );
+}

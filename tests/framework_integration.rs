@@ -15,7 +15,9 @@ fn theorem5_pipeline_end_to_end() {
     let problem = LargeIndependentSet { c: 0.2 };
 
     let mut cl = cluster_for(&g, Seed(1));
-    let amp = AmplifiedLargeIs { repetitions: 0 }.run(&g, &mut cl).unwrap();
+    let amp = AmplifiedLargeIs { repetitions: 0 }
+        .run(&g, &mut cl)
+        .unwrap();
     assert!(problem.is_valid(&g, &amp));
     let amp_rounds = cl.stats().rounds;
 
@@ -150,12 +152,10 @@ fn mis_ball_simulation_agrees_with_local_engine_semantics() {
 #[test]
 fn stability_report_is_deterministic_given_seeds() {
     let comp = generators::cycle(10);
-    let r1 =
-        verify_component_stability(&AmplifiedLargeIs { repetitions: 8 }, &comp, 8, Seed(9))
-            .unwrap();
-    let r2 =
-        verify_component_stability(&AmplifiedLargeIs { repetitions: 8 }, &comp, 8, Seed(9))
-            .unwrap();
+    let r1 = verify_component_stability(&AmplifiedLargeIs { repetitions: 8 }, &comp, 8, Seed(9))
+        .unwrap();
+    let r2 = verify_component_stability(&AmplifiedLargeIs { repetitions: 8 }, &comp, 8, Seed(9))
+        .unwrap();
     assert_eq!(r1.witnesses, r2.witnesses);
 }
 
@@ -172,6 +172,9 @@ fn edge_problems_roundtrip_through_line_graphs() {
         let matching = greedy_maximal_matching(&g);
         assert!(MaximalMatching.validate(&g, &matching).is_ok());
         let (lg, _) = ops::line_graph(&g);
-        assert!(Mis.is_valid(&lg, &matching), "matching ≠ MIS on L(G), seed {s}");
+        assert!(
+            Mis.is_valid(&lg, &matching),
+            "matching ≠ MIS on L(G), seed {s}"
+        );
     }
 }

@@ -16,8 +16,7 @@ use component_stability::problems::mis::LargeIndependentSet;
 fn theorem5_separation_is_measurable() {
     let g = generators::cycle(240);
     let threshold = LargeIndependentSet { c: 2.0 / 3.0 };
-    let p_stable =
-        success_probability(&StableOneShotIs, &threshold, &g, 120, Seed(1)).unwrap();
+    let p_stable = success_probability(&StableOneShotIs, &threshold, &g, 120, Seed(1)).unwrap();
     let p_amplified = success_probability(
         &AmplifiedLargeIs { repetitions: 0 },
         &threshold,
@@ -40,7 +39,7 @@ fn theorem5_separation_is_measurable() {
 /// across structurally different families.
 #[test]
 fn theorem53_guarantee_everywhere() {
-    let cases = vec![
+    let cases = [
         generators::cycle(80),
         generators::random_regular(48, 4, Seed(1)),
         generators::random_tree(60, Seed(2)),
@@ -106,12 +105,15 @@ fn section21_counterexample_certified() {
 
         let g = generators::consecutive_id_path(n);
         let mut cl = cluster_for(&g, Seed(0));
-        let labels =
-            component_stability::algorithms::path_check::ConsecutivePathCheck
-                .run(&g, &mut cl)
-                .unwrap();
+        let labels = component_stability::algorithms::path_check::ConsecutivePathCheck
+            .run(&g, &mut cl)
+            .unwrap();
         assert!(labels.iter().all(|&b| b));
-        assert!(cl.stats().rounds <= 8, "rounds {} not O(1)", cl.stats().rounds);
+        assert!(
+            cl.stats().rounds <= 8,
+            "rounds {} not O(1)",
+            cl.stats().rounds
+        );
     }
 }
 

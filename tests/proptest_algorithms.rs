@@ -16,9 +16,8 @@ use component_stability::problems::problem::GraphProblem;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..24, 0u64..500, 0..=60u32).prop_map(|(n, seed, pct)| {
-        generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed))
-    })
+    (2usize..24, 0u64..500, 0..=60u32)
+        .prop_map(|(n, seed, pct)| generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed)))
 }
 
 proptest! {

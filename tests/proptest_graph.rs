@@ -7,9 +7,8 @@ use component_stability::graph::{generators, Graph};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..30, 0u64..1000, 0..=100u32).prop_map(|(n, seed, pct)| {
-        generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed))
-    })
+    (2usize..30, 0u64..1000, 0..=100u32)
+        .prop_map(|(n, seed, pct)| generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed)))
 }
 
 proptest! {

@@ -14,9 +14,8 @@ use component_stability::mpc::{exact_aggregate_sum, prefix_sums, sort_keys, Dist
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..20, 0u64..300, 0..=50u32).prop_map(|(n, seed, pct)| {
-        generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed))
-    })
+    (2usize..20, 0u64..300, 0..=50u32)
+        .prop_map(|(n, seed, pct)| generators::random_gnp(n, f64::from(pct) / 100.0, Seed(seed)))
 }
 
 proptest! {
@@ -59,9 +58,9 @@ proptest! {
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
         let vals: Vec<u64> = (0..g.n() as u64).map(|v| v * 31 + 7).collect();
         let mins = dg.neighbor_reduce(&mut cl, &vals, std::cmp::min);
-        for v in 0..g.n() {
+        for (v, &got) in mins.iter().enumerate() {
             let expect = g.neighbors(v).iter().map(|&w| vals[w as usize]).min();
-            prop_assert_eq!(mins[v], expect);
+            prop_assert_eq!(got, expect);
         }
     }
 

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The real `criterion` cannot be fetched in this build environment. This
+//! crate implements the subset of its API the workspace's benches use —
+//! enough to compile them under `cargo clippy --all-targets` and to run them
+//! with `cargo bench` for a quick wall-clock reading (median of a few
+//! iterations, no statistical machinery).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark.
+const ITERATIONS: u32 = 5;
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Runs `f` a few times and records the median wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            let out = f();
+            self.nanos.push(start.elapsed().as_nanos());
+            drop(black_box(out));
+        }
+    }
+
+    fn median_nanos(&self) -> u128 {
+        if self.nanos.is_empty() {
+            return 0;
+        }
+        let mut v = self.nanos.clone();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An ID naming a parameterized case by its parameter value.
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    /// An ID with a function name and a parameter.
+    pub fn new<D: Display>(function: &str, p: D) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{p}"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this stand-in.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with no input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let ns = b.median_nanos();
+    if ns >= 1_000_000 {
+        println!("bench {name}: {:.3} ms", ns as f64 / 1e6);
+    } else {
+        println!("bench {name}: {:.3} µs", ns as f64 / 1e3);
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny/sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let mut group = c.benchmark_group("tiny/group");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+    }
+}
