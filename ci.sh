@@ -16,7 +16,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> model-conformance scan"
+echo "==> chaos suite (fault injection + recovery, pinned seeds)"
+cargo test -q -p csmpc-mpc --test chaos
+
+echo "==> model-conformance scan (incl. recovery-accounting lint)"
 cargo run -q --release -p csmpc-conformance --bin conformance
 
 echo "CI green."

@@ -113,10 +113,10 @@ impl MpcVertexAlgorithm for AmplifiedLargeIs {
         // (2d: neighbor-min). The global winner selection (per-rep size
         // aggregation + argmax + winner broadcast, 3d) is the accounted —
         // and provenance-tracked — unstable step.
-        cluster.charge_rounds(2 * d);
+        cluster.advance_rounds(2 * d)?;
         let (winner, labels, scores) = dg.select_best_global(cluster, &candidates, |labels| {
             labels.iter().filter(|&&b| b).count() as f64
-        });
+        })?;
         let _ = (winner, scores);
         Ok(labels)
     }
@@ -150,7 +150,7 @@ impl MpcVertexAlgorithm for StableOneShotIs {
         let chi: Vec<f64> = (0..g.n())
             .map(|v| csmpc_graph::rng::SplitMix64::new(seed.derive(g.id(v).0)).f64())
             .collect();
-        let mins = dg.neighbor_reduce(cluster, &chi, f64::min);
+        let mins = dg.neighbor_reduce(cluster, &chi, f64::min)?;
         Ok((0..g.n())
             .map(|v| match mins[v] {
                 Some(m) => chi[v] < m,

@@ -29,7 +29,7 @@ pub fn distinguish_cycles(
     cluster: &mut Cluster,
 ) -> Result<(CycleVerdict, usize), MpcError> {
     let dg = DistributedGraph::distribute(g, cluster)?;
-    let (labels, iterations) = dg.cc_labels(cluster);
+    let (labels, iterations) = dg.cc_labels(cluster)?;
     let distinct: std::collections::BTreeSet<u64> = labels.iter().copied().collect();
     let verdict = if distinct.len() <= 1 {
         CycleVerdict::OneCycle
@@ -73,10 +73,10 @@ pub fn st_connected(
     // Discard nodes of degree > 2 (cannot be on an s-t path under the
     // promise); one round of local filtering.
     let keep: Vec<usize> = (0..g.n()).filter(|&v| g.degree(v) <= 2).collect();
-    cluster.charge_rounds(1);
+    cluster.advance_rounds(1)?;
     let (sub, back) = csmpc_graph::ops::induced(g, &keep);
     let dg = DistributedGraph::distribute(&sub, cluster)?;
-    let (labels, _) = dg.cc_labels(cluster);
+    let (labels, _) = dg.cc_labels(cluster)?;
     let pos = |orig: usize| back.iter().position(|&x| x == orig);
     let (Some(si), Some(ti)) = (pos(s), pos(t)) else {
         return Ok(Some(false)); // s or t had degree > 2: not a plain path

@@ -133,6 +133,10 @@ impl MpcVertexAlgorithm for BallGreedyColoringMpc {
         true
     }
 
+    fn component_stable(&self) -> bool {
+        true
+    }
+
     fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<usize>, MpcError> {
         let dg = csmpc_mpc::DistributedGraph::distribute(g, cluster)?;
         let balls = dg.collect_balls(cluster, self.radius)?;

@@ -40,7 +40,7 @@ fn locally_consistent(g: &Graph, v: usize) -> bool {
 /// Propagates space violations from distribution.
 pub fn consecutive_path_verdict(g: &Graph, cluster: &mut Cluster) -> Result<bool, MpcError> {
     let dg = DistributedGraph::distribute(g, cluster)?;
-    let n = dg.count_nodes(cluster);
+    let n = dg.count_nodes(cluster)?;
     if n == 0 {
         return Ok(false);
     }
@@ -52,7 +52,7 @@ pub fn consecutive_path_verdict(g: &Graph, cluster: &mut Cluster) -> Result<bool
         .tree_depth(cluster.input_n(), cluster.num_machines());
     // One local round to collect radius-1 neighborhoods (IDs of neighbors
     // travel one hop), then three parallel aggregations.
-    cluster.charge_rounds(1 + d);
+    cluster.advance_rounds(1 + d)?;
     let endpoints = (0..n).filter(|&v| g.degree(v) == 1).count();
     let all_local = (0..n).all(|v| locally_consistent(g, v));
     let min_id = (0..n).map(|v| g.id(v).0).min().expect("n >= 1");

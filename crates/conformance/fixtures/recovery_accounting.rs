@@ -1,0 +1,43 @@
+//! Fixture: seeded `recovery-accounting` violations. Not compiled —
+//! scanned by the analyzer's tests, which assert the exact lines below.
+
+impl Cluster {
+    /// Accounted recovery: restores a checkpoint and charges the replayed
+    /// rounds plus the reshipped words. Must NOT be flagged.
+    fn restore_checkpoint(&mut self, cp: &Checkpoint) -> usize {
+        self.inboxes = cp.inboxes.clone();
+        self.charge_rounds(1);
+        self.charge_words(cp.words(), cp.words() as u64);
+        cp.words()
+    }
+
+    /// Unaccounted: rolls cluster state back for free. Line 15: violation.
+    fn recover_silently(&mut self, cp: &Checkpoint) {
+        self.inboxes = cp.inboxes.clone();
+        self.provenance = cp.provenance.clone();
+    }
+
+    /// Read-only recovery inspection — `&self` is out of scope.
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery_log
+    }
+}
+
+/// Unaccounted free function driving the cluster. Line 27: violation.
+pub fn retry_lost_messages(cluster: &mut Cluster, pending: &[Message]) {
+    for msg in pending {
+        cluster.inboxes[msg.dst].push(msg.clone());
+    }
+}
+
+/// A user program restoring its own snapshot is not cluster state.
+impl MachineProgram for FixtureSum {
+    fn restore(&mut self, snapshot: &[u64]) {
+        self.acc = snapshot[0];
+    }
+}
+
+// conformance: allow(recovery-accounting)
+pub fn retry_suppressed(cluster: &mut Cluster) {
+    cluster.inboxes.clear();
+}

@@ -4,7 +4,7 @@
 //! dependency-free source scanner that enforces the repository's MPC-model
 //! discipline (the runtime half lives in `csmpc_core::conformance`).
 //!
-//! Three lints, each tied to a definition of the source paper
+//! Four lints, each tied to a definition of the source paper
 //! (*Component Stability in Low-Space Massively Parallel Computation*,
 //! PODC 2021):
 //!
@@ -18,9 +18,16 @@
 //! * [`Lint::UnaccountedPrimitive`] — every public graph-touching
 //!   primitive in `crates/mpc/src/distributed.rs` that drives a
 //!   `&mut Cluster` must charge the `Stats` ledger (via `charge_rounds`,
-//!   `charge_words`, `charge_storage`, `require_fits`, or `run_program`)
-//!   before returning. Unaccounted primitives silently break the paper's
-//!   round/space cost model (`S = n^φ`, Section 2.4.2).
+//!   `charge_words`, `charge_storage`, `require_fits`, `run_program`, or
+//!   `advance_rounds`) before returning. Unaccounted primitives silently
+//!   break the paper's round/space cost model (`S = n^φ`, Section 2.4.2).
+//! * [`Lint::RecoveryAccounting`] — in `crates/mpc/src/**`, a function
+//!   whose name marks it as a recovery path (`restore`, `recover`, or
+//!   `retry`) and that mutates cluster state (`&mut Cluster` in its
+//!   signature, or `&mut self` inside an inherent `impl Cluster` block)
+//!   must charge the `Stats` ledger. Recovery is never free: replaying
+//!   rounds from a checkpoint and reshipping machine state are real costs
+//!   the cost model must see.
 //! * [`Lint::StabilityDiscipline`] — an `MpcVertexAlgorithm` impl that
 //!   declares `component_stable() == true` (Definition 13) must not reach
 //!   global quantities except through the approved API: `count_nodes` and
@@ -59,6 +66,9 @@ pub enum Lint {
     /// A public cluster-driving primitive that never charges the `Stats`
     /// ledger.
     UnaccountedPrimitive,
+    /// A recovery/restore/retry path that mutates cluster state without
+    /// charging the `Stats` ledger (recovery must never be free).
+    RecoveryAccounting,
     /// A component-stable-declared algorithm reaching global quantities
     /// outside the approved API (breaks Definition 13).
     StabilityDiscipline,
@@ -72,6 +82,7 @@ impl Lint {
         match self {
             Lint::Nondeterminism => "nondeterminism",
             Lint::UnaccountedPrimitive => "unaccounted-primitive",
+            Lint::RecoveryAccounting => "recovery-accounting",
             Lint::StabilityDiscipline => "stability-discipline",
         }
     }
@@ -82,6 +93,7 @@ impl Lint {
         match name {
             "nondeterminism" => Some(Lint::Nondeterminism),
             "unaccounted-primitive" => Some(Lint::UnaccountedPrimitive),
+            "recovery-accounting" => Some(Lint::RecoveryAccounting),
             "stability-discipline" => Some(Lint::StabilityDiscipline),
             _ => None,
         }
@@ -492,6 +504,7 @@ const CHARGE_TOKENS: &[&str] = &[
     "charge_storage",
     "require_fits",
     "run_program",
+    "advance_rounds",
 ];
 
 fn lint_unaccounted_primitive(
@@ -553,8 +566,8 @@ fn lint_unaccounted_primitive(
                 message: format!(
                     "public primitive `{fn_name}` drives `&mut Cluster` but never charges the \
                      Stats ledger (expected one of charge_rounds/charge_words/charge_storage/\
-                     require_fits/run_program); unaccounted primitives break the S = n^phi cost \
-                     model"
+                     require_fits/run_program/advance_rounds); unaccounted primitives break the \
+                     S = n^phi cost model"
                 ),
             });
         }
@@ -563,7 +576,110 @@ fn lint_unaccounted_primitive(
 }
 
 // ---------------------------------------------------------------------------
-// Lint 3: stability-discipline
+// Lint 3: recovery-accounting
+// ---------------------------------------------------------------------------
+
+/// Name fragments that mark a function as a recovery path.
+const RECOVERY_KEYWORDS: &[&str] = &["restore", "recover", "retry"];
+
+/// Marks lines inside inherent `impl Cluster` blocks (`impl Cluster {`,
+/// not `impl Trait for Cluster`), where `&mut self` means "mutates
+/// cluster state".
+fn cluster_impl_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        let trimmed = code[i].trim_start();
+        let inherent = trimmed.starts_with("impl")
+            && contains_ident(&code[i], "Cluster")
+            && !contains_ident(&code[i], "for");
+        if inherent {
+            let end = block_end(code, i);
+            for flag in mask.iter_mut().take(end + 1).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+fn lint_recovery_accounting(
+    scrubbed: &Scrubbed,
+    mask: &[bool],
+    file: &Path,
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = &scrubbed.code;
+    let in_cluster_impl = cluster_impl_mask(code);
+    let mut i = 0usize;
+    while i < code.len() {
+        if mask[i] || !contains_ident(&code[i], "fn") {
+            i += 1;
+            continue;
+        }
+        // Extract the function name following the `fn` keyword.
+        let Some(fn_name) = code[i].split("fn ").nth(1).and_then(|rest| {
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            (!name.is_empty()).then_some(name)
+        }) else {
+            i += 1;
+            continue;
+        };
+        if !RECOVERY_KEYWORDS.iter().any(|kw| fn_name.contains(kw)) {
+            i += 1;
+            continue;
+        }
+        // Collect the signature up to the body-opening brace (or a `;` —
+        // a bodyless trait declaration is out of scope).
+        let mut sig = String::new();
+        let mut open_line = None;
+        let mut j = i;
+        while j < code.len() {
+            sig.push_str(&code[j]);
+            sig.push(' ');
+            if code[j].contains('{') {
+                open_line = Some(j);
+                break;
+            }
+            if code[j].contains(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open_line else {
+            i = j + 1;
+            continue;
+        };
+        let flat: String = sig.split_whitespace().collect();
+        let mutates_cluster =
+            flat.contains("&mutCluster") || (flat.contains("&mutself") && in_cluster_impl[i]);
+        if !mutates_cluster {
+            i += 1;
+            continue;
+        }
+        let end = block_end(code, open);
+        let body = code[open..=end].join("\n");
+        if !CHARGE_TOKENS.iter().any(|t| contains_ident(&body, t)) {
+            out.push(Diagnostic {
+                lint: Lint::RecoveryAccounting,
+                file: file.to_path_buf(),
+                line: i + 1,
+                message: format!(
+                    "recovery path `{fn_name}` mutates cluster state but never charges the \
+                     Stats ledger; recovery is never free — replayed rounds and reshipped \
+                     checkpoint words are real costs the model must see"
+                ),
+            });
+        }
+        i = end + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lint 4: stability-discipline
 // ---------------------------------------------------------------------------
 
 /// Global-mixing calls a component-stable algorithm must not make. The
@@ -723,6 +839,9 @@ pub fn check_source(file: &Path, source: &str, lints: &[Lint]) -> Vec<Diagnostic
             Lint::UnaccountedPrimitive => {
                 lint_unaccounted_primitive(&scrubbed, &mask, file, &mut diags);
             }
+            Lint::RecoveryAccounting => {
+                lint_recovery_accounting(&scrubbed, &mask, file, &mut diags);
+            }
             Lint::StabilityDiscipline => {
                 lint_stability_discipline(&scrubbed, &mask, file, &mut diags);
             }
@@ -747,6 +866,9 @@ pub fn lints_for_path(rel: &str) -> Vec<Lint> {
     }
     if rel == "crates/mpc/src/distributed.rs" {
         lints.push(Lint::UnaccountedPrimitive);
+    }
+    if rel.starts_with("crates/mpc/src/") {
+        lints.push(Lint::RecoveryAccounting);
     }
     lints
 }
@@ -816,6 +938,7 @@ mod tests {
     const ALL: &[Lint] = &[
         Lint::Nondeterminism,
         Lint::UnaccountedPrimitive,
+        Lint::RecoveryAccounting,
         Lint::StabilityDiscipline,
     ];
 
@@ -948,10 +1071,77 @@ impl MpcVertexAlgorithm for B {
     }
 
     #[test]
+    fn recovery_accounting_fires_on_uncharged_restore_paths() {
+        let src = "\
+impl Cluster {
+    fn restore_checkpoint(&mut self, cp: &Checkpoint) -> usize {
+        self.inboxes = cp.inboxes.clone();
+        cp.words()
+    }
+    fn recover_machine(&mut self, machine: usize) {
+        self.charge_rounds(1);
+        let _ = machine;
+    }
+    pub fn recovery_log(&self) -> usize {
+        0
+    }
+}
+pub fn retry_send(cluster: &mut Cluster) {
+    let _ = cluster;
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::RecoveryAccounting]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("restore_checkpoint"));
+        assert_eq!(d[1].line, 14);
+        assert!(d[1].message.contains("retry_send"));
+    }
+
+    #[test]
+    fn recovery_accounting_ignores_non_cluster_impls() {
+        // `&mut self` outside an inherent `impl Cluster` block is not
+        // cluster state: MachineProgram::restore on a user program is free.
+        let src = "\
+impl MachineProgram for TreeSum {
+    fn restore(&mut self, snapshot: &[u64]) {
+        self.acc = snapshot[0];
+    }
+}
+trait MachineProgram {
+    fn restore(&mut self, snapshot: &[u64]) {
+        let _ = snapshot;
+    }
+}
+impl Display for Cluster {
+    fn recover_name(&mut self) -> usize {
+        0
+    }
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::RecoveryAccounting]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn recovery_accounting_accepts_advance_rounds_as_charge() {
+        let src = "\
+pub fn retry_with_backoff(cluster: &mut Cluster) -> Result<(), MpcError> {
+    cluster.advance_rounds(1)
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::RecoveryAccounting]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
     fn lint_selection_by_path() {
         assert!(
             lints_for_path("crates/mpc/src/distributed.rs").contains(&Lint::UnaccountedPrimitive)
         );
+        assert!(lints_for_path("crates/mpc/src/cluster.rs").contains(&Lint::RecoveryAccounting));
+        assert!(lints_for_path("crates/mpc/src/faults.rs").contains(&Lint::RecoveryAccounting));
+        assert!(!lints_for_path("crates/core/src/runner.rs").contains(&Lint::RecoveryAccounting));
         assert!(lints_for_path("crates/algorithms/src/luby.rs").contains(&Lint::Nondeterminism));
         assert!(!lints_for_path("crates/graph/src/graph.rs").contains(&Lint::Nondeterminism));
         assert!(lints_for_path("crates/graph/src/graph.rs").contains(&Lint::StabilityDiscipline));

@@ -38,7 +38,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!("usage: conformance [--json] [ROOT]");
                 println!("Static model-conformance lints: nondeterminism,");
-                println!("unaccounted-primitive, stability-discipline.");
+                println!("unaccounted-primitive, recovery-accounting,");
+                println!("stability-discipline.");
                 return ExitCode::SUCCESS;
             }
             _ if arg.starts_with('-') => {

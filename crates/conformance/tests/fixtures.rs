@@ -45,6 +45,14 @@ fn unaccounted_fixture_caught_at_exact_lines() {
 }
 
 #[test]
+fn recovery_accounting_fixture_caught_at_exact_lines() {
+    let diags = scan_fixture("recovery_accounting.rs", &[Lint::RecoveryAccounting]);
+    assert_eq!(lines_of(&diags), vec![15, 27], "{diags:#?}");
+    assert!(diags[0].message.contains("recover_silently"));
+    assert!(diags[1].message.contains("retry_lost_messages"));
+}
+
+#[test]
 fn stability_fixture_caught_at_exact_lines() {
     let diags = scan_fixture("stability_discipline.rs", &[Lint::StabilityDiscipline]);
     assert_eq!(lines_of(&diags), vec![24, 25, 26], "{diags:#?}");
@@ -61,4 +69,7 @@ fn fixtures_stay_silent_for_other_lints() {
     assert!(scan_fixture("unaccounted_primitive.rs", &[Lint::Nondeterminism]).is_empty());
     assert!(scan_fixture("stability_discipline.rs", &[Lint::Nondeterminism]).is_empty());
     assert!(scan_fixture("stability_discipline.rs", &[Lint::UnaccountedPrimitive]).is_empty());
+    assert!(scan_fixture("recovery_accounting.rs", &[Lint::Nondeterminism]).is_empty());
+    assert!(scan_fixture("recovery_accounting.rs", &[Lint::StabilityDiscipline]).is_empty());
+    assert!(scan_fixture("unaccounted_primitive.rs", &[Lint::RecoveryAccounting]).is_empty());
 }

@@ -46,6 +46,12 @@ pub mod stability;
 pub use classes::{classify, MpcClass, Placement};
 pub use conformance::{run_with_conformance, ConformanceRun, RuntimeViolation};
 pub use lifting::{b_st_conn, BStConnRun, LiftingPair, StVerdict};
-pub use runner::{evaluate_edge, evaluate_vertex, success_probability, Evaluation};
+pub use runner::{
+    evaluate_edge, evaluate_vertex, evaluate_vertex_with_faults, success_probability, Evaluation,
+    FaultEvaluation,
+};
 pub use sensitivity::{estimate_sensitivity, CenteredPair};
-pub use stability::{verify_component_stability, StabilityReport};
+pub use stability::{
+    verify_component_stability, verify_crash_immunity, CrashImmunityReport, CrashWitness,
+    StabilityReport,
+};

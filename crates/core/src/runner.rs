@@ -5,7 +5,7 @@
 use csmpc_algorithms::api::{MpcEdgeAlgorithm, MpcVertexAlgorithm};
 use csmpc_graph::rng::Seed;
 use csmpc_graph::Graph;
-use csmpc_mpc::{Cluster, MpcConfig, MpcError, Stats};
+use csmpc_mpc::{Cluster, FaultPlan, MpcConfig, MpcError, RecoveryEvent, RecoveryPolicy, Stats};
 use csmpc_problems::matching::EdgeProblem;
 use csmpc_problems::problem::{GraphProblem, Violation};
 
@@ -70,6 +70,53 @@ where
     })
 }
 
+/// An [`Evaluation`] produced under an armed fault plan, together with the
+/// recovery actions the cluster had to take.
+#[derive(Debug, Clone)]
+pub struct FaultEvaluation<L> {
+    /// The ordinary evaluation outcome (labels, stats, validity). The
+    /// stats include every recovery charge — recovery is never free.
+    pub evaluation: Evaluation<L>,
+    /// One entry per recovered crash, in recovery order.
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+/// Runs a vertex algorithm under an armed fault plan and validates the
+/// (possibly recovered) output.
+///
+/// # Errors
+///
+/// Propagates algorithm errors, including unrecovered machine failures
+/// (`MpcError::MachineFailed` under `RecoveryPolicy::FailFast` or an
+/// exhausted retry budget).
+pub fn evaluate_vertex_with_faults<A, P>(
+    alg: &A,
+    problem: &P,
+    g: &Graph,
+    seed: Seed,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+) -> Result<FaultEvaluation<A::Label>, MpcError>
+where
+    A: MpcVertexAlgorithm,
+    P: GraphProblem<Label = A::Label>,
+{
+    let mut cluster = evaluation_cluster(g, seed);
+    cluster.arm_faults(plan.clone(), policy);
+    let labels = alg.run(g, &mut cluster)?;
+    let validity = problem.validate(g, &labels);
+    Ok(FaultEvaluation {
+        evaluation: Evaluation {
+            algorithm: alg.name().to_string(),
+            problem: problem.name().to_string(),
+            labels,
+            stats: cluster.stats().clone(),
+            validity,
+        },
+        recoveries: cluster.recovery_log().to_vec(),
+    })
+}
+
 /// Runs an edge algorithm and validates it against an edge problem.
 ///
 /// # Errors
@@ -99,6 +146,11 @@ where
 
 /// Success probability over `trials` independent seeds.
 ///
+/// One cluster is built and reused across all trials;
+/// [`Cluster::reset_for_repetition`] wipes the ledger, the provenance log,
+/// and the machine component tags between trials, so each trial is
+/// indistinguishable from a fresh cluster.
+///
 /// # Errors
 ///
 /// Propagates algorithm errors from any trial.
@@ -113,9 +165,13 @@ where
     A: MpcVertexAlgorithm,
     P: GraphProblem<Label = A::Label>,
 {
+    let mut cluster = evaluation_cluster(g, master_seed);
     let mut ok = 0u64;
     for t in 0..trials {
-        if evaluate_vertex(alg, problem, g, master_seed.derive(t))?.valid() {
+        cluster.reset_for_repetition();
+        cluster.set_shared_seed(master_seed.derive(t));
+        let labels = alg.run(g, &mut cluster)?;
+        if problem.validate(g, &labels).is_ok() {
             ok += 1;
         }
     }
@@ -152,6 +208,68 @@ mod tests {
         let ev = evaluate_edge(&SinklessOrientationMpc, &SinklessOrientation, &g, Seed(3)).unwrap();
         assert!(ev.valid());
         assert_eq!(ev.labels.len(), g.m());
+    }
+
+    #[test]
+    fn repeated_trials_do_not_leak_state() {
+        // One trial on a reused cluster must cost exactly what a fresh
+        // cluster costs: reset_for_repetition clears the ledger, the
+        // provenance log, and the machine component tags (reset_stats
+        // alone leaks the latter two).
+        let g = generators::cycle(40);
+        let alg = StableOneShotIs;
+        let p = LargeIndependentSet { c: 0.1 };
+        let fresh = evaluate_vertex(&alg, &p, &g, Seed(7)).unwrap();
+        let mut cluster = evaluation_cluster(&g, Seed(0));
+        for _ in 0..3 {
+            cluster.reset_for_repetition();
+            assert!(
+                (0..cluster.num_machines()).all(|m| cluster.machine_components(m).is_empty()),
+                "machine tags leaked across repetitions"
+            );
+            cluster.set_shared_seed(Seed(7));
+            let labels = alg.run(&g, &mut cluster).unwrap();
+            assert_eq!(labels, fresh.labels);
+            assert_eq!(cluster.stats(), &fresh.stats, "ledger leaked");
+        }
+    }
+
+    #[test]
+    fn fault_evaluation_recovers_and_charges() {
+        let g = generators::cycle(40);
+        let p = LargeIndependentSet { c: 0.1 };
+        let baseline = evaluate_vertex(&StableOneShotIs, &p, &g, Seed(9)).unwrap();
+        let plan = FaultPlan::quiet(Seed(9)).crash(0, 2);
+        let out = evaluate_vertex_with_faults(
+            &StableOneShotIs,
+            &p,
+            &g,
+            Seed(9),
+            &plan,
+            RecoveryPolicy::restart(4),
+        )
+        .unwrap();
+        assert_eq!(out.evaluation.labels, baseline.labels);
+        assert_eq!(out.recoveries.len(), 1);
+        assert!(out.evaluation.stats.rounds > baseline.stats.rounds);
+        assert!(out.evaluation.stats.total_words > baseline.stats.total_words);
+    }
+
+    #[test]
+    fn fault_evaluation_fail_fast_surfaces_crash() {
+        let g = generators::cycle(40);
+        let p = LargeIndependentSet { c: 0.1 };
+        let plan = FaultPlan::quiet(Seed(9)).crash(0, 2);
+        let err = evaluate_vertex_with_faults(
+            &StableOneShotIs,
+            &p,
+            &g,
+            Seed(9),
+            &plan,
+            RecoveryPolicy::FailFast,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MpcError::MachineFailed { machine: 0, .. }));
     }
 
     #[test]

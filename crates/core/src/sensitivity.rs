@@ -117,7 +117,7 @@ impl MpcVertexAlgorithm for ComponentMaxId {
         // component-global information — exactly why Lemma 25 forces
         // sub-logarithmic algorithms to be insensitive).
         let dg = csmpc_mpc::DistributedGraph::distribute(g, cluster)?;
-        let (cc, _) = dg.cc_labels(cluster);
+        let (cc, _) = dg.cc_labels(cluster)?;
         let mut max_by_label: std::collections::BTreeMap<u64, u64> = Default::default();
         for (v, &label) in cc.iter().enumerate() {
             let e = max_by_label.entry(label).or_insert(0);

@@ -19,7 +19,8 @@
 use csmpc_algorithms::api::MpcVertexAlgorithm;
 use csmpc_graph::rng::{Seed, SplitMix64};
 use csmpc_graph::{generators, ops, Graph};
-use csmpc_mpc::{Cluster, MpcConfig, MpcError};
+use csmpc_mpc::{Cluster, ComponentId, FaultPlan, MpcConfig, MpcError, RecoveryPolicy};
+use std::collections::BTreeSet;
 
 /// A concrete witness that an algorithm is component-unstable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +159,130 @@ pub fn verify_component_stability<A: MpcVertexAlgorithm>(
     })
 }
 
+/// Builds a cluster for crash-immunity probes. Deliberately *tighter*
+/// than [`probe_cluster`]: a small space floor spreads the records over
+/// enough machines that some machine's provenance tags are disjoint from
+/// the observed component — otherwise there is nothing foreign to crash.
+fn immunity_cluster(g: &Graph, seed: Seed) -> Cluster {
+    let cfg = MpcConfig {
+        min_space: 64,
+        ..Default::default()
+    };
+    Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed)
+}
+
+/// A concrete witness that crashing a *foreign* machine (one whose
+/// provenance tags are disjoint from the observed component) changed the
+/// output on that component — a fault-tolerance breach of Definition 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWitness {
+    /// Trial index (for reproduction).
+    pub trial: usize,
+    /// The crashed machine.
+    pub machine: usize,
+    /// Index (within the observed component) of the first differing node.
+    pub node_in_component: usize,
+}
+
+/// Result of a crash-immunity verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashImmunityReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Trials attempted.
+    pub trials: usize,
+    /// Crashes actually injected and recovered (trials without a foreign
+    /// machine, or whose crash never fired, inject nothing).
+    pub crashes_recovered: usize,
+    /// Witnesses found (empty = crash-immune as far as observed).
+    pub witnesses: Vec<CrashWitness>,
+}
+
+impl CrashImmunityReport {
+    /// No witness was found.
+    #[must_use]
+    pub fn immune(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+}
+
+/// Verifies that a component-stable algorithm's output on a component
+/// survives crashes of machines *outside* that component.
+///
+/// Definition 13 promises the output at `v` is a function of
+/// `(CC(v), v, n, Δ, S)` alone; with checkpointed recovery, a crash of a
+/// machine holding no `CC(v)` state should therefore be invisible to
+/// `CC(v)` (beyond the ledger charge). Each trial embeds `component` next
+/// to a varying sibling, runs a fault-free baseline to learn the machine
+/// component tags, then deterministically re-runs with a crash of one
+/// foreign-tagged machine under [`RecoveryPolicy::RestartFromCheckpoint`]
+/// and compares the outputs on the component.
+///
+/// # Errors
+///
+/// Propagates algorithm errors (e.g. space violations or exhausted retry
+/// budgets).
+pub fn verify_crash_immunity<A: MpcVertexAlgorithm>(
+    alg: &A,
+    component: &Graph,
+    trials: usize,
+    master_seed: Seed,
+) -> Result<CrashImmunityReport, MpcError> {
+    let mut witnesses = Vec::new();
+    let mut crashes_recovered = 0usize;
+    let nc = component.n();
+    let delta = component.max_degree();
+    for trial in 0..trials {
+        let trial_seed = master_seed.derive(0xc7a5).derive(trial as u64);
+        let sib = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(10));
+        let g = ops::disjoint_union(&[component, &sib]);
+        let shared = trial_seed.derive(99);
+
+        // Fault-free baseline: learn the output and the machine tags.
+        let mut baseline = immunity_cluster(&g, shared);
+        let la = alg.run(&g, &mut baseline)?;
+        let target: BTreeSet<ComponentId> = g.component_labels()[..nc]
+            .iter()
+            .map(|&c| c as ComponentId)
+            .collect();
+        let foreign: Vec<usize> = (0..baseline.num_machines())
+            .filter(|&m| {
+                let tags = baseline.machine_components(m);
+                !tags.is_empty() && tags.is_disjoint(&target)
+            })
+            .collect();
+        let Some(&victim) = foreign.first() else {
+            continue; // every machine touches the component; nothing to crash
+        };
+
+        // Same seed, same distribution — crash the foreign machine early
+        // enough to strike mid-run, and recover from checkpoints.
+        let mut rng = SplitMix64::new(trial_seed.derive(7));
+        let crash_round = 1 + rng.index(3);
+        let plan = FaultPlan::quiet(shared).crash(victim, crash_round);
+        let mut faulted = immunity_cluster(&g, shared);
+        faulted.arm_faults(plan, RecoveryPolicy::restart(4));
+        let lb = alg.run(&g, &mut faulted)?;
+        if faulted.recovery_log().is_empty() {
+            continue; // the run finished before the crash round
+        }
+        crashes_recovered += 1;
+        if let Some(idx) = (0..nc).find(|&v| la[v] != lb[v]) {
+            witnesses.push(CrashWitness {
+                trial,
+                machine: victim,
+                node_in_component: idx,
+            });
+        }
+    }
+    Ok(CrashImmunityReport {
+        algorithm: alg.name().to_string(),
+        trials,
+        crashes_recovered,
+        witnesses,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +314,17 @@ mod tests {
         let comp = generators::cycle(10);
         let report = verify_component_stability(&DerandomizedLargeIs, &comp, 12, Seed(3)).unwrap();
         assert!(!report.looks_stable());
+    }
+
+    #[test]
+    fn stable_algorithm_is_crash_immune() {
+        let comp = generators::cycle(12);
+        let report = verify_crash_immunity(&StableOneShotIs, &comp, 8, Seed(11)).unwrap();
+        assert!(report.immune(), "witnesses: {:?}", report.witnesses);
+        assert!(
+            report.crashes_recovered > 0,
+            "no crash ever fired; the probe is vacuous"
+        );
     }
 
     #[test]

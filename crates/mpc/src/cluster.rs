@@ -14,8 +14,9 @@
 //!   paper, which explicitly allows unbounded local computation.
 
 use crate::config::MpcConfig;
+use crate::faults::{Checkpoint, FaultKind, FaultPlan, FaultState, RecoveryEvent, RecoveryPolicy};
 use crate::provenance::{ComponentId, ProvenanceLog};
-use csmpc_graph::rng::Seed;
+use csmpc_graph::rng::{Seed, SplitMix64};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -90,6 +91,15 @@ pub enum MpcError {
         /// The cap.
         limit: usize,
     },
+    /// A machine crashed and the execution could not (or was not allowed
+    /// to) recover: fail-fast policy, exhausted retry budget, or a lost
+    /// quorum (a majority of machines down in one round).
+    MachineFailed {
+        /// The crashed machine.
+        machine: usize,
+        /// Value of the round counter when the crash struck.
+        round: usize,
+    },
 }
 
 impl fmt::Display for MpcError {
@@ -109,15 +119,34 @@ impl fmt::Display for MpcError {
                 words,
                 limit,
                 round,
-            } => write!(
-                f,
-                "machine {machine} stored {words} words in round {round} (limit {limit})"
-            ),
+            } => {
+                // `Cluster::require_fits` reports space pressure that is not
+                // attributable to one machine, using `usize::MAX` as the
+                // sentinel; printing that sentinel as a machine index is
+                // nonsense.
+                if *machine == usize::MAX {
+                    write!(
+                        f,
+                        "unattributed machine stored {words} words in round {round} (limit {limit})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "machine {machine} stored {words} words in round {round} (limit {limit})"
+                    )
+                }
+            }
             MpcError::UnknownMachine { machine, count } => {
                 write!(f, "machine {machine} does not exist ({count} machines)")
             }
             MpcError::RoundLimitExceeded { limit } => {
                 write!(f, "round limit {limit} exceeded")
+            }
+            MpcError::MachineFailed { machine, round } => {
+                write!(
+                    f,
+                    "machine {machine} failed in round {round} beyond recovery"
+                )
             }
         }
     }
@@ -144,6 +173,20 @@ pub trait MachineProgram {
     /// Current storage footprint of machine `id`, in words, for space
     /// enforcement.
     fn storage_words(&self, id: usize) -> usize;
+
+    /// Serializes the whole program's machine-resident state into words for
+    /// a recovery [`Checkpoint`]. The default (empty) is correct only for
+    /// programs whose `round` logic is insensitive to replay; programs that
+    /// accumulate state should capture it here so restart-from-checkpoint
+    /// recovery re-executes from a consistent snapshot.
+    fn snapshot(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state previously captured by [`MachineProgram::snapshot`].
+    fn restore(&mut self, snapshot: &[u64]) {
+        let _ = snapshot;
+    }
 }
 
 /// A low-space MPC cluster for an `n`-node input.
@@ -159,6 +202,10 @@ pub struct Cluster {
     /// Components whose words each machine currently holds, for the exact
     /// engine's message-level provenance propagation.
     machine_components: Vec<BTreeSet<ComponentId>>,
+    /// Armed fault plan and recovery policy for the accounted layer, if any.
+    faults: Option<FaultState>,
+    /// Completed crash recoveries, in order.
+    recovery_log: Vec<RecoveryEvent>,
 }
 
 impl Cluster {
@@ -176,6 +223,8 @@ impl Cluster {
             stats: Stats::default(),
             provenance: ProvenanceLog::new(),
             machine_components: vec![BTreeSet::new(); num_machines],
+            faults: None,
+            recovery_log: Vec::new(),
         }
     }
 
@@ -216,8 +265,57 @@ impl Cluster {
     }
 
     /// Resets the ledger (e.g. between repetitions).
+    ///
+    /// Note this clears *only* the [`Stats`] ledger: provenance flows,
+    /// machine component tags, and the recovery log survive. Repeated
+    /// independent runs on one cluster should use
+    /// [`Cluster::reset_for_repetition`] instead, or stale tags from trial
+    /// `t` leak into trial `t + 1`.
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
+    }
+
+    /// Resets everything one repetition of an experiment observes: the
+    /// [`Stats`] ledger, the provenance log, the per-machine component
+    /// tags, the recovery log, and any armed fault plan's fired/retry
+    /// bookkeeping. After this, the cluster behaves as freshly built for
+    /// the next trial.
+    pub fn reset_for_repetition(&mut self) {
+        self.stats = Stats::default();
+        self.provenance.clear();
+        for set in &mut self.machine_components {
+            set.clear();
+        }
+        self.recovery_log.clear();
+        if let Some(fs) = &mut self.faults {
+            *fs = FaultState::new(fs.plan.clone(), fs.policy);
+        }
+    }
+
+    /// Re-seeds the shared randomness (e.g. one derived stream per trial of
+    /// a repeated experiment on a reused cluster).
+    pub fn set_shared_seed(&mut self, seed: Seed) {
+        self.shared_seed = seed;
+    }
+
+    /// Arms a fault plan for the *accounted* layer: subsequent
+    /// [`Cluster::advance_rounds`] calls (and therefore every accounted
+    /// primitive) observe the plan's crashes and stragglers under `policy`.
+    /// The exact engine takes its plan per call via
+    /// [`Cluster::run_program_with_faults`] instead.
+    pub fn arm_faults(&mut self, plan: FaultPlan, policy: RecoveryPolicy) {
+        self.faults = Some(FaultState::new(plan, policy));
+    }
+
+    /// Removes any armed fault plan.
+    pub fn disarm_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Crash recoveries completed so far, in order.
+    #[must_use]
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery_log
     }
 
     /// The component-provenance log of this execution.
@@ -252,6 +350,107 @@ impl Cluster {
     /// Charges `rounds` rounds to the ledger (used by accounted primitives).
     pub fn charge_rounds(&mut self, rounds: usize) {
         self.stats.rounds += rounds;
+    }
+
+    /// Advances the round counter one synchronous barrier at a time,
+    /// letting any armed [`FaultPlan`] strike. This is what accounted
+    /// primitives call instead of [`Cluster::charge_rounds`]: with no plan
+    /// armed it is exactly `charge_rounds(rounds)`; with a plan armed,
+    /// stragglers stall the barrier (extra ledger rounds), and crashes
+    /// either fail the computation ([`RecoveryPolicy::FailFast`]) or
+    /// trigger a charged restart-from-checkpoint recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MachineFailed`] if a crash strikes under fail-fast or
+    /// after the retry budget is exhausted.
+    pub fn advance_rounds(&mut self, rounds: usize) -> Result<(), MpcError> {
+        if self.faults.is_none() {
+            self.stats.rounds += rounds;
+            return Ok(());
+        }
+        for _ in 0..rounds {
+            self.stats.rounds += 1;
+            self.process_accounted_faults()?;
+        }
+        Ok(())
+    }
+
+    /// Fires every armed fault event whose round has been reached. Events
+    /// fire exactly once per execution (or per repetition after
+    /// [`Cluster::reset_for_repetition`]).
+    fn process_accounted_faults(&mut self) -> Result<(), MpcError> {
+        let Some(mut fs) = self.faults.take() else {
+            return Ok(());
+        };
+        let result = self.drive_accounted_faults(&mut fs);
+        self.faults = Some(fs);
+        result
+    }
+
+    fn drive_accounted_faults(&mut self, fs: &mut FaultState) -> Result<(), MpcError> {
+        // A straggler extends the ledger, which can pull later events into
+        // range, so re-scan until no event fires.
+        loop {
+            let now = self.stats.rounds;
+            let next = fs
+                .plan
+                .events()
+                .iter()
+                .enumerate()
+                .find(|(i, ev)| !fs.fired[*i] && ev.round <= now);
+            let Some((idx, ev)) = next else {
+                return Ok(());
+            };
+            let ev = *ev;
+            fs.fired[idx] = true;
+            match ev.kind {
+                FaultKind::Straggle { rounds } => {
+                    // The synchronous barrier waits for the slowest
+                    // machine: everyone pays the stall.
+                    self.stats.rounds += rounds;
+                }
+                FaultKind::Crash => match fs.policy {
+                    RecoveryPolicy::FailFast => {
+                        return Err(MpcError::MachineFailed {
+                            machine: ev.machine,
+                            round: self.stats.rounds,
+                        });
+                    }
+                    RecoveryPolicy::RestartFromCheckpoint { max_retries } => {
+                        fs.retries_used += 1;
+                        if fs.retries_used > max_retries {
+                            return Err(MpcError::MachineFailed {
+                                machine: ev.machine,
+                                round: self.stats.rounds,
+                            });
+                        }
+                        self.recover_accounted_crash(ev.machine);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Books one restart-from-checkpoint recovery on the accounted layer:
+    /// the rounds since the last conceptual checkpoint are re-executed and
+    /// the crashed machine's state is re-shipped, all charged to the
+    /// ledger. Recovery is never free — at least one round and one word.
+    fn recover_accounted_crash(&mut self, machine: usize) {
+        let interval = self.cfg.checkpoint_interval.max(1);
+        let crash_round = self.stats.rounds;
+        let checkpoint_round = (crash_round.saturating_sub(1) / interval) * interval;
+        let replayed = (crash_round - checkpoint_round).max(1);
+        let reshipped = self.stats.max_storage_words.max(1);
+        self.charge_rounds(replayed);
+        self.charge_words(reshipped, reshipped as u64);
+        self.recovery_log.push(RecoveryEvent {
+            machine,
+            crash_round,
+            checkpoint_round,
+            replayed_rounds: replayed,
+            reshipped_words: reshipped,
+        });
     }
 
     /// Charges a communication volume observation.
@@ -303,27 +502,186 @@ impl Cluster {
         initial: Vec<Message>,
         max_rounds: usize,
     ) -> Result<(), MpcError> {
-        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); self.num_machines];
+        let quiet = FaultPlan::quiet(self.shared_seed);
+        self.run_program_with_faults(
+            program,
+            initial,
+            max_rounds,
+            &quiet,
+            RecoveryPolicy::FailFast,
+        )
+    }
+
+    /// Runs `program` on the exact engine under a [`FaultPlan`].
+    ///
+    /// Per execution round (1-indexed), in order: pending transport
+    /// retransmissions are delivered (and re-charged); the plan's events at
+    /// this round strike — stragglers stall their machine's participation
+    /// while its inbox buffers, crashes either fail the run
+    /// ([`RecoveryPolicy::FailFast`], exhausted retries, or a majority of
+    /// machines down at once = lost quorum) or restore the most recent
+    /// round-boundary [`Checkpoint`] and deterministically re-execute the
+    /// lost rounds, charging the replay and the re-shipped state to the
+    /// ledger; then surviving machines run one normal round, with each
+    /// delivered message subject to the plan's seeded drop (retransmitted
+    /// one round later, charged twice) and duplication (delivered once,
+    /// charged twice) coins.
+    ///
+    /// Under [`RecoveryPolicy::RestartFromCheckpoint`] the cluster
+    /// snapshots inboxes, program state ([`MachineProgram::snapshot`]),
+    /// component tags, the provenance log, the transport RNG position, and
+    /// in-flight straggler/retransmission state every
+    /// [`MpcConfig::checkpoint_interval`] rounds. Fault events fire exactly
+    /// once per execution, including across recovery replays.
+    ///
+    /// Everything is deterministic in (`program`, `initial`, the plan, the
+    /// policy): replaying the same call yields the same result, the same
+    /// [`Stats`] ledger, and the same provenance log.
+    ///
+    /// # Errors
+    ///
+    /// Bandwidth, space, addressing, or round-limit violations, plus
+    /// [`MpcError::MachineFailed`] for unrecoverable crashes.
+    pub fn run_program_with_faults<P: MachineProgram>(
+        &mut self,
+        program: &mut P,
+        initial: Vec<Message>,
+        max_rounds: usize,
+        plan: &FaultPlan,
+        policy: RecoveryPolicy,
+    ) -> Result<(), MpcError> {
+        let m = self.num_machines;
+        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); m];
         for msg in initial {
-            if msg.to >= self.num_machines {
+            if msg.to >= m {
                 return Err(MpcError::UnknownMachine {
                     machine: msg.to,
-                    count: self.num_machines,
+                    count: m,
                 });
             }
             inboxes[msg.to].push(msg);
         }
-        for _ in 0..max_rounds {
-            let mut outgoing: Vec<Vec<Message>> = vec![Vec::new(); self.num_machines];
+        // Transport coins (drop/duplication) come from the plan's seed, so
+        // the same plan replays the same per-message faults.
+        let mut rng = SplitMix64::new(plan.seed().derive(0xfa17));
+        // Exec round (inclusive) through which each machine stalls.
+        let mut straggle_until: Vec<usize> = vec![0; m];
+        let mut pending_retransmit: Vec<Message> = Vec::new();
+        let mut fired = vec![false; plan.events().len()];
+        let mut retries_used = 0usize;
+        let interval = self.cfg.checkpoint_interval.max(1);
+        let use_checkpoints = matches!(policy, RecoveryPolicy::RestartFromCheckpoint { .. });
+        let mut checkpoint: Option<Checkpoint> = None;
+
+        // Completed execution rounds. Distinct from the ledger's round
+        // counter: a recovery rolls `exec` back to the checkpoint while the
+        // ledger keeps growing (replayed rounds are paid for twice).
+        let mut exec = 0usize;
+        while exec < max_rounds {
+            if use_checkpoints && exec.is_multiple_of(interval) {
+                checkpoint = Some(self.capture_checkpoint(
+                    exec,
+                    &inboxes,
+                    program,
+                    &rng,
+                    &straggle_until,
+                    &pending_retransmit,
+                ));
+            }
+            let round_now = exec + 1;
+
+            // Fault events scheduled for this execution round strike before
+            // the round body runs. Each fires at most once per execution.
+            let mut crashed: Vec<usize> = Vec::new();
+            for (i, ev) in plan.events().iter().enumerate() {
+                if fired[i] || ev.round != round_now {
+                    continue;
+                }
+                fired[i] = true;
+                match ev.kind {
+                    FaultKind::Straggle { rounds } => {
+                        let until = round_now + rounds - 1;
+                        if let Some(slot) = straggle_until.get_mut(ev.machine) {
+                            *slot = (*slot).max(until);
+                        }
+                    }
+                    FaultKind::Crash => crashed.push(ev.machine),
+                }
+            }
+            if !crashed.is_empty() {
+                if crashed.len() * 2 > m {
+                    // Lost quorum: a majority of machines went down in one
+                    // round; no checkpoint protocol survives that.
+                    return Err(MpcError::MachineFailed {
+                        machine: crashed[0],
+                        round: self.stats.rounds,
+                    });
+                }
+                match policy {
+                    RecoveryPolicy::FailFast => {
+                        return Err(MpcError::MachineFailed {
+                            machine: crashed[0],
+                            round: self.stats.rounds,
+                        });
+                    }
+                    RecoveryPolicy::RestartFromCheckpoint { max_retries } => {
+                        retries_used += crashed.len();
+                        if retries_used > max_retries {
+                            return Err(MpcError::MachineFailed {
+                                machine: crashed[0],
+                                round: self.stats.rounds,
+                            });
+                        }
+                        let cp = checkpoint
+                            .as_ref()
+                            .expect("restart policy always captures a round-0 checkpoint");
+                        let reshipped = self.restore_checkpoint(
+                            cp,
+                            program,
+                            &mut inboxes,
+                            &mut rng,
+                            &mut straggle_until,
+                            &mut pending_retransmit,
+                        );
+                        for &machine in &crashed {
+                            self.recovery_log.push(RecoveryEvent {
+                                machine,
+                                crash_round: round_now,
+                                checkpoint_round: cp.round,
+                                replayed_rounds: exec - cp.round,
+                                reshipped_words: reshipped,
+                            });
+                        }
+                        // Re-execute from the checkpoint; the replayed
+                        // rounds charge the ledger a second time.
+                        exec = cp.round;
+                        continue;
+                    }
+                }
+            }
+
+            // Deliver transport retransmissions from last round's dropped
+            // messages; the repeated transmission is charged again below.
+            let mut retransmit_words = 0u64;
+            for msg in pending_retransmit.drain(..) {
+                retransmit_words += msg.words.len() as u64;
+                inboxes[msg.to].push(msg);
+            }
+
+            let mut outgoing: Vec<Vec<Message>> = vec![Vec::new(); m];
             // Component tags travel with messages: a delivery hands the
             // receiver every component tag the sender held.
-            let mut incoming_tags: Vec<BTreeSet<ComponentId>> =
-                vec![BTreeSet::new(); self.num_machines];
+            let mut incoming_tags: Vec<BTreeSet<ComponentId>> = vec![BTreeSet::new(); m];
             let mut any_sent = false;
             let mut round_max = 0usize;
-            let mut round_total = 0u64;
+            let mut round_total = retransmit_words;
             let round = self.stats.rounds + 1;
             for (id, inbox_slot) in inboxes.iter_mut().enumerate() {
+                if round_now <= straggle_until[id] {
+                    // Straggling: the machine neither receives nor sends
+                    // this round; its inbox keeps buffering.
+                    continue;
+                }
                 let inbox = std::mem::take(inbox_slot);
                 let received: usize = inbox.iter().map(|m| m.words.len()).sum();
                 if received > self.local_space {
@@ -368,17 +726,36 @@ impl Cluster {
                 if !outs.is_empty() {
                     any_sent = true;
                 }
-                for m in outs {
-                    if m.to >= self.num_machines {
+                for msg in outs {
+                    if msg.to >= m {
                         return Err(MpcError::UnknownMachine {
-                            machine: m.to,
-                            count: self.num_machines,
+                            machine: msg.to,
+                            count: m,
                         });
                     }
-                    if m.to != id && !m.words.is_empty() {
-                        incoming_tags[m.to].extend(self.machine_components[id].iter().copied());
+                    // Tags propagate at send time even if the transport
+                    // delays the physical delivery: the words left the
+                    // sender this round.
+                    if msg.to != id && !msg.words.is_empty() {
+                        incoming_tags[msg.to].extend(self.machine_components[id].iter().copied());
                     }
-                    outgoing[m.to].push(m);
+                    let mut deliver = true;
+                    if plan.drop_per_mille() > 0 && (rng.index(1000) as u16) < plan.drop_per_mille()
+                    {
+                        // Lost in transit; the transport retransmits next
+                        // round, charging the words a second time.
+                        pending_retransmit.push(msg.clone());
+                        deliver = false;
+                    } else if plan.dup_per_mille() > 0
+                        && (rng.index(1000) as u16) < plan.dup_per_mille()
+                    {
+                        // Duplicated in transit: the receiver deduplicates,
+                        // but the extra transmission is paid for.
+                        round_total += msg.words.len() as u64;
+                    }
+                    if deliver {
+                        outgoing[msg.to].push(msg);
+                    }
                 }
             }
             // Merge propagated tags and record cross-component deliveries:
@@ -404,12 +781,75 @@ impl Cluster {
             }
             self.stats.rounds += 1;
             self.charge_words(round_max, round_total);
-            if !any_sent {
-                return Ok(());
+            // Stalled machines keep their buffered inboxes across the
+            // round; merge them ahead of newly sent messages.
+            for (id, slot) in inboxes.iter_mut().enumerate() {
+                if !slot.is_empty() {
+                    let mut carried = std::mem::take(slot);
+                    carried.append(&mut outgoing[id]);
+                    outgoing[id] = carried;
+                }
             }
             inboxes = outgoing;
+            // A stalled machine has not had the chance to speak yet, so the
+            // computation cannot be declared quiescent around it.
+            let work_pending = !pending_retransmit.is_empty()
+                || inboxes.iter().any(|b| !b.is_empty())
+                || straggle_until.iter().any(|&u| u >= round_now);
+            if !any_sent && !work_pending {
+                return Ok(());
+            }
+            exec += 1;
         }
         Err(MpcError::RoundLimitExceeded { limit: max_rounds })
+    }
+
+    /// Captures a round-boundary recovery snapshot of the exact engine.
+    fn capture_checkpoint<P: MachineProgram>(
+        &self,
+        exec_round: usize,
+        inboxes: &[Vec<Message>],
+        program: &P,
+        rng: &SplitMix64,
+        straggle_until: &[usize],
+        pending_retransmit: &[Message],
+    ) -> Checkpoint {
+        Checkpoint {
+            round: exec_round,
+            inboxes: inboxes.to_vec(),
+            program: program.snapshot(),
+            machine_components: self.machine_components.clone(),
+            provenance: self.provenance.clone(),
+            rng: rng.clone(),
+            straggle_until: straggle_until.to_vec(),
+            pending_retransmit: pending_retransmit.to_vec(),
+        }
+    }
+
+    /// Restores a [`Checkpoint`] after a crash and charges the recovery to
+    /// the ledger: one synchronous restore round plus the re-shipped
+    /// checkpoint words (at least one — recovery is never free). Returns
+    /// the words charged.
+    fn restore_checkpoint<P: MachineProgram>(
+        &mut self,
+        cp: &Checkpoint,
+        program: &mut P,
+        inboxes: &mut Vec<Vec<Message>>,
+        rng: &mut SplitMix64,
+        straggle_until: &mut Vec<usize>,
+        pending_retransmit: &mut Vec<Message>,
+    ) -> usize {
+        *inboxes = cp.inboxes.clone();
+        program.restore(&cp.program);
+        self.machine_components = cp.machine_components.clone();
+        self.provenance = cp.provenance.clone();
+        *rng = cp.rng.clone();
+        *straggle_until = cp.straggle_until.clone();
+        *pending_retransmit = cp.pending_retransmit.clone();
+        let reshipped = cp.words().max(1);
+        self.charge_rounds(1);
+        self.charge_words(reshipped, reshipped as u64);
+        reshipped
     }
 }
 
@@ -768,5 +1208,394 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, MpcError::UnknownMachine { .. }));
+    }
+
+    /// Sends one message to a configurable address in round 1.
+    struct AddressedSender {
+        to: usize,
+        fired: bool,
+    }
+
+    impl MachineProgram for AddressedSender {
+        fn round(&mut self, id: usize, _inbox: &[Message]) -> Vec<Message> {
+            if id == 0 && !self.fired {
+                self.fired = true;
+                vec![Message {
+                    to: self.to,
+                    words: vec![1],
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+        fn storage_words(&self, _id: usize) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn unknown_machine_mid_round_rejected() {
+        // The initial batch is validated eagerly; a mid-round bad address
+        // must be caught by the per-message check inside the round loop.
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let bad = cluster.num_machines() + 3;
+        let mut prog = AddressedSender {
+            to: bad,
+            fired: false,
+        };
+        let err = cluster.run_program(&mut prog, Vec::new(), 10).unwrap_err();
+        match err {
+            MpcError::UnknownMachine { machine, count } => {
+                assert_eq!(machine, bad);
+                assert_eq!(count, cluster.num_machines());
+            }
+            other => panic!("expected UnknownMachine, got {other:?}"),
+        }
+        // No round completed before the violation.
+        assert_eq!(cluster.stats().rounds, 0);
+    }
+
+    #[test]
+    fn self_addressed_messages_do_not_propagate_tags() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        cluster.tag_machine(0, 42);
+        // Machine 0 talks only to itself; its tag must stay put and no
+        // cross-component flow may be recorded.
+        let mut prog = AddressedSender {
+            to: 0,
+            fired: false,
+        };
+        cluster.run_program(&mut prog, Vec::new(), 10).unwrap();
+        assert_eq!(cluster.machine_components(0).len(), 1);
+        for m in 1..cluster.num_machines() {
+            assert!(
+                cluster.machine_components(m).is_empty(),
+                "machine {m} acquired a tag from a self-send"
+            );
+        }
+        assert!(!cluster.provenance().has_cross_component_flow());
+    }
+
+    #[test]
+    fn quiescence_exactly_at_max_rounds_is_ok() {
+        // The program sends in rounds 1..=4 and quiesces in round 5; with
+        // max_rounds = 5 the quiescing round is the last allowed one and
+        // the run must succeed, not report RoundLimitExceeded.
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let mut prog = ZeroWordChatter { rounds_left: 4 };
+        cluster.run_program(&mut prog, Vec::new(), 5).unwrap();
+        assert_eq!(cluster.stats().rounds, 5);
+
+        // One more round of chatter and the same cap must overflow.
+        let mut cluster2 = Cluster::new(cfg, 100, 100, Seed(0));
+        let mut prog2 = ZeroWordChatter { rounds_left: 5 };
+        let err = cluster2.run_program(&mut prog2, Vec::new(), 5).unwrap_err();
+        assert!(matches!(err, MpcError::RoundLimitExceeded { limit: 5 }));
+    }
+
+    #[test]
+    fn unattributed_space_violation_displays_cleanly() {
+        // `require_fits` uses usize::MAX as a "no specific machine"
+        // sentinel; the Display impl must not print that as an index.
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let err = cluster.require_fits(10_000_000).unwrap_err();
+        let s = err.to_string();
+        assert!(
+            s.contains("unattributed machine"),
+            "sentinel must render as 'unattributed machine': {s}"
+        );
+        assert!(
+            !s.contains(&usize::MAX.to_string()),
+            "sentinel index must not leak into the message: {s}"
+        );
+        // Attributed violations keep naming their machine.
+        let attributed = MpcError::SpaceExceeded {
+            machine: 3,
+            words: 10,
+            limit: 5,
+            round: 2,
+        };
+        assert!(attributed.to_string().contains("machine 3"));
+    }
+
+    #[test]
+    fn reset_for_repetition_clears_provenance_and_tags() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        cluster.charge_rounds(5);
+        cluster.tag_machine(0, 1);
+        cluster.tag_machine(1, 2);
+        let round = cluster.stats().rounds;
+        cluster.provenance_mut().record("test", round, 1, 2);
+        assert!(cluster.provenance().has_cross_component_flow());
+
+        // reset_stats alone leaks tags and flows — the documented trap.
+        cluster.reset_stats();
+        assert!(cluster.provenance().has_cross_component_flow());
+        assert!(!cluster.machine_components(0).is_empty());
+
+        cluster.reset_for_repetition();
+        assert_eq!(cluster.stats(), &Stats::default());
+        assert!(!cluster.provenance().has_cross_component_flow());
+        assert!(cluster.machine_components(0).is_empty());
+        assert!(cluster.machine_components(1).is_empty());
+        assert!(cluster.recovery_log().is_empty());
+    }
+
+    #[test]
+    fn reset_for_repetition_rearms_fault_plan() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        cluster.arm_faults(
+            FaultPlan::quiet(Seed(3)).crash(0, 1),
+            RecoveryPolicy::restart(2),
+        );
+        cluster.advance_rounds(2).unwrap();
+        assert_eq!(cluster.recovery_log().len(), 1);
+
+        cluster.reset_for_repetition();
+        assert!(cluster.recovery_log().is_empty());
+        // The plan re-fires on the next repetition, identically.
+        cluster.advance_rounds(2).unwrap();
+        assert_eq!(cluster.recovery_log().len(), 1);
+    }
+
+    #[test]
+    fn advance_rounds_without_plan_equals_charge_rounds() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut a = Cluster::new(cfg, 100, 100, Seed(0));
+        let mut b = Cluster::new(cfg, 100, 100, Seed(0));
+        a.charge_rounds(7);
+        b.advance_rounds(7).unwrap();
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn accounted_recovery_is_never_free() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        cluster.arm_faults(
+            FaultPlan::quiet(Seed(3)).crash(4, 3),
+            RecoveryPolicy::restart(2),
+        );
+        cluster.advance_rounds(5).unwrap();
+        let ev = cluster.recovery_log()[0];
+        assert_eq!(ev.machine, 4);
+        assert!(ev.replayed_rounds >= 1, "at least one replayed round");
+        assert!(ev.reshipped_words >= 1, "at least one re-shipped word");
+        assert!(
+            cluster.stats().rounds > 5,
+            "ledger must include the replay: {}",
+            cluster.stats().rounds
+        );
+        assert!(cluster.stats().total_words >= ev.reshipped_words as u64);
+    }
+
+    #[test]
+    fn accounted_retry_budget_is_enforced() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        cluster.arm_faults(
+            FaultPlan::quiet(Seed(3))
+                .crash(0, 1)
+                .crash(1, 2)
+                .crash(2, 3),
+            RecoveryPolicy::restart(2),
+        );
+        let err = cluster.advance_rounds(10).unwrap_err();
+        assert!(matches!(err, MpcError::MachineFailed { .. }));
+        assert_eq!(cluster.recovery_log().len(), 2, "two recoveries, then fail");
+    }
+
+    /// SumToZero with real snapshot/restore, for engine recovery tests.
+    struct RecoverableSum {
+        values: Vec<u64>,
+        acc: u64,
+        sent: Vec<bool>,
+    }
+
+    impl MachineProgram for RecoverableSum {
+        fn round(&mut self, id: usize, inbox: &[Message]) -> Vec<Message> {
+            if id == 0 {
+                for m in inbox {
+                    self.acc += m.words.iter().sum::<u64>();
+                }
+                Vec::new()
+            } else if !self.sent[id] {
+                self.sent[id] = true;
+                vec![Message {
+                    to: 0,
+                    words: vec![self.values[id]],
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+        fn storage_words(&self, _id: usize) -> usize {
+            2
+        }
+        fn snapshot(&self) -> Vec<u64> {
+            let mut words = vec![self.acc];
+            words.extend(self.sent.iter().map(|&s| u64::from(s)));
+            words
+        }
+        fn restore(&mut self, snapshot: &[u64]) {
+            self.acc = snapshot[0];
+            for (slot, &w) in self.sent.iter_mut().zip(&snapshot[1..]) {
+                *slot = w != 0;
+            }
+        }
+    }
+
+    fn engine_fault_run(
+        plan: &FaultPlan,
+        policy: RecoveryPolicy,
+    ) -> Result<(u64, Stats, usize), MpcError> {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let m = cluster.num_machines();
+        let mut prog = RecoverableSum {
+            values: (0..m as u64).collect(),
+            acc: 0,
+            sent: vec![false; m],
+        };
+        cluster.run_program_with_faults(&mut prog, Vec::new(), 100, plan, policy)?;
+        Ok((
+            prog.acc,
+            cluster.stats().clone(),
+            cluster.recovery_log().len(),
+        ))
+    }
+
+    #[test]
+    fn engine_crash_recovery_preserves_output_and_charges() {
+        let quiet = FaultPlan::quiet(Seed(9));
+        let (clean_sum, clean_stats, _) =
+            engine_fault_run(&quiet, RecoveryPolicy::FailFast).unwrap();
+
+        let plan = FaultPlan::quiet(Seed(9)).crash(1, 2);
+        let (sum, stats, recoveries) = engine_fault_run(&plan, RecoveryPolicy::restart(3)).unwrap();
+        assert_eq!(sum, clean_sum, "recovered run computes the same sum");
+        assert_eq!(recoveries, 1);
+        assert!(stats.rounds > clean_stats.rounds, "replay costs rounds");
+        assert!(
+            stats.total_words > clean_stats.total_words,
+            "restore re-ships words"
+        );
+    }
+
+    #[test]
+    fn engine_crash_fail_fast_errors() {
+        let plan = FaultPlan::quiet(Seed(9)).crash(1, 2);
+        let err = engine_fault_run(&plan, RecoveryPolicy::FailFast).unwrap_err();
+        assert!(matches!(err, MpcError::MachineFailed { machine: 1, .. }));
+    }
+
+    #[test]
+    fn engine_lost_quorum_is_unrecoverable() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let m = cluster.num_machines();
+        let mut plan = FaultPlan::quiet(Seed(9));
+        for machine in 0..(m / 2 + 1) {
+            plan = plan.crash(machine, 1);
+        }
+        let mut prog = RecoverableSum {
+            values: (0..m as u64).collect(),
+            acc: 0,
+            sent: vec![false; m],
+        };
+        let err = cluster
+            .run_program_with_faults(
+                &mut prog,
+                Vec::new(),
+                100,
+                &plan,
+                RecoveryPolicy::restart(99),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, MpcError::MachineFailed { .. }),
+            "a majority crash is beyond any retry budget"
+        );
+    }
+
+    #[test]
+    fn engine_replay_is_deterministic() {
+        // Same plan, same policy, twice: identical output, ledger, and
+        // recovery count — the replicability guarantee.
+        let plan = FaultPlan::quiet(Seed(11)).crash(2, 3).straggle(1, 2, 2);
+        let a = engine_fault_run(&plan, RecoveryPolicy::restart(3)).unwrap();
+        let b = engine_fault_run(&plan, RecoveryPolicy::restart(3)).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn engine_straggler_delays_but_preserves_output() {
+        let quiet = FaultPlan::quiet(Seed(9));
+        let (clean_sum, clean_stats, _) =
+            engine_fault_run(&quiet, RecoveryPolicy::FailFast).unwrap();
+
+        let plan = FaultPlan::quiet(Seed(9)).straggle(1, 1, 4);
+        let (sum, stats, recoveries) = engine_fault_run(&plan, RecoveryPolicy::FailFast).unwrap();
+        assert_eq!(sum, clean_sum, "a straggler only delays, never corrupts");
+        assert_eq!(recoveries, 0);
+        assert!(
+            stats.rounds > clean_stats.rounds,
+            "the stalled machine's message lands late: {} vs {}",
+            stats.rounds,
+            clean_stats.rounds
+        );
+    }
+
+    #[test]
+    fn engine_message_drops_charge_retransmissions() {
+        let quiet = FaultPlan::quiet(Seed(13));
+        let (clean_sum, clean_stats, _) =
+            engine_fault_run(&quiet, RecoveryPolicy::FailFast).unwrap();
+
+        // Heavy drop rate: every dropped message is retransmitted a round
+        // later, so the sum is intact but words are charged twice.
+        let plan = FaultPlan::quiet(Seed(13)).with_message_faults(400, 0);
+        let (sum, stats, _) = engine_fault_run(&plan, RecoveryPolicy::FailFast).unwrap();
+        assert_eq!(sum, clean_sum, "drops delay delivery, never lose it");
+        assert!(
+            stats.total_words > clean_stats.total_words,
+            "retransmissions must be charged: {} vs {}",
+            stats.total_words,
+            clean_stats.total_words
+        );
+    }
+
+    #[test]
+    fn engine_message_duplicates_charge_but_do_not_corrupt() {
+        let quiet = FaultPlan::quiet(Seed(13));
+        let (clean_sum, clean_stats, _) =
+            engine_fault_run(&quiet, RecoveryPolicy::FailFast).unwrap();
+
+        let plan = FaultPlan::quiet(Seed(13)).with_message_faults(0, 500);
+        let (sum, stats, _) = engine_fault_run(&plan, RecoveryPolicy::FailFast).unwrap();
+        assert_eq!(sum, clean_sum, "receivers deduplicate");
+        assert!(
+            stats.total_words > clean_stats.total_words,
+            "duplicate transmissions must be charged"
+        );
+    }
+
+    #[test]
+    fn machine_failed_display_names_machine_and_round() {
+        let err = MpcError::MachineFailed {
+            machine: 6,
+            round: 11,
+        };
+        let s = err.to_string();
+        assert!(s.contains("machine 6"), "{s}");
+        assert!(s.contains("round 11"), "{s}");
     }
 }

@@ -24,6 +24,13 @@ pub struct MpcConfig {
     pub min_space: usize,
     /// Multiplier on `n^φ` (the `Θ(·)` constant).
     pub space_factor: f64,
+    /// Exact-engine rounds between recovery checkpoints: under
+    /// [`crate::RecoveryPolicy::RestartFromCheckpoint`] the cluster
+    /// snapshots state every this many rounds, so a crash replays at most
+    /// this many rounds (all charged to the ledger).
+    pub checkpoint_interval: usize,
+    /// Default retry budget for restart-from-checkpoint recovery.
+    pub max_recovery_retries: usize,
 }
 
 impl MpcConfig {
@@ -39,6 +46,8 @@ impl MpcConfig {
             phi,
             min_space: 32,
             space_factor: 1.0,
+            checkpoint_interval: 4,
+            max_recovery_retries: 8,
         }
     }
 
@@ -67,13 +76,24 @@ impl MpcConfig {
 
     /// Depth of an `S`-ary tree over `m` leaves — the round cost of one
     /// aggregation or broadcast.
+    ///
+    /// Computed with an integer loop (`⌈log_b leaves⌉` as the least `d`
+    /// with `b^d ≥ leaves`): the floating `ln`-ratio form can be off by one
+    /// at exact powers of the fan-in, where `ln(b^k)/ln(b)` lands a hair
+    /// above `k` and ceils to `k + 1`.
     #[must_use]
     pub fn tree_depth(&self, n: usize, leaves: usize) -> usize {
         if leaves <= 1 {
             return 1;
         }
-        let b = self.tree_fan_in(n) as f64;
-        ((leaves as f64).ln() / b.ln()).ceil().max(1.0) as usize
+        let b = self.tree_fan_in(n);
+        let mut depth = 0usize;
+        let mut cover = 1usize;
+        while cover < leaves {
+            cover = cover.saturating_mul(b);
+            depth += 1;
+        }
+        depth
     }
 }
 
@@ -121,5 +141,40 @@ mod tests {
         // S = 100, 10_000 leaves -> depth 2.
         assert_eq!(c.tree_depth(10_000, 10_000), 2);
         assert_eq!(c.tree_depth(10_000, 1), 1);
+    }
+
+    #[test]
+    fn tree_depth_exact_at_fan_in_boundaries() {
+        // S = 100 for n = 10_000; the boundaries leaves = S, S², S² + 1
+        // are where the old ln-ratio formula risked an off-by-one.
+        let c = MpcConfig::with_phi(0.5);
+        let s = c.tree_fan_in(10_000);
+        assert_eq!(s, 100);
+        assert_eq!(c.tree_depth(10_000, s), 1, "leaves = S is one level");
+        assert_eq!(c.tree_depth(10_000, s * s), 2, "leaves = S^2 is two");
+        assert_eq!(
+            c.tree_depth(10_000, s * s + 1),
+            3,
+            "one leaf past S^2 forces a third level"
+        );
+        assert_eq!(c.tree_depth(10_000, s + 1), 2);
+    }
+
+    #[test]
+    fn tree_depth_monotone_in_leaves() {
+        let c = MpcConfig::with_phi(0.5);
+        let mut last = 0;
+        for leaves in [1, 2, 99, 100, 101, 9_999, 10_000, 10_001, 1_000_000] {
+            let d = c.tree_depth(10_000, leaves);
+            assert!(d >= last, "depth must not decrease as leaves grow");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn default_recovery_knobs_are_sane() {
+        let c = MpcConfig::default();
+        assert!(c.checkpoint_interval >= 1);
+        assert!(c.max_recovery_retries >= 1);
     }
 }

@@ -70,7 +70,7 @@ impl<'a> DistributedGraph<'a> {
         for &h in &edge_home {
             load[h] += 2;
         }
-        cluster.charge_rounds(1);
+        cluster.advance_rounds(1)?;
         let (argmax, &max) = load
             .iter()
             .enumerate()
@@ -140,22 +140,30 @@ impl<'a> DistributedGraph<'a> {
     }
 
     /// Exact node count via an aggregation tree. Charges `d` rounds.
-    pub fn count_nodes(&self, cluster: &mut Cluster) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MachineFailed`] from an armed fault plan.
+    pub fn count_nodes(&self, cluster: &mut Cluster) -> Result<usize, MpcError> {
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
-        cluster.charge_rounds(d);
-        self.g.n()
+        cluster.advance_rounds(d)?;
+        Ok(self.g.n())
     }
 
     /// Exact maximum degree via aggregation. Charges `2d` rounds (one
     /// neighbor count pass + one max pass).
-    pub fn max_degree(&self, cluster: &mut Cluster) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MachineFailed`] from an armed fault plan.
+    pub fn max_degree(&self, cluster: &mut Cluster) -> Result<usize, MpcError> {
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
-        cluster.charge_rounds(2 * d);
-        self.g.max_degree()
+        cluster.advance_rounds(2 * d)?;
+        Ok(self.g.max_degree())
     }
 
     /// Broadcasts a value from one machine to all. Charges `d` rounds.
@@ -165,18 +173,22 @@ impl<'a> DistributedGraph<'a> {
     /// multi-component input it records a global provenance mix. Use
     /// [`DistributedGraph::count_nodes`] / [`DistributedGraph::max_degree`]
     /// for the global quantities Definition 13 explicitly allows.
-    pub fn broadcast<T: Clone>(&self, cluster: &mut Cluster, value: &T) -> T {
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MachineFailed`] from an armed fault plan.
+    pub fn broadcast<T: Clone>(&self, cluster: &mut Cluster, value: &T) -> Result<T, MpcError> {
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
-        cluster.charge_rounds(d);
+        cluster.advance_rounds(d)?;
         let round = cluster.stats().rounds;
         cluster.provenance_mut().record_global_mix(
             "broadcast",
             round,
             self.component_of.iter().copied(),
         );
-        value.clone()
+        Ok(value.clone())
     }
 
     /// Aggregates per-node values with a commutative, associative `op`.
@@ -186,24 +198,28 @@ impl<'a> DistributedGraph<'a> {
     /// input this records a global provenance mix — aggregation over the
     /// whole input is exactly the kind of global read a component-stable
     /// algorithm (Definition 13) must not perform.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MachineFailed`] from an armed fault plan.
     pub fn aggregate<T: Clone>(
         &self,
         cluster: &mut Cluster,
         values: &[T],
         op: impl Fn(T, T) -> T,
-    ) -> Option<T> {
+    ) -> Result<Option<T>, MpcError> {
         assert_eq!(values.len(), self.g.n(), "one value per node expected");
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
-        cluster.charge_rounds(d);
+        cluster.advance_rounds(d)?;
         let round = cluster.stats().rounds;
         cluster.provenance_mut().record_global_mix(
             "aggregate",
             round,
             self.component_of.iter().copied(),
         );
-        values.iter().cloned().reduce(op)
+        Ok(values.iter().cloned().reduce(op))
     }
 
     /// Global winner selection over `candidates` — the accounted form of
@@ -218,22 +234,27 @@ impl<'a> DistributedGraph<'a> {
     ///
     /// Returns `(winner_index, winner_labels, scores)`.
     ///
+    /// # Errors
+    ///
+    /// [`MpcError::MachineFailed`] from an armed fault plan.
+    ///
     /// # Panics
     ///
     /// Panics if `candidates` is empty.
+    #[allow(clippy::type_complexity)]
     pub fn select_best_global<L: Clone>(
         &self,
         cluster: &mut Cluster,
         candidates: &[Vec<L>],
         score: impl Fn(&[L]) -> f64,
-    ) -> (usize, Vec<L>, Vec<f64>) {
+    ) -> Result<(usize, Vec<L>, Vec<f64>), MpcError> {
         assert!(!candidates.is_empty(), "need at least one candidate");
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
         // Concurrent per-repetition score aggregation, global argmax,
         // winner broadcast.
-        cluster.charge_rounds(3 * d);
+        cluster.advance_rounds(3 * d)?;
         let round = cluster.stats().rounds;
         cluster.provenance_mut().record_global_mix(
             "select-best-global",
@@ -247,25 +268,29 @@ impl<'a> DistributedGraph<'a> {
                 winner = i;
             }
         }
-        (winner, candidates[winner].clone(), scores)
+        Ok((winner, candidates[winner].clone(), scores))
     }
 
     /// For each node, reduces `op` over the values of its *neighbors*
     /// (`None` for isolated nodes). Implemented in real MPC by sorting edge
     /// records keyed by endpoint and segmented reduction; charges `2d`
     /// rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MachineFailed`] from an armed fault plan.
     pub fn neighbor_reduce<T: Clone>(
         &self,
         cluster: &mut Cluster,
         values: &[T],
         op: impl Fn(T, T) -> T,
-    ) -> Vec<Option<T>> {
+    ) -> Result<Vec<Option<T>>, MpcError> {
         assert_eq!(values.len(), self.g.n(), "one value per node expected");
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
-        cluster.charge_rounds(2 * d);
-        (0..self.g.n())
+        cluster.advance_rounds(2 * d)?;
+        Ok((0..self.g.n())
             .map(|v| {
                 self.g
                     .neighbors(v)
@@ -273,7 +298,7 @@ impl<'a> DistributedGraph<'a> {
                     .map(|&w| values[w as usize].clone())
                     .reduce(&op)
             })
-            .collect()
+            .collect())
     }
 
     /// Collects the `r`-radius ball of every node via graph exponentiation
@@ -297,7 +322,7 @@ impl<'a> DistributedGraph<'a> {
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
-        cluster.charge_rounds(doublings * 2 * d);
+        cluster.advance_rounds(doublings * 2 * d)?;
         let mut out = Vec::with_capacity(self.g.n());
         let mut worst = 0usize;
         for v in 0..self.g.n() {
@@ -315,7 +340,11 @@ impl<'a> DistributedGraph<'a> {
     /// connectivity-conjecture baseline. Works for any graph; each
     /// iteration doubles the reach. Charges `2d` rounds per measured
     /// iteration and returns `(labels, iterations)`.
-    pub fn cc_labels(&self, cluster: &mut Cluster) -> (Vec<u64>, usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MachineFailed`] from an armed fault plan.
+    pub fn cc_labels(&self, cluster: &mut Cluster) -> Result<(Vec<u64>, usize), MpcError> {
         let n = self.g.n();
         let d = cluster
             .config()
@@ -329,7 +358,7 @@ impl<'a> DistributedGraph<'a> {
         let mut iterations = 0usize;
         loop {
             iterations += 1;
-            cluster.charge_rounds(2 * d);
+            cluster.advance_rounds(2 * d)?;
             let mut next = label.clone();
             // Hook: take min over neighbors.
             for (v, nv) in next.iter_mut().enumerate() {
@@ -355,7 +384,7 @@ impl<'a> DistributedGraph<'a> {
             }
             label = jumped;
         }
-        (label, iterations)
+        Ok((label, iterations))
     }
 }
 
@@ -376,7 +405,7 @@ mod tests {
         let mut cl = cluster_for(&g);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
         assert_eq!(cl.stats().rounds, 1);
-        assert_eq!(dg.count_nodes(&mut cl), 64);
+        assert_eq!(dg.count_nodes(&mut cl).unwrap(), 64);
         assert!(cl.stats().rounds > 1);
     }
 
@@ -385,7 +414,7 @@ mod tests {
         let g = generators::star(9);
         let mut cl = cluster_for(&g);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
-        assert_eq!(dg.max_degree(&mut cl), 9);
+        assert_eq!(dg.max_degree(&mut cl).unwrap(), 9);
     }
 
     #[test]
@@ -394,7 +423,7 @@ mod tests {
         let mut cl = cluster_for(&g);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
         let vals: Vec<u64> = (0..5).map(|v| v as u64 * 10).collect();
-        let mins = dg.neighbor_reduce(&mut cl, &vals, std::cmp::min);
+        let mins = dg.neighbor_reduce(&mut cl, &vals, std::cmp::min).unwrap();
         assert_eq!(mins[0], Some(10));
         assert_eq!(mins[2], Some(10));
         assert_eq!(mins[4], Some(30));
@@ -407,7 +436,9 @@ mod tests {
             .unwrap();
         let mut cl = cluster_for(&g);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
-        let mins = dg.neighbor_reduce(&mut cl, &[1u64, 2, 3], std::cmp::min);
+        let mins = dg
+            .neighbor_reduce(&mut cl, &[1u64, 2, 3], std::cmp::min)
+            .unwrap();
         assert!(mins.iter().all(Option::is_none));
     }
 
@@ -436,13 +467,13 @@ mod tests {
         let one = generators::cycle(64);
         let mut cl = cluster_for(&one);
         let dg = DistributedGraph::distribute(&one, &mut cl).unwrap();
-        let (labels, _) = dg.cc_labels(&mut cl);
+        let (labels, _) = dg.cc_labels(&mut cl).unwrap();
         assert!(labels.iter().all(|&l| l == labels[0]));
 
         let two = generators::two_cycles(64);
         let mut cl2 = cluster_for(&two);
         let dg2 = DistributedGraph::distribute(&two, &mut cl2).unwrap();
-        let (labels2, _) = dg2.cc_labels(&mut cl2);
+        let (labels2, _) = dg2.cc_labels(&mut cl2).unwrap();
         let distinct: std::collections::HashSet<u64> = labels2.iter().copied().collect();
         assert_eq!(distinct.len(), 2);
     }
@@ -453,7 +484,7 @@ mod tests {
         let g = generators::cycle(256);
         let mut cl = cluster_for(&g);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
-        let (_, iters) = dg.cc_labels(&mut cl);
+        let (_, iters) = dg.cc_labels(&mut cl).unwrap();
         assert!(
             iters <= 2 * (256f64).log2() as usize + 2,
             "iterations {iters} not logarithmic"
@@ -466,7 +497,76 @@ mod tests {
         let g = generators::path(10);
         let mut cl = cluster_for(&g);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
-        let total = dg.aggregate(&mut cl, &[1u64; 10], |a, b| a + b).unwrap();
+        let total = dg
+            .aggregate(&mut cl, &[1u64; 10], |a, b| a + b)
+            .unwrap()
+            .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn armed_fail_fast_crash_surfaces_from_primitive() {
+        use crate::faults::{FaultPlan, RecoveryPolicy};
+        let g = generators::cycle(64);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        cl.arm_faults(
+            FaultPlan::quiet(Seed(5)).crash(0, cl.stats().rounds + 1),
+            RecoveryPolicy::FailFast,
+        );
+        let err = dg.count_nodes(&mut cl).unwrap_err();
+        assert!(matches!(err, MpcError::MachineFailed { machine: 0, .. }));
+    }
+
+    #[test]
+    fn armed_restart_crash_charges_and_recovers() {
+        use crate::faults::{FaultPlan, RecoveryPolicy};
+        let g = generators::cycle(64);
+
+        let mut clean = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut clean).unwrap();
+        let (labels_clean, _) = dg.cc_labels(&mut clean).unwrap();
+        let clean_stats = clean.stats().clone();
+
+        let mut faulty = cluster_for(&g);
+        let dg2 = DistributedGraph::distribute(&g, &mut faulty).unwrap();
+        faulty.arm_faults(
+            FaultPlan::quiet(Seed(5)).crash(2, faulty.stats().rounds + 3),
+            RecoveryPolicy::restart(4),
+        );
+        let (labels_faulty, _) = dg2.cc_labels(&mut faulty).unwrap();
+
+        assert_eq!(labels_clean, labels_faulty, "recovery preserves output");
+        assert_eq!(faulty.recovery_log().len(), 1);
+        assert!(
+            faulty.stats().rounds > clean_stats.rounds,
+            "recovery must cost rounds: {} vs {}",
+            faulty.stats().rounds,
+            clean_stats.rounds
+        );
+        assert!(
+            faulty.stats().total_words > clean_stats.total_words,
+            "recovery must cost words"
+        );
+    }
+
+    #[test]
+    fn armed_straggler_stalls_the_barrier() {
+        use crate::faults::{FaultPlan, RecoveryPolicy};
+        let g = generators::cycle(32);
+        let mut cl = cluster_for(&g);
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let before = cl.stats().rounds;
+        cl.arm_faults(
+            FaultPlan::quiet(Seed(5)).straggle(1, before + 1, 7),
+            RecoveryPolicy::FailFast,
+        );
+        dg.count_nodes(&mut cl).unwrap();
+        let d = cl.config().tree_depth(cl.input_n(), cl.num_machines());
+        assert_eq!(
+            cl.stats().rounds,
+            before + d + 7,
+            "a 7-round straggler stalls the barrier for everyone"
+        );
     }
 }

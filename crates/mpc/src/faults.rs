@@ -1,0 +1,388 @@
+//! Deterministic fault injection and checkpoint/recovery.
+//!
+//! Component stability (Definition 13) is a robustness property: a
+//! component-stable algorithm's output at `v` must be invariant to
+//! perturbations of the rest of the graph. This module supplies the
+//! *machine-level* analogue — crashes, stragglers, and message-transport
+//! faults — so that question can be asked executably: does destroying
+//! machines that hold only *other* components' data change a
+//! component-stable algorithm's output?
+//!
+//! Everything here is **replayable bit-for-bit**: a [`FaultPlan`] is plain
+//! data derived from a [`Seed`], so the same seed and plan produce the same
+//! faults, the same recoveries, the same output, the same [`Stats`] ledger
+//! and the same provenance log on every run (Definition 9, replicability).
+//!
+//! Two layers consume a plan:
+//!
+//! * the **exact engine** ([`crate::Cluster::run_program_with_faults`])
+//!   injects faults message-by-message and recovers by restoring a
+//!   round-boundary [`Checkpoint`] (inboxes, program state via
+//!   [`crate::MachineProgram::snapshot`]/`restore`, provenance tags, RNG
+//!   position) and deterministically re-executing the lost rounds;
+//! * the **accounted primitives** observe the plan through
+//!   [`crate::Cluster::advance_rounds`]: a crash under
+//!   [`RecoveryPolicy::RestartFromCheckpoint`] charges the replayed rounds
+//!   and re-shipped words to the ledger (recovery is never free), a crash
+//!   under [`RecoveryPolicy::FailFast`] surfaces as
+//!   [`crate::MpcError::MachineFailed`], and a straggler stalls the
+//!   synchronous barrier for its duration. Message drop/duplication only
+//!   has meaning where real messages move, i.e. on the exact engine.
+//!
+//! [`Stats`]: crate::Stats
+//! [`Seed`]: csmpc_graph::rng::Seed
+
+use crate::cluster::Message;
+use crate::provenance::{ComponentId, ProvenanceLog};
+use csmpc_graph::rng::{Seed, SplitMix64};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What happens to a machine at a scheduled round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The machine fails: its in-flight state is lost at the start of the
+    /// round. Fatal under [`RecoveryPolicy::FailFast`]; otherwise recovered
+    /// from the last checkpoint at a ledger cost.
+    Crash,
+    /// The machine stalls for the given number of rounds: it processes no
+    /// messages and sends nothing while the barrier (and the round ledger)
+    /// keeps advancing.
+    Straggle {
+        /// Rounds the machine stays unresponsive.
+        rounds: usize,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// 1-indexed execution round the fault strikes at.
+    pub round: usize,
+    /// The afflicted machine.
+    pub machine: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A seeded, fully deterministic fault schedule.
+///
+/// Plans are plain data: the same plan injected into the same execution
+/// yields identical behavior, which is what makes chaos runs replayable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: Seed,
+    events: Vec<FaultEvent>,
+    /// Per-message drop probability in 1/1000 (exact engine only). A
+    /// dropped message is retransmitted by the transport one round later —
+    /// delivery is reliable but delayed, and the retransmission is charged.
+    drop_per_mille: u16,
+    /// Per-message duplication probability in 1/1000 (exact engine only).
+    /// The duplicate transmission is charged; the receiver deduplicates.
+    dup_per_mille: u16,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (useful as the identity element of chaos
+    /// sweeps).
+    #[must_use]
+    pub fn quiet(seed: Seed) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+        }
+    }
+
+    /// Adds a crash of `machine` at execution round `round` (1-indexed).
+    #[must_use]
+    pub fn crash(mut self, machine: usize, round: usize) -> Self {
+        self.push(FaultEvent {
+            round,
+            machine,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Adds a straggler: `machine` stalls for `rounds` rounds starting at
+    /// execution round `round`.
+    #[must_use]
+    pub fn straggle(mut self, machine: usize, round: usize, rounds: usize) -> Self {
+        self.push(FaultEvent {
+            round,
+            machine,
+            kind: FaultKind::Straggle { rounds },
+        });
+        self
+    }
+
+    /// Sets message-transport fault rates (per mille; exact engine only).
+    #[must_use]
+    pub fn with_message_faults(mut self, drop_per_mille: u16, dup_per_mille: u16) -> Self {
+        self.drop_per_mille = drop_per_mille.min(1000);
+        self.dup_per_mille = dup_per_mille.min(1000);
+        self
+    }
+
+    /// A randomized-but-seeded plan for chaos sweeps: `crashes` crash
+    /// events and `stragglers` stall events, uniformly over `machines`
+    /// machines and rounds `1..=horizon`. Identical arguments always
+    /// produce the identical plan.
+    #[must_use]
+    pub fn random(
+        seed: Seed,
+        machines: usize,
+        horizon: usize,
+        crashes: usize,
+        stragglers: usize,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed.derive(0xc4a0));
+        let mut plan = FaultPlan::quiet(seed);
+        let horizon = horizon.max(1);
+        let machines = machines.max(1);
+        for _ in 0..crashes {
+            let m = rng.index(machines);
+            let r = 1 + rng.index(horizon);
+            plan = plan.crash(m, r);
+        }
+        for _ in 0..stragglers {
+            let m = rng.index(machines);
+            let r = 1 + rng.index(horizon);
+            let stall = 1 + rng.index(3);
+            plan = plan.straggle(m, r, stall);
+        }
+        plan
+    }
+
+    fn push(&mut self, ev: FaultEvent) {
+        self.events.push(ev);
+        self.events.sort_by_key(|e| {
+            (
+                e.round,
+                e.machine,
+                matches!(e.kind, FaultKind::Straggle { .. }),
+            )
+        });
+    }
+
+    /// The plan's seed (drives message-level coin flips).
+    #[must_use]
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// All scheduled events, sorted by round.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Per-message drop probability in 1/1000.
+    #[must_use]
+    pub fn drop_per_mille(&self) -> u16 {
+        self.drop_per_mille
+    }
+
+    /// Per-message duplication probability in 1/1000.
+    #[must_use]
+    pub fn dup_per_mille(&self) -> u16 {
+        self.dup_per_mille
+    }
+
+    /// `true` when the plan schedules nothing at all.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.events.is_empty() && self.drop_per_mille == 0 && self.dup_per_mille == 0
+    }
+}
+
+/// What the cluster does when a machine crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Surface the crash immediately as
+    /// [`crate::MpcError::MachineFailed`].
+    FailFast,
+    /// Restore the last round-boundary checkpoint and deterministically
+    /// re-execute, up to `max_retries` recoveries per execution. Every
+    /// recovery charges the replayed rounds and the re-shipped checkpoint
+    /// words to the [`crate::Stats`] ledger.
+    RestartFromCheckpoint {
+        /// Recoveries allowed before the execution is declared failed.
+        max_retries: usize,
+    },
+}
+
+impl RecoveryPolicy {
+    /// The default recovery posture for chaos runs: restart with a small
+    /// bounded retry budget.
+    #[must_use]
+    pub fn restart(max_retries: usize) -> Self {
+        RecoveryPolicy::RestartFromCheckpoint { max_retries }
+    }
+}
+
+/// One completed crash recovery, as recorded in
+/// [`crate::Cluster::recovery_log`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// The machine that crashed.
+    pub machine: usize,
+    /// Ledger round at which the crash struck.
+    pub crash_round: usize,
+    /// Execution round of the checkpoint restored from.
+    pub checkpoint_round: usize,
+    /// Rounds deterministically re-executed (charged to the ledger).
+    pub replayed_rounds: usize,
+    /// Words re-shipped to restore machine state (charged to the ledger).
+    pub reshipped_words: usize,
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "machine {} crashed at round {}; restored checkpoint of round {}, \
+             replayed {} round(s), re-shipped {} word(s)",
+            self.machine,
+            self.crash_round,
+            self.checkpoint_round,
+            self.replayed_rounds,
+            self.reshipped_words
+        )
+    }
+}
+
+/// A round-boundary snapshot of everything the exact engine needs to
+/// deterministically re-execute: pending inboxes, the program's machine
+/// storage (via [`crate::MachineProgram::snapshot`]), component-provenance
+/// tags, the provenance log, the transport RNG position, and in-flight
+/// straggler/retransmission state.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Execution round the snapshot was taken at (state *after* this many
+    /// rounds completed).
+    pub round: usize,
+    /// Pending per-machine inboxes.
+    pub inboxes: Vec<Vec<Message>>,
+    /// Program state as captured by [`crate::MachineProgram::snapshot`].
+    pub program: Vec<u64>,
+    /// Component tags of every machine at the boundary.
+    pub machine_components: Vec<BTreeSet<ComponentId>>,
+    /// Provenance log at the boundary.
+    pub provenance: ProvenanceLog,
+    /// Transport RNG position (message drop/duplication coins).
+    pub rng: SplitMix64,
+    /// Per-machine stall deadlines at the boundary.
+    pub straggle_until: Vec<usize>,
+    /// Messages awaiting transport retransmission at the boundary.
+    pub pending_retransmit: Vec<Message>,
+}
+
+impl Checkpoint {
+    /// Words a restore must re-ship: the program snapshot plus everything
+    /// in flight (pending inbox and retransmission payloads).
+    #[must_use]
+    pub fn words(&self) -> usize {
+        let inbox: usize = self
+            .inboxes
+            .iter()
+            .flat_map(|ms| ms.iter().map(|m| m.words.len()))
+            .sum();
+        let pending: usize = self.pending_retransmit.iter().map(|m| m.words.len()).sum();
+        self.program.len() + inbox + pending
+    }
+}
+
+/// Runtime fault bookkeeping for the accounted layer, installed by
+/// [`crate::Cluster::arm_faults`].
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    pub(crate) policy: RecoveryPolicy,
+    /// One flag per plan event: events fire exactly once per execution,
+    /// including across recovery replays.
+    pub(crate) fired: Vec<bool>,
+    pub(crate) retries_used: usize,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        let fired = vec![false; plan.events().len()];
+        FaultState {
+            plan,
+            policy,
+            fired,
+            retries_used: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_sort_events_by_round() {
+        let plan = FaultPlan::quiet(Seed(1))
+            .crash(3, 9)
+            .straggle(1, 2, 4)
+            .crash(0, 5);
+        let rounds: Vec<usize> = plan.events().iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn random_plans_are_reproducible() {
+        let a = FaultPlan::random(Seed(7), 16, 10, 3, 2);
+        let b = FaultPlan::random(Seed(7), 16, 10, 3, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 5);
+        let c = FaultPlan::random(Seed(8), 16, 10, 3, 2);
+        assert_ne!(a, c, "different seeds should give different plans");
+    }
+
+    #[test]
+    fn random_plan_respects_bounds() {
+        let plan = FaultPlan::random(Seed(3), 8, 6, 10, 10);
+        for ev in plan.events() {
+            assert!(ev.machine < 8);
+            assert!((1..=6).contains(&ev.round));
+            if let FaultKind::Straggle { rounds } = ev.kind {
+                assert!((1..=3).contains(&rounds));
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_plan_is_quiet() {
+        assert!(FaultPlan::quiet(Seed(0)).is_quiet());
+        assert!(!FaultPlan::quiet(Seed(0)).crash(0, 1).is_quiet());
+        assert!(!FaultPlan::quiet(Seed(0))
+            .with_message_faults(10, 0)
+            .is_quiet());
+    }
+
+    #[test]
+    fn message_fault_rates_are_clamped() {
+        let plan = FaultPlan::quiet(Seed(0)).with_message_faults(5000, 2000);
+        assert_eq!(plan.drop_per_mille(), 1000);
+        assert_eq!(plan.dup_per_mille(), 1000);
+    }
+
+    #[test]
+    fn recovery_event_display_names_everything() {
+        let ev = RecoveryEvent {
+            machine: 4,
+            crash_round: 9,
+            checkpoint_round: 8,
+            replayed_rounds: 1,
+            reshipped_words: 17,
+        };
+        let s = ev.to_string();
+        assert!(s.contains("machine 4"), "{s}");
+        assert!(s.contains("round 9"), "{s}");
+        assert!(s.contains("17 word(s)"), "{s}");
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`distributed`] — a graph distributed over machines with the textbook
 //!   low-space primitives (aggregation trees, neighbor reductions, graph
 //!   exponentiation, pointer-jumping connectivity), each charging its
-//!   documented round cost and asserting space feasibility.
+//!   documented round cost and asserting space feasibility;
+//! * [`faults`] — deterministic fault injection (crashes, stragglers,
+//!   message drop/duplication) and checkpoint/recovery, with every
+//!   recovery charged to the ledger.
 //!
 //! ```
 //! use csmpc_graph::{generators, rng::Seed};
@@ -22,7 +25,7 @@
 //! let g = generators::cycle(64);
 //! let mut cluster = Cluster::new(MpcConfig::with_phi(0.5), g.n(), graph_words(&g), Seed(1));
 //! let dg = DistributedGraph::distribute(&g, &mut cluster)?;
-//! let n = dg.count_nodes(&mut cluster);
+//! let n = dg.count_nodes(&mut cluster)?;
 //! assert_eq!(n, 64);
 //! println!("rounds so far: {}", cluster.stats().rounds);
 //! # Ok::<(), csmpc_mpc::MpcError>(())
@@ -34,11 +37,15 @@
 pub mod cluster;
 pub mod config;
 pub mod distributed;
+pub mod faults;
 pub mod primitives;
 pub mod provenance;
 
 pub use cluster::{Cluster, MachineProgram, Message, MpcError, Stats};
 pub use config::MpcConfig;
 pub use distributed::{graph_words, DistributedGraph};
-pub use primitives::{exact_aggregate_sum, prefix_sums, sort_keys};
+pub use faults::{Checkpoint, FaultEvent, FaultKind, FaultPlan, RecoveryEvent, RecoveryPolicy};
+pub use primitives::{
+    exact_aggregate_sum, exact_aggregate_sum_with_faults, prefix_sums, sort_keys,
+};
 pub use provenance::{ComponentId, CrossComponentFlow, ProvenanceLog};

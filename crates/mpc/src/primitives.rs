@@ -4,19 +4,29 @@
 //! Sorting and prefix sums are the `O(1/φ)`-round workhorses of low-space
 //! MPC (Goodrich-style sample sort; tree scans); the accounted versions
 //! charge those costs. The exact aggregation exists to validate the charged
-//! costs against a real message-by-message execution.
+//! costs against a real message-by-message execution — including under
+//! injected faults: [`exact_aggregate_sum_with_faults`] runs the same tree
+//! program through [`Cluster::run_program_with_faults`], and its
+//! [`MachineProgram::snapshot`]/`restore` implementation makes it
+//! recoverable from checkpoints.
 
 use crate::cluster::{Cluster, MachineProgram, Message, MpcError};
+use crate::faults::{FaultPlan, RecoveryPolicy};
 
 /// Sorts `keys` and returns `(sorted, rank_of_input)` where
 /// `rank_of_input[i]` is the position of `keys[i]` in the sorted order
 /// (ties broken by input index). Charges `2·d` rounds (sample-sort:
 /// splitter broadcast + routed exchange).
-pub fn sort_keys(cluster: &mut Cluster, keys: &[u64]) -> (Vec<u64>, Vec<usize>) {
+///
+/// # Errors
+///
+/// [`MpcError::MachineFailed`] from an armed fault plan.
+#[allow(clippy::type_complexity)]
+pub fn sort_keys(cluster: &mut Cluster, keys: &[u64]) -> Result<(Vec<u64>, Vec<usize>), MpcError> {
     let d = cluster
         .config()
         .tree_depth(cluster.input_n(), cluster.num_machines());
-    cluster.charge_rounds(2 * d);
+    cluster.advance_rounds(2 * d)?;
     let mut order: Vec<usize> = (0..keys.len()).collect();
     order.sort_by_key(|&i| (keys[i], i));
     let mut rank = vec![0usize; keys.len()];
@@ -24,23 +34,94 @@ pub fn sort_keys(cluster: &mut Cluster, keys: &[u64]) -> (Vec<u64>, Vec<usize>) 
         rank[i] = r;
     }
     let sorted = order.iter().map(|&i| keys[i]).collect();
-    (sorted, rank)
+    Ok((sorted, rank))
 }
 
 /// Exclusive prefix sums: `out[i] = Σ_{j<i} values[j]`. Charges `2·d`
 /// rounds (up-sweep + down-sweep over the machine tree).
-pub fn prefix_sums(cluster: &mut Cluster, values: &[u64]) -> Vec<u64> {
+///
+/// # Errors
+///
+/// [`MpcError::MachineFailed`] from an armed fault plan.
+pub fn prefix_sums(cluster: &mut Cluster, values: &[u64]) -> Result<Vec<u64>, MpcError> {
     let d = cluster
         .config()
         .tree_depth(cluster.input_n(), cluster.num_machines());
-    cluster.charge_rounds(2 * d);
+    cluster.advance_rounds(2 * d)?;
     let mut out = Vec::with_capacity(values.len());
     let mut acc = 0u64;
     for &v in values {
         out.push(acc);
         acc += v;
     }
-    out
+    Ok(out)
+}
+
+/// An `S`-ary sum tree over machines for the exact engine: each machine
+/// accumulates its children's partial sums and forwards one word to its
+/// parent; the total arrives at machine 0.
+struct TreeSum {
+    fan_in: usize,
+    machines: usize,
+    acc: Vec<u64>,
+    expected: Vec<usize>,
+    received: Vec<usize>,
+    sent: Vec<bool>,
+}
+
+impl TreeSum {
+    fn parent(&self, id: usize) -> usize {
+        (id - 1) / self.fan_in
+    }
+    fn children(&self, id: usize) -> usize {
+        // Number of children of `id` in the complete fan_in-ary tree.
+        let first = id * self.fan_in + 1;
+        if first >= self.machines {
+            0
+        } else {
+            (self.machines - first).min(self.fan_in)
+        }
+    }
+}
+
+impl MachineProgram for TreeSum {
+    fn round(&mut self, id: usize, inbox: &[Message]) -> Vec<Message> {
+        for m in inbox {
+            self.acc[id] += m.words.iter().sum::<u64>();
+            self.received[id] += 1;
+        }
+        if id != 0 && !self.sent[id] && self.received[id] == self.expected[id] {
+            self.sent[id] = true;
+            return vec![Message {
+                to: self.parent(id),
+                words: vec![self.acc[id]],
+            }];
+        }
+        Vec::new()
+    }
+    fn storage_words(&self, _id: usize) -> usize {
+        4
+    }
+    fn snapshot(&self) -> Vec<u64> {
+        // The mutable state is (acc, received, sent); fan_in / machines /
+        // expected are static configuration.
+        let mut words = Vec::with_capacity(3 * self.machines);
+        words.extend_from_slice(&self.acc);
+        words.extend(self.received.iter().map(|&r| r as u64));
+        words.extend(self.sent.iter().map(|&s| u64::from(s)));
+        words
+    }
+    fn restore(&mut self, snapshot: &[u64]) {
+        let m = self.machines;
+        assert_eq!(snapshot.len(), 3 * m, "malformed TreeSum snapshot");
+        self.acc.copy_from_slice(&snapshot[..m]);
+        for (slot, &w) in self.received.iter_mut().zip(&snapshot[m..2 * m]) {
+            *slot = w as usize;
+        }
+        for (slot, &w) in self.sent.iter_mut().zip(&snapshot[2 * m..]) {
+            *slot = w != 0;
+        }
+    }
 }
 
 /// An `S`-ary aggregation tree over machines, executed message-by-message
@@ -54,48 +135,25 @@ pub fn exact_aggregate_sum(
     cluster: &mut Cluster,
     values: &[u64],
 ) -> Result<(u64, usize), MpcError> {
-    struct TreeSum {
-        fan_in: usize,
-        machines: usize,
-        acc: Vec<u64>,
-        expected: Vec<usize>,
-        received: Vec<usize>,
-        sent: Vec<bool>,
-    }
-    impl TreeSum {
-        fn parent(&self, id: usize) -> usize {
-            (id - 1) / self.fan_in
-        }
-        fn children(&self, id: usize) -> usize {
-            // Number of children of `id` in the complete fan_in-ary tree.
-            let first = id * self.fan_in + 1;
-            if first >= self.machines {
-                0
-            } else {
-                (self.machines - first).min(self.fan_in)
-            }
-        }
-    }
-    impl MachineProgram for TreeSum {
-        fn round(&mut self, id: usize, inbox: &[Message]) -> Vec<Message> {
-            for m in inbox {
-                self.acc[id] += m.words.iter().sum::<u64>();
-                self.received[id] += 1;
-            }
-            if id != 0 && !self.sent[id] && self.received[id] == self.expected[id] {
-                self.sent[id] = true;
-                return vec![Message {
-                    to: self.parent(id),
-                    words: vec![self.acc[id]],
-                }];
-            }
-            Vec::new()
-        }
-        fn storage_words(&self, _id: usize) -> usize {
-            4
-        }
-    }
+    let quiet = FaultPlan::quiet(cluster.shared_seed());
+    exact_aggregate_sum_with_faults(cluster, values, &quiet, RecoveryPolicy::FailFast)
+}
 
+/// [`exact_aggregate_sum`] under a fault plan: the tree program carries a
+/// full [`MachineProgram::snapshot`]/`restore` implementation, so crashes
+/// under [`RecoveryPolicy::RestartFromCheckpoint`] recover to the correct
+/// sum while the recovery shows up in the ledger.
+///
+/// # Errors
+///
+/// Engine violations, plus [`MpcError::MachineFailed`] for unrecoverable
+/// crashes.
+pub fn exact_aggregate_sum_with_faults(
+    cluster: &mut Cluster,
+    values: &[u64],
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+) -> Result<(u64, usize), MpcError> {
     let machines = cluster.num_machines();
     let fan_in = cluster.config().tree_fan_in(cluster.input_n()).min(
         // Keep received words per machine within S.
@@ -123,9 +181,10 @@ pub fn exact_aggregate_sum(
         acc,
     };
     // Leaves with no children must be able to send in round 1; internal
-    // nodes wait for all children. Depth ≤ log_fan_in(machines) + 1.
+    // nodes wait for all children. Depth ≤ log_fan_in(machines) + 1, with
+    // generous headroom for straggler stalls and recovery replays.
     let before = cluster.stats().rounds;
-    cluster.run_program(&mut prog, Vec::new(), 4 * machines + 4)?;
+    cluster.run_program_with_faults(&mut prog, Vec::new(), 8 * machines + 64, plan, policy)?;
     let rounds = cluster.stats().rounds - before;
     let _ = prog.children(0);
     Ok((prog.acc[0], rounds))
@@ -145,7 +204,7 @@ mod tests {
     fn sort_ranks_consistent() {
         let mut cl = small_cluster();
         let keys = vec![30u64, 10, 20, 10, 50];
-        let (sorted, rank) = sort_keys(&mut cl, &keys);
+        let (sorted, rank) = sort_keys(&mut cl, &keys).unwrap();
         assert_eq!(sorted, vec![10, 10, 20, 30, 50]);
         assert_eq!(rank, vec![3, 0, 2, 1, 4]);
         assert!(cl.stats().rounds >= 2);
@@ -154,7 +213,7 @@ mod tests {
     #[test]
     fn prefix_sums_exclusive() {
         let mut cl = small_cluster();
-        let out = prefix_sums(&mut cl, &[3, 1, 4, 1, 5]);
+        let out = prefix_sums(&mut cl, &[3, 1, 4, 1, 5]).unwrap();
         assert_eq!(out, vec![0, 3, 4, 8, 9]);
     }
 
@@ -192,5 +251,65 @@ mod tests {
         let mut cl = small_cluster();
         let (sum, _) = exact_aggregate_sum(&mut cl, &[]).unwrap();
         assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn tree_sum_snapshot_round_trips() {
+        let mut a = TreeSum {
+            fan_in: 2,
+            machines: 3,
+            acc: vec![5, 7, 9],
+            expected: vec![2, 0, 0],
+            received: vec![1, 0, 0],
+            sent: vec![false, true, false],
+        };
+        let snap = a.snapshot();
+        a.acc = vec![0; 3];
+        a.received = vec![9; 3];
+        a.sent = vec![true; 3];
+        a.restore(&snap);
+        assert_eq!(a.acc, vec![5, 7, 9]);
+        assert_eq!(a.received, vec![1, 0, 0]);
+        assert_eq!(a.sent, vec![false, true, false]);
+    }
+
+    #[test]
+    fn exact_sum_survives_crash_with_recovery() {
+        let values: Vec<u64> = (1..=100).collect();
+
+        let mut clean = small_cluster();
+        let (sum_clean, _) = exact_aggregate_sum(&mut clean, &values).unwrap();
+        let clean_stats = clean.stats().clone();
+
+        let mut faulty = small_cluster();
+        let plan = FaultPlan::quiet(Seed(77)).crash(1, 2);
+        let (sum_faulty, _) = exact_aggregate_sum_with_faults(
+            &mut faulty,
+            &values,
+            &plan,
+            RecoveryPolicy::restart(3),
+        )
+        .unwrap();
+
+        assert_eq!(sum_clean, 5050);
+        assert_eq!(sum_faulty, 5050, "recovery must reconstruct the sum");
+        assert_eq!(faulty.recovery_log().len(), 1);
+        assert!(
+            faulty.stats().rounds > clean_stats.rounds
+                && faulty.stats().total_words > clean_stats.total_words,
+            "recovery is never free: {} vs {}",
+            faulty.stats(),
+            clean_stats
+        );
+    }
+
+    #[test]
+    fn exact_sum_fail_fast_crash_errors() {
+        let mut cl = small_cluster();
+        let plan = FaultPlan::quiet(Seed(77)).crash(1, 2);
+        let err =
+            exact_aggregate_sum_with_faults(&mut cl, &[1, 2, 3], &plan, RecoveryPolicy::FailFast)
+                .unwrap_err();
+        assert!(matches!(err, MpcError::MachineFailed { machine: 1, .. }));
     }
 }

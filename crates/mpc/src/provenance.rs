@@ -60,7 +60,7 @@ impl core::fmt::Display for CrossComponentFlow {
 /// Flows are deduplicated by `(primitive, from, to)` — the first round a
 /// given flow is observed is kept — so the log stays small even for long
 /// executions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProvenanceLog {
     flows: Vec<CrossComponentFlow>,
     seen: BTreeSet<(&'static str, ComponentId, ComponentId)>,

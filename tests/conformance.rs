@@ -2,8 +2,9 @@
 //!
 //! The static analyzer (`csmpc-conformance`) runs over the entire
 //! workspace from this integration test, so `cargo test` fails the moment
-//! anyone introduces a nondeterminism source, an unaccounted primitive, or
-//! a stability-discipline breach. The same scan is available as a binary
+//! anyone introduces a nondeterminism source, an unaccounted primitive, an
+//! uncharged recovery path, or a stability-discipline breach. The same
+//! scan is available as a binary
 //! (`cargo run -p csmpc-conformance --bin conformance`).
 
 use std::path::Path;
@@ -55,6 +56,21 @@ impl MpcVertexAlgorithm for Liar {
 ";
     assert_eq!(
         check_source(Path::new("x.rs"), unstable, &[Lint::StabilityDiscipline]).len(),
+        1
+    );
+
+    let free_recovery = "\
+pub fn restore_inboxes(cluster: &mut Cluster, cp: &Checkpoint) {
+    cluster.inboxes = cp.inboxes.clone();
+}
+";
+    assert_eq!(
+        check_source(
+            Path::new("x.rs"),
+            free_recovery,
+            &[Lint::RecoveryAccounting]
+        )
+        .len(),
         1
     );
 }

@@ -38,7 +38,7 @@ proptest! {
     fn cc_labels_match_components(g in arb_graph(), seed in 0u64..100) {
         let mut cl = roomy_cluster_for(&g, Seed(seed), 1 << 12);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
-        let (labels, _) = dg.cc_labels(&mut cl);
+        let (labels, _) = dg.cc_labels(&mut cl).unwrap();
         let reference = g.component_labels();
         for u in 0..g.n() {
             for v in u + 1..g.n() {
@@ -57,7 +57,7 @@ proptest! {
         let mut cl = roomy_cluster_for(&g, Seed(seed), 1 << 12);
         let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
         let vals: Vec<u64> = (0..g.n() as u64).map(|v| v * 31 + 7).collect();
-        let mins = dg.neighbor_reduce(&mut cl, &vals, std::cmp::min);
+        let mins = dg.neighbor_reduce(&mut cl, &vals, std::cmp::min).unwrap();
         for (v, &got) in mins.iter().enumerate() {
             let expect = g.neighbors(v).iter().map(|&w| vals[w as usize]).min();
             prop_assert_eq!(got, expect);
@@ -80,7 +80,7 @@ proptest! {
     fn sort_keys_correct(keys in proptest::collection::vec(0u64..500, 0..50)) {
         let g = generators::cycle(32);
         let mut cl = roomy_cluster_for(&g, Seed(2), 1 << 10);
-        let (sorted, ranks) = sort_keys(&mut cl, &keys);
+        let (sorted, ranks) = sort_keys(&mut cl, &keys).unwrap();
         let mut reference = keys.clone();
         reference.sort_unstable();
         prop_assert_eq!(&sorted, &reference);
@@ -97,7 +97,7 @@ proptest! {
     fn prefix_sums_correct(values in proptest::collection::vec(0u64..100, 0..50)) {
         let g = generators::cycle(32);
         let mut cl = roomy_cluster_for(&g, Seed(3), 1 << 10);
-        let out = prefix_sums(&mut cl, &values);
+        let out = prefix_sums(&mut cl, &values).unwrap();
         prop_assert_eq!(out.len(), values.len());
         let mut acc = 0u64;
         for (i, &v) in values.iter().enumerate() {
