@@ -22,4 +22,13 @@ cargo test -q -p csmpc-mpc --test chaos
 echo "==> model-conformance scan (incl. recovery-accounting lint)"
 cargo run -q --release -p csmpc-conformance --bin conformance
 
+echo "==> parallel equivalence suite (forced worker threads)"
+# Force real worker threads even on single-core runners so the parallel
+# code path is exercised for the bit-identity assertions.
+RAYON_NUM_THREADS=4 cargo test -q --test parallel_equivalence
+
+echo "==> bench smoke gate (writes BENCH_mpc.json; speedup gate on multi-core)"
+cargo run -q --release -p csmpc-bench --bin perf -- --smoke
+test -s BENCH_mpc.json
+
 echo "CI green."

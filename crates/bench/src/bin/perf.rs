@@ -1,0 +1,221 @@
+//! `perf` — the sequential-vs-parallel timing baseline for the
+//! deterministic parallel execution engine.
+//!
+//! Runs a fixed workload suite — Luby-style MIS, connected-component
+//! labels, ball-greedy coloring, faulted chaos replay, and the E5
+//! success-probability harness — at several input sizes under both
+//! [`ParallelismMode::Sequential`] and [`ParallelismMode::Parallel`],
+//! recording warm best-of-N wall times and speedups, and writes
+//! `BENCH_mpc.json` at the repository root.
+//!
+//! `--smoke` shrinks the sizes and repetition counts for the CI gate.
+//! The speedup gate (parallel no slower than sequential on average) is
+//! enforced only when real worker threads are available
+//! (`rayon::current_num_threads() > 1`); on a single-core runner the
+//! parallel mode degrades to inline execution and the gate reduces to a
+//! warning, since there is no concurrency to measure.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use csmpc_algorithms::amplify::StableOneShotIs;
+use csmpc_algorithms::api::MpcVertexAlgorithm;
+use csmpc_algorithms::mpc_edge::BallGreedyColoringMpc;
+use csmpc_core::runner::success_probability_with_mode;
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{generators, ops, Graph};
+use csmpc_mpc::{Cluster, DistributedGraph, FaultPlan, MpcConfig, ParallelismMode, RecoveryPolicy};
+use csmpc_problems::mis::LargeIndependentSet;
+
+const MODES: [ParallelismMode; 2] = [ParallelismMode::Sequential, ParallelismMode::Parallel];
+
+fn cluster_in_mode(g: &Graph, min_space: usize, seed: Seed, mode: ParallelismMode) -> Cluster {
+    let cfg = MpcConfig {
+        min_space,
+        parallelism: mode,
+        ..Default::default()
+    };
+    Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed)
+}
+
+/// One warmup pass, then the best (minimum) of `reps` timed passes, in
+/// milliseconds. Best-of is the standard noise filter for short kernels:
+/// scheduling jitter only ever adds time.
+fn time_best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn luby_mis(n: usize, mode: ParallelismMode) {
+    let g = generators::cycle(n);
+    let mut cl = cluster_in_mode(&g, 0, Seed(0xC0DE), mode);
+    black_box(StableOneShotIs.run(&g, &mut cl).expect("luby-mis run"));
+}
+
+fn cc_labels(n: usize, mode: ParallelismMode) {
+    let half = generators::cycle(n / 2);
+    let g = ops::disjoint_union(&[&half, &ops::with_fresh_names(&half, n as u64)]);
+    let mut cl = cluster_in_mode(&g, 0, Seed(0xC0DE), mode);
+    let dg = DistributedGraph::distribute(&g, &mut cl).expect("distribute");
+    black_box(dg.cc_labels(&mut cl).expect("cc-labels run"));
+}
+
+fn ball_coloring(n: usize, mode: ParallelismMode) {
+    let g = generators::random_tree(n, Seed(17));
+    // Radius-3 balls need the elevated space floor of the paper's roomy
+    // regime (Δ^{O(T)} ≤ n^φ side condition).
+    let mut cl = cluster_in_mode(&g, 1024, Seed(0xC0DE), mode);
+    black_box(
+        BallGreedyColoringMpc { radius: 3 }
+            .run(&g, &mut cl)
+            .expect("ball-coloring run"),
+    );
+}
+
+fn chaos_replay(n: usize, mode: ParallelismMode) {
+    let g = ops::disjoint_union(&[
+        &generators::cycle(8),
+        &ops::with_fresh_names(&generators::cycle(n), 1000 + n as u64),
+    ]);
+    let mut cl = cluster_in_mode(&g, 48, Seed(0xC0DE), mode);
+    let plan = FaultPlan::random(Seed(0xFA57).derive(1), cl.num_machines(), 3, 1, 1);
+    cl.arm_faults(plan, RecoveryPolicy::restart(8));
+    black_box(StableOneShotIs.run(&g, &mut cl).expect("chaos-replay run"));
+}
+
+fn e05_success_probability(n: usize, mode: ParallelismMode) {
+    let g = generators::cycle(n);
+    let p = LargeIndependentSet { c: 0.5 };
+    black_box(
+        success_probability_with_mode(&StableOneShotIs, &p, &g, 24, Seed(4), mode)
+            .expect("e05 run"),
+    );
+}
+
+struct Sample {
+    workload: &'static str,
+    n: usize,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
+impl Sample {
+    fn speedup(&self) -> f64 {
+        self.seq_ms / self.par_ms.max(1e-9)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 2 } else { 5 };
+    let workers = rayon::current_num_threads();
+
+    type Runner = fn(usize, ParallelismMode);
+    let suite: [(&str, Runner, [usize; 2]); 5] = [
+        (
+            "luby-mis",
+            luby_mis,
+            if smoke { [300, 600] } else { [1500, 4000] },
+        ),
+        (
+            "cc-labels",
+            cc_labels,
+            if smoke { [300, 600] } else { [1500, 4000] },
+        ),
+        (
+            "ball-coloring",
+            ball_coloring,
+            if smoke { [150, 300] } else { [600, 1500] },
+        ),
+        (
+            "chaos-replay",
+            chaos_replay,
+            if smoke { [200, 400] } else { [600, 1200] },
+        ),
+        (
+            "e05-success-probability",
+            e05_success_probability,
+            if smoke { [60, 120] } else { [240, 480] },
+        ),
+    ];
+
+    println!(
+        "perf suite: {} workloads x 2 sizes, best of {reps}, {workers} worker thread(s), \
+         smoke={smoke}",
+        suite.len()
+    );
+    let mut samples = Vec::new();
+    for (workload, runner, sizes) in suite {
+        for n in sizes {
+            let mut times = [0.0f64; 2];
+            for (slot, mode) in MODES.into_iter().enumerate() {
+                times[slot] = time_best_of(reps, || runner(n, mode));
+            }
+            let s = Sample {
+                workload,
+                n,
+                seq_ms: times[0],
+                par_ms: times[1],
+            };
+            println!(
+                "  {:<24} n={:<6} seq {:>9.3} ms   par {:>9.3} ms   speedup {:.2}x",
+                s.workload,
+                s.n,
+                s.seq_ms,
+                s.par_ms,
+                s.speedup()
+            );
+            samples.push(s);
+        }
+    }
+
+    // Geometric mean weights every workload equally regardless of its
+    // absolute runtime.
+    let geomean =
+        (samples.iter().map(|s| s.speedup().ln()).sum::<f64>() / samples.len() as f64).exp();
+    println!("geometric-mean speedup: {geomean:.2}x");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"suite\": \"csmpc parallel-engine baseline\",\n");
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"best_of\": {reps},\n"));
+    json.push_str(&format!("  \"geomean_speedup\": {geomean:.4},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"seq_ms\": {:.4}, \"par_ms\": {:.4}, \
+             \"speedup\": {:.4}}}{}\n",
+            s.workload,
+            s.n,
+            s.seq_ms,
+            s.par_ms,
+            s.speedup(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mpc.json");
+    std::fs::write(out, &json).expect("write BENCH_mpc.json");
+    println!("wrote {out}");
+
+    if smoke {
+        if workers > 1 && geomean < 1.0 {
+            eprintln!(
+                "FAIL: parallel mode is slower than sequential ({geomean:.2}x geomean) \
+                 with {workers} workers"
+            );
+            std::process::exit(1);
+        }
+        if workers <= 1 {
+            println!("note: single worker thread — parallel mode ran inline, speedup gate skipped");
+        }
+    }
+}

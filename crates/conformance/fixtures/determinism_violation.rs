@@ -1,0 +1,19 @@
+//! Seeded violation fixture for [`Lint::Determinism`]: a parallel iterator
+//! chain consumed by `.for_each`, whose side-effect order is unspecified —
+//! the accumulated total is order-dependent under floating point or any
+//! non-commutative merge, and even here the *interleaving* is unordered.
+//! Not compiled into any crate; scanned by `tests/conformance.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn racy_total(items: &[u64]) -> u64 {
+    let total = AtomicU64::new(0);
+    items.par_iter().for_each(|&x| {
+        total.fetch_add(x, Ordering::Relaxed);
+    });
+    total.load(Ordering::SeqCst)
+}
+
+pub fn unmaterialized_count(items: &[u64]) -> usize {
+    items.par_iter().filter(|&&x| x > 0).count()
+}

@@ -4,7 +4,7 @@
 //! dependency-free source scanner that enforces the repository's MPC-model
 //! discipline (the runtime half lives in `csmpc_core::conformance`).
 //!
-//! Four lints, each tied to a definition of the source paper
+//! Five lints, each tied to a definition of the source paper
 //! (*Component Stability in Low-Space Massively Parallel Computation*,
 //! PODC 2021):
 //!
@@ -36,6 +36,13 @@
 //!   `cc_labels`). Global mixes (`aggregate`, `broadcast`,
 //!   `select_best_global`, `amplify`) and node-*name* reads (`g.name(v)` —
 //!   stable outputs may depend on IDs, never names) are flagged.
+//! * [`Lint::Determinism`] — parallel iterator chains in the simulator
+//!   crates must materialize their results through an order-preserving
+//!   merge. A raw `par_iter`/`into_par_iter` chain must end in `.collect()`
+//!   (index order fixed by the executor) and must not be consumed by
+//!   `.for_each(...)` or `.reduce(...)`, whose side-effect/merge order is
+//!   unspecified in general rayon. The `csmpc_parallel::par_map*` helpers
+//!   are the approved entry points and pass by construction.
 //!
 //! Diagnostics carry `file:line` locations; a finding can be suppressed by
 //! placing `// conformance: allow(<lint>)` (or `allow(all)`) on the same or
@@ -72,6 +79,11 @@ pub enum Lint {
     /// A component-stable-declared algorithm reaching global quantities
     /// outside the approved API (breaks Definition 13).
     StabilityDiscipline,
+    /// A parallel iterator chain consumed without an order-preserving merge
+    /// (results must be `.collect()`ed in index order; unordered
+    /// `.for_each`/`.reduce` consumption breaks sequential/parallel
+    /// bit-identity).
+    Determinism,
 }
 
 impl Lint {
@@ -84,6 +96,7 @@ impl Lint {
             Lint::UnaccountedPrimitive => "unaccounted-primitive",
             Lint::RecoveryAccounting => "recovery-accounting",
             Lint::StabilityDiscipline => "stability-discipline",
+            Lint::Determinism => "determinism",
         }
     }
 
@@ -95,6 +108,7 @@ impl Lint {
             "unaccounted-primitive" => Some(Lint::UnaccountedPrimitive),
             "recovery-accounting" => Some(Lint::RecoveryAccounting),
             "stability-discipline" => Some(Lint::StabilityDiscipline),
+            "determinism" => Some(Lint::Determinism),
             _ => None,
         }
     }
@@ -787,6 +801,70 @@ fn lint_stability_discipline(
 }
 
 // ---------------------------------------------------------------------------
+// Lint 5: determinism
+// ---------------------------------------------------------------------------
+
+/// Tokens that start a raw parallel-iterator chain. The
+/// `csmpc_parallel::par_map*` helpers deliberately contain none of these
+/// names, so code going through the approved entry points passes untouched.
+const PAR_TOKENS: &[&str] = &["par_iter", "par_iter_mut", "into_par_iter", "par_bridge"];
+
+/// How far a parallel chain may stretch before the scanner gives up looking
+/// for its order-fixing merge.
+const PAR_CHAIN_MAX_LINES: usize = 40;
+
+fn lint_determinism(scrubbed: &Scrubbed, mask: &[bool], file: &Path, out: &mut Vec<Diagnostic>) {
+    let code = &scrubbed.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        if mask[i] || !PAR_TOKENS.iter().any(|t| contains_ident(&code[i], t)) {
+            i += 1;
+            continue;
+        }
+        // The chain: from the parallel-iterator call to the end of the
+        // statement (a `;`, or a `}` closing the surrounding tail
+        // expression), capped for unbalanced input.
+        let mut end = i;
+        for (j, line) in code
+            .iter()
+            .enumerate()
+            .skip(i)
+            .take(PAR_CHAIN_MAX_LINES.max(1))
+        {
+            end = j;
+            if line.contains(';') || line.contains('}') {
+                break;
+            }
+        }
+        let chain = code[i..=end].join("\n");
+        if chain.contains(".for_each(") || chain.contains(".reduce(") {
+            out.push(Diagnostic {
+                lint: Lint::Determinism,
+                file: file.to_path_buf(),
+                line: i + 1,
+                message: "parallel iterator chain is consumed by `.for_each`/`.reduce`, whose \
+                          side-effect/merge order is unspecified; materialize results with an \
+                          order-preserving `.collect()` (or use csmpc_parallel::par_map*) so \
+                          sequential and parallel runs stay bit-identical"
+                    .to_string(),
+            });
+        } else if !chain.contains(".collect") {
+            out.push(Diagnostic {
+                lint: Lint::Determinism,
+                file: file.to_path_buf(),
+                line: i + 1,
+                message: "parallel iterator chain never materializes through an order-preserving \
+                          `.collect()`; results must be merged in item-index order (or use \
+                          csmpc_parallel::par_map*) so sequential and parallel runs stay \
+                          bit-identical"
+                    .to_string(),
+            });
+        }
+        i = end + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Suppression + entry points
 // ---------------------------------------------------------------------------
 
@@ -845,6 +923,9 @@ pub fn check_source(file: &Path, source: &str, lints: &[Lint]) -> Vec<Diagnostic
             Lint::StabilityDiscipline => {
                 lint_stability_discipline(&scrubbed, &mask, file, &mut diags);
             }
+            Lint::Determinism => {
+                lint_determinism(&scrubbed, &mask, file, &mut diags);
+            }
         }
     }
     diags.retain(|d| !is_suppressed(&scrubbed.comments, d.line, d.lint));
@@ -869,6 +950,17 @@ pub fn lints_for_path(rel: &str) -> Vec<Lint> {
     }
     if rel.starts_with("crates/mpc/src/") {
         lints.push(Lint::RecoveryAccounting);
+    }
+    const DETERMINISM_ROOTS: &[&str] = &[
+        "crates/mpc/src/",
+        "crates/local/src/",
+        "crates/core/src/",
+        "crates/algorithms/src/",
+        "crates/derand/src/",
+        "crates/parallel/src/",
+    ];
+    if DETERMINISM_ROOTS.iter().any(|p| rel.starts_with(p)) {
+        lints.push(Lint::Determinism);
     }
     lints
 }
@@ -940,6 +1032,7 @@ mod tests {
         Lint::UnaccountedPrimitive,
         Lint::RecoveryAccounting,
         Lint::StabilityDiscipline,
+        Lint::Determinism,
     ];
 
     #[test]
@@ -1135,6 +1228,72 @@ pub fn retry_with_backoff(cluster: &mut Cluster) -> Result<(), MpcError> {
     }
 
     #[test]
+    fn determinism_flags_unordered_consumption() {
+        let src = "\
+fn racy(items: &[u64], total: &AtomicU64) {
+    items.par_iter().for_each(|&x| {
+        total.fetch_add(x, Ordering::Relaxed);
+    });
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Determinism]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("for_each"));
+    }
+
+    #[test]
+    fn determinism_flags_collect_free_chain() {
+        let src = "fn f(v: &[u64]) -> usize { v.par_iter().count() }\n";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Determinism]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("collect"));
+    }
+
+    #[test]
+    fn determinism_accepts_collected_chains() {
+        let src = "\
+fn doubled(v: Vec<u64>) -> Vec<u64> {
+    v.into_par_iter().map(|x| x * 2).collect()
+}
+fn spread(v: &[u64]) -> Vec<u64> {
+    v
+        .par_iter()
+        .map(|x| x * 2)
+        .collect()
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Determinism]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn determinism_ignores_sequential_reduce_and_helpers() {
+        // A plain iterator reduce and the approved par_map* helpers carry
+        // none of the parallel tokens.
+        let src = "\
+fn fold(v: &[u64]) -> Option<u64> {
+    v.iter().copied().reduce(|a, b| a + b)
+}
+fn swept(mode: ParallelismMode, v: &[u64]) -> Vec<u64> {
+    par_map(mode, v, |_, x| x * 2)
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Determinism]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn determinism_suppressible_like_any_lint() {
+        let src = "\
+// conformance: allow(determinism)
+fn counted(v: &[u64]) -> usize { v.par_iter().count() }
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Determinism]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
     fn lint_selection_by_path() {
         assert!(
             lints_for_path("crates/mpc/src/distributed.rs").contains(&Lint::UnaccountedPrimitive)
@@ -1145,6 +1304,12 @@ pub fn retry_with_backoff(cluster: &mut Cluster) -> Result<(), MpcError> {
         assert!(lints_for_path("crates/algorithms/src/luby.rs").contains(&Lint::Nondeterminism));
         assert!(!lints_for_path("crates/graph/src/graph.rs").contains(&Lint::Nondeterminism));
         assert!(lints_for_path("crates/graph/src/graph.rs").contains(&Lint::StabilityDiscipline));
+        assert!(lints_for_path("crates/mpc/src/cluster.rs").contains(&Lint::Determinism));
+        assert!(lints_for_path("crates/local/src/engine.rs").contains(&Lint::Determinism));
+        assert!(lints_for_path("crates/parallel/src/lib.rs").contains(&Lint::Determinism));
+        assert!(lints_for_path("crates/core/src/runner.rs").contains(&Lint::Determinism));
+        assert!(!lints_for_path("crates/graph/src/graph.rs").contains(&Lint::Determinism));
+        assert!(!lints_for_path("crates/bench/src/bin/perf.rs").contains(&Lint::Determinism));
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub struct Placement {
 /// # Errors
 ///
 /// Propagates algorithm errors from the stability probes.
-pub fn classify<A: MpcVertexAlgorithm>(
+pub fn classify<A: MpcVertexAlgorithm + Sync>(
     alg: &A,
     component: &Graph,
     trials: usize,

@@ -5,7 +5,10 @@
 use csmpc_algorithms::api::{MpcEdgeAlgorithm, MpcVertexAlgorithm};
 use csmpc_graph::rng::Seed;
 use csmpc_graph::Graph;
-use csmpc_mpc::{Cluster, FaultPlan, MpcConfig, MpcError, RecoveryEvent, RecoveryPolicy, Stats};
+use csmpc_mpc::{
+    Cluster, FaultPlan, MpcConfig, MpcError, ParallelismMode, RecoveryEvent, RecoveryPolicy, Stats,
+};
+use csmpc_parallel::par_map_range;
 use csmpc_problems::matching::EdgeProblem;
 use csmpc_problems::problem::{GraphProblem, Violation};
 
@@ -146,10 +149,13 @@ where
 
 /// Success probability over `trials` independent seeds.
 ///
-/// One cluster is built and reused across all trials;
-/// [`Cluster::reset_for_repetition`] wipes the ledger, the provenance log,
-/// and the machine component tags between trials, so each trial is
-/// indistinguishable from a fresh cluster.
+/// Trial `t` always runs with seed `master_seed.derive(t)` against a
+/// freshly-reset cluster ([`Cluster::reset_for_repetition`] wipes the
+/// ledger, the provenance log, and the machine component tags), so the
+/// estimate is a pure function of `(alg, problem, g, trials, master_seed)`.
+///
+/// Runs with [`ParallelismMode::default`]; use
+/// [`success_probability_with_mode`] to force a mode.
 ///
 /// # Errors
 ///
@@ -162,16 +168,54 @@ pub fn success_probability<A, P>(
     master_seed: Seed,
 ) -> Result<f64, MpcError>
 where
-    A: MpcVertexAlgorithm,
-    P: GraphProblem<Label = A::Label>,
+    A: MpcVertexAlgorithm + Sync,
+    P: GraphProblem<Label = A::Label> + Sync,
 {
-    let mut cluster = evaluation_cluster(g, master_seed);
+    success_probability_with_mode(
+        alg,
+        problem,
+        g,
+        trials,
+        master_seed,
+        ParallelismMode::default(),
+    )
+}
+
+/// [`success_probability`] with an explicit [`ParallelismMode`].
+///
+/// Each trial clones a template cluster, resets it, and derives its own
+/// seed from `master_seed` and the trial index — no state flows between
+/// trials, so the sweep is a pure per-trial map and both modes return the
+/// same estimate (and the same first error, in trial order, if any trial
+/// fails).
+///
+/// # Errors
+///
+/// Propagates algorithm errors from any trial.
+pub fn success_probability_with_mode<A, P>(
+    alg: &A,
+    problem: &P,
+    g: &Graph,
+    trials: u64,
+    master_seed: Seed,
+    mode: ParallelismMode,
+) -> Result<f64, MpcError>
+where
+    A: MpcVertexAlgorithm + Sync,
+    P: GraphProblem<Label = A::Label> + Sync,
+{
+    let base = evaluation_cluster(g, master_seed);
+    let verdicts: Vec<Result<bool, MpcError>> =
+        par_map_range(mode, usize::try_from(trials).unwrap_or(usize::MAX), |t| {
+            let mut cluster = base.clone();
+            cluster.reset_for_repetition();
+            cluster.set_shared_seed(master_seed.derive(t as u64));
+            let labels = alg.run(g, &mut cluster)?;
+            Ok(problem.validate(g, &labels).is_ok())
+        });
     let mut ok = 0u64;
-    for t in 0..trials {
-        cluster.reset_for_repetition();
-        cluster.set_shared_seed(master_seed.derive(t));
-        let labels = alg.run(g, &mut cluster)?;
-        if problem.validate(g, &labels).is_ok() {
+    for verdict in verdicts {
+        if verdict? {
             ok += 1;
         }
     }

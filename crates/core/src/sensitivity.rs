@@ -68,24 +68,31 @@ pub fn run_as_component<A: MpcVertexAlgorithm>(
 /// `trials` seeds on which the center outputs differ when each graph is
 /// embedded in an `n_total`-node input.
 ///
+/// Trials derive their seeds from the trial index and are independent, so
+/// they run as a parallel sweep ([`csmpc_parallel::ParallelismMode`]
+/// default); the estimate (and any first error, in trial order) is mode-
+/// independent.
+///
 /// # Errors
 ///
 /// Propagates algorithm errors.
-pub fn estimate_sensitivity<A: MpcVertexAlgorithm>(
+pub fn estimate_sensitivity<A: MpcVertexAlgorithm + Sync>(
     alg: &A,
     pair: &CenteredPair,
     n_total: usize,
     trials: usize,
     master_seed: Seed,
 ) -> Result<f64, MpcError> {
+    let per_trial: Vec<Result<bool, MpcError>> =
+        csmpc_parallel::par_map_range(csmpc_parallel::ParallelismMode::default(), trials, |t| {
+            let seed = master_seed.derive(t as u64);
+            let a = run_as_component(alg, &pair.g, pair.center_g, n_total, seed)?;
+            let b = run_as_component(alg, &pair.gp, pair.center_gp, n_total, seed)?;
+            Ok(a != b)
+        });
     let mut differing = 0usize;
-    for t in 0..trials {
-        let seed = master_seed.derive(t as u64);
-        let a = run_as_component(alg, &pair.g, pair.center_g, n_total, seed)?;
-        let b = run_as_component(alg, &pair.gp, pair.center_gp, n_total, seed)?;
-        if a != b {
-            differing += 1;
-        }
+    for verdict in per_trial {
+        differing += usize::from(verdict?);
     }
     Ok(differing as f64 / trials.max(1) as f64)
 }

@@ -20,6 +20,7 @@ use csmpc_algorithms::api::MpcVertexAlgorithm;
 use csmpc_graph::rng::{Seed, SplitMix64};
 use csmpc_graph::{generators, ops, Graph};
 use csmpc_mpc::{Cluster, ComponentId, FaultPlan, MpcConfig, MpcError, RecoveryPolicy};
+use csmpc_parallel::{par_map_range, ParallelismMode};
 use std::collections::BTreeSet;
 
 /// A concrete witness that an algorithm is component-unstable.
@@ -99,58 +100,68 @@ fn sibling(n: usize, delta_cap: usize, name_base: u64, seed: Seed) -> Graph {
 /// Runs the Definition 13 verifier on `alg`, observing the component
 /// `component` embedded next to varying siblings.
 ///
+/// Trials derive their seeds from the trial index and share no state, so
+/// they run as a parallel sweep ([`ParallelismMode::default`]); witnesses
+/// are collected in trial order, and the report is identical in both modes.
+///
 /// # Errors
 ///
 /// Propagates algorithm errors (e.g. space violations).
-pub fn verify_component_stability<A: MpcVertexAlgorithm>(
+pub fn verify_component_stability<A: MpcVertexAlgorithm + Sync>(
     alg: &A,
     component: &Graph,
     trials: usize,
     master_seed: Seed,
 ) -> Result<StabilityReport, MpcError> {
-    let mut witnesses = Vec::new();
     let nc = component.n();
     let delta = component.max_degree();
 
     // Reference embedding: component ⊎ reference sibling.
-    for trial in 0..trials {
-        let trial_seed = master_seed.derive(trial as u64);
-        let sib_a = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(10));
-        let sib_b = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(11));
-        // Ensure identical (n, Δ): regenerate b until Δ matches a.
-        let sib_b = if sib_b.max_degree() == sib_a.max_degree() {
-            sib_b
-        } else {
-            ops::with_fresh_names(
-                &generators::shuffle_identity(&sib_a, 0, 0, trial_seed.derive(12)),
-                10_000,
-            )
-        };
-        let ga = ops::disjoint_union(&[component, &sib_a]);
-        let gb = ops::disjoint_union(&[component, &sib_b]);
-        debug_assert_eq!(ga.n(), gb.n());
-        debug_assert_eq!(ga.max_degree(), gb.max_degree());
-        let shared = trial_seed.derive(99);
-        let la = alg.run(&ga, &mut probe_cluster(&ga, shared))?;
-        let lb = alg.run(&gb, &mut probe_cluster(&gb, shared))?;
-        if let Some(idx) = (0..nc).find(|&v| la[v] != lb[v]) {
-            witnesses.push(InstabilityWitness {
-                probe: ProbeKind::SiblingSwap,
-                trial,
-                node_in_component: idx,
-            });
-        }
+    let per_trial: Vec<Result<Vec<InstabilityWitness>, MpcError>> =
+        par_map_range(ParallelismMode::default(), trials, |trial| {
+            let mut found = Vec::new();
+            let trial_seed = master_seed.derive(trial as u64);
+            let sib_a = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(10));
+            let sib_b = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(11));
+            // Ensure identical (n, Δ): regenerate b until Δ matches a.
+            let sib_b = if sib_b.max_degree() == sib_a.max_degree() {
+                sib_b
+            } else {
+                ops::with_fresh_names(
+                    &generators::shuffle_identity(&sib_a, 0, 0, trial_seed.derive(12)),
+                    10_000,
+                )
+            };
+            let ga = ops::disjoint_union(&[component, &sib_a]);
+            let gb = ops::disjoint_union(&[component, &sib_b]);
+            debug_assert_eq!(ga.n(), gb.n());
+            debug_assert_eq!(ga.max_degree(), gb.max_degree());
+            let shared = trial_seed.derive(99);
+            let la = alg.run(&ga, &mut probe_cluster(&ga, shared))?;
+            let lb = alg.run(&gb, &mut probe_cluster(&gb, shared))?;
+            if let Some(idx) = (0..nc).find(|&v| la[v] != lb[v]) {
+                found.push(InstabilityWitness {
+                    probe: ProbeKind::SiblingSwap,
+                    trial,
+                    node_in_component: idx,
+                });
+            }
 
-        // Renaming probe: same graph, fresh names everywhere.
-        let renamed = ops::with_fresh_names(&ga, 700_000 + trial as u64 * 1_000);
-        let lr = alg.run(&renamed, &mut probe_cluster(&renamed, shared))?;
-        if let Some(idx) = (0..nc).find(|&v| la[v] != lr[v]) {
-            witnesses.push(InstabilityWitness {
-                probe: ProbeKind::Renaming,
-                trial,
-                node_in_component: idx,
-            });
-        }
+            // Renaming probe: same graph, fresh names everywhere.
+            let renamed = ops::with_fresh_names(&ga, 700_000 + trial as u64 * 1_000);
+            let lr = alg.run(&renamed, &mut probe_cluster(&renamed, shared))?;
+            if let Some(idx) = (0..nc).find(|&v| la[v] != lr[v]) {
+                found.push(InstabilityWitness {
+                    probe: ProbeKind::Renaming,
+                    trial,
+                    node_in_component: idx,
+                });
+            }
+            Ok(found)
+        });
+    let mut witnesses = Vec::new();
+    for trial_witnesses in per_trial {
+        witnesses.extend(trial_witnesses?);
     }
     Ok(StabilityReport {
         algorithm: alg.name().to_string(),
@@ -222,17 +233,21 @@ impl CrashImmunityReport {
 ///
 /// Propagates algorithm errors (e.g. space violations or exhausted retry
 /// budgets).
-pub fn verify_crash_immunity<A: MpcVertexAlgorithm>(
+pub fn verify_crash_immunity<A: MpcVertexAlgorithm + Sync>(
     alg: &A,
     component: &Graph,
     trials: usize,
     master_seed: Seed,
 ) -> Result<CrashImmunityReport, MpcError> {
-    let mut witnesses = Vec::new();
-    let mut crashes_recovered = 0usize;
+    /// One trial's outcome: `None` when the probe was inapplicable (no
+    /// foreign machine, or the run beat the crash round), otherwise the
+    /// recovery flag and an optional divergence witness.
+    type CrashProbe = Result<Option<(bool, Option<CrashWitness>)>, MpcError>;
     let nc = component.n();
     let delta = component.max_degree();
-    for trial in 0..trials {
+    // Per-trial probes are seed-independent; run them as a parallel sweep
+    // and fold the outcomes in trial order.
+    let per_trial: Vec<CrashProbe> = par_map_range(ParallelismMode::default(), trials, |trial| {
         let trial_seed = master_seed.derive(0xc7a5).derive(trial as u64);
         let sib = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(10));
         let g = ops::disjoint_union(&[component, &sib]);
@@ -252,7 +267,7 @@ pub fn verify_crash_immunity<A: MpcVertexAlgorithm>(
             })
             .collect();
         let Some(&victim) = foreign.first() else {
-            continue; // every machine touches the component; nothing to crash
+            return Ok(None); // every machine touches the component
         };
 
         // Same seed, same distribution — crash the foreign machine early
@@ -264,15 +279,21 @@ pub fn verify_crash_immunity<A: MpcVertexAlgorithm>(
         faulted.arm_faults(plan, RecoveryPolicy::restart(4));
         let lb = alg.run(&g, &mut faulted)?;
         if faulted.recovery_log().is_empty() {
-            continue; // the run finished before the crash round
+            return Ok(None); // the run finished before the crash round
         }
-        crashes_recovered += 1;
-        if let Some(idx) = (0..nc).find(|&v| la[v] != lb[v]) {
-            witnesses.push(CrashWitness {
-                trial,
-                machine: victim,
-                node_in_component: idx,
-            });
+        let witness = (0..nc).find(|&v| la[v] != lb[v]).map(|idx| CrashWitness {
+            trial,
+            machine: victim,
+            node_in_component: idx,
+        });
+        Ok(Some((true, witness)))
+    });
+    let mut witnesses = Vec::new();
+    let mut crashes_recovered = 0usize;
+    for outcome in per_trial {
+        if let Some((recovered, witness)) = outcome? {
+            crashes_recovered += usize::from(recovered);
+            witnesses.extend(witness);
         }
     }
     Ok(CrashImmunityReport {

@@ -10,6 +10,7 @@
 use crate::params::LocalParams;
 use csmpc_graph::ball::ball;
 use csmpc_graph::Graph;
+use csmpc_parallel::{par_map_range, ParallelismMode};
 
 /// A LOCAL algorithm in ball form: output at a node is computed from its
 /// `radius()`-ball.
@@ -30,25 +31,47 @@ pub trait BallAlgorithm {
 ///
 /// The cost of the corresponding LOCAL execution is `radius()` rounds; the
 /// engine in [`crate::engine`] can be used when adaptive halting matters.
-pub fn run_ball_algorithm<A: BallAlgorithm>(
+///
+/// Evaluates with [`ParallelismMode::default`]; use
+/// [`run_ball_algorithm_with_mode`] to force a mode. Results are identical
+/// either way: each node's output depends only on its own ball.
+pub fn run_ball_algorithm<A: BallAlgorithm + Sync>(
     g: &Graph,
     alg: &A,
     params: &LocalParams,
-) -> Vec<A::Output> {
+) -> Vec<A::Output>
+where
+    A::Output: Send,
+{
+    run_ball_algorithm_with_mode(g, alg, params, ParallelismMode::default())
+}
+
+/// [`run_ball_algorithm`] with an explicit [`ParallelismMode`].
+///
+/// The per-node evaluation is a pure map — ball extraction and evaluation
+/// read only the shared graph — so both modes produce bit-identical output
+/// vectors (index `v` always holds node `v`'s output).
+pub fn run_ball_algorithm_with_mode<A: BallAlgorithm + Sync>(
+    g: &Graph,
+    alg: &A,
+    params: &LocalParams,
+    mode: ParallelismMode,
+) -> Vec<A::Output>
+where
+    A::Output: Send,
+{
     let r = alg.radius(params);
-    (0..g.n())
-        .map(|v| {
-            let (b, c, _) = ball(g, v, r);
-            alg.evaluate(&b, c, params)
-        })
-        .collect()
+    par_map_range(mode, g.n(), |v| {
+        let (b, c, _) = ball(g, v, r);
+        alg.evaluate(&b, c, params)
+    })
 }
 
 /// Verifies that an algorithm really is `r`-local: evaluating it on the
 /// `r`-ball and on any larger ball gives the same answer.
 ///
 /// Returns the indices of nodes where outputs differ (empty = consistent).
-pub fn locality_violations<A: BallAlgorithm>(
+pub fn locality_violations<A: BallAlgorithm + Sync>(
     g: &Graph,
     alg: &A,
     params: &LocalParams,
@@ -58,12 +81,18 @@ where
     A::Output: PartialEq,
 {
     let r = alg.radius(params);
-    (0..g.n())
-        .filter(|&v| {
-            let (b1, c1, _) = ball(g, v, r);
-            let (b2, c2, _) = ball(g, v, r + extra);
-            alg.evaluate(&b1, c1, params) != alg.evaluate(&b2, c2, params)
-        })
+    let mode = ParallelismMode::default();
+    // Per-node check is pure; collect the verdicts in index order, then
+    // filter sequentially so violation indices come out sorted.
+    let differs: Vec<bool> = par_map_range(mode, g.n(), |v| {
+        let (b1, c1, _) = ball(g, v, r);
+        let (b2, c2, _) = ball(g, v, r + extra);
+        alg.evaluate(&b1, c1, params) != alg.evaluate(&b2, c2, params)
+    });
+    differs
+        .into_iter()
+        .enumerate()
+        .filter_map(|(v, bad)| bad.then_some(v))
         .collect()
 }
 

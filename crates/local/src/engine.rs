@@ -8,6 +8,7 @@
 
 use crate::params::LocalParams;
 use csmpc_graph::{Graph, NodeId};
+use csmpc_parallel::{par_map_mut, ParallelismMode};
 
 /// What a node sees of itself and its surroundings: its ID, degree, and the
 /// IDs at the far ends of its edges (known from the start, per the paper's
@@ -121,16 +122,54 @@ impl std::error::Error for LocalError {}
 
 /// Runs `alg` on `g` under `params`, up to `max_rounds` rounds.
 ///
+/// Executes with [`ParallelismMode::default`]; use [`run_local_with_mode`]
+/// to force a mode. Both modes are bit-identical in every observable.
+///
 /// # Errors
 ///
 /// [`LocalError::RoundLimitExceeded`] if some node never halts within the
 /// cap; [`LocalError::BadPort`] on a malformed send.
-pub fn run_local<A: LocalAlgorithm>(
+pub fn run_local<A: LocalAlgorithm + Sync>(
     g: &Graph,
     alg: &A,
     params: &LocalParams,
     max_rounds: usize,
-) -> Result<LocalRun<A::Output>, LocalError> {
+) -> Result<LocalRun<A::Output>, LocalError>
+where
+    A::State: Send,
+    A::Message: Send + Sync,
+    A::Output: Send,
+{
+    run_local_with_mode(g, alg, params, max_rounds, ParallelismMode::default())
+}
+
+/// [`run_local`] with an explicit [`ParallelismMode`].
+///
+/// Each round splits into a *step* phase — every live node's
+/// [`LocalAlgorithm::round`] call, a pure per-node map over (state, view,
+/// inbox) that parallelizes freely — and a sequential *merge* phase that
+/// replays the resulting actions in node-index order: halting, port
+/// validation, delivery to still-live nodes, and the message counter all
+/// happen in exactly the order the sequential engine uses, so outputs,
+/// round counts, message counts, and errors are bit-identical in both
+/// modes.
+///
+/// # Errors
+///
+/// [`LocalError::RoundLimitExceeded`] if some node never halts within the
+/// cap; [`LocalError::BadPort`] on a malformed send.
+pub fn run_local_with_mode<A: LocalAlgorithm + Sync>(
+    g: &Graph,
+    alg: &A,
+    params: &LocalParams,
+    max_rounds: usize,
+    mode: ParallelismMode,
+) -> Result<LocalRun<A::Output>, LocalError>
+where
+    A::State: Send,
+    A::Message: Send + Sync,
+    A::Output: Send,
+{
     let n = g.n();
     let views: Vec<NodeView<'_>> = (0..n)
         .map(|v| NodeView {
@@ -164,12 +203,32 @@ pub fn run_local<A: LocalAlgorithm>(
         }
         rounds = round;
         let mut next_inboxes: Vec<Vec<Incoming<A::Message>>> = vec![Vec::new(); n];
-        for v in 0..n {
-            if halted[v].is_some() {
-                continue;
-            }
-            let inbox = std::mem::take(&mut inboxes[v]);
-            let action = alg.round(&mut states[v], &views[v], round, &inbox);
+        // Step phase: every live node computes its action from its own
+        // (state, view, inbox). `alg.round` never observes other nodes'
+        // liveness or actions, so this is a pure per-node map.
+        let taken: Vec<Vec<Incoming<A::Message>>> = (0..n)
+            .map(|v| {
+                if halted[v].is_none() {
+                    std::mem::take(&mut inboxes[v])
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let halted_mask: Vec<bool> = halted.iter().map(Option::is_some).collect();
+        let actions: Vec<Option<Action<A::Message, A::Output>>> =
+            par_map_mut(mode, &mut states, |v, state| {
+                if halted_mask[v] {
+                    return None;
+                }
+                Some(alg.round(state, &views[v], round, &taken[v]))
+            });
+        // Merge phase: replay the actions in node-index order. Halting and
+        // delivery interleave exactly as in a single sequential pass — a
+        // node that halts here stops receiving from higher-indexed senders
+        // within the same round.
+        for (v, action) in actions.into_iter().enumerate() {
+            let Some(action) = action else { continue };
             let sends: Vec<(usize, A::Message)> = match action {
                 Action::Halt(out) => {
                     halted[v] = Some(out);

@@ -46,6 +46,10 @@ pub mod engine;
 pub mod indistinguishability;
 pub mod params;
 
-pub use ball_eval::{run_ball_algorithm, BallAlgorithm};
-pub use engine::{run_local, Action, Incoming, LocalAlgorithm, LocalError, LocalRun, NodeView};
+pub use ball_eval::{run_ball_algorithm, run_ball_algorithm_with_mode, BallAlgorithm};
+pub use csmpc_parallel::ParallelismMode;
+pub use engine::{
+    run_local, run_local_with_mode, Action, Incoming, LocalAlgorithm, LocalError, LocalRun,
+    NodeView,
+};
 pub use params::LocalParams;

@@ -17,6 +17,7 @@ use crate::config::MpcConfig;
 use crate::faults::{Checkpoint, FaultKind, FaultPlan, FaultState, RecoveryEvent, RecoveryPolicy};
 use crate::provenance::{ComponentId, ProvenanceLog};
 use csmpc_graph::rng::{Seed, SplitMix64};
+use csmpc_parallel::par_map_mut;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -34,13 +35,20 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Merges another ledger (e.g. a sub-computation) into this one,
-    /// summing rounds and taking maxima of space figures.
+    /// Merges another ledger (e.g. a sub-computation, or one machine's
+    /// per-round delta in the parallel engine) into this one, summing
+    /// rounds and word totals (saturating at the type maxima) and taking
+    /// maxima of space figures.
+    ///
+    /// `absorb` is associative and commutative (`+` and `max` both are, and
+    /// saturation preserves that), so a set of per-machine deltas merges to
+    /// the same ledger in any order — the property the parallel engine's
+    /// fixed-order merge relies on, verified by a property test.
     pub fn absorb(&mut self, other: &Stats) {
-        self.rounds += other.rounds;
+        self.rounds = self.rounds.saturating_add(other.rounds);
         self.max_round_words = self.max_round_words.max(other.max_round_words);
         self.max_storage_words = self.max_storage_words.max(other.max_storage_words);
-        self.total_words += other.total_words;
+        self.total_words = self.total_words.saturating_add(other.total_words);
     }
 }
 
@@ -163,20 +171,28 @@ pub struct Message {
     pub words: Vec<u64>,
 }
 
-/// A machine-resident program for the exact engine: one callback per round.
-pub trait MachineProgram {
+/// One machine's resident program for the exact engine: one callback per
+/// round.
+///
+/// The engine drives a slice of these — one shard per machine, indexed by
+/// machine id — so that a round can step all machines concurrently
+/// ([`crate::MpcConfig::parallelism`]). A shard owns only its machine's
+/// state: `round` sees its own inbox and returns its own outgoing
+/// messages, and must not share mutable state with other shards (the
+/// `Send` bound plus `&mut self` access enforce exclusivity).
+pub trait MachineProgram: Send {
     /// Executes one round on machine `id` with the messages received this
     /// round; returns outgoing messages. Return an empty set from every
     /// machine to quiesce.
     fn round(&mut self, id: usize, inbox: &[Message]) -> Vec<Message>;
 
-    /// Current storage footprint of machine `id`, in words, for space
+    /// Current storage footprint of this machine, in words, for space
     /// enforcement.
-    fn storage_words(&self, id: usize) -> usize;
+    fn storage_words(&self) -> usize;
 
-    /// Serializes the whole program's machine-resident state into words for
-    /// a recovery [`Checkpoint`]. The default (empty) is correct only for
-    /// programs whose `round` logic is insensitive to replay; programs that
+    /// Serializes this machine's resident state into words for a recovery
+    /// [`Checkpoint`]. The default (empty) is correct only for programs
+    /// whose `round` logic is insensitive to replay; programs that
     /// accumulate state should capture it here so restart-from-checkpoint
     /// recovery re-executes from a consistent snapshot.
     fn snapshot(&self) -> Vec<u64> {
@@ -348,8 +364,9 @@ impl Cluster {
     }
 
     /// Charges `rounds` rounds to the ledger (used by accounted primitives).
+    /// Saturates at `usize::MAX` rather than wrapping.
     pub fn charge_rounds(&mut self, rounds: usize) {
-        self.stats.rounds += rounds;
+        self.stats.rounds = self.stats.rounds.saturating_add(rounds);
     }
 
     /// Advances the round counter one synchronous barrier at a time,
@@ -366,11 +383,11 @@ impl Cluster {
     /// after the retry budget is exhausted.
     pub fn advance_rounds(&mut self, rounds: usize) -> Result<(), MpcError> {
         if self.faults.is_none() {
-            self.stats.rounds += rounds;
+            self.stats.rounds = self.stats.rounds.saturating_add(rounds);
             return Ok(());
         }
         for _ in 0..rounds {
-            self.stats.rounds += 1;
+            self.stats.rounds = self.stats.rounds.saturating_add(1);
             self.process_accounted_faults()?;
         }
         Ok(())
@@ -408,7 +425,7 @@ impl Cluster {
                 FaultKind::Straggle { rounds } => {
                     // The synchronous barrier waits for the slowest
                     // machine: everyone pays the stall.
-                    self.stats.rounds += rounds;
+                    self.stats.rounds = self.stats.rounds.saturating_add(rounds);
                 }
                 FaultKind::Crash => match fs.policy {
                     RecoveryPolicy::FailFast => {
@@ -453,10 +470,12 @@ impl Cluster {
         });
     }
 
-    /// Charges a communication volume observation.
+    /// Charges a communication volume observation. The running total
+    /// saturates at `u64::MAX` rather than wrapping — large-`n` parallel
+    /// sweeps can push the cumulative volume far beyond test-scale values.
     pub fn charge_words(&mut self, per_machine_max: usize, total: u64) {
         self.stats.max_round_words = self.stats.max_round_words.max(per_machine_max);
-        self.stats.total_words += total;
+        self.stats.total_words = self.stats.total_words.saturating_add(total);
     }
 
     /// Records a storage high-water mark and enforces the space cap.
@@ -487,24 +506,32 @@ impl Cluster {
         self.charge_storage(usize::MAX, words)
     }
 
-    /// Runs `program` on the exact engine until it quiesces (a round in
+    /// Runs a program — one [`MachineProgram`] shard per machine, indexed
+    /// by machine id — on the exact engine until it quiesces (a round in
     /// which no machine sends) or `max_rounds` is hit.
     ///
     /// Every round, each machine's total sent words and received words are
-    /// checked against `S`, as is its reported storage.
+    /// checked against `S`, as is its reported storage. Under
+    /// [`crate::MpcConfig::parallelism`]`== ParallelismMode::Parallel` the
+    /// machines of a round step concurrently; results are bit-identical to
+    /// sequential execution either way.
+    ///
+    /// # Panics
+    ///
+    /// If `machines.len() != self.num_machines()`.
     ///
     /// # Errors
     ///
     /// Bandwidth, space, addressing, or round-limit violations.
     pub fn run_program<P: MachineProgram>(
         &mut self,
-        program: &mut P,
+        machines: &mut [P],
         initial: Vec<Message>,
         max_rounds: usize,
     ) -> Result<(), MpcError> {
         let quiet = FaultPlan::quiet(self.shared_seed);
         self.run_program_with_faults(
-            program,
+            machines,
             initial,
             max_rounds,
             &quiet,
@@ -534,9 +561,21 @@ impl Cluster {
     /// [`MpcConfig::checkpoint_interval`] rounds. Fault events fire exactly
     /// once per execution, including across recovery replays.
     ///
-    /// Everything is deterministic in (`program`, `initial`, the plan, the
+    /// Everything is deterministic in (`machines`, `initial`, the plan, the
     /// policy): replaying the same call yields the same result, the same
-    /// [`Stats`] ledger, and the same provenance log.
+    /// [`Stats`] ledger, and the same provenance log — in **either**
+    /// [`crate::MpcConfig::parallelism`] mode. The round body is one shared
+    /// code path: inbox intake and cap checks happen in machine-index order,
+    /// the per-machine step is a pure map over shards (sequential or
+    /// chunked across worker threads), and the merge — per-machine
+    /// [`Stats`] deltas absorbed associatively, component-tag propagation,
+    /// transport drop/duplication coins, and outbox bucketing — runs
+    /// sequentially in fixed machine-index order, so the transport RNG
+    /// consumes exactly the same coin stream either way.
+    ///
+    /// # Panics
+    ///
+    /// If `machines.len() != self.num_machines()`.
     ///
     /// # Errors
     ///
@@ -544,13 +583,19 @@ impl Cluster {
     /// [`MpcError::MachineFailed`] for unrecoverable crashes.
     pub fn run_program_with_faults<P: MachineProgram>(
         &mut self,
-        program: &mut P,
+        machines: &mut [P],
         initial: Vec<Message>,
         max_rounds: usize,
         plan: &FaultPlan,
         policy: RecoveryPolicy,
     ) -> Result<(), MpcError> {
         let m = self.num_machines;
+        assert_eq!(
+            machines.len(),
+            m,
+            "the engine takes one program shard per machine"
+        );
+        let mode = self.cfg.parallelism;
         let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); m];
         for msg in initial {
             if msg.to >= m {
@@ -582,7 +627,7 @@ impl Cluster {
                 checkpoint = Some(self.capture_checkpoint(
                     exec,
                     &inboxes,
-                    program,
+                    machines,
                     &rng,
                     &straggle_until,
                     &pending_retransmit,
@@ -637,7 +682,7 @@ impl Cluster {
                             .expect("restart policy always captures a round-0 checkpoint");
                         let reshipped = self.restore_checkpoint(
                             cp,
-                            program,
+                            machines,
                             &mut inboxes,
                             &mut rng,
                             &mut straggle_until,
@@ -668,18 +713,15 @@ impl Cluster {
                 inboxes[msg.to].push(msg);
             }
 
-            let mut outgoing: Vec<Vec<Message>> = vec![Vec::new(); m];
-            // Component tags travel with messages: a delivery hands the
-            // receiver every component tag the sender held.
-            let mut incoming_tags: Vec<BTreeSet<ComponentId>> = vec![BTreeSet::new(); m];
-            let mut any_sent = false;
-            let mut round_max = 0usize;
-            let mut round_total = retransmit_words;
             let round = self.stats.rounds + 1;
+            // Intake phase (sequential, machine-index order): take the
+            // inbox of every machine participating this round and enforce
+            // the receive cap. Stragglers keep their inboxes buffering in
+            // place — they neither receive nor send this round.
+            let mut taken: Vec<Vec<Message>> = Vec::with_capacity(m);
             for (id, inbox_slot) in inboxes.iter_mut().enumerate() {
                 if round_now <= straggle_until[id] {
-                    // Straggling: the machine neither receives nor sends
-                    // this round; its inbox keeps buffering.
+                    taken.push(Vec::new());
                     continue;
                 }
                 let inbox = std::mem::take(inbox_slot);
@@ -692,7 +734,43 @@ impl Cluster {
                         round,
                     });
                 }
-                let outs = program.round(id, &inbox);
+                taken.push(inbox);
+            }
+            // Step phase (concurrent under `ParallelismMode::Parallel`):
+            // every participating machine runs its round. A shard sees only
+            // its own state and its own inbox — a pure per-machine map — so
+            // the execution mode cannot influence any observable.
+            let straggle_ref = &straggle_until;
+            let taken_ref = &taken;
+            let stepped: Vec<Option<(Vec<Message>, usize)>> =
+                par_map_mut(mode, machines, |id, shard| {
+                    if round_now <= straggle_ref[id] {
+                        return None;
+                    }
+                    let outs = shard.round(id, &taken_ref[id]);
+                    let storage = shard.storage_words();
+                    Some((outs, storage))
+                });
+            // Merge phase (sequential, fixed machine-index order): send
+            // caps, storage charges, per-machine ledger deltas (absorbed
+            // associatively into one round delta), component-tag
+            // propagation, transport drop/duplication coins (consumed in
+            // machine order — the same coin stream a sequential engine
+            // draws), and outbox bucketing.
+            let mut outgoing: Vec<Vec<Message>> = vec![Vec::new(); m];
+            // Component tags travel with messages: a delivery hands the
+            // receiver every component tag the sender held.
+            let mut incoming_tags: Vec<BTreeSet<ComponentId>> = vec![BTreeSet::new(); m];
+            let mut any_sent = false;
+            let mut round_delta = Stats {
+                total_words: retransmit_words,
+                ..Stats::default()
+            };
+            for (id, step) in stepped.into_iter().enumerate() {
+                let Some((outs, storage)) = step else {
+                    continue;
+                };
+                let received: usize = taken[id].iter().map(|m| m.words.len()).sum();
                 let sent: usize = outs.iter().map(|m| m.words.len()).sum();
                 if sent > self.local_space {
                     return Err(MpcError::BandwidthExceeded {
@@ -702,7 +780,6 @@ impl Cluster {
                         round,
                     });
                 }
-                let storage = program.storage_words(id);
                 // Stamp the in-flight round (the ledger's counter advances
                 // only once the round completes).
                 if let Err(err) = self.charge_storage(id, storage) {
@@ -721,8 +798,12 @@ impl Cluster {
                         other => other,
                     });
                 }
-                round_max = round_max.max(sent.max(received));
-                round_total += sent as u64;
+                round_delta.absorb(&Stats {
+                    rounds: 0,
+                    max_round_words: sent.max(received),
+                    max_storage_words: 0,
+                    total_words: sent as u64,
+                });
                 if !outs.is_empty() {
                     any_sent = true;
                 }
@@ -751,7 +832,9 @@ impl Cluster {
                     {
                         // Duplicated in transit: the receiver deduplicates,
                         // but the extra transmission is paid for.
-                        round_total += msg.words.len() as u64;
+                        round_delta.total_words = round_delta
+                            .total_words
+                            .saturating_add(msg.words.len() as u64);
                     }
                     if deliver {
                         outgoing[msg.to].push(msg);
@@ -779,8 +862,8 @@ impl Cluster {
                 }
                 self.machine_components[to].extend(tags);
             }
-            self.stats.rounds += 1;
-            self.charge_words(round_max, round_total);
+            self.stats.rounds = self.stats.rounds.saturating_add(1);
+            self.charge_words(round_delta.max_round_words, round_delta.total_words);
             // Stalled machines keep their buffered inboxes across the
             // round; merge them ahead of newly sent messages.
             for (id, slot) in inboxes.iter_mut().enumerate() {
@@ -809,7 +892,7 @@ impl Cluster {
         &self,
         exec_round: usize,
         inboxes: &[Vec<Message>],
-        program: &P,
+        machines: &[P],
         rng: &SplitMix64,
         straggle_until: &[usize],
         pending_retransmit: &[Message],
@@ -817,7 +900,7 @@ impl Cluster {
         Checkpoint {
             round: exec_round,
             inboxes: inboxes.to_vec(),
-            program: program.snapshot(),
+            program: machines.iter().map(MachineProgram::snapshot).collect(),
             machine_components: self.machine_components.clone(),
             provenance: self.provenance.clone(),
             rng: rng.clone(),
@@ -833,14 +916,16 @@ impl Cluster {
     fn restore_checkpoint<P: MachineProgram>(
         &mut self,
         cp: &Checkpoint,
-        program: &mut P,
+        machines: &mut [P],
         inboxes: &mut Vec<Vec<Message>>,
         rng: &mut SplitMix64,
         straggle_until: &mut Vec<usize>,
         pending_retransmit: &mut Vec<Message>,
     ) -> usize {
         *inboxes = cp.inboxes.clone();
-        program.restore(&cp.program);
+        for (shard, snap) in machines.iter_mut().zip(&cp.program) {
+            shard.restore(snap);
+        }
         self.machine_components = cp.machine_components.clone();
         self.provenance = cp.provenance.clone();
         *rng = cp.rng.clone();
@@ -857,12 +942,17 @@ impl Cluster {
 mod tests {
     use super::*;
 
+    /// Builds one program shard per machine.
+    fn shards<T>(m: usize, build: impl Fn(usize) -> T) -> Vec<T> {
+        (0..m).map(build).collect()
+    }
+
     /// Each leaf machine sends its value toward machine 0 in one hop;
     /// machine 0 accumulates. (Deliberately ignores fan-in trees — small.)
     struct SumToZero {
-        values: Vec<u64>,
+        value: u64,
         acc: u64,
-        sent: Vec<bool>,
+        sent: bool,
     }
 
     impl MachineProgram for SumToZero {
@@ -872,34 +962,37 @@ mod tests {
                     self.acc += m.words.iter().sum::<u64>();
                 }
                 Vec::new()
-            } else if !self.sent[id] {
-                self.sent[id] = true;
+            } else if !self.sent {
+                self.sent = true;
                 vec![Message {
                     to: 0,
-                    words: vec![self.values[id]],
+                    words: vec![self.value],
                 }]
             } else {
                 Vec::new()
             }
         }
-        fn storage_words(&self, _id: usize) -> usize {
+        fn storage_words(&self) -> usize {
             2
         }
+    }
+
+    fn sum_to_zero(m: usize) -> Vec<SumToZero> {
+        shards(m, |id| SumToZero {
+            value: id as u64,
+            acc: 0,
+            sent: false,
+        })
     }
 
     #[test]
     fn exact_engine_moves_words() {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
-        // Restrict to 3 machines' worth of traffic for the toy program.
         let m = cluster.num_machines();
-        let mut prog = SumToZero {
-            values: (0..m as u64).collect(),
-            acc: 0,
-            sent: vec![false; m],
-        };
-        cluster.run_program(&mut prog, Vec::new(), 10).unwrap();
-        assert_eq!(prog.acc, (0..m as u64).sum::<u64>());
+        let mut machines = sum_to_zero(m);
+        cluster.run_program(&mut machines, Vec::new(), 10).unwrap();
+        assert_eq!(machines[0].acc, (0..m as u64).sum::<u64>());
         assert!(cluster.stats().rounds >= 2);
     }
 
@@ -921,7 +1014,7 @@ mod tests {
                 Vec::new()
             }
         }
-        fn storage_words(&self, _id: usize) -> usize {
+        fn storage_words(&self) -> usize {
             0
         }
     }
@@ -931,36 +1024,43 @@ mod tests {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
         let s = cluster.local_space();
-        let mut prog = Flooder {
+        let mut machines = shards(cluster.num_machines(), |_| Flooder {
             limit: s,
             fired: false,
-        };
-        let err = cluster.run_program(&mut prog, Vec::new(), 10).unwrap_err();
+        });
+        let err = cluster
+            .run_program(&mut machines, Vec::new(), 10)
+            .unwrap_err();
         assert!(matches!(err, MpcError::BandwidthExceeded { .. }));
     }
 
-    /// A program whose storage exceeds S.
-    struct Hoarder;
+    /// A program whose storage exceeds S on machine 0.
+    struct Hoarder {
+        words: usize,
+    }
 
     impl MachineProgram for Hoarder {
         fn round(&mut self, _id: usize, _inbox: &[Message]) -> Vec<Message> {
             Vec::new()
         }
-        fn storage_words(&self, id: usize) -> usize {
-            if id == 0 {
-                1_000_000
-            } else {
-                0
-            }
+        fn storage_words(&self) -> usize {
+            self.words
         }
+    }
+
+    fn hoarders(m: usize) -> Vec<Hoarder> {
+        shards(m, |id| Hoarder {
+            words: if id == 0 { 1_000_000 } else { 0 },
+        })
     }
 
     #[test]
     fn storage_cap_enforced() {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let mut machines = hoarders(cluster.num_machines());
         let err = cluster
-            .run_program(&mut Hoarder, Vec::new(), 10)
+            .run_program(&mut machines, Vec::new(), 10)
             .unwrap_err();
         assert!(matches!(err, MpcError::SpaceExceeded { .. }));
     }
@@ -1040,12 +1140,8 @@ mod tests {
         let cfg = MpcConfig::with_phi(0.5);
         let mut sub = Cluster::new(cfg, 100, 100, Seed(0));
         let m = sub.num_machines();
-        let mut prog = SumToZero {
-            values: (0..m as u64).collect(),
-            acc: 0,
-            sent: vec![false; m],
-        };
-        sub.run_program(&mut prog, Vec::new(), 10).unwrap();
+        let mut machines = sum_to_zero(m);
+        sub.run_program(&mut machines, Vec::new(), 10).unwrap();
         let sub_stats = sub.stats().clone();
         assert!(sub_stats.total_words > 0);
 
@@ -1079,9 +1175,16 @@ mod tests {
                 Vec::new()
             }
         }
-        fn storage_words(&self, _id: usize) -> usize {
+        fn storage_words(&self) -> usize {
             0
         }
+    }
+
+    fn exact_senders(m: usize, words: usize) -> Vec<ExactSender> {
+        shards(m, |_| ExactSender {
+            words,
+            fired: false,
+        })
     }
 
     #[test]
@@ -1091,11 +1194,8 @@ mod tests {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
         let s = cluster.local_space();
-        let mut prog = ExactSender {
-            words: s,
-            fired: false,
-        };
-        cluster.run_program(&mut prog, Vec::new(), 10).unwrap();
+        let mut machines = exact_senders(cluster.num_machines(), s);
+        cluster.run_program(&mut machines, Vec::new(), 10).unwrap();
         assert_eq!(cluster.stats().max_round_words, s);
         assert_eq!(cluster.stats().total_words, s as u64);
     }
@@ -1105,11 +1205,10 @@ mod tests {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
         let s = cluster.local_space();
-        let mut prog = ExactSender {
-            words: s + 1,
-            fired: false,
-        };
-        let err = cluster.run_program(&mut prog, Vec::new(), 10).unwrap_err();
+        let mut machines = exact_senders(cluster.num_machines(), s + 1);
+        let err = cluster
+            .run_program(&mut machines, Vec::new(), 10)
+            .unwrap_err();
         match err {
             MpcError::BandwidthExceeded {
                 machine,
@@ -1143,9 +1242,13 @@ mod tests {
                 Vec::new()
             }
         }
-        fn storage_words(&self, _id: usize) -> usize {
+        fn storage_words(&self) -> usize {
             0
         }
+    }
+
+    fn chatters(m: usize, rounds_left: usize) -> Vec<ZeroWordChatter> {
+        shards(m, |_| ZeroWordChatter { rounds_left })
     }
 
     #[test]
@@ -1154,8 +1257,8 @@ mod tests {
         // resource) but move no words.
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
-        let mut prog = ZeroWordChatter { rounds_left: 3 };
-        cluster.run_program(&mut prog, Vec::new(), 10).unwrap();
+        let mut machines = chatters(cluster.num_machines(), 3);
+        cluster.run_program(&mut machines, Vec::new(), 10).unwrap();
         assert!(cluster.stats().rounds >= 3);
         assert_eq!(cluster.stats().max_round_words, 0);
         assert_eq!(cluster.stats().total_words, 0);
@@ -1165,8 +1268,9 @@ mod tests {
     fn space_violation_in_engine_names_round_one() {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let mut machines = hoarders(cluster.num_machines());
         let err = cluster
-            .run_program(&mut Hoarder, Vec::new(), 10)
+            .run_program(&mut machines, Vec::new(), 10)
             .unwrap_err();
         match err {
             MpcError::SpaceExceeded { machine, round, .. } => {
@@ -1197,9 +1301,10 @@ mod tests {
     fn unknown_machine_rejected() {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let mut machines = hoarders(cluster.num_machines());
         let err = cluster
             .run_program(
-                &mut Hoarder,
+                &mut machines,
                 vec![Message {
                     to: 10_000_000,
                     words: vec![],
@@ -1228,9 +1333,13 @@ mod tests {
                 Vec::new()
             }
         }
-        fn storage_words(&self, _id: usize) -> usize {
+        fn storage_words(&self) -> usize {
             0
         }
+    }
+
+    fn addressed_senders(m: usize, to: usize) -> Vec<AddressedSender> {
+        shards(m, |_| AddressedSender { to, fired: false })
     }
 
     #[test]
@@ -1240,11 +1349,10 @@ mod tests {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
         let bad = cluster.num_machines() + 3;
-        let mut prog = AddressedSender {
-            to: bad,
-            fired: false,
-        };
-        let err = cluster.run_program(&mut prog, Vec::new(), 10).unwrap_err();
+        let mut machines = addressed_senders(cluster.num_machines(), bad);
+        let err = cluster
+            .run_program(&mut machines, Vec::new(), 10)
+            .unwrap_err();
         match err {
             MpcError::UnknownMachine { machine, count } => {
                 assert_eq!(machine, bad);
@@ -1263,11 +1371,8 @@ mod tests {
         cluster.tag_machine(0, 42);
         // Machine 0 talks only to itself; its tag must stay put and no
         // cross-component flow may be recorded.
-        let mut prog = AddressedSender {
-            to: 0,
-            fired: false,
-        };
-        cluster.run_program(&mut prog, Vec::new(), 10).unwrap();
+        let mut machines = addressed_senders(cluster.num_machines(), 0);
+        cluster.run_program(&mut machines, Vec::new(), 10).unwrap();
         assert_eq!(cluster.machine_components(0).len(), 1);
         for m in 1..cluster.num_machines() {
             assert!(
@@ -1285,14 +1390,16 @@ mod tests {
         // the run must succeed, not report RoundLimitExceeded.
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
-        let mut prog = ZeroWordChatter { rounds_left: 4 };
-        cluster.run_program(&mut prog, Vec::new(), 5).unwrap();
+        let mut machines = chatters(cluster.num_machines(), 4);
+        cluster.run_program(&mut machines, Vec::new(), 5).unwrap();
         assert_eq!(cluster.stats().rounds, 5);
 
         // One more round of chatter and the same cap must overflow.
         let mut cluster2 = Cluster::new(cfg, 100, 100, Seed(0));
-        let mut prog2 = ZeroWordChatter { rounds_left: 5 };
-        let err = cluster2.run_program(&mut prog2, Vec::new(), 5).unwrap_err();
+        let mut machines2 = chatters(cluster2.num_machines(), 5);
+        let err = cluster2
+            .run_program(&mut machines2, Vec::new(), 5)
+            .unwrap_err();
         assert!(matches!(err, MpcError::RoundLimitExceeded { limit: 5 }));
     }
 
@@ -1413,9 +1520,9 @@ mod tests {
 
     /// SumToZero with real snapshot/restore, for engine recovery tests.
     struct RecoverableSum {
-        values: Vec<u64>,
+        value: u64,
         acc: u64,
-        sent: Vec<bool>,
+        sent: bool,
     }
 
     impl MachineProgram for RecoverableSum {
@@ -1425,30 +1532,34 @@ mod tests {
                     self.acc += m.words.iter().sum::<u64>();
                 }
                 Vec::new()
-            } else if !self.sent[id] {
-                self.sent[id] = true;
+            } else if !self.sent {
+                self.sent = true;
                 vec![Message {
                     to: 0,
-                    words: vec![self.values[id]],
+                    words: vec![self.value],
                 }]
             } else {
                 Vec::new()
             }
         }
-        fn storage_words(&self, _id: usize) -> usize {
+        fn storage_words(&self) -> usize {
             2
         }
         fn snapshot(&self) -> Vec<u64> {
-            let mut words = vec![self.acc];
-            words.extend(self.sent.iter().map(|&s| u64::from(s)));
-            words
+            vec![self.acc, u64::from(self.sent)]
         }
         fn restore(&mut self, snapshot: &[u64]) {
             self.acc = snapshot[0];
-            for (slot, &w) in self.sent.iter_mut().zip(&snapshot[1..]) {
-                *slot = w != 0;
-            }
+            self.sent = snapshot[1] != 0;
         }
+    }
+
+    fn recoverable_sum(m: usize) -> Vec<RecoverableSum> {
+        shards(m, |id| RecoverableSum {
+            value: id as u64,
+            acc: 0,
+            sent: false,
+        })
     }
 
     fn engine_fault_run(
@@ -1458,14 +1569,10 @@ mod tests {
         let cfg = MpcConfig::with_phi(0.5);
         let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
         let m = cluster.num_machines();
-        let mut prog = RecoverableSum {
-            values: (0..m as u64).collect(),
-            acc: 0,
-            sent: vec![false; m],
-        };
-        cluster.run_program_with_faults(&mut prog, Vec::new(), 100, plan, policy)?;
+        let mut machines = recoverable_sum(m);
+        cluster.run_program_with_faults(&mut machines, Vec::new(), 100, plan, policy)?;
         Ok((
-            prog.acc,
+            machines[0].acc,
             cluster.stats().clone(),
             cluster.recovery_log().len(),
         ))
@@ -1504,14 +1611,10 @@ mod tests {
         for machine in 0..(m / 2 + 1) {
             plan = plan.crash(machine, 1);
         }
-        let mut prog = RecoverableSum {
-            values: (0..m as u64).collect(),
-            acc: 0,
-            sent: vec![false; m],
-        };
+        let mut machines = recoverable_sum(m);
         let err = cluster
             .run_program_with_faults(
-                &mut prog,
+                &mut machines,
                 Vec::new(),
                 100,
                 &plan,
@@ -1597,5 +1700,82 @@ mod tests {
         let s = err.to_string();
         assert!(s.contains("machine 6"), "{s}");
         assert!(s.contains("round 11"), "{s}");
+    }
+
+    #[test]
+    fn charge_words_saturates_instead_of_wrapping() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        cluster.charge_words(1, u64::MAX - 10);
+        cluster.charge_words(1, 100);
+        assert_eq!(cluster.stats().total_words, u64::MAX);
+        // Further charges stay pinned at the ceiling.
+        cluster.charge_words(1, 1);
+        assert_eq!(cluster.stats().total_words, u64::MAX);
+    }
+
+    #[test]
+    fn charge_rounds_saturates_instead_of_wrapping() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        cluster.charge_rounds(usize::MAX - 3);
+        cluster.charge_rounds(10);
+        assert_eq!(cluster.stats().rounds, usize::MAX);
+        // advance_rounds without a plan goes through the same ledger.
+        cluster.advance_rounds(5).unwrap();
+        assert_eq!(cluster.stats().rounds, usize::MAX);
+    }
+
+    #[test]
+    fn charge_storage_at_usize_max_reports_not_panics() {
+        let cfg = MpcConfig::with_phi(0.5);
+        let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+        let err = cluster.charge_storage(0, usize::MAX).unwrap_err();
+        match err {
+            MpcError::SpaceExceeded { words, .. } => assert_eq!(words, usize::MAX),
+            other => panic!("expected SpaceExceeded, got {other:?}"),
+        }
+        assert_eq!(cluster.stats().max_storage_words, usize::MAX);
+    }
+
+    #[test]
+    fn absorb_saturates_rounds_and_totals() {
+        let mut a = Stats {
+            rounds: usize::MAX - 1,
+            max_round_words: 4,
+            max_storage_words: 4,
+            total_words: u64::MAX - 1,
+        };
+        let b = Stats {
+            rounds: 7,
+            max_round_words: 9,
+            max_storage_words: 2,
+            total_words: 7,
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, usize::MAX);
+        assert_eq!(a.total_words, u64::MAX);
+        assert_eq!(a.max_round_words, 9);
+        assert_eq!(a.max_storage_words, 4);
+    }
+
+    #[test]
+    fn engine_modes_agree_on_a_fault_free_run() {
+        // Direct unit-level check; the cross-layer equivalence suite lives
+        // in tests/parallel_equivalence.rs at the workspace root.
+        let run = |mode: csmpc_parallel::ParallelismMode| {
+            let cfg = MpcConfig {
+                parallelism: mode,
+                ..MpcConfig::with_phi(0.5)
+            };
+            let mut cluster = Cluster::new(cfg, 100, 100, Seed(0));
+            let m = cluster.num_machines();
+            let mut machines = sum_to_zero(m);
+            cluster.run_program(&mut machines, Vec::new(), 10).unwrap();
+            (machines[0].acc, cluster.stats().clone())
+        };
+        let seq = run(csmpc_parallel::ParallelismMode::Sequential);
+        let par = run(csmpc_parallel::ParallelismMode::Parallel);
+        assert_eq!(seq, par);
     }
 }

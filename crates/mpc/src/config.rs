@@ -31,6 +31,12 @@ pub struct MpcConfig {
     pub checkpoint_interval: usize,
     /// Default retry budget for restart-from-checkpoint recovery.
     pub max_recovery_retries: usize,
+    /// How the simulators execute internally parallelizable sweeps (machine
+    /// steps within an exact-engine round, per-vertex sweeps in the
+    /// accounted primitives). Both modes are bit-identical in every
+    /// observable — outputs, [`crate::Stats`], provenance, recovery log —
+    /// for the same seed; the mode only affects wall-clock time.
+    pub parallelism: csmpc_parallel::ParallelismMode,
 }
 
 impl MpcConfig {
@@ -48,6 +54,7 @@ impl MpcConfig {
             space_factor: 1.0,
             checkpoint_interval: 4,
             max_recovery_retries: 8,
+            parallelism: csmpc_parallel::ParallelismMode::default(),
         }
     }
 

@@ -23,6 +23,7 @@ use crate::provenance::ComponentId;
 use csmpc_graph::ball::ball;
 use csmpc_graph::rng::SplitMix64;
 use csmpc_graph::Graph;
+use csmpc_parallel::par_map_range;
 
 /// Words needed to describe a graph fragment: node records (id, name) plus
 /// edge records (two endpoints).
@@ -50,17 +51,20 @@ impl<'a> DistributedGraph<'a> {
     /// [`MpcError::SpaceExceeded`] if any machine's share exceeds `S`.
     pub fn distribute(g: &'a Graph, cluster: &mut Cluster) -> Result<Self, MpcError> {
         let m = cluster.num_machines();
+        let mode = cluster.config().parallelism;
         let mut rng = SplitMix64::new(cluster.shared_seed().derive(0xd157));
-        let node_home: Vec<usize> = (0..g.n())
-            .map(|v| {
-                // Finalizer-quality hash so sequential names spread evenly
-                // regardless of the machine count's factorization.
-                let mut z = g.name(v).0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                ((z ^ (z >> 31)) % m as u64) as usize
-            })
-            .collect();
+        let node_home: Vec<usize> = par_map_range(mode, g.n(), |v| {
+            // Finalizer-quality hash so sequential names spread evenly
+            // regardless of the machine count's factorization. Stateless
+            // per node, so the sweep parallelizes without reordering.
+            let mut z = g.name(v).0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z ^ (z >> 31)) % m as u64) as usize
+        });
+        // Edge placement draws from a single sequential RNG stream; it must
+        // stay a sequential loop to keep the stream (and so the placement)
+        // independent of the parallelism mode.
         let edge_home: Vec<usize> = (0..g.m()).map(|_| rng.index(m)).collect();
         // Space check: count words per machine.
         let mut load = vec![0usize; m];
@@ -279,26 +283,28 @@ impl<'a> DistributedGraph<'a> {
     /// # Errors
     ///
     /// [`MpcError::MachineFailed`] from an armed fault plan.
-    pub fn neighbor_reduce<T: Clone>(
+    pub fn neighbor_reduce<T: Clone + Send + Sync>(
         &self,
         cluster: &mut Cluster,
         values: &[T],
-        op: impl Fn(T, T) -> T,
+        op: impl Fn(T, T) -> T + Sync,
     ) -> Result<Vec<Option<T>>, MpcError> {
         assert_eq!(values.len(), self.g.n(), "one value per node expected");
+        let mode = cluster.config().parallelism;
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
         cluster.advance_rounds(2 * d)?;
-        Ok((0..self.g.n())
-            .map(|v| {
-                self.g
-                    .neighbors(v)
-                    .iter()
-                    .map(|&w| values[w as usize].clone())
-                    .reduce(&op)
-            })
-            .collect())
+        // Per-vertex reduction over that vertex's own adjacency list: each
+        // reduction folds left in neighbor order regardless of mode, so the
+        // sweep parallelizes bit-identically.
+        Ok(par_map_range(mode, self.g.n(), |v| {
+            self.g
+                .neighbors(v)
+                .iter()
+                .map(|&w| values[w as usize].clone())
+                .reduce(&op)
+        }))
     }
 
     /// Collects the `r`-radius ball of every node via graph exponentiation
@@ -322,14 +328,15 @@ impl<'a> DistributedGraph<'a> {
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
+        let mode = cluster.config().parallelism;
         cluster.advance_rounds(doublings * 2 * d)?;
-        let mut out = Vec::with_capacity(self.g.n());
-        let mut worst = 0usize;
-        for v in 0..self.g.n() {
+        // Ball extraction is pure per vertex; the worst-ball size is a max
+        // over the collected sweep, folded in vertex order.
+        let out: Vec<(Graph, usize)> = par_map_range(mode, self.g.n(), |v| {
             let (b, c, _) = ball(self.g, v, r);
-            worst = worst.max(graph_words(&b));
-            out.push((b, c));
-        }
+            (b, c)
+        });
+        let worst = out.iter().map(|(b, _)| graph_words(b)).max().unwrap_or(0);
         cluster.charge_words(worst, (self.g.n() * worst) as u64);
         cluster.require_fits(worst)?;
         Ok(out)
@@ -346,6 +353,7 @@ impl<'a> DistributedGraph<'a> {
     /// [`MpcError::MachineFailed`] from an armed fault plan.
     pub fn cc_labels(&self, cluster: &mut Cluster) -> Result<(Vec<u64>, usize), MpcError> {
         let n = self.g.n();
+        let mode = cluster.config().parallelism;
         let d = cluster
             .config()
             .tree_depth(cluster.input_n(), cluster.num_machines());
@@ -354,31 +362,35 @@ impl<'a> DistributedGraph<'a> {
         // labels), then pointer-jump: label[v] <- label[argmin] — realized
         // here as doubling by composing the "min over my reach set" map.
         let mut label: Vec<u64> = (0..n).map(|v| self.g.name(v).0).collect();
-        // reach[v]: representative node index achieving label[v].
+        // Name-to-node lookup for the jump step; node names never change,
+        // so this is loop-invariant.
+        let by_name: std::collections::BTreeMap<u64, usize> =
+            (0..n).map(|v| (self.g.name(v).0, v)).collect();
         let mut iterations = 0usize;
         loop {
             iterations += 1;
             cluster.advance_rounds(2 * d)?;
-            let mut next = label.clone();
-            // Hook: take min over neighbors.
-            for (v, nv) in next.iter_mut().enumerate() {
+            // Hook: take min over neighbors. Each vertex reads only the
+            // previous iteration's labels, so the sweep is a pure map.
+            let next: Vec<u64> = par_map_range(mode, n, |v| {
+                let mut nv = label[v];
                 for &w in self.g.neighbors(v) {
                     let lw = label[w as usize];
-                    if lw < *nv {
-                        *nv = lw;
+                    if lw < nv {
+                        nv = lw;
                     }
                 }
-            }
+                nv
+            });
             // Jump: label[v] <- label of the node whose name is next[v]
             // (pointer doubling through the current label map).
-            let by_name: std::collections::BTreeMap<u64, usize> =
-                (0..n).map(|v| (self.g.name(v).0, v)).collect();
-            let mut jumped = next.clone();
-            for v in 0..n {
+            let jumped: Vec<u64> = par_map_range(mode, n, |v| {
+                let mut jv = next[v];
                 if let Some(&rep) = by_name.get(&next[v]) {
-                    jumped[v] = jumped[v].min(label[rep]).min(next[rep]);
+                    jv = jv.min(label[rep]).min(next[rep]);
                 }
-            }
+                jv
+            });
             if jumped == label {
                 break;
             }

@@ -266,8 +266,9 @@ pub struct Checkpoint {
     pub round: usize,
     /// Pending per-machine inboxes.
     pub inboxes: Vec<Vec<Message>>,
-    /// Program state as captured by [`crate::MachineProgram::snapshot`].
-    pub program: Vec<u64>,
+    /// Per-machine program state, indexed by machine id, as captured by
+    /// [`crate::MachineProgram::snapshot`] on each shard.
+    pub program: Vec<Vec<u64>>,
     /// Component tags of every machine at the boundary.
     pub machine_components: Vec<BTreeSet<ComponentId>>,
     /// Provenance log at the boundary.
@@ -291,7 +292,8 @@ impl Checkpoint {
             .flat_map(|ms| ms.iter().map(|m| m.words.len()))
             .sum();
         let pending: usize = self.pending_retransmit.iter().map(|m| m.words.len()).sum();
-        self.program.len() + inbox + pending
+        let program: usize = self.program.iter().map(Vec::len).sum();
+        program + inbox + pending
     }
 }
 

@@ -43,6 +43,7 @@ pub mod provenance;
 
 pub use cluster::{Cluster, MachineProgram, Message, MpcError, Stats};
 pub use config::MpcConfig;
+pub use csmpc_parallel::ParallelismMode;
 pub use distributed::{graph_words, DistributedGraph};
 pub use faults::{Checkpoint, FaultEvent, FaultKind, FaultPlan, RecoveryEvent, RecoveryPolicy};
 pub use primitives::{

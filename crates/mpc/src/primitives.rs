@@ -57,70 +57,52 @@ pub fn prefix_sums(cluster: &mut Cluster, values: &[u64]) -> Result<Vec<u64>, Mp
     Ok(out)
 }
 
-/// An `S`-ary sum tree over machines for the exact engine: each machine
-/// accumulates its children's partial sums and forwards one word to its
-/// parent; the total arrives at machine 0.
+/// One machine's shard of an `S`-ary sum tree for the exact engine: the
+/// machine accumulates its children's partial sums and forwards one word to
+/// its parent; the total arrives at machine 0.
 struct TreeSum {
     fan_in: usize,
-    machines: usize,
-    acc: Vec<u64>,
-    expected: Vec<usize>,
-    received: Vec<usize>,
-    sent: Vec<bool>,
+    acc: u64,
+    /// Children this machine waits for in the complete `fan_in`-ary tree.
+    expected: usize,
+    received: usize,
+    sent: bool,
 }
 
 impl TreeSum {
     fn parent(&self, id: usize) -> usize {
         (id - 1) / self.fan_in
     }
-    fn children(&self, id: usize) -> usize {
-        // Number of children of `id` in the complete fan_in-ary tree.
-        let first = id * self.fan_in + 1;
-        if first >= self.machines {
-            0
-        } else {
-            (self.machines - first).min(self.fan_in)
-        }
-    }
 }
 
 impl MachineProgram for TreeSum {
     fn round(&mut self, id: usize, inbox: &[Message]) -> Vec<Message> {
         for m in inbox {
-            self.acc[id] += m.words.iter().sum::<u64>();
-            self.received[id] += 1;
+            self.acc += m.words.iter().sum::<u64>();
+            self.received += 1;
         }
-        if id != 0 && !self.sent[id] && self.received[id] == self.expected[id] {
-            self.sent[id] = true;
+        if id != 0 && !self.sent && self.received == self.expected {
+            self.sent = true;
             return vec![Message {
                 to: self.parent(id),
-                words: vec![self.acc[id]],
+                words: vec![self.acc],
             }];
         }
         Vec::new()
     }
-    fn storage_words(&self, _id: usize) -> usize {
+    fn storage_words(&self) -> usize {
         4
     }
     fn snapshot(&self) -> Vec<u64> {
-        // The mutable state is (acc, received, sent); fan_in / machines /
-        // expected are static configuration.
-        let mut words = Vec::with_capacity(3 * self.machines);
-        words.extend_from_slice(&self.acc);
-        words.extend(self.received.iter().map(|&r| r as u64));
-        words.extend(self.sent.iter().map(|&s| u64::from(s)));
-        words
+        // The mutable state is (acc, received, sent); fan_in / expected are
+        // static configuration.
+        vec![self.acc, self.received as u64, u64::from(self.sent)]
     }
     fn restore(&mut self, snapshot: &[u64]) {
-        let m = self.machines;
-        assert_eq!(snapshot.len(), 3 * m, "malformed TreeSum snapshot");
-        self.acc.copy_from_slice(&snapshot[..m]);
-        for (slot, &w) in self.received.iter_mut().zip(&snapshot[m..2 * m]) {
-            *slot = w as usize;
-        }
-        for (slot, &w) in self.sent.iter_mut().zip(&snapshot[2 * m..]) {
-            *slot = w != 0;
-        }
+        assert_eq!(snapshot.len(), 3, "malformed TreeSum snapshot");
+        self.acc = snapshot[0];
+        self.received = snapshot[1] as usize;
+        self.sent = snapshot[2] != 0;
     }
 }
 
@@ -163,31 +145,32 @@ pub fn exact_aggregate_sum_with_faults(
     for (i, &v) in values.iter().enumerate() {
         acc[i % machines] += v;
     }
-    let mut prog = TreeSum {
-        fan_in,
-        machines,
-        expected: (0..machines)
-            .map(|id| {
-                let first = id * fan_in + 1;
-                if first >= machines {
-                    0
-                } else {
-                    (machines - first).min(fan_in)
-                }
-            })
-            .collect(),
-        received: vec![0; machines],
-        sent: vec![false; machines],
-        acc,
-    };
+    let mut shards: Vec<TreeSum> = acc
+        .into_iter()
+        .enumerate()
+        .map(|(id, acc)| {
+            let first = id * fan_in + 1;
+            let expected = if first >= machines {
+                0
+            } else {
+                (machines - first).min(fan_in)
+            };
+            TreeSum {
+                fan_in,
+                acc,
+                expected,
+                received: 0,
+                sent: false,
+            }
+        })
+        .collect();
     // Leaves with no children must be able to send in round 1; internal
     // nodes wait for all children. Depth ≤ log_fan_in(machines) + 1, with
     // generous headroom for straggler stalls and recovery replays.
     let before = cluster.stats().rounds;
-    cluster.run_program_with_faults(&mut prog, Vec::new(), 8 * machines + 64, plan, policy)?;
+    cluster.run_program_with_faults(&mut shards, Vec::new(), 8 * machines + 64, plan, policy)?;
     let rounds = cluster.stats().rounds - before;
-    let _ = prog.children(0);
-    Ok((prog.acc[0], rounds))
+    Ok((shards[0].acc, rounds))
 }
 
 #[cfg(test)]
@@ -257,20 +240,19 @@ mod tests {
     fn tree_sum_snapshot_round_trips() {
         let mut a = TreeSum {
             fan_in: 2,
-            machines: 3,
-            acc: vec![5, 7, 9],
-            expected: vec![2, 0, 0],
-            received: vec![1, 0, 0],
-            sent: vec![false, true, false],
+            acc: 5,
+            expected: 2,
+            received: 1,
+            sent: false,
         };
         let snap = a.snapshot();
-        a.acc = vec![0; 3];
-        a.received = vec![9; 3];
-        a.sent = vec![true; 3];
+        a.acc = 0;
+        a.received = 9;
+        a.sent = true;
         a.restore(&snap);
-        assert_eq!(a.acc, vec![5, 7, 9]);
-        assert_eq!(a.received, vec![1, 0, 0]);
-        assert_eq!(a.sent, vec![false, true, false]);
+        assert_eq!(a.acc, 5);
+        assert_eq!(a.received, 1);
+        assert!(!a.sent);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Deterministic parallel execution for the simulators.
+//!
+//! Every parallelizable sweep in the workspace (machine steps within an MPC
+//! round, vertex sweeps in the LOCAL engines, seeded repetition loops in the
+//! verifiers) goes through the helpers in this crate. They enforce one
+//! contract:
+//!
+//! > **A parallel sweep is a pure per-item map whose results are
+//! > materialized in item-index order.** Any cross-item merging (ledger
+//! > absorption, message routing, witness collection, RNG consumption)
+//! > happens afterwards, sequentially, in a fixed order.
+//!
+//! Under that contract [`ParallelismMode::Parallel`] is observationally
+//! *bit-identical* to [`ParallelismMode::Sequential`] — the toggle only
+//! changes wall-clock time — which is what keeps the replay, provenance,
+//! and chaos-recovery guarantees intact. The `determinism` conformance lint
+//! (crate `csmpc-conformance`) holds the simulator crates to the contract
+//! by rejecting raw `par_iter` chains that do not end in an order-fixing
+//! `collect`; the helpers here are the approved entry points.
+
+#![warn(missing_docs)]
+
+use rayon::prelude::*;
+
+/// How a simulator executes its internally parallelizable sweeps.
+///
+/// Both modes produce bit-identical results (outputs, `Stats` ledger,
+/// provenance log, recovery log) for the same seed; the mode only affects
+/// wall-clock time. Defaults to [`ParallelismMode::auto`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelismMode {
+    /// Plain index-order loops on the calling thread.
+    Sequential,
+    /// Chunked fork/join sweeps via the (deterministic, order-preserving)
+    /// vendored `rayon` subset.
+    Parallel,
+}
+
+impl ParallelismMode {
+    /// [`ParallelismMode::Parallel`] when more than one worker thread is
+    /// available (`RAYON_NUM_THREADS` / `CSMPC_WORKERS` /
+    /// `available_parallelism`), else [`ParallelismMode::Sequential`].
+    #[must_use]
+    pub fn auto() -> Self {
+        if rayon::current_num_threads() > 1 {
+            ParallelismMode::Parallel
+        } else {
+            ParallelismMode::Sequential
+        }
+    }
+
+    /// `true` for [`ParallelismMode::Parallel`].
+    #[must_use]
+    pub fn is_parallel(self) -> bool {
+        self == ParallelismMode::Parallel
+    }
+}
+
+impl Default for ParallelismMode {
+    fn default() -> Self {
+        ParallelismMode::auto()
+    }
+}
+
+/// Items below this count run inline even in parallel mode — results are
+/// identical either way (the parallel path is order-preserving); this only
+/// avoids paying thread overhead on trivial sweeps.
+const INLINE_CUTOFF: usize = 4;
+
+/// Maps `f(i, &items[i])` over the slice, returning results in index order.
+///
+/// In parallel mode the sweep is chunked across worker threads; `f` must
+/// therefore be pure with respect to sweep order (it sees only its own
+/// item). Result index `i` always corresponds to input index `i`.
+pub fn par_map<T, R, F>(mode: ParallelismMode, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if mode.is_parallel() && items.len() >= INLINE_CUTOFF {
+        items
+            .par_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect()
+    } else {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect()
+    }
+}
+
+/// Like [`par_map`] but with exclusive access to each item: `f(i, &mut
+/// items[i])` may mutate its item in place and additionally returns a value
+/// collected in index order.
+pub fn par_map_mut<T, R, F>(mode: ParallelismMode, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    if mode.is_parallel() && items.len() >= INLINE_CUTOFF {
+        items
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect()
+    } else {
+        items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect()
+    }
+}
+
+/// Maps `f(i)` over `0..n`, returning results in index order. The workhorse
+/// for vertex sweeps and seeded repetition loops.
+pub fn par_map_range<R, F>(mode: ParallelismMode, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if mode.is_parallel() && n >= INLINE_CUTOFF {
+        (0..n).into_par_iter().map(&f).collect()
+    } else {
+        (0..n).map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_agree_on_par_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = par_map(ParallelismMode::Sequential, &items, |i, x| x * 2 + i as u64);
+        let par = par_map(ParallelismMode::Parallel, &items, |i, x| x * 2 + i as u64);
+        assert_eq!(seq, par);
+        assert_eq!(seq[3], 9);
+    }
+
+    #[test]
+    fn modes_agree_on_par_map_mut() {
+        let mut a: Vec<u64> = (0..100).collect();
+        let mut b = a.clone();
+        let ra = par_map_mut(ParallelismMode::Sequential, &mut a, |i, x| {
+            *x += i as u64;
+            *x
+        });
+        let rb = par_map_mut(ParallelismMode::Parallel, &mut b, |i, x| {
+            *x += i as u64;
+            *x
+        });
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn modes_agree_on_par_map_range() {
+        let seq = par_map_range(ParallelismMode::Sequential, 1000, |i| i * i);
+        let par = par_map_range(ParallelismMode::Parallel, 1000, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_sweeps_are_fine() {
+        let out: Vec<u8> = par_map_range(ParallelismMode::Parallel, 0, |_| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn auto_matches_worker_count() {
+        let mode = ParallelismMode::auto();
+        assert_eq!(mode.is_parallel(), rayon::current_num_threads() > 1);
+        assert_eq!(ParallelismMode::default(), mode);
+    }
+}

@@ -73,6 +73,18 @@ pub fn restore_inboxes(cluster: &mut Cluster, cp: &Checkpoint) {
         .len(),
         1
     );
+
+    let unordered = "\
+fn racy(items: &[u64], total: &AtomicU64) {
+    items.par_iter().for_each(|&x| {
+        total.fetch_add(x, Ordering::Relaxed);
+    });
+}
+";
+    assert_eq!(
+        check_source(Path::new("x.rs"), unordered, &[Lint::Determinism]).len(),
+        1
+    );
 }
 
 #[test]
@@ -91,4 +103,15 @@ fn fixture_violations_are_reported_with_file_and_line() {
         rendered.starts_with("crates/conformance/fixtures/nondeterminism_violation.rs:4:"),
         "{rendered}"
     );
+
+    let fixture = root.join("crates/conformance/fixtures/determinism_violation.rs");
+    let source = std::fs::read_to_string(&fixture).expect("fixture readable");
+    let diags = check_source(
+        Path::new("crates/conformance/fixtures/determinism_violation.rs"),
+        &source,
+        &[Lint::Determinism],
+    );
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags[0].to_string().contains("for_each"), "{}", diags[0]);
+    assert!(diags[1].to_string().contains("collect"), "{}", diags[1]);
 }

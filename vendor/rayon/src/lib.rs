@@ -1,0 +1,386 @@
+//! Offline stand-in for the `rayon` crate: a deterministic, eager subset.
+//!
+//! The build environment has no registry access, so — like `vendor/proptest`
+//! and `vendor/criterion` — this is a small, self-contained, API-compatible
+//! subset of the real crate, sufficient for the workspace's needs.
+//!
+//! # Determinism contract
+//!
+//! Unlike real rayon (work-stealing, nondeterministic scheduling), every
+//! combinator here is *eager* and *order-preserving*: a parallel map splits
+//! the input into `k` contiguous chunks (`k` = worker count), evaluates the
+//! chunks on scoped threads, and concatenates the chunk results **in chunk
+//! order**. The output is therefore bit-identical to the sequential
+//! `iter().map().collect()` regardless of the worker count, which is what
+//! lets the simulators expose a `ParallelismMode` toggle whose two settings
+//! are observationally equivalent.
+//!
+//! Worker count: `RAYON_NUM_THREADS` or `CSMPC_WORKERS` (first valid wins),
+//! else `std::thread::available_parallelism()`. With one worker, everything
+//! runs inline on the calling thread.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Number of worker threads parallel combinators may use.
+///
+/// Resolved once per process: `RAYON_NUM_THREADS`, then `CSMPC_WORKERS`,
+/// then [`std::thread::available_parallelism`], else 1.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        for var in ["RAYON_NUM_THREADS", "CSMPC_WORKERS"] {
+            if let Ok(raw) = std::env::var(var) {
+                if let Ok(n) = raw.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Eagerly maps `items` through `f` on up to `workers` scoped threads,
+/// returning results in input order (chunk results concatenated in chunk
+/// order). Panics in `f` are propagated to the caller.
+fn map_chunked<T, R, F>(items: Vec<T>, f: F, min_len: usize, workers: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let chunks = workers.min(len.div_ceil(min_len.max(1)));
+    if chunks <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = len.div_ceil(chunks);
+    let mut buckets: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    let mut it = items.into_iter();
+    for _ in 0..chunks {
+        buckets.push(it.by_ref().take(chunk_size).collect());
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| scope.spawn(move || bucket.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out: Vec<R> = Vec::with_capacity(len);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An eager, order-preserving parallel iterator over already-materialized
+/// items. Produced by [`IntoParallelIterator`], [`ParallelSlice`], or
+/// [`ParallelSliceMut`].
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Sets the minimum number of items each worker chunk should hold —
+    /// cheap per-item closures amortize thread overhead with larger chunks.
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Parallel, order-preserving map: output index `i` is `f(items[i])`.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: map_chunked(self.items, f, self.min_len, current_num_threads()),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Pairs each item with its input index.
+    #[must_use]
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            min_len: self.min_len,
+        }
+    }
+
+    /// Materializes the results in input order.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Folds the (already order-preserved) items sequentially with `op`,
+    /// starting from `identity()`. Deterministic by construction — but the
+    /// simulator crates' `determinism` conformance lint still rejects it
+    /// there, because under real rayon `reduce` is association-order
+    /// nondeterministic; prefer an explicit `collect` + fold.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Runs `f` on every item (no ordering guarantee under real rayon;
+    /// provided for API compatibility — the simulator crates' conformance
+    /// lint forbids it there).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        drop(map_chunked(
+            self.items,
+            f,
+            self.min_len,
+            current_num_threads(),
+        ));
+    }
+
+    #[cfg(test)]
+    fn map_with_workers<R, F>(self, f: F, workers: usize) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: map_chunked(self.items, f, self.min_len, workers),
+            min_len: self.min_len,
+        }
+    }
+}
+
+/// Types a [`ParIter`] can be materialized into (mirror of rayon's trait).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the iterator's items, preserving input order.
+    fn from_par_iter(iter: ParIter<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(iter: ParIter<T>) -> Vec<T> {
+        iter.items
+    }
+}
+
+/// Conversion into a [`ParIter`] (mirror of rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// `par_iter` on shared slices (mirror of rayon's `IntoParallelRefIterator`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` in index order.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// `par_iter_mut` on mutable slices (mirror of rayon's
+/// `IntoParallelRefMutIterator`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T` in index order.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// Runs both closures, potentially concurrently, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    if current_num_threads() <= 1 {
+        let a = oper_a();
+        let b = oper_b();
+        return (a, b);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(oper_a);
+        let b = oper_b();
+        match handle.join() {
+            Ok(a) => (a, b),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// The traits most callers want in scope.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_across_worker_counts() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 7, 16, 1000, 2000] {
+            let got: Vec<u64> = input
+                .clone()
+                .into_par_iter()
+                .map_with_workers(|x| x * 3 + 1, workers)
+                .collect();
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.into_par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![41].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<usize> = (0..256).collect();
+        let deltas: Vec<usize> = v
+            .par_iter_mut()
+            .map_with_workers(
+                |slot| {
+                    *slot += 10;
+                    *slot
+                },
+                4,
+            )
+            .collect();
+        assert_eq!(v[0], 10);
+        assert_eq!(v[255], 265);
+        assert_eq!(deltas, v);
+    }
+
+    #[test]
+    fn enumerate_indexes_match() {
+        let pairs: Vec<(usize, char)> = vec!['a', 'b', 'c'].into_par_iter().enumerate().collect();
+        assert_eq!(pairs, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn range_and_slice_entry_points() {
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[9], 81);
+        let refs: Vec<usize> = [5usize, 6, 7].par_iter().map(|&x| x * 2).collect();
+        assert_eq!(refs, vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn reduce_is_a_fixed_order_fold() {
+        let concat = vec!["a", "b", "c"]
+            .into_par_iter()
+            .map(String::from)
+            .reduce(String::new, |a, b| a + &b);
+        assert_eq!(concat, "abc");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn with_min_len_still_preserves_order() {
+        let input: Vec<u64> = (0..100).collect();
+        let got: Vec<u64> = input
+            .clone()
+            .into_par_iter()
+            .with_min_len(17)
+            .map_with_workers(|x| x + 1, 8)
+            .collect();
+        let expected: Vec<u64> = input.iter().map(|x| x + 1).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn worker_count_is_at_least_one() {
+        assert!(current_num_threads() >= 1);
+    }
+}
