@@ -19,6 +19,12 @@ cargo test -q --workspace
 echo "==> chaos suite (fault injection + recovery, pinned seeds)"
 cargo test -q -p csmpc-mpc --test chaos
 
+echo "==> supervision suite (transport faults, speculation, quarantine, backoff)"
+cargo test -q -p csmpc-mpc --test supervision
+
+echo "==> degradation theorem gate (PartialOutput contract, pinned seeds)"
+cargo test -q --test degradation
+
 echo "==> model-conformance scan (incl. recovery-accounting lint)"
 cargo run -q --release -p csmpc-conformance --bin conformance
 

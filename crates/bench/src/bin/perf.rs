@@ -24,7 +24,10 @@ use csmpc_algorithms::mpc_edge::BallGreedyColoringMpc;
 use csmpc_core::runner::success_probability_with_mode;
 use csmpc_graph::rng::Seed;
 use csmpc_graph::{generators, ops, Graph};
-use csmpc_mpc::{Cluster, DistributedGraph, FaultPlan, MpcConfig, ParallelismMode, RecoveryPolicy};
+use csmpc_mpc::{
+    exact_aggregate_sum_with_faults, run_supervised, Cluster, DistributedGraph, FaultPlan,
+    MpcConfig, ParallelismMode, RecoveryPolicy, Stats, SupervisorConfig,
+};
 use csmpc_problems::mis::LargeIndependentSet;
 
 const MODES: [ParallelismMode; 2] = [ParallelismMode::Sequential, ParallelismMode::Parallel];
@@ -111,6 +114,145 @@ impl Sample {
     }
 }
 
+/// One recovery-overhead measurement: a faulted/supervised run compared
+/// against its fault-free twin on the same cluster shape and seed. All
+/// numbers come from the deterministic `Stats` ledger, so the table is
+/// bit-stable across hosts; only wall time varies.
+struct RecoverySample {
+    scenario: &'static str,
+    base_rounds: usize,
+    rounds: usize,
+    recovery_rounds: usize,
+    recovery_words: u64,
+    speculative_rounds: usize,
+    corrupted_detected: u64,
+    ms: f64,
+}
+
+impl RecoverySample {
+    fn round_overhead_pct(&self) -> f64 {
+        if self.base_rounds == 0 {
+            return 0.0;
+        }
+        100.0 * (self.rounds as f64 - self.base_rounds as f64) / self.base_rounds as f64
+    }
+}
+
+fn recovery_graph(n: usize) -> Graph {
+    ops::disjoint_union(&[
+        &generators::cycle(8),
+        &ops::with_fresh_names(&generators::cycle(n), 1000 + n as u64),
+    ])
+}
+
+fn luby_u64(g: &Graph, cl: &mut Cluster) -> Result<Vec<u64>, csmpc_mpc::MpcError> {
+    StableOneShotIs
+        .run(g, cl)
+        .map(|ls| ls.into_iter().map(u64::from).collect())
+}
+
+/// The recovery-overhead suite: each scenario exercises one supervision
+/// mechanism and reports what it cost relative to the fault-free run.
+fn recovery_suite(n: usize, reps: usize) -> Vec<RecoverySample> {
+    let g = recovery_graph(n);
+    let seed = Seed(0xC0DE);
+    let template = cluster_in_mode(&g, 48, seed, ParallelismMode::Sequential);
+    let machines = template.num_machines();
+
+    let mut quiet = template.clone();
+    luby_u64(&g, &mut quiet).expect("quiet run");
+    let base = quiet.stats().clone();
+
+    let mut out = Vec::new();
+    let mut record = |scenario: &'static str, base_rounds: usize, f: &mut dyn FnMut() -> Stats| {
+        let stats = f();
+        let ms = time_best_of(reps, || {
+            black_box(f());
+        });
+        out.push(RecoverySample {
+            scenario,
+            base_rounds,
+            rounds: stats.rounds,
+            recovery_rounds: stats.recovery_rounds,
+            recovery_words: stats.recovery_words,
+            speculative_rounds: stats.speculative_rounds,
+            corrupted_detected: stats.corrupted_detected,
+            ms,
+        });
+    };
+
+    record("crash-restart", base.rounds, &mut || {
+        let mut cl = template.clone();
+        cl.arm_faults(
+            FaultPlan::quiet(seed).crash(machines / 2, 2),
+            RecoveryPolicy::restart(8),
+        );
+        luby_u64(&g, &mut cl).expect("crash-restart run");
+        cl.stats().clone()
+    });
+
+    record("crash-backoff", base.rounds, &mut || {
+        let mut cl = template.clone();
+        cl.arm_faults(
+            FaultPlan::quiet(seed)
+                .crash(machines / 2, 2)
+                .crash(machines / 2, 4),
+            RecoveryPolicy::restart_with_backoff(8, 2),
+        );
+        luby_u64(&g, &mut cl).expect("crash-backoff run");
+        cl.stats().clone()
+    });
+
+    record("straggler-speculation", base.rounds, &mut || {
+        let mut cl = template.clone();
+        cl.supervise(SupervisorConfig {
+            deadline_rounds: 2,
+            failure_threshold: 2,
+        });
+        cl.arm_faults(
+            FaultPlan::quiet(seed).straggle(machines / 2, 2, 10),
+            RecoveryPolicy::restart(8),
+        );
+        luby_u64(&g, &mut cl).expect("speculation run");
+        cl.stats().clone()
+    });
+
+    record("degraded-salvage", base.rounds, &mut || {
+        let run = run_supervised(
+            &g,
+            &template,
+            &FaultPlan::quiet(seed).crash(machines / 2, 3),
+            RecoveryPolicy::restart(0),
+            SupervisorConfig::default(),
+            luby_u64,
+        )
+        .expect("degraded run");
+        assert!(run.is_degraded(), "salvage scenario did not degrade");
+        run.stats
+    });
+
+    // Engine scenario: its fault-free twin is the same sum under a quiet
+    // plan; corruption costs words (detected strikes are retransmitted),
+    // not rounds, and the detection count is the headline number.
+    let values: Vec<u64> = (1..=(64 * n as u64 / 100).max(64)).collect();
+    let engine_sum = |plan: &FaultPlan| {
+        let mut cl = Cluster::new(MpcConfig::with_phi(0.5), 400, 800, seed);
+        exact_aggregate_sum_with_faults(&mut cl, &values, plan, RecoveryPolicy::restart(8))
+            .expect("engine sum");
+        cl.stats().clone()
+    };
+    let engine_base = engine_sum(&FaultPlan::quiet(seed));
+    record("corruption-detect", engine_base.rounds, &mut || {
+        engine_sum(
+            &FaultPlan::quiet(seed)
+                .with_corruption(300)
+                .with_reordering(300),
+        )
+    });
+
+    out
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let reps = if smoke { 2 } else { 5 };
@@ -181,6 +323,27 @@ fn main() {
         (samples.iter().map(|s| s.speedup().ln()).sum::<f64>() / samples.len() as f64).exp();
     println!("geometric-mean speedup: {geomean:.2}x");
 
+    // Recovery-overhead table: what each supervision mechanism costs
+    // relative to the fault-free twin, straight from the Stats ledger.
+    let recovery_n = if smoke { 200 } else { 600 };
+    let recovery = recovery_suite(recovery_n, reps);
+    println!("recovery overhead (n={recovery_n}):");
+    for r in &recovery {
+        println!(
+            "  {:<22} rounds {:>4} (base {:>4}, +{:>5.1}%)  rec_rounds {:>3}  rec_words {:>6}  \
+             spec {:>3}  corrupt {:>4}  {:>8.3} ms",
+            r.scenario,
+            r.rounds,
+            r.base_rounds,
+            r.round_overhead_pct(),
+            r.recovery_rounds,
+            r.recovery_words,
+            r.speculative_rounds,
+            r.corrupted_detected,
+            r.ms
+        );
+    }
+
     let mut json = String::from("{\n");
     json.push_str("  \"suite\": \"csmpc parallel-engine baseline\",\n");
     json.push_str(&format!("  \"workers\": {workers},\n"));
@@ -198,6 +361,26 @@ fn main() {
             s.par_ms,
             s.speedup(),
             if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"recovery_overhead\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"n\": {recovery_n}, \"base_rounds\": {}, \
+             \"rounds\": {}, \"round_overhead_pct\": {:.2}, \"recovery_rounds\": {}, \
+             \"recovery_words\": {}, \"speculative_rounds\": {}, \"corrupted_detected\": {}, \
+             \"ms\": {:.4}}}{}\n",
+            r.scenario,
+            r.base_rounds,
+            r.rounds,
+            r.round_overhead_pct(),
+            r.recovery_rounds,
+            r.recovery_words,
+            r.speculative_rounds,
+            r.corrupted_detected,
+            r.ms,
+            if i + 1 == recovery.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

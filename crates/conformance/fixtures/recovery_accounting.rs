@@ -41,3 +41,31 @@ impl MachineProgram for FixtureSum {
 pub fn retry_suppressed(cluster: &mut Cluster) {
     cluster.inboxes.clear();
 }
+
+impl Cluster {
+    /// Accounted speculation: the spare's duplicated work and re-shipped
+    /// snapshot land on the ledger via `charge_recovery`. Must NOT be
+    /// flagged.
+    fn speculate_straggler(&mut self, machine: usize) {
+        self.spares.push(machine);
+        self.charge_recovery(1, self.max_storage);
+    }
+
+    /// Unaccounted: decommissions a machine for free — migration words
+    /// never hit the ledger. Line 56: violation.
+    fn quarantine_machine(&mut self, machine: usize) {
+        self.quarantined.insert(machine);
+        self.spares.retain(|&m| m != machine);
+    }
+}
+
+/// Unaccounted free function idling the barrier before a retry — the
+/// stall rounds are real and must be charged. Line 64: violation.
+pub fn backoff_before_retry(cluster: &mut Cluster, stall: usize) {
+    cluster.backoff_until = cluster.round + stall;
+}
+
+// conformance: allow(recovery-accounting)
+fn quarantine_suppressed(cluster: &mut Cluster) {
+    cluster.quarantined.clear();
+}

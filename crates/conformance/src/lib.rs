@@ -516,6 +516,7 @@ const CHARGE_TOKENS: &[&str] = &[
     "charge_rounds",
     "charge_words",
     "charge_storage",
+    "charge_recovery",
     "require_fits",
     "run_program",
     "advance_rounds",
@@ -580,8 +581,8 @@ fn lint_unaccounted_primitive(
                 message: format!(
                     "public primitive `{fn_name}` drives `&mut Cluster` but never charges the \
                      Stats ledger (expected one of charge_rounds/charge_words/charge_storage/\
-                     require_fits/run_program/advance_rounds); unaccounted primitives break the \
-                     S = n^phi cost model"
+                     charge_recovery/require_fits/run_program/advance_rounds); unaccounted \
+                     primitives break the S = n^phi cost model"
                 ),
             });
         }
@@ -593,8 +594,18 @@ fn lint_unaccounted_primitive(
 // Lint 3: recovery-accounting
 // ---------------------------------------------------------------------------
 
-/// Name fragments that mark a function as a recovery path.
-const RECOVERY_KEYWORDS: &[&str] = &["restore", "recover", "retry"];
+/// Name fragments that mark a function as a recovery path. Beyond the
+/// checkpoint-restore family, the supervision layer's speculation,
+/// quarantine, and backoff paths all consume real rounds/words and must
+/// charge the ledger too.
+const RECOVERY_KEYWORDS: &[&str] = &[
+    "restore",
+    "recover",
+    "retry",
+    "speculate",
+    "quarantine",
+    "backoff",
+];
 
 /// Marks lines inside inherent `impl Cluster` blocks (`impl Cluster {`,
 /// not `impl Trait for Cluster`), where `&mut self` means "mutates

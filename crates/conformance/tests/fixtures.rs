@@ -47,9 +47,17 @@ fn unaccounted_fixture_caught_at_exact_lines() {
 #[test]
 fn recovery_accounting_fixture_caught_at_exact_lines() {
     let diags = scan_fixture("recovery_accounting.rs", &[Lint::RecoveryAccounting]);
-    assert_eq!(lines_of(&diags), vec![15, 27], "{diags:#?}");
+    assert_eq!(lines_of(&diags), vec![15, 27, 56, 64], "{diags:#?}");
     assert!(diags[0].message.contains("recover_silently"));
     assert!(diags[1].message.contains("retry_lost_messages"));
+    // The supervision-era recovery paths are covered too: an uncharged
+    // quarantine and an uncharged backoff are flagged, while the
+    // `charge_recovery`-accounted speculation stays clean.
+    assert!(diags[2].message.contains("quarantine_machine"));
+    assert!(diags[3].message.contains("backoff_before_retry"));
+    assert!(!diags
+        .iter()
+        .any(|d| d.message.contains("speculate_straggler")));
 }
 
 #[test]

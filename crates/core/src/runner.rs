@@ -5,8 +5,10 @@
 use csmpc_algorithms::api::{MpcEdgeAlgorithm, MpcVertexAlgorithm};
 use csmpc_graph::rng::Seed;
 use csmpc_graph::Graph;
+use csmpc_mpc::Stats;
 use csmpc_mpc::{
-    Cluster, FaultPlan, MpcConfig, MpcError, ParallelismMode, RecoveryEvent, RecoveryPolicy, Stats,
+    run_supervised, Cluster, FaultPlan, MpcConfig, MpcError, ParallelismMode, RecoveryEvent,
+    RecoveryPolicy, SupervisedOutcome, SupervisedRun, SupervisorConfig,
 };
 use csmpc_parallel::par_map_range;
 use csmpc_problems::matching::EdgeProblem;
@@ -117,6 +119,70 @@ where
             validity,
         },
         recoveries: cluster.recovery_log().to_vec(),
+    })
+}
+
+/// An evaluation produced by the supervision layer: the run either
+/// completed (validated like any other evaluation) or degraded to a
+/// partial output whose healthy components carry trustworthy labels.
+#[derive(Debug, Clone)]
+pub struct SupervisedEvaluation<L> {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Problem name.
+    pub problem: String,
+    /// The full supervised run: outcome (complete or partial), ledger,
+    /// recovery log, supervision log, quarantined machines.
+    pub run: SupervisedRun<L>,
+    /// Validation outcome — `Some` only when the run completed; a
+    /// degraded partial output is certified per-component by the
+    /// degraded-immunity verifier instead of whole-graph validation.
+    pub validity: Option<Result<(), Violation>>,
+}
+
+impl<L> SupervisedEvaluation<L> {
+    /// Completed and validated.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        matches!(self.validity, Some(Ok(())))
+    }
+}
+
+/// Runs a vertex algorithm under supervision: straggler speculation,
+/// quarantine, bounded backoff, and component-scoped graceful
+/// degradation when the recovery budget runs out.
+///
+/// # Errors
+///
+/// Propagates algorithm errors other than the machine failures the
+/// supervisor degrades through (bandwidth/space/addressing violations
+/// are real model errors and still fail the call).
+pub fn evaluate_vertex_supervised<A, P>(
+    alg: &A,
+    problem: &P,
+    g: &Graph,
+    seed: Seed,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    supervisor: SupervisorConfig,
+) -> Result<SupervisedEvaluation<A::Label>, MpcError>
+where
+    A: MpcVertexAlgorithm,
+    P: GraphProblem<Label = A::Label>,
+{
+    let template = evaluation_cluster(g, seed);
+    let run = run_supervised(g, &template, plan, policy, supervisor, |g, cluster| {
+        alg.run(g, cluster)
+    })?;
+    let validity = match &run.outcome {
+        SupervisedOutcome::Complete(labels) => Some(problem.validate(g, labels)),
+        SupervisedOutcome::Degraded(_) => None,
+    };
+    Ok(SupervisedEvaluation {
+        algorithm: alg.name().to_string(),
+        problem: problem.name().to_string(),
+        run,
+        validity,
     })
 }
 
@@ -314,6 +380,66 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, MpcError::MachineFailed { machine: 0, .. }));
+    }
+
+    #[test]
+    fn supervised_evaluation_completes_when_recoverable() {
+        let g = generators::cycle(40);
+        let p = LargeIndependentSet { c: 0.1 };
+        let baseline = evaluate_vertex(&StableOneShotIs, &p, &g, Seed(9)).unwrap();
+        let plan = FaultPlan::quiet(Seed(9)).crash(0, 2);
+        let out = evaluate_vertex_supervised(
+            &StableOneShotIs,
+            &p,
+            &g,
+            Seed(9),
+            &plan,
+            RecoveryPolicy::restart(4),
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+        assert!(out.valid());
+        match &out.run.outcome {
+            SupervisedOutcome::Complete(labels) => assert_eq!(labels, &baseline.labels),
+            other => panic!("expected a complete outcome, got {other:?}"),
+        }
+        assert_eq!(out.run.recoveries.len(), 1);
+        assert!(out.run.stats.recovery_rounds > 0);
+    }
+
+    #[test]
+    fn supervised_evaluation_degrades_when_budget_exhausted() {
+        // Two components; crash a machine until the zero-retry budget
+        // blows. The run must degrade rather than error, withholding only
+        // the tainted components' labels.
+        let a = generators::cycle(12);
+        let b = csmpc_graph::ops::with_fresh_names(&generators::cycle(30), 900);
+        let g = csmpc_graph::ops::disjoint_union(&[&a, &b]);
+        let p = LargeIndependentSet { c: 0.1 };
+        let plan = FaultPlan::quiet(Seed(5)).crash(0, 2);
+        let out = evaluate_vertex_supervised(
+            &StableOneShotIs,
+            &p,
+            &g,
+            Seed(5),
+            &plan,
+            RecoveryPolicy::restart(0),
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+        assert!(out.run.is_degraded());
+        assert!(out.validity.is_none());
+        match &out.run.outcome {
+            SupervisedOutcome::Degraded(partial) => {
+                assert_eq!(partial.labels.len(), g.n());
+                assert!(partial.tainted_nodes > 0, "nothing was tainted");
+                // Degrading is never free: the salvage re-run landed on
+                // the primary ledger as recovery overhead.
+                assert!(out.run.stats.recovery_rounds > 0);
+                assert!(partial.salvage_stats.is_some());
+            }
+            other => panic!("expected a degraded outcome, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@
 use csmpc_algorithms::api::MpcVertexAlgorithm;
 use csmpc_graph::rng::{Seed, SplitMix64};
 use csmpc_graph::{generators, ops, Graph};
-use csmpc_mpc::{Cluster, ComponentId, FaultPlan, MpcConfig, MpcError, RecoveryPolicy};
+use csmpc_mpc::{
+    run_supervised, Cluster, ComponentId, ComponentVerdict, FaultPlan, MpcConfig, MpcError,
+    RecoveryPolicy, SupervisedOutcome, SupervisorConfig,
+};
 use csmpc_parallel::{par_map_range, ParallelismMode};
 use std::collections::BTreeSet;
 
@@ -304,6 +307,138 @@ pub fn verify_crash_immunity<A: MpcVertexAlgorithm + Sync>(
     })
 }
 
+/// Result of a degraded-run immunity verification: the crash-immunity
+/// contract extended past the recovery budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedImmunityReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Trials attempted.
+    pub trials: usize,
+    /// Trials whose recovery budget was actually exhausted and that came
+    /// back as a degraded partial output (trials without a foreign
+    /// machine, or whose crash never fired, degrade nothing).
+    pub degraded_runs: usize,
+    /// Witnesses found: a healthy component's salvaged label differed
+    /// from the fault-free run (empty = the degraded-output contract
+    /// held as far as observed).
+    pub witnesses: Vec<CrashWitness>,
+}
+
+impl DegradedImmunityReport {
+    /// No witness was found.
+    #[must_use]
+    pub fn immune(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+}
+
+/// Verifies the *degraded-output* contract: when the recovery budget is
+/// exhausted by faults confined to machines *outside* the observed
+/// component, [`run_supervised`] must return a
+/// [`csmpc_mpc::PartialOutput`] whose verdict for the observed component
+/// is `Healthy` and whose labels on it are **bit-identical** to the
+/// fault-free run.
+///
+/// This is [`verify_crash_immunity`] pushed past the point of recovery:
+/// each trial learns the machine tags from a fault-free baseline, then
+/// crashes one foreign-tagged machine under a zero-retry budget — so the
+/// run *cannot* recover — and compares the salvaged labels on the
+/// component against the baseline. For a component-stable algorithm
+/// (Definition 13) the salvage re-run cannot observe the tainted
+/// components' stand-ins, so the labels must agree exactly.
+///
+/// # Errors
+///
+/// Propagates algorithm errors other than the deliberately induced
+/// machine failure (which degrades instead of erroring).
+pub fn verify_degraded_immunity<A: MpcVertexAlgorithm + Sync>(
+    alg: &A,
+    component: &Graph,
+    trials: usize,
+    master_seed: Seed,
+) -> Result<DegradedImmunityReport, MpcError>
+where
+    A::Label: Send + Sync,
+{
+    /// One trial: `None` when inapplicable (no foreign machine, or the
+    /// run beat the crash round), otherwise an optional witness.
+    type DegradedProbe = Result<Option<Option<CrashWitness>>, MpcError>;
+    let nc = component.n();
+    let delta = component.max_degree();
+    let per_trial: Vec<DegradedProbe> =
+        par_map_range(ParallelismMode::default(), trials, |trial| {
+            let trial_seed = master_seed.derive(0xdeca).derive(trial as u64);
+            let sib = sibling(nc.max(3), delta.max(2), 10_000, trial_seed.derive(10));
+            let g = ops::disjoint_union(&[component, &sib]);
+            let shared = trial_seed.derive(99);
+
+            // Fault-free baseline: learn the output and the machine tags.
+            let mut baseline = immunity_cluster(&g, shared);
+            let la = alg.run(&g, &mut baseline)?;
+            let target: BTreeSet<ComponentId> = g.component_labels()[..nc]
+                .iter()
+                .map(|&c| c as ComponentId)
+                .collect();
+            let foreign: Vec<usize> = (0..baseline.num_machines())
+                .filter(|&m| {
+                    let tags = baseline.machine_components(m);
+                    !tags.is_empty() && tags.is_disjoint(&target)
+                })
+                .collect();
+            let Some(&victim) = foreign.first() else {
+                return Ok(None); // every machine touches the component
+            };
+
+            // Zero retries: the first crash exhausts the budget, forcing the
+            // degraded path instead of a checkpoint recovery.
+            let mut rng = SplitMix64::new(trial_seed.derive(7));
+            let crash_round = 1 + rng.index(3);
+            let plan = FaultPlan::quiet(shared).crash(victim, crash_round);
+            let template = immunity_cluster(&g, shared);
+            let run = run_supervised(
+                &g,
+                &template,
+                &plan,
+                RecoveryPolicy::restart(0),
+                SupervisorConfig::default(),
+                |g, cluster| alg.run(g, cluster),
+            )?;
+            let SupervisedOutcome::Degraded(partial) = &run.outcome else {
+                return Ok(None); // the run finished before the crash round
+            };
+            // The observed component was never touched: its verdict must be
+            // Healthy and its salvaged labels bit-identical to the baseline.
+            let witness = (0..nc)
+                .find(|&v| {
+                    let c =
+                        ComponentId::try_from(g.component_labels()[v]).unwrap_or(ComponentId::MAX);
+                    partial.verdicts.get(&c) != Some(&ComponentVerdict::Healthy)
+                        || partial.labels[v].as_ref() != Some(&la[v])
+                })
+                .map(|idx| CrashWitness {
+                    trial,
+                    machine: victim,
+                    node_in_component: idx,
+                });
+            Ok(Some(witness))
+        });
+    let mut witnesses = Vec::new();
+    let mut degraded_runs = 0usize;
+    for outcome in per_trial {
+        if let Some(witness) = outcome? {
+            degraded_runs += 1;
+            witnesses.extend(witness);
+        }
+    }
+    Ok(DegradedImmunityReport {
+        algorithm: alg.name().to_string(),
+        trials,
+        degraded_runs,
+        witnesses,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +480,17 @@ mod tests {
         assert!(
             report.crashes_recovered > 0,
             "no crash ever fired; the probe is vacuous"
+        );
+    }
+
+    #[test]
+    fn stable_algorithm_survives_budget_exhaustion_degraded() {
+        let comp = generators::cycle(12);
+        let report = verify_degraded_immunity(&StableOneShotIs, &comp, 8, Seed(31)).unwrap();
+        assert!(report.immune(), "witnesses: {:?}", report.witnesses);
+        assert!(
+            report.degraded_runs > 0,
+            "no trial ever degraded; the probe is vacuous"
         );
     }
 

@@ -16,6 +16,7 @@
 use crate::config::MpcConfig;
 use crate::faults::{Checkpoint, FaultKind, FaultPlan, FaultState, RecoveryEvent, RecoveryPolicy};
 use crate::provenance::{ComponentId, ProvenanceLog};
+use crate::supervise::{SupervisionEvent, SupervisorConfig};
 use csmpc_graph::rng::{Seed, SplitMix64};
 use csmpc_parallel::par_map_mut;
 use std::collections::BTreeSet;
@@ -32,6 +33,24 @@ pub struct Stats {
     pub max_storage_words: usize,
     /// Total words moved across the whole execution.
     pub total_words: u64,
+    /// Rounds spent on recovery — checkpoint replays, restore barriers,
+    /// backoff idling, quarantine migrations. Also counted in [`rounds`]:
+    /// this field attributes overhead, it does not extend the ledger.
+    ///
+    /// [`rounds`]: Stats::rounds
+    pub recovery_rounds: usize,
+    /// Words re-shipped by recovery and speculation (also counted in
+    /// [`total_words`](Stats::total_words)).
+    pub recovery_words: u64,
+    /// Machine-rounds of speculative re-execution run by supervisor
+    /// spares off the critical path: they cost work (and their shipped
+    /// state costs words) but not barrier rounds.
+    pub speculative_rounds: usize,
+    /// Corrupted envelopes detected (and discarded) by checksum
+    /// verification. Detection is total: a tampered payload is never
+    /// handed to a machine, so this counter is exactly the number of
+    /// corruption faults that struck.
+    pub corrupted_detected: u64,
 }
 
 impl Stats {
@@ -49,6 +68,14 @@ impl Stats {
         self.max_round_words = self.max_round_words.max(other.max_round_words);
         self.max_storage_words = self.max_storage_words.max(other.max_storage_words);
         self.total_words = self.total_words.saturating_add(other.total_words);
+        self.recovery_rounds = self.recovery_rounds.saturating_add(other.recovery_rounds);
+        self.recovery_words = self.recovery_words.saturating_add(other.recovery_words);
+        self.speculative_rounds = self
+            .speculative_rounds
+            .saturating_add(other.speculative_rounds);
+        self.corrupted_detected = self
+            .corrupted_detected
+            .saturating_add(other.corrupted_detected);
     }
 }
 
@@ -56,8 +83,17 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rounds={}, max round words={}, max storage words={}, total words={}",
-            self.rounds, self.max_round_words, self.max_storage_words, self.total_words
+            "rounds={}, max round words={}, max storage words={}, total words={}, \
+             recovery rounds={}, recovery words={}, speculative rounds={}, \
+             corrupted detected={}",
+            self.rounds,
+            self.max_round_words,
+            self.max_storage_words,
+            self.total_words,
+            self.recovery_rounds,
+            self.recovery_words,
+            self.speculative_rounds,
+            self.corrupted_detected
         )
     }
 }
@@ -171,6 +207,93 @@ pub struct Message {
     pub words: Vec<u64>,
 }
 
+/// FNV-1a over the destination, the payload length, and every payload
+/// word — the transport checksum sealed into an [`Envelope`].
+fn transport_checksum(to: usize, words: &[u64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mix = |h: u64, x: u64| -> u64 {
+        let mut h = h;
+        for b in x.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
+    };
+    h = mix(h, to as u64);
+    h = mix(h, words.len() as u64);
+    for &w in words {
+        h = mix(h, w);
+    }
+    h
+}
+
+/// A checksummed transport envelope around a [`Message`].
+///
+/// The exact engine seals every payload it exposes to the corruption
+/// fault class: an adversarial in-flight bit-flip makes the envelope fail
+/// [`Envelope::verify`], so the receiver discards it, the transport
+/// retransmits the original (both transmissions charged), and
+/// [`Stats::corrupted_detected`] counts the strike. A tampered payload is
+/// *never* handed to a machine — corruption is detected, not silently
+/// applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    message: Message,
+    checksum: u64,
+}
+
+impl Envelope {
+    /// Seals `message` with its transport checksum.
+    #[must_use]
+    pub fn seal(message: Message) -> Self {
+        let checksum = transport_checksum(message.to, &message.words);
+        Envelope { message, checksum }
+    }
+
+    /// `true` when the payload still matches the sealed checksum.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        transport_checksum(self.message.to, &self.message.words) == self.checksum
+    }
+
+    /// The enclosed message (payload as currently carried, tampered or
+    /// not — callers must [`Envelope::verify`] before trusting it).
+    #[must_use]
+    pub fn message(&self) -> &Message {
+        &self.message
+    }
+
+    /// The adversary's move: XORs `mask` into payload word `word` without
+    /// re-sealing. A nonzero mask on a valid index makes
+    /// [`Envelope::verify`] fail (FNV-1a mixes every payload byte).
+    #[must_use]
+    pub fn tampered(mut self, word: usize, mask: u64) -> Self {
+        if let Some(w) = self.message.words.get_mut(word) {
+            *w ^= mask;
+        }
+        self
+    }
+
+    /// The sealed transport checksum (FNV-1a over destination, length,
+    /// and payload words).
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Unwraps the message if the checksum verifies; `None` for a
+    /// detected corruption.
+    #[must_use]
+    pub fn open(self) -> Option<Message> {
+        if self.verify() {
+            Some(self.message)
+        } else {
+            None
+        }
+    }
+}
+
 /// One machine's resident program for the exact engine: one callback per
 /// round.
 ///
@@ -222,6 +345,20 @@ pub struct Cluster {
     faults: Option<FaultState>,
     /// Completed crash recoveries, in order.
     recovery_log: Vec<RecoveryEvent>,
+    /// Armed supervision policy (straggler speculation + quarantine), if
+    /// any. See [`Cluster::supervise`].
+    supervisor: Option<SupervisorConfig>,
+    /// Supervision actions taken so far, in order.
+    supervision_log: Vec<SupervisionEvent>,
+    /// Per-machine count of fault events survived (crashes, speculated
+    /// straggles) — the quarantine trigger.
+    failure_counts: Vec<usize>,
+    /// Machines decommissioned by the supervisor; their fault events no
+    /// longer fire and their components are considered tainted.
+    quarantined: BTreeSet<usize>,
+    /// Machines struck by any fired fault event this execution, for the
+    /// degraded-output taint computation.
+    faulted: BTreeSet<usize>,
 }
 
 impl Cluster {
@@ -241,6 +378,11 @@ impl Cluster {
             machine_components: vec![BTreeSet::new(); num_machines],
             faults: None,
             recovery_log: Vec::new(),
+            supervisor: None,
+            supervision_log: Vec::new(),
+            failure_counts: vec![0; num_machines],
+            quarantined: BTreeSet::new(),
+            faulted: BTreeSet::new(),
         }
     }
 
@@ -293,9 +435,11 @@ impl Cluster {
 
     /// Resets everything one repetition of an experiment observes: the
     /// [`Stats`] ledger, the provenance log, the per-machine component
-    /// tags, the recovery log, and any armed fault plan's fired/retry
-    /// bookkeeping. After this, the cluster behaves as freshly built for
-    /// the next trial.
+    /// tags, the recovery log, the supervision log and its
+    /// failure/quarantine/taint bookkeeping, and any armed fault plan's
+    /// fired/retry/partition cursors. After this, the cluster behaves as
+    /// freshly built for the next trial (the supervision *policy* itself
+    /// stays armed, like the fault plan does).
     pub fn reset_for_repetition(&mut self) {
         self.stats = Stats::default();
         self.provenance.clear();
@@ -303,6 +447,10 @@ impl Cluster {
             set.clear();
         }
         self.recovery_log.clear();
+        self.supervision_log.clear();
+        self.failure_counts = vec![0; self.num_machines];
+        self.quarantined.clear();
+        self.faulted.clear();
         if let Some(fs) = &mut self.faults {
             *fs = FaultState::new(fs.plan.clone(), fs.policy);
         }
@@ -326,6 +474,46 @@ impl Cluster {
     /// Removes any armed fault plan.
     pub fn disarm_faults(&mut self) {
         self.faults = None;
+    }
+
+    /// Arms a [`SupervisorConfig`]: stragglers past the deadline budget are
+    /// speculatively re-executed by spares (charged, off the critical
+    /// path), and machines whose fault count exceeds the failure threshold
+    /// are quarantined instead of consuming retries.
+    pub fn supervise(&mut self, cfg: SupervisorConfig) {
+        self.supervisor = Some(cfg);
+    }
+
+    /// Removes any armed supervision policy.
+    pub fn unsupervise(&mut self) {
+        self.supervisor = None;
+    }
+
+    /// The supervision policy in force, if any.
+    #[must_use]
+    pub fn supervisor(&self) -> Option<&SupervisorConfig> {
+        self.supervisor.as_ref()
+    }
+
+    /// Supervision actions taken so far, in order.
+    #[must_use]
+    pub fn supervision_log(&self) -> &[SupervisionEvent] {
+        &self.supervision_log
+    }
+
+    /// Machines decommissioned by the supervisor, ascending.
+    #[must_use]
+    pub fn quarantined_machines(&self) -> &BTreeSet<usize> {
+        &self.quarantined
+    }
+
+    /// Machines struck by any fired fault event this execution (crashes
+    /// and straggles, whether or not they were recovered), ascending.
+    /// Quarantined machines are included. This is the machine-level input
+    /// to the degraded-output taint computation.
+    #[must_use]
+    pub fn faulted_machines(&self) -> &BTreeSet<usize> {
+        &self.faulted
     }
 
     /// Crash recoveries completed so far, in order.
@@ -406,10 +594,22 @@ impl Cluster {
     }
 
     fn drive_accounted_faults(&mut self, fs: &mut FaultState) -> Result<(), MpcError> {
-        // A straggler extends the ledger, which can pull later events into
-        // range, so re-scan until no event fires.
+        // A straggler extends the ledger, which can pull later events (and
+        // partitions) into range, so re-scan until nothing fires.
         loop {
             let now = self.stats.rounds;
+            // Each partition window charges its barrier stall exactly once:
+            // while the cut is up, boundary-crossing traffic is held and
+            // the synchronous computation waits out the window.
+            if let Some(i) = (0..fs.plan.partitions().len()).find(|&i| {
+                let p = &fs.plan.partitions()[i];
+                !fs.partitions_charged[i] && p.rounds > 0 && p.start <= now
+            }) {
+                fs.partitions_charged[i] = true;
+                let stall = fs.plan.partitions()[i].rounds;
+                self.stats.rounds = self.stats.rounds.saturating_add(stall);
+                continue;
+            }
             let next = fs
                 .plan
                 .events()
@@ -421,32 +621,125 @@ impl Cluster {
             };
             let ev = *ev;
             fs.fired[idx] = true;
+            if self.quarantined.contains(&ev.machine) {
+                // A decommissioned machine's spare already carries its
+                // state; further scheduled faults on it are moot.
+                continue;
+            }
+            self.faulted.insert(ev.machine);
             match ev.kind {
                 FaultKind::Straggle { rounds } => {
+                    let stall = self.speculate_straggler(ev.machine, rounds);
                     // The synchronous barrier waits for the slowest
-                    // machine: everyone pays the stall.
-                    self.stats.rounds = self.stats.rounds.saturating_add(rounds);
+                    // machine: everyone pays the (possibly clamped) stall.
+                    self.stats.rounds = self.stats.rounds.saturating_add(stall);
                 }
-                FaultKind::Crash => match fs.policy {
-                    RecoveryPolicy::FailFast => {
-                        return Err(MpcError::MachineFailed {
-                            machine: ev.machine,
-                            round: self.stats.rounds,
-                        });
+                FaultKind::Crash => {
+                    self.failure_counts[ev.machine] += 1;
+                    if self.should_quarantine(ev.machine) {
+                        self.quarantine_machine(ev.machine);
+                        continue;
                     }
-                    RecoveryPolicy::RestartFromCheckpoint { max_retries } => {
-                        fs.retries_used += 1;
-                        if fs.retries_used > max_retries {
+                    match fs.policy {
+                        RecoveryPolicy::FailFast => {
                             return Err(MpcError::MachineFailed {
                                 machine: ev.machine,
                                 round: self.stats.rounds,
                             });
                         }
-                        self.recover_accounted_crash(ev.machine);
+                        RecoveryPolicy::RestartFromCheckpoint { max_retries }
+                        | RecoveryPolicy::RestartWithBackoff { max_retries, .. } => {
+                            fs.retries_used += 1;
+                            if fs.retries_used > max_retries {
+                                return Err(MpcError::MachineFailed {
+                                    machine: ev.machine,
+                                    round: self.stats.rounds,
+                                });
+                            }
+                            self.charge_backoff(ev.machine, fs.policy, fs.retries_used);
+                            self.recover_accounted_crash(ev.machine);
+                        }
                     }
-                },
+                }
             }
         }
+    }
+
+    /// `true` when `machine`'s accumulated failure count crosses the armed
+    /// supervisor's quarantine threshold.
+    fn should_quarantine(&self, machine: usize) -> bool {
+        self.supervisor.as_ref().is_some_and(|sup| {
+            !self.quarantined.contains(&machine)
+                && self.failure_counts[machine] > sup.failure_threshold
+        })
+    }
+
+    /// Decommissions `machine`: its salvageable state migrates to a spare
+    /// (one synchronous round plus the re-shipped words, charged — even
+    /// giving up on a machine is never free), its components are marked
+    /// tainted for the degraded-output contract, and subsequent fault
+    /// events on it no longer fire or consume retries.
+    fn quarantine_machine(&mut self, machine: usize) {
+        let migrated = self.stats.max_storage_words.max(1);
+        self.charge_recovery(1, migrated);
+        self.quarantined.insert(machine);
+        self.faulted.insert(machine);
+        let components: Vec<ComponentId> =
+            self.machine_components(machine).iter().copied().collect();
+        self.supervision_log.push(SupervisionEvent::Quarantine {
+            machine,
+            round: self.stats.rounds,
+            components,
+        });
+    }
+
+    /// Applies the supervisor's straggler deadline to a `stall`-round
+    /// stall on `machine`, returning the barrier rounds actually paid.
+    /// With no supervisor (or a stall within the deadline) that is the
+    /// full stall. Past the deadline, a spare speculatively re-executes
+    /// the machine from its last snapshot: the barrier only waits out the
+    /// deadline budget, while the spare's duplicated work is charged as
+    /// [`Stats::speculative_rounds`] and its re-shipped state as words —
+    /// speculation trades rounds for work, it is not free.
+    fn speculate_straggler(&mut self, machine: usize, stall: usize) -> usize {
+        let Some(sup) = self.supervisor else {
+            return stall;
+        };
+        if stall <= sup.deadline_rounds {
+            return stall;
+        }
+        let speculated = stall - sup.deadline_rounds;
+        let reshipped = self.stats.max_storage_words.max(1);
+        self.charge_words(reshipped, reshipped as u64);
+        self.stats.recovery_words = self.stats.recovery_words.saturating_add(reshipped as u64);
+        self.stats.speculative_rounds = self.stats.speculative_rounds.saturating_add(speculated);
+        self.failure_counts[machine] += 1;
+        self.supervision_log.push(SupervisionEvent::Speculation {
+            machine,
+            round: self.stats.rounds,
+            stall_avoided: speculated,
+            reshipped_words: reshipped,
+        });
+        sup.deadline_rounds
+    }
+
+    /// Charges the exponential-backoff idle rounds owed before retry
+    /// number `retry` under `policy` (zero for non-backoff policies). The
+    /// barrier idles, so the rounds land on the ledger and are attributed
+    /// to recovery.
+    fn charge_backoff(&mut self, machine: usize, policy: RecoveryPolicy, retry: usize) {
+        let stall = policy.backoff_rounds(retry);
+        if stall == 0 {
+            return;
+        }
+        self.charge_rounds(stall);
+        self.stats.recovery_rounds = self.stats.recovery_rounds.saturating_add(stall);
+        self.supervision_log.push(SupervisionEvent::Backoff {
+            machine,
+            round: self.stats.rounds,
+            retry,
+            stall_rounds: stall,
+        });
     }
 
     /// Books one restart-from-checkpoint recovery on the accounted layer:
@@ -459,8 +752,7 @@ impl Cluster {
         let checkpoint_round = (crash_round.saturating_sub(1) / interval) * interval;
         let replayed = (crash_round - checkpoint_round).max(1);
         let reshipped = self.stats.max_storage_words.max(1);
-        self.charge_rounds(replayed);
-        self.charge_words(reshipped, reshipped as u64);
+        self.charge_recovery(replayed, reshipped);
         self.recovery_log.push(RecoveryEvent {
             machine,
             crash_round,
@@ -468,6 +760,19 @@ impl Cluster {
             replayed_rounds: replayed,
             reshipped_words: reshipped,
         });
+    }
+
+    /// Charges `rounds` recovery rounds and `words` re-shipped recovery
+    /// words to the ledger, attributing both to recovery overhead
+    /// ([`Stats::recovery_rounds`]/[`Stats::recovery_words`]). Used by
+    /// every recovery-class path — checkpoint replay, quarantine
+    /// migration, degraded-mode salvage — so the overhead of surviving
+    /// faults is always visible in one place.
+    pub fn charge_recovery(&mut self, rounds: usize, words: usize) {
+        self.charge_rounds(rounds);
+        self.charge_words(words, words as u64);
+        self.stats.recovery_rounds = self.stats.recovery_rounds.saturating_add(rounds);
+        self.stats.recovery_words = self.stats.recovery_words.saturating_add(words as u64);
     }
 
     /// Charges a communication volume observation. The running total
@@ -612,10 +917,17 @@ impl Cluster {
         // Exec round (inclusive) through which each machine stalls.
         let mut straggle_until: Vec<usize> = vec![0; m];
         let mut pending_retransmit: Vec<Message> = Vec::new();
+        // Messages held by an active partition, with the round at which
+        // each becomes deliverable again.
+        let mut partition_held: Vec<(usize, Message)> = Vec::new();
         let mut fired = vec![false; plan.events().len()];
         let mut retries_used = 0usize;
         let interval = self.cfg.checkpoint_interval.max(1);
-        let use_checkpoints = matches!(policy, RecoveryPolicy::RestartFromCheckpoint { .. });
+        let use_checkpoints = matches!(
+            policy,
+            RecoveryPolicy::RestartFromCheckpoint { .. }
+                | RecoveryPolicy::RestartWithBackoff { .. }
+        );
         let mut checkpoint: Option<Checkpoint> = None;
 
         // Completed execution rounds. Distinct from the ledger's round
@@ -631,23 +943,60 @@ impl Cluster {
                     &rng,
                     &straggle_until,
                     &pending_retransmit,
+                    &partition_held,
                 ));
             }
             let round_now = exec + 1;
 
             // Fault events scheduled for this execution round strike before
             // the round body runs. Each fires at most once per execution.
+            // Events on quarantined machines are moot — a spare already
+            // carries their state.
             let mut crashed: Vec<usize> = Vec::new();
             for (i, ev) in plan.events().iter().enumerate() {
                 if fired[i] || ev.round != round_now {
                     continue;
                 }
                 fired[i] = true;
+                if self.quarantined.contains(&ev.machine) {
+                    continue;
+                }
+                self.faulted.insert(ev.machine);
                 match ev.kind {
                     FaultKind::Straggle { rounds } => {
-                        let until = round_now + rounds - 1;
-                        if let Some(slot) = straggle_until.get_mut(ev.machine) {
-                            *slot = (*slot).max(until);
+                        // A stall past the supervisor's deadline budget is
+                        // clamped: a spare speculatively re-executes the
+                        // machine from its snapshot, off the critical path.
+                        // The spare's duplicated work and re-shipped state
+                        // are charged below — speculation is never free.
+                        let mut stall = rounds;
+                        if let Some(sup) = self.supervisor {
+                            if stall > sup.deadline_rounds {
+                                let speculated = stall - sup.deadline_rounds;
+                                stall = sup.deadline_rounds;
+                                let reshipped = machines
+                                    .get(ev.machine)
+                                    .map_or(0, |p| p.snapshot().len())
+                                    .max(1);
+                                self.charge_words(reshipped, reshipped as u64);
+                                self.stats.recovery_words =
+                                    self.stats.recovery_words.saturating_add(reshipped as u64);
+                                self.stats.speculative_rounds =
+                                    self.stats.speculative_rounds.saturating_add(speculated);
+                                self.failure_counts[ev.machine] += 1;
+                                self.supervision_log.push(SupervisionEvent::Speculation {
+                                    machine: ev.machine,
+                                    round: round_now,
+                                    stall_avoided: speculated,
+                                    reshipped_words: reshipped,
+                                });
+                            }
+                        }
+                        if stall > 0 {
+                            let until = round_now + stall - 1;
+                            if let Some(slot) = straggle_until.get_mut(ev.machine) {
+                                *slot = (*slot).max(until);
+                            }
                         }
                     }
                     FaultKind::Crash => crashed.push(ev.machine),
@@ -669,13 +1018,31 @@ impl Cluster {
                             round: self.stats.rounds,
                         });
                     }
-                    RecoveryPolicy::RestartFromCheckpoint { max_retries } => {
-                        retries_used += crashed.len();
+                    RecoveryPolicy::RestartFromCheckpoint { max_retries }
+                    | RecoveryPolicy::RestartWithBackoff { max_retries, .. } => {
+                        // A crash that trips the quarantine threshold
+                        // decommissions the machine (charged migration)
+                        // instead of consuming a retry; the checkpoint is
+                        // still restored once so its spare resumes from
+                        // consistent state.
+                        let mut retried: Vec<usize> = Vec::new();
+                        for &machine in &crashed {
+                            self.failure_counts[machine] += 1;
+                            if self.should_quarantine(machine) {
+                                self.quarantine_machine(machine);
+                            } else {
+                                retried.push(machine);
+                            }
+                        }
+                        retries_used += retried.len();
                         if retries_used > max_retries {
                             return Err(MpcError::MachineFailed {
-                                machine: crashed[0],
+                                machine: retried[0],
                                 round: self.stats.rounds,
                             });
+                        }
+                        if !retried.is_empty() {
+                            self.charge_backoff(retried[0], policy, retries_used);
                         }
                         let cp = checkpoint
                             .as_ref()
@@ -687,6 +1054,7 @@ impl Cluster {
                             &mut rng,
                             &mut straggle_until,
                             &mut pending_retransmit,
+                            &mut partition_held,
                         );
                         for &machine in &crashed {
                             self.recovery_log.push(RecoveryEvent {
@@ -698,7 +1066,10 @@ impl Cluster {
                             });
                         }
                         // Re-execute from the checkpoint; the replayed
-                        // rounds charge the ledger a second time.
+                        // rounds charge the ledger a second time and are
+                        // attributed to recovery overhead.
+                        self.stats.recovery_rounds =
+                            self.stats.recovery_rounds.saturating_add(exec - cp.round);
                         exec = cp.round;
                         continue;
                     }
@@ -706,12 +1077,22 @@ impl Cluster {
             }
 
             // Deliver transport retransmissions from last round's dropped
-            // messages; the repeated transmission is charged again below.
+            // messages, plus traffic released by healed partitions; each
+            // repeated transmission is charged again below.
             let mut retransmit_words = 0u64;
             for msg in pending_retransmit.drain(..) {
                 retransmit_words += msg.words.len() as u64;
                 inboxes[msg.to].push(msg);
             }
+            partition_held.retain(|(heal, msg)| {
+                if *heal <= round_now {
+                    retransmit_words += msg.words.len() as u64;
+                    inboxes[msg.to].push(msg.clone());
+                    false
+                } else {
+                    true
+                }
+            });
 
             let round = self.stats.rounds + 1;
             // Intake phase (sequential, machine-index order): take the
@@ -724,7 +1105,17 @@ impl Cluster {
                     taken.push(Vec::new());
                     continue;
                 }
-                let inbox = std::mem::take(inbox_slot);
+                let mut inbox = std::mem::take(inbox_slot);
+                // In-round adversarial reordering: one coin per non-empty
+                // inbox (drawn only when the fault class is armed, so the
+                // coin stream is unchanged otherwise); a hit hands the
+                // machine its messages in reversed arrival order.
+                if plan.reorder_per_mille() > 0
+                    && inbox.len() > 1
+                    && (rng.index(1000) as u16) < plan.reorder_per_mille()
+                {
+                    inbox.reverse();
+                }
                 let received: usize = inbox.iter().map(|m| m.words.len()).sum();
                 if received > self.local_space {
                     return Err(MpcError::BandwidthExceeded {
@@ -799,10 +1190,9 @@ impl Cluster {
                     });
                 }
                 round_delta.absorb(&Stats {
-                    rounds: 0,
                     max_round_words: sent.max(received),
-                    max_storage_words: 0,
                     total_words: sent as u64,
+                    ..Stats::default()
                 });
                 if !outs.is_empty() {
                     any_sent = true;
@@ -827,6 +1217,32 @@ impl Cluster {
                         // round, charging the words a second time.
                         pending_retransmit.push(msg.clone());
                         deliver = false;
+                    } else if plan.corrupt_per_mille() > 0
+                        && !msg.words.is_empty()
+                        && (rng.index(1000) as u16) < plan.corrupt_per_mille()
+                    {
+                        // Corrupted in transit: the adversary flips bits in
+                        // one payload word of the sealed envelope. The
+                        // receiver's checksum verification catches it and
+                        // discards the envelope — a tampered payload is
+                        // never handed to a machine — and the transport
+                        // retransmits the original next round, charged.
+                        let word = rng.index(msg.words.len());
+                        let mask = rng.next_u64() | 1;
+                        let tampered = Envelope::seal(msg.clone()).tampered(word, mask);
+                        debug_assert!(
+                            !tampered.verify(),
+                            "a nonzero payload flip must break the seal"
+                        );
+                        if tampered.open().is_none() {
+                            self.stats.corrupted_detected =
+                                self.stats.corrupted_detected.saturating_add(1);
+                            pending_retransmit.push(msg.clone());
+                            deliver = false;
+                        }
+                        // (If the checksum improbably verified, the
+                        // *original* message is delivered below — output
+                        // can never silently differ.)
                     } else if plan.dup_per_mille() > 0
                         && (rng.index(1000) as u16) < plan.dup_per_mille()
                     {
@@ -837,7 +1253,20 @@ impl Cluster {
                             .saturating_add(msg.words.len() as u64);
                     }
                     if deliver {
-                        outgoing[msg.to].push(msg);
+                        // An active partition cutting sender from receiver
+                        // holds the message until the last such window
+                        // heals; delivery then is charged like a
+                        // retransmission.
+                        let mut heal: Option<usize> = None;
+                        for p in plan.partitions() {
+                            if p.active_at(round_now) && p.cuts(id, msg.to) {
+                                heal = Some(heal.map_or(p.heal_round(), |h| h.max(p.heal_round())));
+                            }
+                        }
+                        match heal {
+                            Some(h) => partition_held.push((h, msg)),
+                            None => outgoing[msg.to].push(msg),
+                        }
                     }
                 }
             }
@@ -877,6 +1306,7 @@ impl Cluster {
             // A stalled machine has not had the chance to speak yet, so the
             // computation cannot be declared quiescent around it.
             let work_pending = !pending_retransmit.is_empty()
+                || !partition_held.is_empty()
                 || inboxes.iter().any(|b| !b.is_empty())
                 || straggle_until.iter().any(|&u| u >= round_now);
             if !any_sent && !work_pending {
@@ -888,6 +1318,7 @@ impl Cluster {
     }
 
     /// Captures a round-boundary recovery snapshot of the exact engine.
+    #[allow(clippy::too_many_arguments)]
     fn capture_checkpoint<P: MachineProgram>(
         &self,
         exec_round: usize,
@@ -896,6 +1327,7 @@ impl Cluster {
         rng: &SplitMix64,
         straggle_until: &[usize],
         pending_retransmit: &[Message],
+        partition_held: &[(usize, Message)],
     ) -> Checkpoint {
         Checkpoint {
             round: exec_round,
@@ -906,6 +1338,7 @@ impl Cluster {
             rng: rng.clone(),
             straggle_until: straggle_until.to_vec(),
             pending_retransmit: pending_retransmit.to_vec(),
+            partition_held: partition_held.to_vec(),
         }
     }
 
@@ -913,6 +1346,7 @@ impl Cluster {
     /// the ledger: one synchronous restore round plus the re-shipped
     /// checkpoint words (at least one — recovery is never free). Returns
     /// the words charged.
+    #[allow(clippy::too_many_arguments)]
     fn restore_checkpoint<P: MachineProgram>(
         &mut self,
         cp: &Checkpoint,
@@ -921,6 +1355,7 @@ impl Cluster {
         rng: &mut SplitMix64,
         straggle_until: &mut Vec<usize>,
         pending_retransmit: &mut Vec<Message>,
+        partition_held: &mut Vec<(usize, Message)>,
     ) -> usize {
         *inboxes = cp.inboxes.clone();
         for (shard, snap) in machines.iter_mut().zip(&cp.program) {
@@ -931,9 +1366,9 @@ impl Cluster {
         *rng = cp.rng.clone();
         *straggle_until = cp.straggle_until.clone();
         *pending_retransmit = cp.pending_retransmit.clone();
+        *partition_held = cp.partition_held.clone();
         let reshipped = cp.words().max(1);
-        self.charge_rounds(1);
-        self.charge_words(reshipped, reshipped as u64);
+        self.charge_recovery(1, reshipped);
         reshipped
     }
 }
@@ -1072,12 +1507,14 @@ mod tests {
             max_round_words: 10,
             max_storage_words: 20,
             total_words: 100,
+            ..Stats::default()
         };
         let b = Stats {
             rounds: 2,
             max_round_words: 50,
             max_storage_words: 5,
             total_words: 7,
+            ..Stats::default()
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
@@ -1093,6 +1530,7 @@ mod tests {
             max_round_words: 11,
             max_storage_words: 13,
             total_words: 99,
+            ..Stats::default()
         };
         let before = a.clone();
         a.absorb(&Stats::default());
@@ -1110,18 +1548,21 @@ mod tests {
                 max_round_words: 8,
                 max_storage_words: 64,
                 total_words: 100,
+                ..Stats::default()
             },
             Stats {
                 rounds: 0, // a free (local-only) sub-computation
                 max_round_words: 0,
                 max_storage_words: 0,
                 total_words: 0,
+                ..Stats::default()
             },
             Stats {
                 rounds: 5,
                 max_round_words: 32,
                 max_storage_words: 16,
                 total_words: 250,
+                ..Stats::default()
             },
         ];
         for s in &subs {
@@ -1745,12 +2186,14 @@ mod tests {
             max_round_words: 4,
             max_storage_words: 4,
             total_words: u64::MAX - 1,
+            ..Stats::default()
         };
         let b = Stats {
             rounds: 7,
             max_round_words: 9,
             max_storage_words: 2,
             total_words: 7,
+            ..Stats::default()
         };
         a.absorb(&b);
         assert_eq!(a.rounds, usize::MAX);

@@ -26,8 +26,19 @@
 //!   and re-shipped words to the ledger (recovery is never free), a crash
 //!   under [`RecoveryPolicy::FailFast`] surfaces as
 //!   [`crate::MpcError::MachineFailed`], and a straggler stalls the
-//!   synchronous barrier for its duration. Message drop/duplication only
-//!   has meaning where real messages move, i.e. on the exact engine.
+//!   synchronous barrier for its duration. Message drop/duplication/
+//!   corruption/reordering only has meaning where real messages move,
+//!   i.e. on the exact engine.
+//!
+//! Beyond the PR 2 fault classes, plans can now schedule **adversarial
+//! transport faults**: payload corruption (tampered bits, always *detected*
+//! via the checksummed [`crate::Envelope`] and never silently applied),
+//! in-round inbox reordering, and round-scoped network [`Partition`]s that
+//! hold boundary-crossing traffic until the partition heals. Crash handling
+//! gains [`RecoveryPolicy::RestartWithBackoff`] (bounded exponential
+//! backoff, every idle round charged) and, via
+//! [`crate::SupervisorConfig`], straggler speculation and machine
+//! quarantine.
 //!
 //! [`Stats`]: crate::Stats
 //! [`Seed`]: csmpc_graph::rng::Seed
@@ -65,10 +76,46 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// A round-scoped network partition: for rounds `start ..
+/// start + rounds - 1` (1-indexed, inclusive), messages crossing the
+/// boundary between `members` and the rest of the cluster are held by the
+/// transport and delivered — and charged a second time — when the
+/// partition heals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// First execution round the partition is active (1-indexed).
+    pub start: usize,
+    /// Rounds the partition stays up (`0` is a no-op).
+    pub rounds: usize,
+    /// Machines on one side of the cut (the complement forms the other).
+    pub members: Vec<usize>,
+}
+
+impl Partition {
+    /// `true` while the partition is active at execution round `round`.
+    #[must_use]
+    pub fn active_at(&self, round: usize) -> bool {
+        self.rounds > 0 && round >= self.start && round < self.start + self.rounds
+    }
+
+    /// First round at which held traffic may flow again.
+    #[must_use]
+    pub fn heal_round(&self) -> usize {
+        self.start.saturating_add(self.rounds)
+    }
+
+    /// `true` when a message from `from` to `to` crosses the cut.
+    #[must_use]
+    pub fn cuts(&self, from: usize, to: usize) -> bool {
+        self.members.contains(&from) != self.members.contains(&to)
+    }
+}
+
 /// A seeded, fully deterministic fault schedule.
 ///
 /// Plans are plain data: the same plan injected into the same execution
 /// yields identical behavior, which is what makes chaos runs replayable.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     seed: Seed,
@@ -80,23 +127,35 @@ pub struct FaultPlan {
     /// Per-message duplication probability in 1/1000 (exact engine only).
     /// The duplicate transmission is charged; the receiver deduplicates.
     dup_per_mille: u16,
+    /// Per-message payload-corruption probability in 1/1000 (exact engine
+    /// only). A corrupted payload always fails [`crate::Envelope`]
+    /// verification: the receiver discards it and the transport
+    /// retransmits the original one round later, both charged.
+    corrupt_per_mille: u16,
+    /// Per-inbox in-round reordering probability in 1/1000 (exact engine
+    /// only). A reordered inbox is delivered in adversarially reversed
+    /// arrival order.
+    reorder_per_mille: u16,
+    /// Round-scoped network partitions.
+    partitions: Vec<Partition>,
 }
 
 impl FaultPlan {
     /// A plan with no faults (useful as the identity element of chaos
     /// sweeps).
-    #[must_use]
     pub fn quiet(seed: Seed) -> Self {
         FaultPlan {
             seed,
             events: Vec::new(),
             drop_per_mille: 0,
             dup_per_mille: 0,
+            corrupt_per_mille: 0,
+            reorder_per_mille: 0,
+            partitions: Vec::new(),
         }
     }
 
     /// Adds a crash of `machine` at execution round `round` (1-indexed).
-    #[must_use]
     pub fn crash(mut self, machine: usize, round: usize) -> Self {
         self.push(FaultEvent {
             round,
@@ -108,7 +167,6 @@ impl FaultPlan {
 
     /// Adds a straggler: `machine` stalls for `rounds` rounds starting at
     /// execution round `round`.
-    #[must_use]
     pub fn straggle(mut self, machine: usize, round: usize, rounds: usize) -> Self {
         self.push(FaultEvent {
             round,
@@ -119,10 +177,47 @@ impl FaultPlan {
     }
 
     /// Sets message-transport fault rates (per mille; exact engine only).
-    #[must_use]
     pub fn with_message_faults(mut self, drop_per_mille: u16, dup_per_mille: u16) -> Self {
         self.drop_per_mille = drop_per_mille.min(1000);
         self.dup_per_mille = dup_per_mille.min(1000);
+        self
+    }
+
+    /// Sets the per-message payload-corruption rate (per mille, clamped to
+    /// 1000; exact engine only). Corruption is adversarial but always
+    /// *detected*: the tampered envelope fails checksum verification, the
+    /// receiver discards it, and the original is retransmitted (and
+    /// re-charged) one round later. Output never silently differs.
+    pub fn with_corruption(mut self, corrupt_per_mille: u16) -> Self {
+        self.corrupt_per_mille = corrupt_per_mille.min(1000);
+        self
+    }
+
+    /// Sets the per-inbox in-round reordering rate (per mille, clamped to
+    /// 1000; exact engine only). A reordered inbox is handed to the machine
+    /// in adversarially reversed arrival order — programs whose round
+    /// functions are order-sensitive will diverge, which is exactly what
+    /// the chaos suite checks they do not.
+    pub fn with_reordering(mut self, reorder_per_mille: u16) -> Self {
+        self.reorder_per_mille = reorder_per_mille.min(1000);
+        self
+    }
+
+    /// Adds a round-scoped network partition: for `rounds` rounds starting
+    /// at execution round `start` (1-indexed), traffic between `members`
+    /// and the rest of the cluster is held by the transport and delivered
+    /// (and charged again) once the partition heals.
+    pub fn partition(mut self, start: usize, rounds: usize, members: Vec<usize>) -> Self {
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        self.partitions.push(Partition {
+            start: start.max(1),
+            rounds,
+            members,
+        });
+        self.partitions
+            .sort_by(|a, b| (a.start, a.rounds, &a.members).cmp(&(b.start, b.rounds, &b.members)));
         self
     }
 
@@ -130,7 +225,6 @@ impl FaultPlan {
     /// events and `stragglers` stall events, uniformly over `machines`
     /// machines and rounds `1..=horizon`. Identical arguments always
     /// produce the identical plan.
-    #[must_use]
     pub fn random(
         seed: Seed,
         machines: usize,
@@ -191,10 +285,33 @@ impl FaultPlan {
         self.dup_per_mille
     }
 
+    /// Per-message payload-corruption probability in 1/1000.
+    #[must_use]
+    pub fn corrupt_per_mille(&self) -> u16 {
+        self.corrupt_per_mille
+    }
+
+    /// Per-inbox in-round reordering probability in 1/1000.
+    #[must_use]
+    pub fn reorder_per_mille(&self) -> u16 {
+        self.reorder_per_mille
+    }
+
+    /// All scheduled network partitions, sorted by start round.
+    #[must_use]
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
     /// `true` when the plan schedules nothing at all.
     #[must_use]
     pub fn is_quiet(&self) -> bool {
-        self.events.is_empty() && self.drop_per_mille == 0 && self.dup_per_mille == 0
+        self.events.is_empty()
+            && self.drop_per_mille == 0
+            && self.dup_per_mille == 0
+            && self.corrupt_per_mille == 0
+            && self.reorder_per_mille == 0
+            && self.partitions.iter().all(|p| p.rounds == 0)
     }
 }
 
@@ -212,6 +329,17 @@ pub enum RecoveryPolicy {
         /// Recoveries allowed before the execution is declared failed.
         max_retries: usize,
     },
+    /// Like [`RecoveryPolicy::RestartFromCheckpoint`], but the `k`-th retry
+    /// first idles the barrier for `base_backoff_rounds << (k - 1)` rounds
+    /// of bounded exponential backoff. Every backoff round is charged to
+    /// the ledger and surfaced in [`crate::Stats::recovery_rounds`] —
+    /// backing off is never free.
+    RestartWithBackoff {
+        /// Recoveries allowed before the execution is declared failed.
+        max_retries: usize,
+        /// Backoff idle rounds before the first retry; doubles per retry.
+        base_backoff_rounds: usize,
+    },
 }
 
 impl RecoveryPolicy {
@@ -220,6 +348,48 @@ impl RecoveryPolicy {
     #[must_use]
     pub fn restart(max_retries: usize) -> Self {
         RecoveryPolicy::RestartFromCheckpoint { max_retries }
+    }
+
+    /// Restart with bounded exponential backoff: retry `k` idles
+    /// `base_backoff_rounds << (k - 1)` charged rounds before restoring.
+    #[must_use]
+    pub fn restart_with_backoff(max_retries: usize, base_backoff_rounds: usize) -> Self {
+        RecoveryPolicy::RestartWithBackoff {
+            max_retries,
+            base_backoff_rounds,
+        }
+    }
+
+    /// Retry budget allowed by this policy (`0` under
+    /// [`RecoveryPolicy::FailFast`]).
+    #[must_use]
+    pub fn max_retries(&self) -> usize {
+        match *self {
+            RecoveryPolicy::FailFast => 0,
+            RecoveryPolicy::RestartFromCheckpoint { max_retries }
+            | RecoveryPolicy::RestartWithBackoff { max_retries, .. } => max_retries,
+        }
+    }
+
+    /// Charged idle rounds before retry number `retry` (1-indexed); zero
+    /// for policies without backoff. The shift is clamped so the charge
+    /// saturates instead of overflowing.
+    #[must_use]
+    pub fn backoff_rounds(&self, retry: usize) -> usize {
+        match *self {
+            RecoveryPolicy::RestartWithBackoff {
+                base_backoff_rounds,
+                ..
+            } if retry >= 1 => {
+                let shift = (retry - 1).min(usize::BITS as usize - 1) as u32;
+                if base_backoff_rounds > 0 && shift > base_backoff_rounds.leading_zeros() {
+                    usize::MAX
+                } else {
+                    base_backoff_rounds << shift
+                }
+            }
+            _ => 0,
+        }
     }
 }
 
@@ -279,6 +449,9 @@ pub struct Checkpoint {
     pub straggle_until: Vec<usize>,
     /// Messages awaiting transport retransmission at the boundary.
     pub pending_retransmit: Vec<Message>,
+    /// Messages held by active network partitions at the boundary, with
+    /// the round at which each becomes deliverable.
+    pub partition_held: Vec<(usize, Message)>,
 }
 
 impl Checkpoint {
@@ -292,8 +465,9 @@ impl Checkpoint {
             .flat_map(|ms| ms.iter().map(|m| m.words.len()))
             .sum();
         let pending: usize = self.pending_retransmit.iter().map(|m| m.words.len()).sum();
+        let held: usize = self.partition_held.iter().map(|(_, m)| m.words.len()).sum();
         let program: usize = self.program.iter().map(Vec::len).sum();
-        program + inbox + pending
+        program + inbox + pending + held
     }
 }
 
@@ -307,16 +481,21 @@ pub(crate) struct FaultState {
     /// including across recovery replays.
     pub(crate) fired: Vec<bool>,
     pub(crate) retries_used: usize,
+    /// One flag per plan partition: the accounted layer charges each
+    /// partition's barrier stall exactly once per execution.
+    pub(crate) partitions_charged: Vec<bool>,
 }
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan, policy: RecoveryPolicy) -> Self {
         let fired = vec![false; plan.events().len()];
+        let partitions_charged = vec![false; plan.partitions().len()];
         FaultState {
             plan,
             policy,
             fired,
             retries_used: 0,
+            partitions_charged,
         }
     }
 }
@@ -364,13 +543,94 @@ mod tests {
         assert!(!FaultPlan::quiet(Seed(0))
             .with_message_faults(10, 0)
             .is_quiet());
+        assert!(!FaultPlan::quiet(Seed(0)).with_corruption(10).is_quiet());
+        assert!(!FaultPlan::quiet(Seed(0)).with_reordering(10).is_quiet());
+        assert!(!FaultPlan::quiet(Seed(0))
+            .partition(2, 3, vec![0, 1])
+            .is_quiet());
+        // A zero-length partition window schedules nothing.
+        assert!(FaultPlan::quiet(Seed(0))
+            .partition(2, 0, vec![0])
+            .is_quiet());
     }
 
     #[test]
     fn message_fault_rates_are_clamped() {
-        let plan = FaultPlan::quiet(Seed(0)).with_message_faults(5000, 2000);
+        let plan = FaultPlan::quiet(Seed(0))
+            .with_message_faults(5000, 2000)
+            .with_corruption(9999)
+            .with_reordering(1001);
         assert_eq!(plan.drop_per_mille(), 1000);
         assert_eq!(plan.dup_per_mille(), 1000);
+        assert_eq!(plan.corrupt_per_mille(), 1000);
+        assert_eq!(plan.reorder_per_mille(), 1000);
+    }
+
+    #[test]
+    fn partitions_normalize_members_and_sort() {
+        let plan = FaultPlan::quiet(Seed(0))
+            .partition(5, 2, vec![3, 1, 3])
+            .partition(0, 1, vec![0]);
+        let ps = plan.partitions();
+        assert_eq!(ps.len(), 2);
+        // `start` is clamped to round 1 and entries sort by start round.
+        assert_eq!(ps[0].start, 1);
+        assert_eq!(ps[1].members, vec![1, 3]);
+        assert!(ps[1].active_at(5));
+        assert!(ps[1].active_at(6));
+        assert!(!ps[1].active_at(7));
+        assert_eq!(ps[1].heal_round(), 7);
+        assert!(ps[1].cuts(1, 0));
+        assert!(ps[1].cuts(0, 3));
+        assert!(!ps[1].cuts(1, 3));
+        assert!(!ps[1].cuts(0, 2));
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_saturates() {
+        let p = RecoveryPolicy::restart_with_backoff(4, 2);
+        assert_eq!(p.backoff_rounds(1), 2);
+        assert_eq!(p.backoff_rounds(2), 4);
+        assert_eq!(p.backoff_rounds(3), 8);
+        assert_eq!(p.max_retries(), 4);
+        // Non-backoff policies never idle.
+        assert_eq!(RecoveryPolicy::restart(4).backoff_rounds(3), 0);
+        assert_eq!(RecoveryPolicy::FailFast.backoff_rounds(1), 0);
+        assert_eq!(RecoveryPolicy::FailFast.max_retries(), 0);
+        // A huge retry count saturates instead of overflowing the shift.
+        let big = RecoveryPolicy::restart_with_backoff(usize::MAX, 3);
+        assert_eq!(big.backoff_rounds(4000), usize::MAX);
+    }
+
+    #[test]
+    fn random_plan_handles_degenerate_dimensions() {
+        // Zero machines / zero horizon clamp to 1 rather than panicking,
+        // and the result is still perfectly reproducible.
+        let a = FaultPlan::random(Seed(5), 0, 0, 4, 4);
+        let b = FaultPlan::random(Seed(5), 0, 0, 4, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 8);
+        for ev in a.events() {
+            assert_eq!(ev.machine, 0, "only machine 0 exists after clamping");
+            assert_eq!(ev.round, 1, "only round 1 exists after clamping");
+        }
+        // Zero requested events yields a quiet plan.
+        assert!(FaultPlan::random(Seed(5), 8, 8, 0, 0).is_quiet());
+    }
+
+    #[test]
+    fn random_plan_determinism_is_argument_sensitive() {
+        let base = FaultPlan::random(Seed(9), 16, 10, 3, 2);
+        assert_eq!(base, FaultPlan::random(Seed(9), 16, 10, 3, 2));
+        assert_ne!(base, FaultPlan::random(Seed(9), 16, 10, 2, 3));
+        assert_ne!(base, FaultPlan::random(Seed(9), 8, 10, 3, 2));
+        // Transport rates survive the builder chain on random plans too.
+        let dressed = FaultPlan::random(Seed(9), 16, 10, 3, 2)
+            .with_message_faults(50, 50)
+            .with_corruption(25)
+            .with_reordering(25);
+        assert_eq!(dressed.events(), base.events());
+        assert_eq!(dressed.corrupt_per_mille(), 25);
     }
 
     #[test]

@@ -15,8 +15,12 @@
 //!   exponentiation, pointer-jumping connectivity), each charging its
 //!   documented round cost and asserting space feasibility;
 //! * [`faults`] — deterministic fault injection (crashes, stragglers,
-//!   message drop/duplication) and checkpoint/recovery, with every
-//!   recovery charged to the ledger.
+//!   message drop/duplication/corruption/reordering, round-scoped
+//!   partitions) and checkpoint/recovery, with every recovery charged to
+//!   the ledger;
+//! * [`supervise`] — straggler speculation, quarantine, exponential
+//!   backoff, and component-scoped graceful degradation backed by the
+//!   paper's component-stability property (Definition 13).
 //!
 //! ```
 //! use csmpc_graph::{generators, rng::Seed};
@@ -40,13 +44,20 @@ pub mod distributed;
 pub mod faults;
 pub mod primitives;
 pub mod provenance;
+pub mod supervise;
 
-pub use cluster::{Cluster, MachineProgram, Message, MpcError, Stats};
+pub use cluster::{Cluster, Envelope, MachineProgram, Message, MpcError, Stats};
 pub use config::MpcConfig;
 pub use csmpc_parallel::ParallelismMode;
 pub use distributed::{graph_words, DistributedGraph};
-pub use faults::{Checkpoint, FaultEvent, FaultKind, FaultPlan, RecoveryEvent, RecoveryPolicy};
+pub use faults::{
+    Checkpoint, FaultEvent, FaultKind, FaultPlan, Partition, RecoveryEvent, RecoveryPolicy,
+};
 pub use primitives::{
     exact_aggregate_sum, exact_aggregate_sum_with_faults, prefix_sums, sort_keys,
 };
 pub use provenance::{ComponentId, CrossComponentFlow, ProvenanceLog};
+pub use supervise::{
+    run_supervised, salvage_graph, ComponentVerdict, PartialOutput, SupervisedOutcome,
+    SupervisedRun, SupervisionEvent, SupervisorConfig,
+};

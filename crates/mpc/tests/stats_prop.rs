@@ -27,6 +27,12 @@ fn delta(raw: (u64, u64, u64, u64)) -> Stats {
         max_round_words: stretch(raw.1) as usize,
         max_storage_words: stretch(raw.2) as usize,
         total_words: stretch(raw.3),
+        // The overlay counters obey the same saturating-add algebra; fold
+        // the same draws back in (rotated) so they hit the boundary too.
+        recovery_rounds: stretch(raw.3) as usize,
+        recovery_words: stretch(raw.0.rotate_left(7)),
+        speculative_rounds: stretch(raw.1.rotate_left(3)) as usize,
+        corrupted_detected: stretch(raw.2.rotate_left(5)),
     }
 }
 
@@ -126,6 +132,10 @@ proptest! {
             max_round_words: usize::MAX,
             max_storage_words: usize::MAX,
             total_words: u64::MAX,
+            recovery_rounds: usize::MAX,
+            recovery_words: u64::MAX,
+            speculative_rounds: usize::MAX,
+            corrupted_detected: u64::MAX,
         };
         let mut out = maxed.clone();
         out.absorb(&delta(a));

@@ -60,14 +60,21 @@ pub mod prelude {
     pub use csmpc_core::classes::{classify, MpcClass};
     pub use csmpc_core::conformance::{run_with_conformance, ConformanceRun, RuntimeViolation};
     pub use csmpc_core::lifting::{b_st_conn, LiftingPair, StVerdict};
-    pub use csmpc_core::runner::{evaluate_vertex_with_faults, FaultEvaluation};
+    pub use csmpc_core::runner::{
+        evaluate_vertex_supervised, evaluate_vertex_with_faults, FaultEvaluation,
+        SupervisedEvaluation,
+    };
     pub use csmpc_core::sensitivity::{estimate_sensitivity, CenteredPair, ComponentMaxId};
     pub use csmpc_core::stability::{
-        verify_component_stability, verify_crash_immunity, CrashImmunityReport,
+        verify_component_stability, verify_crash_immunity, verify_degraded_immunity,
+        CrashImmunityReport, DegradedImmunityReport,
     };
     pub use csmpc_graph::rng::Seed;
     pub use csmpc_graph::{ball, generators, ops, Graph, GraphBuilder, NodeId, NodeName};
     pub use csmpc_local::LocalParams;
-    pub use csmpc_mpc::{Cluster, FaultPlan, MpcConfig, RecoveryPolicy};
+    pub use csmpc_mpc::{
+        run_supervised, Cluster, ComponentVerdict, FaultPlan, MpcConfig, PartialOutput,
+        RecoveryPolicy, SupervisedOutcome, SupervisorConfig,
+    };
     pub use csmpc_problems::problem::GraphProblem;
 }

@@ -167,6 +167,90 @@ fn exact_engine_transport_faults_are_mode_independent() {
 }
 
 #[test]
+fn adversarial_transport_faults_are_mode_independent() {
+    // The adversarial transport classes — payload corruption, in-round
+    // reordering, and a round-scoped partition — on top of the classic
+    // drop/dup faults. Corruption detection counts, retransmission costs,
+    // and partition stalls must replay identically in both modes.
+    let values: Vec<u64> = (1..=100).collect();
+    let expected: u64 = values.iter().sum();
+    let mut per_mode: Vec<(u64, Stats, usize)> = Vec::new();
+    for mode in MODES {
+        let cfg = MpcConfig {
+            parallelism: mode,
+            ..MpcConfig::with_phi(0.5)
+        };
+        let mut cl = Cluster::new(cfg, 400, 800, Seed(7));
+        let plan = FaultPlan::random(Seed(0x5EED).derive(9), cl.num_machines(), 3, 1, 1)
+            .with_message_faults(100, 100)
+            .with_corruption(200)
+            .with_reordering(250)
+            .partition(1, 2, vec![0]);
+        let (sum, rounds) =
+            exact_aggregate_sum_with_faults(&mut cl, &values, &plan, RecoveryPolicy::restart(8))
+                .expect("adversarial sum failed");
+        assert_eq!(sum, expected, "transport faults changed the output");
+        per_mode.push((rounds as u64, cl.stats().clone(), cl.recovery_log().len()));
+    }
+    assert_eq!(
+        per_mode[0], per_mode[1],
+        "exact engine diverged under adversarial transport"
+    );
+    assert!(
+        per_mode[0].1.corrupted_detected > 0,
+        "no corruption fired; vacuous"
+    );
+}
+
+#[test]
+fn supervised_recovery_is_mode_independent() {
+    // Supervision (speculative re-execution of stragglers, exponential
+    // backoff before retries, quarantine after repeated failures) drives
+    // the recovery and supervision logs; both must be bit-identical
+    // across modes, as must the overlay counters in Stats.
+    let g = two_component_graph();
+    let shared = Seed(0xC0DE);
+    let run = |g: &Graph, cl: &mut Cluster| {
+        StableOneShotIs
+            .run(g, cl)
+            .map(|ls| ls.into_iter().map(u64::from).collect::<Vec<u64>>())
+    };
+    let mut per_mode = Vec::new();
+    for mode in MODES {
+        let mut cluster = cluster_in_mode(&g, shared, mode);
+        cluster.supervise(csmpc_mpc::SupervisorConfig {
+            deadline_rounds: 2,
+            failure_threshold: 1,
+        });
+        let plan = FaultPlan::quiet(shared)
+            .straggle(1, 2, 9)
+            .crash(2, 3)
+            .crash(2, 5)
+            .crash(2, 7);
+        cluster.arm_faults(plan, RecoveryPolicy::restart_with_backoff(4, 2));
+        let labels = run(&g, &mut cluster).expect("supervised run failed");
+        per_mode.push((
+            labels,
+            cluster.stats().clone(),
+            cluster.recovery_log().to_vec(),
+            cluster.supervision_log().to_vec(),
+            cluster.quarantined_machines().clone(),
+        ));
+    }
+    assert_eq!(
+        per_mode[0], per_mode[1],
+        "supervised run diverged between modes"
+    );
+    let (_, stats, _, supervision, quarantined) = &per_mode[0];
+    assert!(
+        stats.speculative_rounds > 0,
+        "no speculation fired; vacuous"
+    );
+    assert!(!supervision.is_empty(), "supervision log empty; vacuous");
+    assert!(!quarantined.is_empty(), "no quarantine fired; vacuous");
+}
+
+#[test]
 fn local_simulators_are_mode_independent() {
     let g = generators::random_tree(64, Seed(11));
     let params = LocalParams::exact(g.n(), g.max_degree(), Seed(3));
