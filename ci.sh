@@ -33,8 +33,17 @@ echo "==> parallel equivalence suite (forced worker threads)"
 # code path is exercised for the bit-identity assertions.
 RAYON_NUM_THREADS=4 cargo test -q --test parallel_equivalence
 
-echo "==> bench smoke gate (writes BENCH_mpc.json; speedup gate on multi-core)"
-cargo run -q --release -p csmpc-bench --bin perf -- --smoke
-test -s BENCH_mpc.json
+echo "==> bench smoke + perf-regression gate (vs committed BENCH_mpc_smoke.json)"
+# Writes BENCH_mpc_smoke.json (the committed full-size BENCH_mpc.json is
+# left untouched) and fails on gross per-workload regressions against the
+# committed smoke baseline; tolerances are generous, so only multi-x
+# slowdowns (lost cache, accidental quadratic path) trip it. Threads are
+# NOT forced here: oversubscribing a single core pollutes the sequential
+# columns with spin-wait noise, and perf books effective workers as
+# min(threads, cores) anyway — the speedup gates arm themselves on
+# genuinely multi-core runners.
+cargo run -q --release -p csmpc-bench --bin perf -- \
+    --smoke --gate BENCH_mpc_smoke.json
+test -s BENCH_mpc_smoke.json
 
 echo "CI green."

@@ -141,7 +141,7 @@ impl MpcVertexAlgorithm for BallGreedyColoringMpc {
         let dg = csmpc_mpc::DistributedGraph::distribute(g, cluster)?;
         let balls = dg.collect_balls(cluster, self.radius)?;
         let mut colors = Vec::with_capacity(g.n());
-        for (ball, center) in &balls {
+        for (ball, center) in balls.iter() {
             // Greedy by ID *within the ball*: the center's color equals the
             // global greedy color when its ID-descending dependency chain
             // fits inside the ball.

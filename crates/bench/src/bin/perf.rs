@@ -5,15 +5,27 @@
 //! labels, ball-greedy coloring, faulted chaos replay, and the E5
 //! success-probability harness — at several input sizes under both
 //! [`ParallelismMode::Sequential`] and [`ParallelismMode::Parallel`],
-//! recording warm best-of-N wall times and speedups, and writes
+//! recording warm best-of-N wall times, speedups, and the engine's
+//! per-phase wall-clock breakdown (route/intake/step/merge/checkpoint,
+//! from the `Stats` ledger's observability overlay), and writes
 //! `BENCH_mpc.json` at the repository root.
 //!
-//! `--smoke` shrinks the sizes and repetition counts for the CI gate.
-//! The speedup gate (parallel no slower than sequential on average) is
-//! enforced only when real worker threads are available
-//! (`rayon::current_num_threads() > 1`); on a single-core runner the
-//! parallel mode degrades to inline execution and the gate reduces to a
-//! warning, since there is no concurrency to measure.
+//! Worker accounting is per column: the sequential column always runs on
+//! one worker, and the parallel column is labeled `par` only when rayon
+//! actually has more than one worker thread — with a single worker the
+//! column is labeled `inline`, because calling a degraded inline pass
+//! "parallel" would launder a 1.0x speedup into a parallel claim.
+//!
+//! `--smoke` shrinks the sizes and repetition counts for the CI gate and
+//! writes `BENCH_mpc_smoke.json` instead, leaving the committed full
+//! baseline untouched. `--gate <path>` compares the run against a
+//! previously committed baseline JSON (matching workload/size rows) and
+//! fails on gross regressions; tolerances are deliberately generous
+//! (shared CI runners jitter), so only multi-x slowdowns trip it.
+//!
+//! With the `alloc-count` feature the binary installs the counting
+//! global allocator from `csmpc_mpc::phase::counting_alloc` and reports
+//! heap allocations per sequential pass alongside the timings.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -26,11 +38,46 @@ use csmpc_graph::rng::Seed;
 use csmpc_graph::{generators, ops, Graph};
 use csmpc_mpc::{
     exact_aggregate_sum_with_faults, run_supervised, Cluster, DistributedGraph, FaultPlan,
-    MpcConfig, ParallelismMode, RecoveryPolicy, Stats, SupervisorConfig,
+    MpcConfig, ParallelismMode, PhaseTimes, RecoveryPolicy, Stats, SupervisorConfig,
 };
 use csmpc_problems::mis::LargeIndependentSet;
 
-const MODES: [ParallelismMode; 2] = [ParallelismMode::Sequential, ParallelismMode::Parallel];
+/// Per-row sequential wall-time tolerance for `--gate`: the current run
+/// may be up to this many times slower than the committed baseline row
+/// before the gate fails. Generous on purpose — smoke sizes are small and
+/// CI machines are noisy; the gate exists to catch order-of-magnitude
+/// regressions (an accidental quadratic path, a lost cache), not jitter.
+const GATE_SEQ_TOLERANCE: f64 = 4.0;
+
+/// Sub-millisecond baseline rows are pure noise; the gate compares
+/// against at least this floor so a 0.1 ms → 0.5 ms wobble cannot fail.
+const GATE_SEQ_FLOOR_MS: f64 = 0.5;
+
+/// `--gate` requires the current geomean speedup to stay within this
+/// fraction of the baseline's (only compared when both runs had real
+/// worker threads).
+const GATE_GEOMEAN_FRACTION: f64 = 0.6;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: csmpc_mpc::phase::counting_alloc::CountingAllocator =
+    csmpc_mpc::phase::counting_alloc::CountingAllocator;
+
+/// Allocations performed while running `f`, when the `alloc-count`
+/// feature has installed the counting allocator; `None` otherwise.
+#[cfg(feature = "alloc-count")]
+fn alloc_count_of(f: impl FnOnce()) -> Option<u64> {
+    use csmpc_mpc::phase::counting_alloc::allocations;
+    let before = allocations();
+    f();
+    Some(allocations().saturating_sub(before))
+}
+
+#[cfg(not(feature = "alloc-count"))]
+fn alloc_count_of(f: impl FnOnce()) -> Option<u64> {
+    f();
+    None
+}
 
 fn cluster_in_mode(g: &Graph, min_space: usize, seed: Seed, mode: ParallelismMode) -> Cluster {
     let cfg = MpcConfig {
@@ -42,34 +89,37 @@ fn cluster_in_mode(g: &Graph, min_space: usize, seed: Seed, mode: ParallelismMod
 }
 
 /// One warmup pass, then the best (minimum) of `reps` timed passes, in
-/// milliseconds. Best-of is the standard noise filter for short kernels:
-/// scheduling jitter only ever adds time.
-fn time_best_of(reps: usize, mut f: impl FnMut()) -> f64 {
-    f();
+/// milliseconds, along with the last pass's return value. Best-of is the
+/// standard noise filter for short kernels: scheduling jitter only ever
+/// adds time.
+fn time_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut last = f();
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
-        f();
+        last = f();
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
     }
-    best
+    (best, last)
 }
 
-fn luby_mis(n: usize, mode: ParallelismMode) {
+fn luby_mis(n: usize, mode: ParallelismMode) -> PhaseTimes {
     let g = generators::cycle(n);
     let mut cl = cluster_in_mode(&g, 0, Seed(0xC0DE), mode);
     black_box(StableOneShotIs.run(&g, &mut cl).expect("luby-mis run"));
+    cl.stats().phase
 }
 
-fn cc_labels(n: usize, mode: ParallelismMode) {
+fn cc_labels(n: usize, mode: ParallelismMode) -> PhaseTimes {
     let half = generators::cycle(n / 2);
     let g = ops::disjoint_union(&[&half, &ops::with_fresh_names(&half, n as u64)]);
     let mut cl = cluster_in_mode(&g, 0, Seed(0xC0DE), mode);
     let dg = DistributedGraph::distribute(&g, &mut cl).expect("distribute");
     black_box(dg.cc_labels(&mut cl).expect("cc-labels run"));
+    cl.stats().phase
 }
 
-fn ball_coloring(n: usize, mode: ParallelismMode) {
+fn ball_coloring(n: usize, mode: ParallelismMode) -> PhaseTimes {
     let g = generators::random_tree(n, Seed(17));
     // Radius-3 balls need the elevated space floor of the paper's roomy
     // regime (Δ^{O(T)} ≤ n^φ side condition).
@@ -79,9 +129,10 @@ fn ball_coloring(n: usize, mode: ParallelismMode) {
             .run(&g, &mut cl)
             .expect("ball-coloring run"),
     );
+    cl.stats().phase
 }
 
-fn chaos_replay(n: usize, mode: ParallelismMode) {
+fn chaos_replay(n: usize, mode: ParallelismMode) -> PhaseTimes {
     let g = ops::disjoint_union(&[
         &generators::cycle(8),
         &ops::with_fresh_names(&generators::cycle(n), 1000 + n as u64),
@@ -90,15 +141,19 @@ fn chaos_replay(n: usize, mode: ParallelismMode) {
     let plan = FaultPlan::random(Seed(0xFA57).derive(1), cl.num_machines(), 3, 1, 1);
     cl.arm_faults(plan, RecoveryPolicy::restart(8));
     black_box(StableOneShotIs.run(&g, &mut cl).expect("chaos-replay run"));
+    cl.stats().phase
 }
 
-fn e05_success_probability(n: usize, mode: ParallelismMode) {
+fn e05_success_probability(n: usize, mode: ParallelismMode) -> PhaseTimes {
     let g = generators::cycle(n);
     let p = LargeIndependentSet { c: 0.5 };
     black_box(
         success_probability_with_mode(&StableOneShotIs, &p, &g, 24, Seed(4), mode)
             .expect("e05 run"),
     );
+    // The harness owns its per-trial clusters, so no ledger survives to
+    // read a breakdown from.
+    PhaseTimes::default()
 }
 
 struct Sample {
@@ -106,6 +161,11 @@ struct Sample {
     n: usize,
     seq_ms: f64,
     par_ms: f64,
+    /// Phase breakdown of the sequential column's final pass (the same
+    /// work without thread-scheduling noise in the attribution).
+    phase: PhaseTimes,
+    /// Heap allocations in one sequential pass (`alloc-count` only).
+    allocs: Option<u64>,
 }
 
 impl Sample {
@@ -166,7 +226,7 @@ fn recovery_suite(n: usize, reps: usize) -> Vec<RecoverySample> {
     let mut out = Vec::new();
     let mut record = |scenario: &'static str, base_rounds: usize, f: &mut dyn FnMut() -> Stats| {
         let stats = f();
-        let ms = time_best_of(reps, || {
+        let (ms, ()) = time_best_of(reps, || {
             black_box(f());
         });
         out.push(RecoverySample {
@@ -253,12 +313,131 @@ fn recovery_suite(n: usize, reps: usize) -> Vec<RecoverySample> {
     out
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let reps = if smoke { 2 } else { 5 };
-    let workers = rayon::current_num_threads();
+/// Extracts a bare (unquoted) numeric field from one line of the
+/// baseline JSON. The perf binary both writes and reads this format, so
+/// a line-oriented scan is exact — no JSON dependency needed.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
 
-    type Runner = fn(usize, ParallelismMode);
+/// Extracts a quoted string field from one line of the baseline JSON.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    rest.find('"').map(|end| &rest[..end])
+}
+
+struct Baseline {
+    workers: usize,
+    geomean: Option<f64>,
+    /// `(workload, n, seq_ms)` per result row.
+    rows: Vec<(String, usize, f64)>,
+}
+
+fn parse_baseline(text: &str) -> Baseline {
+    let mut base = Baseline {
+        workers: 1,
+        geomean: None,
+        rows: Vec::new(),
+    };
+    for line in text.lines() {
+        if let Some(w) = field_str(line, "workload") {
+            if let (Some(n), Some(seq)) = (field_f64(line, "n"), field_f64(line, "seq_ms")) {
+                base.rows.push((w.to_string(), n as usize, seq));
+            }
+        } else if let Some(g) = field_f64(line, "geomean_speedup") {
+            base.geomean = Some(g);
+        } else if let Some(w) = field_f64(line, "workers") {
+            base.workers = w as usize;
+        }
+    }
+    base
+}
+
+/// Compares this run against the committed baseline. Returns the list of
+/// violations (empty = pass).
+fn gate_violations(
+    baseline: &Baseline,
+    samples: &[Sample],
+    geomean: f64,
+    workers: usize,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut compared = 0usize;
+    for s in samples {
+        let Some((_, _, base_seq)) = baseline
+            .rows
+            .iter()
+            .find(|(w, n, _)| w == s.workload && *n == s.n)
+        else {
+            continue;
+        };
+        compared += 1;
+        let allowed = GATE_SEQ_TOLERANCE * base_seq.max(GATE_SEQ_FLOOR_MS);
+        if s.seq_ms > allowed {
+            violations.push(format!(
+                "{} n={}: seq {:.3} ms exceeds {:.3} ms ({}x baseline {:.3} ms)",
+                s.workload, s.n, s.seq_ms, allowed, GATE_SEQ_TOLERANCE, base_seq
+            ));
+        }
+    }
+    if compared == 0 {
+        violations.push(
+            "baseline has no rows matching this run's workloads/sizes — \
+             wrong baseline file for this configuration?"
+                .to_string(),
+        );
+    }
+    if workers > 1 && baseline.workers > 1 {
+        if let Some(base_geo) = baseline.geomean {
+            let floor = GATE_GEOMEAN_FRACTION * base_geo;
+            if geomean < floor {
+                violations.push(format!(
+                    "geomean speedup {geomean:.3}x fell below {floor:.3}x \
+                     ({GATE_GEOMEAN_FRACTION} of baseline {base_geo:.3}x)"
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .map(|i| args.get(i + 1).expect("--gate requires a path").clone());
+    // Read the baseline BEFORE any output file is written, so gating a
+    // run against the file it is about to overwrite compares against the
+    // committed contents, not this run's own numbers.
+    let baseline = gate_path.as_ref().map(|p| {
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read gate baseline {p}: {e}"));
+        parse_baseline(&text)
+    });
+
+    let reps = if smoke { 2 } else { 5 };
+    // Per-column worker accounting: the sequential column is inline by
+    // definition, and the parallel column's *effective* worker count is
+    // the smaller of rayon's thread pool and the machine's cores — forcing
+    // RAYON_NUM_THREADS=2 on a single-core runner time-slices one core and
+    // must not be booked as parallelism. The column only earns the "par"
+    // label (and the speedup gates only arm) with >1 effective workers.
+    let threads = rayon::current_num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let seq_workers = 1usize;
+    let par_workers = threads.min(cores);
+    let workers = par_workers;
+    let par_label = if par_workers > 1 { "par" } else { "inline" };
+
+    type Runner = fn(usize, ParallelismMode) -> PhaseTimes;
     let suite: [(&str, Runner, [usize; 2]); 5] = [
         (
             "luby-mis",
@@ -288,31 +467,42 @@ fn main() {
     ];
 
     println!(
-        "perf suite: {} workloads x 2 sizes, best of {reps}, {workers} worker thread(s), \
-         smoke={smoke}",
+        "perf suite: {} workloads x 2 sizes, best of {reps}, seq column {seq_workers} worker, \
+         {par_label} column {par_workers} effective worker(s) ({threads} thread(s) on {cores} \
+         core(s)), smoke={smoke}",
         suite.len()
     );
     let mut samples = Vec::new();
     for (workload, runner, sizes) in suite {
         for n in sizes {
-            let mut times = [0.0f64; 2];
-            for (slot, mode) in MODES.into_iter().enumerate() {
-                times[slot] = time_best_of(reps, || runner(n, mode));
-            }
+            let (seq_ms, phase) = time_best_of(reps, || runner(n, ParallelismMode::Sequential));
+            let allocs = alloc_count_of(|| {
+                runner(n, ParallelismMode::Sequential);
+            });
+            let (par_ms, _) = time_best_of(reps, || runner(n, ParallelismMode::Parallel));
             let s = Sample {
                 workload,
                 n,
-                seq_ms: times[0],
-                par_ms: times[1],
+                seq_ms,
+                par_ms,
+                phase,
+                allocs,
             };
             println!(
-                "  {:<24} n={:<6} seq {:>9.3} ms   par {:>9.3} ms   speedup {:.2}x",
+                "  {:<24} n={:<6} seq {:>9.3} ms   {} {:>9.3} ms   speedup {:.2}x",
                 s.workload,
                 s.n,
                 s.seq_ms,
+                par_label,
                 s.par_ms,
                 s.speedup()
             );
+            if !s.phase.is_zero() {
+                println!("    phases: {}", s.phase);
+            }
+            if let Some(a) = s.allocs {
+                println!("    allocations per seq pass: {a}");
+            }
             samples.push(s);
         }
     }
@@ -321,7 +511,7 @@ fn main() {
     // absolute runtime.
     let geomean =
         (samples.iter().map(|s| s.speedup().ln()).sum::<f64>() / samples.len() as f64).exp();
-    println!("geometric-mean speedup: {geomean:.2}x");
+    println!("geometric-mean speedup ({par_label}, {par_workers} workers): {geomean:.2}x");
 
     // Recovery-overhead table: what each supervision mechanism costs
     // relative to the fault-free twin, straight from the Stats ledger.
@@ -347,19 +537,33 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"suite\": \"csmpc parallel-engine baseline\",\n");
     json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"parallel_label\": \"{par_label}\",\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"best_of\": {reps},\n"));
     json.push_str(&format!("  \"geomean_speedup\": {geomean:.4},\n"));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
+        let allocs = match s.allocs {
+            Some(a) => format!(", \"allocs_per_seq_pass\": {a}"),
+            None => String::new(),
+        };
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"n\": {}, \"seq_ms\": {:.4}, \"par_ms\": {:.4}, \
-             \"speedup\": {:.4}}}{}\n",
+             \"speedup\": {:.4}, \"seq_workers\": {seq_workers}, \"par_workers\": {par_workers}, \
+             \"phase_ns\": {{\"route\": {}, \"intake\": {}, \"step\": {}, \"merge\": {}, \
+             \"checkpoint\": {}}}{allocs}}}{}\n",
             s.workload,
             s.n,
             s.seq_ms,
             s.par_ms,
             s.speedup(),
+            s.phase.route_ns,
+            s.phase.intake_ns,
+            s.phase.step_ns,
+            s.phase.merge_ns,
+            s.phase.checkpoint_ns,
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }
@@ -385,9 +589,31 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mpc.json");
-    std::fs::write(out, &json).expect("write BENCH_mpc.json");
+    // Smoke runs write a separate file so the committed full-size
+    // baseline is never clobbered by a CI gate pass.
+    let out = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mpc_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mpc.json")
+    };
+    std::fs::write(out, &json).expect("write benchmark json");
     println!("wrote {out}");
+
+    if let Some(baseline) = &baseline {
+        let violations = gate_violations(baseline, &samples, geomean, workers);
+        if violations.is_empty() {
+            println!(
+                "perf gate: OK ({} rows compared against {})",
+                samples.len(),
+                gate_path.as_deref().unwrap_or("?")
+            );
+        } else {
+            for v in &violations {
+                eprintln!("perf gate FAIL: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 
     if smoke {
         if workers > 1 && geomean < 1.0 {
@@ -398,7 +624,10 @@ fn main() {
             std::process::exit(1);
         }
         if workers <= 1 {
-            println!("note: single worker thread — parallel mode ran inline, speedup gate skipped");
+            println!(
+                "note: 1 effective worker ({threads} thread(s) on {cores} core(s)) — \
+                 parallel column is time-sliced/inline, speedup gate skipped"
+            );
         }
     }
 }

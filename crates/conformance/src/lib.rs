@@ -42,7 +42,12 @@
 //!   (index order fixed by the executor) and must not be consumed by
 //!   `.for_each(...)` or `.reduce(...)`, whose side-effect/merge order is
 //!   unspecified in general rayon. The `csmpc_parallel::par_map*` helpers
-//!   are the approved entry points and pass by construction.
+//!   are the approved entry points and pass by construction. The lint also
+//!   enforces the hot-path allocation discipline: a function marked with a
+//!   `// #[csmpc_hot]` comment must not touch ordered maps
+//!   (`BTreeMap`/`BTreeSet`) in its body — the reusable flat workspaces
+//!   (`csmpc_graph::ball::BallWorkspace`) exist precisely so the hot paths
+//!   never pay a per-call map allocation.
 //!
 //! Diagnostics carry `file:line` locations; a finding can be suppressed by
 //! placing `// conformance: allow(<lint>)` (or `allow(all)`) on the same or
@@ -824,7 +829,86 @@ const PAR_TOKENS: &[&str] = &["par_iter", "par_iter_mut", "into_par_iter", "par_
 /// for its order-fixing merge.
 const PAR_CHAIN_MAX_LINES: usize = 40;
 
+/// Comment marker naming a function as engine hot-path code; it must be
+/// the whole comment on its line (prose that merely *mentions* the marker
+/// does not mark anything). Marked functions run once per vertex per
+/// round (or tighter); the reusable flat workspaces exist so they never
+/// allocate an ordered map per call, and constructing one there silently
+/// reintroduces the churn the workspaces removed.
+const HOT_MARKER: &str = "// #[csmpc_hot]";
+
+/// Ordered-map identifiers forbidden inside hot-marked function bodies.
+const HOT_ALLOC_TOKENS: &[&str] = &["BTreeMap", "BTreeSet"];
+
+/// The hot-path arm of [`Lint::Determinism`]: scans function bodies whose
+/// declaration is preceded by a [`HOT_MARKER`] comment and flags any
+/// ordered-map mention inside them.
+fn lint_hot_allocations(
+    scrubbed: &Scrubbed,
+    mask: &[bool],
+    file: &Path,
+    out: &mut Vec<Diagnostic>,
+) {
+    let code = &scrubbed.code;
+    for (idx, comment) in scrubbed.comments.iter().enumerate() {
+        if comment.trim() != HOT_MARKER {
+            continue;
+        }
+        // The marker names the next function declaration at or below it.
+        let Some(fn_line) = (idx..code.len()).find(|&j| contains_ident(&code[j], "fn")) else {
+            continue;
+        };
+        let fn_name = code[fn_line]
+            .split("fn ")
+            .nth(1)
+            .map(|rest| {
+                rest.chars()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect::<String>()
+            })
+            .filter(|name| !name.is_empty())
+            .unwrap_or_else(|| "<unknown>".to_string());
+        let mut open = None;
+        for (j, line) in code.iter().enumerate().skip(fn_line) {
+            if line.contains('{') {
+                open = Some(j);
+                break;
+            }
+            if line.contains(';') {
+                break;
+            }
+        }
+        let Some(open) = open else {
+            continue;
+        };
+        let end = block_end(code, open);
+        for (k, line) in code[open..=end].iter().enumerate() {
+            let abs = open + k;
+            if mask[abs] {
+                continue;
+            }
+            for &token in HOT_ALLOC_TOKENS {
+                if contains_ident(line, token) {
+                    out.push(Diagnostic {
+                        lint: Lint::Determinism,
+                        file: file.to_path_buf(),
+                        line: abs + 1,
+                        message: format!(
+                            "`{token}` inside `#[csmpc_hot]`-marked `{fn_name}`: hot-path code \
+                             must reuse the flat workspace buffers \
+                             (csmpc_graph::ball::BallWorkspace) instead of paying a per-call \
+                             ordered-map allocation"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
 fn lint_determinism(scrubbed: &Scrubbed, mask: &[bool], file: &Path, out: &mut Vec<Diagnostic>) {
+    lint_hot_allocations(scrubbed, mask, file, out);
     let code = &scrubbed.code;
     let mut i = 0usize;
     while i < code.len() {
@@ -969,6 +1053,9 @@ pub fn lints_for_path(rel: &str) -> Vec<Lint> {
         "crates/algorithms/src/",
         "crates/derand/src/",
         "crates/parallel/src/",
+        // The graph crate hosts the `#[csmpc_hot]`-marked ball workspace
+        // kernels; the hot-path allocation arm polices them.
+        "crates/graph/src/",
     ];
     if DETERMINISM_ROOTS.iter().any(|p| rel.starts_with(p)) {
         lints.push(Lint::Determinism);
@@ -1295,6 +1382,51 @@ fn swept(mode: ParallelismMode, v: &[u64]) -> Vec<u64> {
     }
 
     #[test]
+    fn hot_marked_functions_must_not_touch_ordered_maps() {
+        let src = "\
+// #[csmpc_hot]
+fn ball_extent(&mut self, g: &Graph, v: usize) -> usize {
+    let index: BTreeMap<u64, usize> = (0..4u64).map(|i| (i, 0)).collect();
+    let mut seen = BTreeSet::new();
+    seen.insert(0u64);
+    index.len() + seen.len()
+}
+fn unmarked_helper() -> usize {
+    let m: BTreeMap<u64, u64> = BTreeMap::new();
+    m.len()
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Determinism]);
+        assert_eq!(lines_of_test(&d), vec![3, 4], "{d:?}");
+        assert!(d[0].message.contains("ball_extent"));
+        assert!(d[0].message.contains("BTreeMap"));
+        assert!(d[1].message.contains("BTreeSet"));
+    }
+
+    #[test]
+    fn hot_marker_arm_is_suppressible_and_ignores_flat_bodies() {
+        let src = "\
+// #[csmpc_hot]
+fn flat(&mut self, scratch: &mut Vec<u64>) -> usize {
+    scratch.clear();
+    scratch.len()
+}
+// #[csmpc_hot]
+fn audited(&mut self) -> usize {
+    // conformance: allow(determinism)
+    let tmp = BTreeMap::from([(0u64, 1u64)]);
+    tmp.len()
+}
+";
+        let d = check_source(Path::new("x.rs"), src, &[Lint::Determinism]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    fn lines_of_test(diags: &[Diagnostic]) -> Vec<usize> {
+        diags.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
     fn determinism_suppressible_like_any_lint() {
         let src = "\
 // conformance: allow(determinism)
@@ -1319,7 +1451,9 @@ fn counted(v: &[u64]) -> usize { v.par_iter().count() }
         assert!(lints_for_path("crates/local/src/engine.rs").contains(&Lint::Determinism));
         assert!(lints_for_path("crates/parallel/src/lib.rs").contains(&Lint::Determinism));
         assert!(lints_for_path("crates/core/src/runner.rs").contains(&Lint::Determinism));
-        assert!(!lints_for_path("crates/graph/src/graph.rs").contains(&Lint::Determinism));
+        // The graph crate joined the determinism roots with the hot-path
+        // workspace kernels (`#[csmpc_hot]` allocation policing).
+        assert!(lints_for_path("crates/graph/src/ball.rs").contains(&Lint::Determinism));
         assert!(!lints_for_path("crates/bench/src/bin/perf.rs").contains(&Lint::Determinism));
     }
 

@@ -70,6 +70,28 @@ fn stability_fixture_caught_at_exact_lines() {
 }
 
 #[test]
+fn determinism_fixture_caught_at_exact_lines() {
+    let diags = scan_fixture("determinism_violation.rs", &[Lint::Determinism]);
+    assert_eq!(lines_of(&diags), vec![11, 18], "{diags:#?}");
+    assert!(diags[0].message.contains("for_each"));
+    assert!(diags[1].message.contains("collect"));
+}
+
+#[test]
+fn hot_path_allocation_fixture_caught_at_exact_lines() {
+    let diags = scan_fixture("hot_path_allocation.rs", &[Lint::Determinism]);
+    assert_eq!(lines_of(&diags), vec![12, 13], "{diags:#?}");
+    assert!(diags[0].message.contains("ball_extent"));
+    assert!(diags[0].message.contains("BTreeMap"));
+    assert!(diags[1].message.contains("BTreeSet"));
+    // The flat-buffer hot function, the unmarked map builder, and the
+    // suppressed audited construction all stay clean.
+    assert!(!diags.iter().any(|d| d.message.contains("flat_extent")));
+    assert!(!diags.iter().any(|d| d.message.contains("grouped")));
+    assert!(!diags.iter().any(|d| d.line > 30), "suppression holds");
+}
+
+#[test]
 fn fixtures_stay_silent_for_other_lints() {
     // Each fixture seeds exactly one lint; cross-checking guards against
     // over-eager matching.
@@ -80,4 +102,7 @@ fn fixtures_stay_silent_for_other_lints() {
     assert!(scan_fixture("recovery_accounting.rs", &[Lint::Nondeterminism]).is_empty());
     assert!(scan_fixture("recovery_accounting.rs", &[Lint::StabilityDiscipline]).is_empty());
     assert!(scan_fixture("unaccounted_primitive.rs", &[Lint::RecoveryAccounting]).is_empty());
+    assert!(scan_fixture("determinism_violation.rs", &[Lint::Nondeterminism]).is_empty());
+    assert!(scan_fixture("hot_path_allocation.rs", &[Lint::Nondeterminism]).is_empty());
+    assert!(scan_fixture("hot_path_allocation.rs", &[Lint::StabilityDiscipline]).is_empty());
 }

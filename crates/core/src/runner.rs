@@ -345,6 +345,42 @@ mod tests {
     }
 
     #[test]
+    fn ball_collecting_trials_repeat_identically_and_never_reuse_stale_balls() {
+        use csmpc_mpc::DistributedGraph;
+        // Repetition loops (success-probability / stability / sensitivity
+        // trials) re-collect the same graph's balls every trial; the
+        // process-wide ball cache serves them from one computed set. That
+        // must be invisible: every trial returns the same balls and the
+        // same ledger charges as the first.
+        let g = generators::cycle(40);
+        let mut cluster = evaluation_cluster(&g, Seed(3));
+        let dg = DistributedGraph::distribute(&g, &mut cluster).unwrap();
+        let first = dg.collect_balls(&mut cluster, 2).unwrap();
+        let first_stats = cluster.stats().clone();
+        for t in 0..3 {
+            cluster.reset_for_repetition();
+            cluster.set_shared_seed(Seed(3));
+            let dg_t = DistributedGraph::distribute(&g, &mut cluster).unwrap();
+            let balls = dg_t.collect_balls(&mut cluster, 2).unwrap();
+            assert_eq!(*balls, *first, "trial {t} returned different balls");
+            assert_eq!(
+                cluster.stats(),
+                &first_stats,
+                "trial {t} charged differently"
+            );
+        }
+        // A mutated input (the cycle minus one edge — the shape of a
+        // fault-perturbed trial) must never be served the old graph's
+        // cached balls: the key is the exact graph content.
+        let mutated = generators::path(40);
+        let mut cl2 = evaluation_cluster(&mutated, Seed(3));
+        let dg2 = DistributedGraph::distribute(&mutated, &mut cl2).unwrap();
+        let mutated_balls = dg2.collect_balls(&mut cl2, 2).unwrap();
+        assert_eq!(mutated_balls[0].0.n(), 3, "path endpoint ball is one-sided");
+        assert_eq!(first[0].0.n(), 5, "cycle ball spans both sides");
+    }
+
+    #[test]
     fn fault_evaluation_recovers_and_charges() {
         let g = generators::cycle(40);
         let p = LargeIndependentSet { c: 0.1 };

@@ -1,0 +1,131 @@
+//! Compressed-sparse-row adjacency: a flat, cache-friendly view of a
+//! [`Graph`]'s neighbor lists.
+//!
+//! [`Graph`] stores one `Vec<u32>` per node, which is convenient to build
+//! but scatters neighbor lists across the heap. Hot sweeps (ball
+//! collection, per-vertex LOCAL evaluation) traverse every adjacency list
+//! once per vertex per repetition; packing all targets into a single
+//! array with per-node offsets removes a pointer indirection per node and
+//! keeps consecutive lists on the same cache lines.
+//!
+//! A `CsrAdjacency` is a *view*: it copies the neighbor structure once at
+//! construction and is immutable afterwards. Neighbor order is preserved
+//! exactly (ascending, as [`Graph::neighbors`] guarantees), so any
+//! traversal that swaps `g.neighbors(v)` for `csr.neighbors(v)` visits
+//! nodes in the identical order — bit-for-bit determinism is unaffected.
+
+use crate::graph::Graph;
+
+/// Flat adjacency of a graph: `targets[offsets[v]..offsets[v + 1]]` are the
+/// neighbors of node `v`, in the same ascending order as
+/// [`Graph::neighbors`].
+///
+/// # Examples
+///
+/// ```
+/// use csmpc_graph::{generators, CsrAdjacency};
+/// let g = generators::cycle(5);
+/// let csr = CsrAdjacency::from_graph(&g);
+/// assert_eq!(csr.n(), 5);
+/// assert_eq!(csr.neighbors(0), g.neighbors(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    /// `n + 1` prefix offsets into `targets`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists (`2m` entries for an undirected graph).
+    targets: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    /// Packs `g`'s adjacency lists into CSR form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` directed edges (far
+    /// beyond any instance the substrate can hold in memory).
+    #[must_use]
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total: usize = 0;
+        offsets.push(0);
+        for v in 0..n {
+            total += g.neighbors(v).len();
+            offsets.push(u32::try_from(total).expect("edge count fits u32"));
+        }
+        let mut targets = Vec::with_capacity(total);
+        for v in 0..n {
+            targets.extend_from_slice(g.neighbors(v));
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total directed edge slots (`2m` for an undirected graph).
+    #[must_use]
+    pub fn directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `v`, ascending — identical content and order to
+    /// [`Graph::neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.n()`.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.n()`.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::rng::Seed;
+
+    #[test]
+    fn matches_graph_adjacency_exactly() {
+        for g in [
+            generators::path(7),
+            generators::cycle(9),
+            generators::random_tree(40, Seed(3)),
+            generators::path(1),
+        ] {
+            let csr = CsrAdjacency::from_graph(&g);
+            assert_eq!(csr.n(), g.n());
+            assert_eq!(csr.directed_edges(), 2 * g.m());
+            for v in 0..g.n() {
+                assert_eq!(csr.neighbors(v), g.neighbors(v), "node {v}");
+                assert_eq!(csr.degree(v), g.neighbors(v).len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = generators::path(0);
+        let csr = CsrAdjacency::from_graph(&g);
+        assert_eq!(csr.n(), 0);
+        assert_eq!(csr.directed_edges(), 0);
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod analysis;
 pub mod ball;
+pub mod csr;
 pub mod enumerate;
 pub mod family;
 pub mod generators;
@@ -50,4 +51,5 @@ mod graph;
 pub mod ops;
 pub mod rng;
 
+pub use csr::CsrAdjacency;
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId, NodeName};

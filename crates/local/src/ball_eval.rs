@@ -8,8 +8,8 @@
 //! form, which is also how MPC simulates LOCAL after graph exponentiation.
 
 use crate::params::LocalParams;
-use csmpc_graph::ball::ball;
-use csmpc_graph::Graph;
+use csmpc_graph::ball::with_thread_workspace;
+use csmpc_graph::{CsrAdjacency, Graph};
 use csmpc_parallel::{par_map_range, ParallelismMode};
 
 /// A LOCAL algorithm in ball form: output at a node is computed from its
@@ -61,8 +61,15 @@ where
     A::Output: Send,
 {
     let r = alg.radius(params);
+    // One CSR adjacency view shared by the whole sweep; each worker thread
+    // extracts balls through its reusable flat workspace (no per-node map
+    // allocations). Output is bit-identical to the reference extraction.
+    let csr = CsrAdjacency::from_graph(g);
     par_map_range(mode, g.n(), |v| {
-        let (b, c, _) = ball(g, v, r);
+        let (b, c) = with_thread_workspace(|ws| {
+            let (b, c, _) = ws.ball_csr(g, &csr, v, r);
+            (b, c)
+        });
         alg.evaluate(&b, c, params)
     })
 }
@@ -82,12 +89,16 @@ where
 {
     let r = alg.radius(params);
     let mode = ParallelismMode::default();
+    let csr = CsrAdjacency::from_graph(g);
     // Per-node check is pure; collect the verdicts in index order, then
-    // filter sequentially so violation indices come out sorted.
+    // filter sequentially so violation indices come out sorted. Both ball
+    // extractions share the worker thread's flat workspace.
     let differs: Vec<bool> = par_map_range(mode, g.n(), |v| {
-        let (b1, c1, _) = ball(g, v, r);
-        let (b2, c2, _) = ball(g, v, r + extra);
-        alg.evaluate(&b1, c1, params) != alg.evaluate(&b2, c2, params)
+        with_thread_workspace(|ws| {
+            let (b1, c1, _) = ws.ball_csr(g, &csr, v, r);
+            let (b2, c2, _) = ws.ball_csr(g, &csr, v, r + extra);
+            alg.evaluate(&b1, c1, params) != alg.evaluate(&b2, c2, params)
+        })
     });
     differs
         .into_iter()

@@ -1,0 +1,276 @@
+//! Memoized ball collection, keyed by exact graph content.
+//!
+//! The repetition loops in `csmpc-core` (success-probability, stability,
+//! and sensitivity trials) re-run ball-collecting algorithms on the *same*
+//! input graph dozens to hundreds of times with different seeds. Ball
+//! extents depend only on the graph and the radius — not the seed — so the
+//! sweep's output is identical across trials. This cache shares one
+//! computed ball set (behind an [`Arc`]) across those trials.
+//!
+//! **Correctness over speed**: a cache key is the *entire* graph content —
+//! node count, edge count, radius, every ID, every name, and every
+//! adjacency list — not a lossy hash. A 64-bit fingerprint provides the
+//! fast reject; on fingerprint match the full key is compared word for
+//! word before an entry is reused, so a fault-mutated or otherwise edited
+//! graph can never be served stale balls. Charges are unaffected: callers
+//! charge the same rounds/words/space whether the set was computed or
+//! reused (the model's observables measure the simulated algorithm, which
+//! always "performs" the collection).
+//!
+//! The cache is process-global, bounded (LRU), and shared across threads;
+//! entries are immutable once inserted, so a hit in parallel mode returns
+//! the same bits a sequential run computes ([`BallWorkspace`] output is
+//! mode-independent by construction).
+//!
+//! [`BallWorkspace`]: csmpc_graph::ball::BallWorkspace
+
+use csmpc_graph::ball::with_thread_workspace;
+use csmpc_graph::{CsrAdjacency, Graph};
+use csmpc_parallel::{par_map_range, ParallelismMode};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One collected ball set: `(ball graph, center index)` per vertex.
+pub type BallSet = Arc<Vec<(Graph, usize)>>;
+
+/// Exact content key: `[n, m, r, ids…, names…, per-node degree+targets…]`.
+fn content_key(g: &Graph, r: usize) -> Vec<u64> {
+    let mut key = Vec::with_capacity(3 + 3 * g.n() + 2 * g.m());
+    key.push(g.n() as u64);
+    key.push(g.m() as u64);
+    key.push(r as u64);
+    for v in 0..g.n() {
+        key.push(g.id(v).0);
+        key.push(g.name(v).0);
+    }
+    for v in 0..g.n() {
+        let nbrs = g.neighbors(v);
+        key.push(nbrs.len() as u64);
+        for &w in nbrs {
+            key.push(u64::from(w));
+        }
+    }
+    key
+}
+
+/// FNV-1a over the key words — the fast-reject fingerprint.
+fn fingerprint(key: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &word in key {
+        for b in word.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct Entry {
+    fingerprint: u64,
+    key: Vec<u64>,
+    balls: BallSet,
+    /// `max(graph_words(ball))` over the set — cached so hits charge the
+    /// identical space figure without rescanning.
+    worst_words: usize,
+}
+
+/// A bounded LRU cache of collected ball sets.
+///
+/// Most callers want the process-wide [`global`] instance; tests build
+/// their own to observe hit/miss behavior in isolation.
+pub struct BallCache {
+    entries: Mutex<Vec<Entry>>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for BallCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("BallCache")
+            .field("capacity", &self.capacity)
+            .field("entries", &len)
+            .finish()
+    }
+}
+
+impl BallCache {
+    /// An empty cache holding at most `capacity` ball sets.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BallCache {
+            entries: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the `r`-radius ball set of `g` (plus the worst-case
+    /// `graph_words` over the set), computing and inserting it on a miss.
+    ///
+    /// The computation sweeps every vertex with a per-thread
+    /// [`csmpc_graph::ball::BallWorkspace`] over a CSR adjacency view;
+    /// output is bit-identical in both [`ParallelismMode`]s, so cached
+    /// results are mode-agnostic.
+    #[must_use]
+    pub fn collect(&self, g: &Graph, r: usize, mode: ParallelismMode) -> (BallSet, usize) {
+        let key = content_key(g, r);
+        let fp = fingerprint(&key);
+        if let Some(found) = self.lookup(fp, &key) {
+            return found;
+        }
+        let csr = CsrAdjacency::from_graph(g);
+        let balls: Vec<(Graph, usize)> = par_map_range(mode, g.n(), |v| {
+            with_thread_workspace(|ws| {
+                let (b, c, _) = ws.ball_csr(g, &csr, v, r);
+                (b, c)
+            })
+        });
+        let worst = balls
+            .iter()
+            .map(|(b, _)| crate::distributed::graph_words(b))
+            .max()
+            .unwrap_or(0);
+        let set: BallSet = Arc::new(balls);
+        self.insert(fp, key, Arc::clone(&set), worst);
+        (set, worst)
+    }
+
+    /// Exact-match lookup: fingerprint fast-reject, then full key compare.
+    /// A hit is moved to the front (most recently used).
+    fn lookup(&self, fp: u64, key: &[u64]) -> Option<(BallSet, usize)> {
+        let mut entries = self.entries.lock().expect("ball cache poisoned");
+        let pos = entries
+            .iter()
+            .position(|e| e.fingerprint == fp && e.key == key)?;
+        let entry = entries.remove(pos);
+        let found = (Arc::clone(&entry.balls), entry.worst_words);
+        entries.insert(0, entry);
+        Some(found)
+    }
+
+    fn insert(&self, fp: u64, key: Vec<u64>, balls: BallSet, worst_words: usize) {
+        let mut entries = self.entries.lock().expect("ball cache poisoned");
+        // A racing thread may have inserted the same key; keep one copy.
+        if entries.iter().any(|e| e.fingerprint == fp && e.key == key) {
+            return;
+        }
+        entries.insert(
+            0,
+            Entry {
+                fingerprint: fp,
+                key,
+                balls,
+                worst_words,
+            },
+        );
+        entries.truncate(self.capacity);
+    }
+
+    /// Number of cached ball sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("ball cache poisoned").len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide cache used by
+/// [`crate::DistributedGraph::collect_balls`]. Sized to hold the working
+/// set of a repetition loop (a handful of distinct `(graph, radius)`
+/// pairs) without accumulating unbounded ball sets.
+pub fn global() -> &'static BallCache {
+    static GLOBAL: OnceLock<BallCache> = OnceLock::new();
+    GLOBAL.get_or_init(|| BallCache::with_capacity(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_graph::generators;
+    use csmpc_graph::ops::{relabel_ids, with_fresh_names};
+    use csmpc_graph::rng::Seed;
+
+    #[test]
+    fn hit_returns_the_shared_set() {
+        let cache = BallCache::with_capacity(4);
+        let g = generators::random_tree(40, Seed(3));
+        let (a, wa) = cache.collect(&g, 2, ParallelismMode::Sequential);
+        let (b, wb) = cache.collect(&g, 2, ParallelismMode::Sequential);
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit");
+        assert_eq!(wa, wb);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_radius_is_a_different_entry() {
+        let cache = BallCache::with_capacity(4);
+        let g = generators::cycle(12);
+        let (a, _) = cache.collect(&g, 1, ParallelismMode::Sequential);
+        let (b, _) = cache.collect(&g, 2, ParallelismMode::Sequential);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn mutated_ids_and_names_never_reuse_stale_balls() {
+        // Same topology, different IDs (beyond some node) and different
+        // names: both must be cache-distinct — ball graphs carry ids AND
+        // names, so either difference changes the output.
+        let cache = BallCache::with_capacity(8);
+        let g = generators::path(9);
+        let relabeled = relabel_ids(&g, |v, id| {
+            if v > 4 {
+                csmpc_graph::NodeId(id.0 + 500)
+            } else {
+                id
+            }
+        });
+        let renamed = with_fresh_names(&g, 9_000);
+        let (a, _) = cache.collect(&g, 2, ParallelismMode::Sequential);
+        let (b, _) = cache.collect(&relabeled, 2, ParallelismMode::Sequential);
+        let (c, _) = cache.collect(&renamed, 2, ParallelismMode::Sequential);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(b[8].0.id(b[8].1).0, g.id(8).0 + 500);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_beyond_capacity() {
+        let cache = BallCache::with_capacity(2);
+        let g1 = generators::path(5);
+        let g2 = generators::cycle(5);
+        let g3 = generators::star(4);
+        let (first, _) = cache.collect(&g1, 1, ParallelismMode::Sequential);
+        let _ = cache.collect(&g2, 1, ParallelismMode::Sequential);
+        let _ = cache.collect(&g3, 1, ParallelismMode::Sequential);
+        assert_eq!(cache.len(), 2);
+        // g1 was least recently used and must have been evicted: a fresh
+        // collect recomputes (a different allocation).
+        let (again, _) = cache.collect(&g1, 1, ParallelismMode::Sequential);
+        assert!(!Arc::ptr_eq(&first, &again));
+    }
+
+    #[test]
+    fn cached_set_matches_fresh_compute_bit_for_bit() {
+        let cache = BallCache::with_capacity(4);
+        let g = generators::random_tree(30, Seed(9));
+        let (cached, worst) = cache.collect(&g, 3, ParallelismMode::Sequential);
+        for (v, (b, c)) in cached.iter().enumerate() {
+            let (rb, rc, _) = csmpc_graph::ball::reference::ball(&g, v, 3);
+            assert_eq!((b, c), (&rb, &rc), "vertex {v}");
+        }
+        let recomputed_worst = cached
+            .iter()
+            .map(|(b, _)| crate::distributed::graph_words(b))
+            .max()
+            .unwrap_or(0);
+        assert_eq!(worst, recomputed_worst);
+    }
+}

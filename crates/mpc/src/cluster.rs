@@ -15,15 +15,17 @@
 
 use crate::config::MpcConfig;
 use crate::faults::{Checkpoint, FaultKind, FaultPlan, FaultState, RecoveryEvent, RecoveryPolicy};
+use crate::phase::{PhaseTimer, PhaseTimes};
 use crate::provenance::{ComponentId, ProvenanceLog};
 use crate::supervise::{SupervisionEvent, SupervisorConfig};
 use csmpc_graph::rng::{Seed, SplitMix64};
 use csmpc_parallel::par_map_mut;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Resource ledger for one MPC execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Stats {
     /// Synchronous communication rounds elapsed.
     pub rounds: usize,
@@ -51,7 +53,33 @@ pub struct Stats {
     /// handed to a machine, so this counter is exactly the number of
     /// corruption faults that struck.
     pub corrupted_detected: u64,
+    /// Wall-clock attribution of engine work by phase (route, intake,
+    /// step, merge, checkpoint). **Observability only**: excluded from
+    /// `Stats` equality, so bit-identity comparisons between executions
+    /// (sequential vs parallel, replay determinism) never see host timing
+    /// noise.
+    pub phase: PhaseTimes,
 }
+
+/// Equality covers every *model observable* — rounds, word volumes,
+/// space high-water marks, recovery/speculation/corruption counters —
+/// and deliberately ignores [`Stats::phase`]: two executions that moved
+/// the same words in the same rounds are equal no matter how long the
+/// host took to simulate them.
+impl PartialEq for Stats {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.max_round_words == other.max_round_words
+            && self.max_storage_words == other.max_storage_words
+            && self.total_words == other.total_words
+            && self.recovery_rounds == other.recovery_rounds
+            && self.recovery_words == other.recovery_words
+            && self.speculative_rounds == other.speculative_rounds
+            && self.corrupted_detected == other.corrupted_detected
+    }
+}
+
+impl Eq for Stats {}
 
 impl Stats {
     /// Merges another ledger (e.g. a sub-computation, or one machine's
@@ -76,6 +104,7 @@ impl Stats {
         self.corrupted_detected = self
             .corrupted_detected
             .saturating_add(other.corrupted_detected);
+        self.phase.absorb(&other.phase);
     }
 }
 
@@ -207,9 +236,11 @@ pub struct Message {
     pub words: Vec<u64>,
 }
 
-/// FNV-1a over the destination, the payload length, and every payload
-/// word — the transport checksum sealed into an [`Envelope`].
-fn transport_checksum(to: usize, words: &[u64]) -> u64 {
+/// FNV-1a over the destination, the payload length, and a stream of
+/// payload words — the transport checksum sealed into an [`Envelope`].
+/// Streaming lets callers checksum a *hypothetical* payload (e.g. one
+/// tampered word substituted in flight) without materializing it.
+fn transport_checksum_stream(to: usize, len: usize, words: impl Iterator<Item = u64>) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -221,11 +252,16 @@ fn transport_checksum(to: usize, words: &[u64]) -> u64 {
         h
     };
     h = mix(h, to as u64);
-    h = mix(h, words.len() as u64);
-    for &w in words {
+    h = mix(h, len as u64);
+    for w in words {
         h = mix(h, w);
     }
     h
+}
+
+/// FNV-1a transport checksum of a concrete payload slice.
+fn transport_checksum(to: usize, words: &[u64]) -> u64 {
+    transport_checksum_stream(to, words.len(), words.iter().copied())
 }
 
 /// A checksummed transport envelope around a [`Message`].
@@ -280,6 +316,31 @@ impl Envelope {
     #[must_use]
     pub fn checksum(&self) -> u64 {
         self.checksum
+    }
+
+    /// The checksum [`Envelope::seal`] would stamp on `message`, computed
+    /// on the borrowed payload — no clone, no envelope allocation. The
+    /// engine's clean path uses this for zero-copy verification.
+    #[must_use]
+    pub fn checksum_of(message: &Message) -> u64 {
+        transport_checksum(message.to, &message.words)
+    }
+
+    /// The checksum a receiver would recompute after the adversary XORs
+    /// `mask` into payload word `word` in flight — again on the borrowed
+    /// payload. Out-of-range `word` leaves the payload untouched (the
+    /// same no-op as [`Envelope::tampered`]).
+    #[must_use]
+    pub fn tampered_checksum_of(message: &Message, word: usize, mask: u64) -> u64 {
+        transport_checksum_stream(
+            message.to,
+            message.words.len(),
+            message
+                .words
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| if i == word { w ^ mask } else { w }),
+        )
     }
 
     /// Unwraps the message if the checksum verifies; `None` for a
@@ -555,6 +616,13 @@ impl Cluster {
     /// Saturates at `usize::MAX` rather than wrapping.
     pub fn charge_rounds(&mut self, rounds: usize) {
         self.stats.rounds = self.stats.rounds.saturating_add(rounds);
+    }
+
+    /// Absorbs a wall-clock phase attribution recorded by an accounted
+    /// primitive. Observability only — [`Stats::phase`] is excluded from
+    /// `Stats` equality and never feeds a model observable.
+    pub fn record_phase(&mut self, delta: &PhaseTimes) {
+        self.stats.phase.absorb(delta);
     }
 
     /// Advances the round counter one synchronous barrier at a time,
@@ -901,7 +969,16 @@ impl Cluster {
             "the engine takes one program shard per machine"
         );
         let mode = self.cfg.parallelism;
-        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); m];
+        // Flat routing state. Messages in flight live in one arrival-ordered
+        // staging buffer (`incoming`); each round they are index-sorted by
+        // destination into a reusable routing buffer (`route`), and every
+        // machine reads its inbox as a contiguous `ranges[id]` slice of it.
+        // The sort is made stable by an index tie-break, so per-destination
+        // arrival order — the only order a machine can observe — is exactly
+        // what the old nested per-machine inboxes delivered. The buffers
+        // double-buffer each other across rounds: steady-state rounds reuse
+        // their spines and allocate nothing for message plumbing.
+        let mut incoming: Vec<Message> = Vec::with_capacity(initial.len());
         for msg in initial {
             if msg.to >= m {
                 return Err(MpcError::UnknownMachine {
@@ -909,8 +986,11 @@ impl Cluster {
                     count: m,
                 });
             }
-            inboxes[msg.to].push(msg);
+            incoming.push(msg);
         }
+        let mut route: Vec<Message> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = vec![(0, 0); m];
+        let mut order: Vec<usize> = Vec::new();
         // Transport coins (drop/duplication) come from the plan's seed, so
         // the same plan replays the same per-message faults.
         let mut rng = SplitMix64::new(plan.seed().derive(0xfa17));
@@ -936,15 +1016,23 @@ impl Cluster {
         let mut exec = 0usize;
         while exec < max_rounds {
             if use_checkpoints && exec.is_multiple_of(interval) {
-                checkpoint = Some(self.capture_checkpoint(
+                let timer = PhaseTimer::start();
+                let cp = self.capture_checkpoint(
                     exec,
-                    &inboxes,
+                    &incoming,
                     machines,
                     &rng,
                     &straggle_until,
                     &pending_retransmit,
                     &partition_held,
-                ));
+                    checkpoint.as_ref(),
+                );
+                checkpoint = Some(cp);
+                self.stats.phase.checkpoint_ns = self
+                    .stats
+                    .phase
+                    .checkpoint_ns
+                    .saturating_add(timer.elapsed_ns());
             }
             let round_now = exec + 1;
 
@@ -1047,15 +1135,21 @@ impl Cluster {
                         let cp = checkpoint
                             .as_ref()
                             .expect("restart policy always captures a round-0 checkpoint");
+                        let timer = PhaseTimer::start();
                         let reshipped = self.restore_checkpoint(
                             cp,
                             machines,
-                            &mut inboxes,
+                            &mut incoming,
                             &mut rng,
                             &mut straggle_until,
                             &mut pending_retransmit,
                             &mut partition_held,
                         );
+                        self.stats.phase.checkpoint_ns = self
+                            .stats
+                            .phase
+                            .checkpoint_ns
+                            .saturating_add(timer.elapsed_ns());
                         for &machine in &crashed {
                             self.recovery_log.push(RecoveryEvent {
                                 machine,
@@ -1076,47 +1170,78 @@ impl Cluster {
                 }
             }
 
-            // Deliver transport retransmissions from last round's dropped
-            // messages, plus traffic released by healed partitions; each
-            // repeated transmission is charged again below.
+            // Route phase: deliver transport retransmissions from last
+            // round's dropped messages, plus traffic released by healed
+            // partitions (each repeated transmission is charged again
+            // below), then sort everything in flight by destination.
+            let route_timer = PhaseTimer::start();
             let mut retransmit_words = 0u64;
             for msg in pending_retransmit.drain(..) {
                 retransmit_words += msg.words.len() as u64;
-                inboxes[msg.to].push(msg);
+                incoming.push(msg);
             }
-            partition_held.retain(|(heal, msg)| {
-                if *heal <= round_now {
-                    retransmit_words += msg.words.len() as u64;
-                    inboxes[msg.to].push(msg.clone());
-                    false
-                } else {
-                    true
+            if partition_held.iter().any(|(heal, _)| *heal <= round_now) {
+                for (heal, msg) in std::mem::take(&mut partition_held) {
+                    if heal <= round_now {
+                        retransmit_words += msg.words.len() as u64;
+                        incoming.push(msg);
+                    } else {
+                        partition_held.push((heal, msg));
+                    }
                 }
-            });
+            }
+            // Index sort, stable per destination via the index tie-break;
+            // payloads are then *moved* into the routing buffer.
+            order.clear();
+            order.extend(0..incoming.len());
+            order.sort_unstable_by_key(|&i| (incoming[i].to, i));
+            route.clear();
+            route.extend(order.iter().map(|&i| Message {
+                to: incoming[i].to,
+                words: std::mem::take(&mut incoming[i].words),
+            }));
+            incoming.clear();
+            // Per-machine delivery ranges over the sorted buffer.
+            {
+                let mut lo = 0usize;
+                for (id, range) in ranges.iter_mut().enumerate() {
+                    let mut hi = lo;
+                    while hi < route.len() && route[hi].to == id {
+                        hi += 1;
+                    }
+                    *range = (lo, hi);
+                    lo = hi;
+                }
+            }
+            self.stats.phase.route_ns = self
+                .stats
+                .phase
+                .route_ns
+                .saturating_add(route_timer.elapsed_ns());
 
             let round = self.stats.rounds + 1;
-            // Intake phase (sequential, machine-index order): take the
-            // inbox of every machine participating this round and enforce
-            // the receive cap. Stragglers keep their inboxes buffering in
-            // place — they neither receive nor send this round.
-            let mut taken: Vec<Vec<Message>> = Vec::with_capacity(m);
-            for (id, inbox_slot) in inboxes.iter_mut().enumerate() {
+            // Intake phase (sequential, machine-index order): enforce the
+            // receive cap on every machine participating this round.
+            // Stragglers' slices stay untouched in the routing buffer —
+            // they neither receive nor send this round; their backlog is
+            // carried forward after the step.
+            let intake_timer = PhaseTimer::start();
+            for id in 0..m {
                 if round_now <= straggle_until[id] {
-                    taken.push(Vec::new());
                     continue;
                 }
-                let mut inbox = std::mem::take(inbox_slot);
+                let (lo, hi) = ranges[id];
                 // In-round adversarial reordering: one coin per non-empty
                 // inbox (drawn only when the fault class is armed, so the
                 // coin stream is unchanged otherwise); a hit hands the
                 // machine its messages in reversed arrival order.
                 if plan.reorder_per_mille() > 0
-                    && inbox.len() > 1
+                    && hi - lo > 1
                     && (rng.index(1000) as u16) < plan.reorder_per_mille()
                 {
-                    inbox.reverse();
+                    route[lo..hi].reverse();
                 }
-                let received: usize = inbox.iter().map(|m| m.words.len()).sum();
+                let received: usize = route[lo..hi].iter().map(|m| m.words.len()).sum();
                 if received > self.local_space {
                     return Err(MpcError::BandwidthExceeded {
                         machine: id,
@@ -1125,30 +1250,64 @@ impl Cluster {
                         round,
                     });
                 }
-                taken.push(inbox);
             }
+            self.stats.phase.intake_ns = self
+                .stats
+                .phase
+                .intake_ns
+                .saturating_add(intake_timer.elapsed_ns());
             // Step phase (concurrent under `ParallelismMode::Parallel`):
             // every participating machine runs its round. A shard sees only
-            // its own state and its own inbox — a pure per-machine map — so
-            // the execution mode cannot influence any observable.
+            // its own state and its own inbox slice — a pure per-machine
+            // map — so the execution mode cannot influence any observable.
+            let step_timer = PhaseTimer::start();
             let straggle_ref = &straggle_until;
-            let taken_ref = &taken;
+            let route_ref = &route;
+            let ranges_ref = &ranges;
             let stepped: Vec<Option<(Vec<Message>, usize)>> =
                 par_map_mut(mode, machines, |id, shard| {
                     if round_now <= straggle_ref[id] {
                         return None;
                     }
-                    let outs = shard.round(id, &taken_ref[id]);
+                    let (lo, hi) = ranges_ref[id];
+                    let outs = shard.round(id, &route_ref[lo..hi]);
                     let storage = shard.storage_words();
                     Some((outs, storage))
                 });
+            self.stats.phase.step_ns = self
+                .stats
+                .phase
+                .step_ns
+                .saturating_add(step_timer.elapsed_ns());
+            // Straggler carry (attributed to routing): a stalled machine's
+            // undelivered slice moves back into the staging buffer *before*
+            // this round's sends are merged, so next round's stable sort
+            // delivers the backlog ahead of newer traffic — exactly the
+            // order the old per-machine inbox carry produced.
+            let carry_timer = PhaseTimer::start();
+            for id in 0..m {
+                if round_now <= straggle_until[id] {
+                    let (lo, hi) = ranges[id];
+                    for slot in &mut route[lo..hi] {
+                        incoming.push(Message {
+                            to: id,
+                            words: std::mem::take(&mut slot.words),
+                        });
+                    }
+                }
+            }
+            self.stats.phase.route_ns = self
+                .stats
+                .phase
+                .route_ns
+                .saturating_add(carry_timer.elapsed_ns());
             // Merge phase (sequential, fixed machine-index order): send
             // caps, storage charges, per-machine ledger deltas (absorbed
             // associatively into one round delta), component-tag
             // propagation, transport drop/duplication coins (consumed in
             // machine order — the same coin stream a sequential engine
-            // draws), and outbox bucketing.
-            let mut outgoing: Vec<Vec<Message>> = vec![Vec::new(); m];
+            // draws), and staging of sends into the flat buffer.
+            let merge_timer = PhaseTimer::start();
             // Component tags travel with messages: a delivery hands the
             // receiver every component tag the sender held.
             let mut incoming_tags: Vec<BTreeSet<ComponentId>> = vec![BTreeSet::new(); m];
@@ -1161,7 +1320,8 @@ impl Cluster {
                 let Some((outs, storage)) = step else {
                     continue;
                 };
-                let received: usize = taken[id].iter().map(|m| m.words.len()).sum();
+                let (in_lo, in_hi) = ranges[id];
+                let received: usize = route[in_lo..in_hi].iter().map(|m| m.words.len()).sum();
                 let sent: usize = outs.iter().map(|m| m.words.len()).sum();
                 if sent > self.local_space {
                     return Err(MpcError::BandwidthExceeded {
@@ -1210,13 +1370,14 @@ impl Cluster {
                     if msg.to != id && !msg.words.is_empty() {
                         incoming_tags[msg.to].extend(self.machine_components[id].iter().copied());
                     }
-                    let mut deliver = true;
                     if plan.drop_per_mille() > 0 && (rng.index(1000) as u16) < plan.drop_per_mille()
                     {
                         // Lost in transit; the transport retransmits next
-                        // round, charging the words a second time.
-                        pending_retransmit.push(msg.clone());
-                        deliver = false;
+                        // round, charging the words a second time. The
+                        // payload is moved, not cloned — it is already off
+                        // the delivery path.
+                        pending_retransmit.push(msg);
+                        continue;
                     } else if plan.corrupt_per_mille() > 0
                         && !msg.words.is_empty()
                         && (rng.index(1000) as u16) < plan.corrupt_per_mille()
@@ -1227,20 +1388,24 @@ impl Cluster {
                         // discards the envelope — a tampered payload is
                         // never handed to a machine — and the transport
                         // retransmits the original next round, charged.
+                        // Both checksums are computed on the borrowed
+                        // payload (zero-copy): the sealed one and the one
+                        // the receiver would recompute after the flip.
                         let word = rng.index(msg.words.len());
                         let mask = rng.next_u64() | 1;
-                        let tampered = Envelope::seal(msg.clone()).tampered(word, mask);
-                        debug_assert!(
-                            !tampered.verify(),
+                        let sealed = Envelope::checksum_of(&msg);
+                        let tampered = Envelope::tampered_checksum_of(&msg, word, mask);
+                        debug_assert_ne!(
+                            sealed, tampered,
                             "a nonzero payload flip must break the seal"
                         );
-                        if tampered.open().is_none() {
+                        if sealed != tampered {
                             self.stats.corrupted_detected =
                                 self.stats.corrupted_detected.saturating_add(1);
-                            pending_retransmit.push(msg.clone());
-                            deliver = false;
+                            pending_retransmit.push(msg);
+                            continue;
                         }
-                        // (If the checksum improbably verified, the
+                        // (If the checksum improbably collided, the
                         // *original* message is delivered below — output
                         // can never silently differ.)
                     } else if plan.dup_per_mille() > 0
@@ -1252,21 +1417,18 @@ impl Cluster {
                             .total_words
                             .saturating_add(msg.words.len() as u64);
                     }
-                    if deliver {
-                        // An active partition cutting sender from receiver
-                        // holds the message until the last such window
-                        // heals; delivery then is charged like a
-                        // retransmission.
-                        let mut heal: Option<usize> = None;
-                        for p in plan.partitions() {
-                            if p.active_at(round_now) && p.cuts(id, msg.to) {
-                                heal = Some(heal.map_or(p.heal_round(), |h| h.max(p.heal_round())));
-                            }
+                    // An active partition cutting sender from receiver
+                    // holds the message until the last such window heals;
+                    // delivery then is charged like a retransmission.
+                    let mut heal: Option<usize> = None;
+                    for p in plan.partitions() {
+                        if p.active_at(round_now) && p.cuts(id, msg.to) {
+                            heal = Some(heal.map_or(p.heal_round(), |h| h.max(p.heal_round())));
                         }
-                        match heal {
-                            Some(h) => partition_held.push((h, msg)),
-                            None => outgoing[msg.to].push(msg),
-                        }
+                    }
+                    match heal {
+                        Some(h) => partition_held.push((h, msg)),
+                        None => incoming.push(msg),
                     }
                 }
             }
@@ -1293,21 +1455,16 @@ impl Cluster {
             }
             self.stats.rounds = self.stats.rounds.saturating_add(1);
             self.charge_words(round_delta.max_round_words, round_delta.total_words);
-            // Stalled machines keep their buffered inboxes across the
-            // round; merge them ahead of newly sent messages.
-            for (id, slot) in inboxes.iter_mut().enumerate() {
-                if !slot.is_empty() {
-                    let mut carried = std::mem::take(slot);
-                    carried.append(&mut outgoing[id]);
-                    outgoing[id] = carried;
-                }
-            }
-            inboxes = outgoing;
+            self.stats.phase.merge_ns = self
+                .stats
+                .phase
+                .merge_ns
+                .saturating_add(merge_timer.elapsed_ns());
             // A stalled machine has not had the chance to speak yet, so the
             // computation cannot be declared quiescent around it.
             let work_pending = !pending_retransmit.is_empty()
                 || !partition_held.is_empty()
-                || inboxes.iter().any(|b| !b.is_empty())
+                || !incoming.is_empty()
                 || straggle_until.iter().any(|&u| u >= round_now);
             if !any_sent && !work_pending {
                 return Ok(());
@@ -1318,23 +1475,68 @@ impl Cluster {
     }
 
     /// Captures a round-boundary recovery snapshot of the exact engine.
+    ///
+    /// Copy-on-write against the previous checkpoint: an inbox, program
+    /// snapshot, the component-tag table, or the provenance log is shared
+    /// (`Arc::clone`) when its content equals the previous capture, and
+    /// deep-copied only when it changed. Sharing is gated on *content
+    /// equality*, so a restore from a shared slot is value-identical to a
+    /// restore from a deep copy — determinism cannot depend on which
+    /// captures happened to share.
     #[allow(clippy::too_many_arguments)]
     fn capture_checkpoint<P: MachineProgram>(
         &self,
         exec_round: usize,
-        inboxes: &[Vec<Message>],
+        incoming: &[Message],
         machines: &[P],
         rng: &SplitMix64,
         straggle_until: &[usize],
         pending_retransmit: &[Message],
         partition_held: &[(usize, Message)],
+        prev: Option<&Checkpoint>,
     ) -> Checkpoint {
+        // Group the flat in-flight buffer by destination. Per-destination
+        // arrival order is preserved — the only order the routing sort
+        // (stable per destination) can observe.
+        let mut by_dest: Vec<Vec<Message>> = vec![Vec::new(); self.num_machines];
+        for msg in incoming {
+            by_dest[msg.to].push(msg.clone());
+        }
+        let inboxes: Vec<Arc<Vec<Message>>> = by_dest
+            .into_iter()
+            .enumerate()
+            .map(|(i, inbox)| match prev.and_then(|p| p.inboxes.get(i)) {
+                Some(shared) if **shared == inbox => Arc::clone(shared),
+                _ => Arc::new(inbox),
+            })
+            .collect();
+        let program: Vec<Arc<Vec<u64>>> = machines
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let snap = shard.snapshot();
+                match prev.and_then(|p| p.program.get(i)) {
+                    Some(shared) if **shared == snap => Arc::clone(shared),
+                    _ => Arc::new(snap),
+                }
+            })
+            .collect();
+        let machine_components = match prev {
+            Some(p) if *p.machine_components == self.machine_components => {
+                Arc::clone(&p.machine_components)
+            }
+            _ => Arc::new(self.machine_components.clone()),
+        };
+        let provenance = match prev {
+            Some(p) if *p.provenance == self.provenance => Arc::clone(&p.provenance),
+            _ => Arc::new(self.provenance.clone()),
+        };
         Checkpoint {
             round: exec_round,
-            inboxes: inboxes.to_vec(),
-            program: machines.iter().map(MachineProgram::snapshot).collect(),
-            machine_components: self.machine_components.clone(),
-            provenance: self.provenance.clone(),
+            inboxes,
+            program,
+            machine_components,
+            provenance,
             rng: rng.clone(),
             straggle_until: straggle_until.to_vec(),
             pending_retransmit: pending_retransmit.to_vec(),
@@ -1346,23 +1548,31 @@ impl Cluster {
     /// the ledger: one synchronous restore round plus the re-shipped
     /// checkpoint words (at least one — recovery is never free). Returns
     /// the words charged.
+    ///
+    /// The per-destination inboxes are flattened back into the staging
+    /// buffer in machine-id order; cross-destination order is immaterial
+    /// (the routing sort is stable per destination), and per-destination
+    /// order is exactly as captured.
     #[allow(clippy::too_many_arguments)]
     fn restore_checkpoint<P: MachineProgram>(
         &mut self,
         cp: &Checkpoint,
         machines: &mut [P],
-        inboxes: &mut Vec<Vec<Message>>,
+        incoming: &mut Vec<Message>,
         rng: &mut SplitMix64,
         straggle_until: &mut Vec<usize>,
         pending_retransmit: &mut Vec<Message>,
         partition_held: &mut Vec<(usize, Message)>,
     ) -> usize {
-        *inboxes = cp.inboxes.clone();
+        incoming.clear();
+        for inbox in &cp.inboxes {
+            incoming.extend(inbox.iter().cloned());
+        }
         for (shard, snap) in machines.iter_mut().zip(&cp.program) {
             shard.restore(snap);
         }
-        self.machine_components = cp.machine_components.clone();
-        self.provenance = cp.provenance.clone();
+        self.machine_components = (*cp.machine_components).clone();
+        self.provenance = (*cp.provenance).clone();
         *rng = cp.rng.clone();
         *straggle_until = cp.straggle_until.clone();
         *pending_retransmit = cp.pending_retransmit.clone();

@@ -48,6 +48,7 @@ use crate::provenance::{ComponentId, ProvenanceLog};
 use csmpc_graph::rng::{Seed, SplitMix64};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// What happens to a machine at a scheduled round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -429,20 +430,30 @@ impl fmt::Display for RecoveryEvent {
 /// storage (via [`crate::MachineProgram::snapshot`]), component-provenance
 /// tags, the provenance log, the transport RNG position, and in-flight
 /// straggler/retransmission state.
+///
+/// The bulky fields are **copy-on-write**: each per-machine inbox and
+/// program snapshot, the component-tag table, and the provenance log sit
+/// behind an [`Arc`] that consecutive captures share whenever the content
+/// is unchanged (content equality is checked before sharing, so a restore
+/// from a shared slot is value-identical to one from a deep copy). A
+/// checkpoint of a mostly-idle round therefore costs a handful of
+/// reference bumps instead of a full state clone.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     /// Execution round the snapshot was taken at (state *after* this many
     /// rounds completed).
     pub round: usize,
-    /// Pending per-machine inboxes.
-    pub inboxes: Vec<Vec<Message>>,
+    /// Pending per-machine inboxes (per-destination arrival order), shared
+    /// with the previous capture when unchanged.
+    pub inboxes: Vec<Arc<Vec<Message>>>,
     /// Per-machine program state, indexed by machine id, as captured by
-    /// [`crate::MachineProgram::snapshot`] on each shard.
-    pub program: Vec<Vec<u64>>,
+    /// [`crate::MachineProgram::snapshot`] on each shard; shared with the
+    /// previous capture when unchanged.
+    pub program: Vec<Arc<Vec<u64>>>,
     /// Component tags of every machine at the boundary.
-    pub machine_components: Vec<BTreeSet<ComponentId>>,
+    pub machine_components: Arc<Vec<BTreeSet<ComponentId>>>,
     /// Provenance log at the boundary.
-    pub provenance: ProvenanceLog,
+    pub provenance: Arc<ProvenanceLog>,
     /// Transport RNG position (message drop/duplication coins).
     pub rng: SplitMix64,
     /// Per-machine stall deadlines at the boundary.
@@ -456,7 +467,9 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Words a restore must re-ship: the program snapshot plus everything
-    /// in flight (pending inbox and retransmission payloads).
+    /// in flight (pending inbox and retransmission payloads). Sharing does
+    /// not discount the bill — a restore re-ships the words regardless of
+    /// how the host deduplicated the snapshot in memory.
     #[must_use]
     pub fn words(&self) -> usize {
         let inbox: usize = self
@@ -466,7 +479,7 @@ impl Checkpoint {
             .sum();
         let pending: usize = self.pending_retransmit.iter().map(|m| m.words.len()).sum();
         let held: usize = self.partition_held.iter().map(|(_, m)| m.words.len()).sum();
-        let program: usize = self.program.iter().map(Vec::len).sum();
+        let program: usize = self.program.iter().map(|p| p.len()).sum();
         program + inbox + pending + held
     }
 }

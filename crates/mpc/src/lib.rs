@@ -38,14 +38,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ball_cache;
 pub mod cluster;
 pub mod config;
 pub mod distributed;
 pub mod faults;
+pub mod phase;
 pub mod primitives;
 pub mod provenance;
 pub mod supervise;
 
+pub use ball_cache::BallCache;
 pub use cluster::{Cluster, Envelope, MachineProgram, Message, MpcError, Stats};
 pub use config::MpcConfig;
 pub use csmpc_parallel::ParallelismMode;
@@ -53,6 +56,7 @@ pub use distributed::{graph_words, DistributedGraph};
 pub use faults::{
     Checkpoint, FaultEvent, FaultKind, FaultPlan, Partition, RecoveryEvent, RecoveryPolicy,
 };
+pub use phase::{PhaseTimer, PhaseTimes};
 pub use primitives::{
     exact_aggregate_sum, exact_aggregate_sum_with_faults, prefix_sums, sort_keys,
 };
