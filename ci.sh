@@ -25,8 +25,26 @@ cargo test -q -p csmpc-mpc --test supervision
 echo "==> degradation theorem gate (PartialOutput contract, pinned seeds)"
 cargo test -q --test degradation
 
-echo "==> model-conformance scan (incl. recovery-accounting lint)"
-cargo run -q --release -p csmpc-conformance --bin conformance
+echo "==> model-conformance scan (token lints + interprocedural passes)"
+# Machine-readable output goes to files under target/conformance/, never
+# through a pipe: some runner images print shell-init noise on login
+# shells (this one emits "WARNING conda.cli.condarc:set_key(484): Key
+# auto_activate_base is an alias of auto_activate" because ~/.bashrc runs
+# `conda config --set auto_activate_base false` on every init — that file
+# is outside this repository, so it cannot be fixed at source here).
+# Writing artifacts directly keeps the JSON/SARIF byte-clean regardless.
+# The baseline gate fails the build on any finding not recorded in the
+# checked-in conformance-baseline.json (exit 1 = new findings, 2 = tool
+# error); the SARIF log is the CI-uploadable artifact form.
+mkdir -p target/conformance
+cargo run -q --release -p csmpc-conformance --bin conformance -- \
+    --format json --baseline conformance-baseline.json \
+    --sarif-out target/conformance/conformance.sarif \
+    > target/conformance/conformance.json
+test -s target/conformance/conformance.json
+test -s target/conformance/conformance.sarif
+echo "    JSON artifact:  target/conformance/conformance.json"
+echo "    SARIF artifact: target/conformance/conformance.sarif"
 
 echo "==> parallel equivalence suite (forced worker threads)"
 # Force real worker threads even on single-core runners so the parallel

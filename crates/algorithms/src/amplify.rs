@@ -93,6 +93,12 @@ impl MpcVertexAlgorithm for AmplifiedLargeIs {
         false
     }
 
+    // Explicit: the global winner selection (select_best_global) makes the
+    // amplified algorithm component-unstable (Theorem 5's canonical step).
+    fn component_stable(&self) -> bool {
+        false
+    }
+
     fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<bool>, MpcError> {
         let dg = DistributedGraph::distribute(g, cluster)?;
         let d = cluster

@@ -165,6 +165,12 @@ impl MpcVertexAlgorithm for DerandomizedLargeIs {
         true
     }
 
+    // Explicit: fixing the MCE seed is a global agreement across all
+    // components, so the derandomized algorithm is component-unstable.
+    fn component_stable(&self) -> bool {
+        false
+    }
+
     fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<bool>, MpcError> {
         let dg = DistributedGraph::distribute(g, cluster)?;
         let d = cluster

@@ -108,6 +108,13 @@ impl MpcVertexAlgorithm for ExtendableMis {
         false
     }
 
+    // Stable: the truncated-Luby simulation reads only radius-2t balls
+    // (collect_balls), so the label at v is a function of its own
+    // component — the canonical ball-simulation stability argument.
+    fn component_stable(&self) -> bool {
+        true
+    }
+
     fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<bool>, MpcError> {
         let t = self.phases_for(g.n(), g.max_degree());
         Ok(simulate_extendable_mis(g, cluster, t)?.labels)

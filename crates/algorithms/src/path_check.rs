@@ -76,6 +76,14 @@ impl MpcVertexAlgorithm for ConsecutivePathCheck {
         true
     }
 
+    // Stable *given n*: with |V| known, a component can decide locally
+    // whether it is the whole consecutive-ID path (Definition 13 admits
+    // outputs depending on (CC(v), v, n, Delta, S)); the implementation
+    // reads only distribute/count_nodes from the global API.
+    fn component_stable(&self) -> bool {
+        true
+    }
+
     fn run(&self, g: &Graph, cluster: &mut Cluster) -> Result<Vec<bool>, MpcError> {
         let verdict = consecutive_path_verdict(g, cluster)?;
         Ok(vec![verdict; g.n()])

@@ -1,0 +1,34 @@
+//! Clean parallel-closure counterpart: pure per-item maps, mutation
+//! confined to the closure's own item and locals, and an annotated
+//! thread-local-workspace call.
+
+/// Pure map with closure-local accumulation.
+pub fn sweep(mode: ParallelismMode, items: &[u64]) -> Vec<u64> {
+    par_map(mode, items, |i, x| {
+        let mut acc = *x;
+        acc += i as u64;
+        acc
+    })
+}
+
+/// `par_map_mut` closures may mutate their own item (that is the point).
+pub fn sweep_in_place(mode: ParallelismMode, shards: &mut [Shard]) -> Vec<usize> {
+    par_map_mut(mode, shards, |id, shard| {
+        shard.outbox.truncate(0);
+        shard.queue.push(id);
+        shard.queue.len()
+    })
+}
+
+/// Thread-local workspaces are per-worker by construction; the annotation
+/// records the reviewed reason.
+pub fn sweep_with_workspace(mode: ParallelismMode, n: usize) -> Vec<usize> {
+    par_map_range(mode, n, |v| {
+        // csmpc-allow(par-closure-race): workspace is thread_local!; each worker owns its RefCell
+        with_thread_workspace(|ws| ws.eval(v))
+    })
+}
+
+fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}

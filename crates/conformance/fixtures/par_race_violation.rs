@@ -1,0 +1,32 @@
+//! Seeded parallel-closure races: every closure below breaks the
+//! seq-vs-par bit-identity contract a different way.
+
+/// Interior mutability captured by the closure (the `borrow_mut` line).
+pub fn racy_log(mode: ParallelismMode, n: usize, log: &RefCell<Vec<usize>>) -> Vec<usize> {
+    par_map_range(mode, n, |v| {
+        log.borrow_mut().push(v);
+        v
+    })
+}
+
+/// Captured-state mutation: push into a captured Vec and a compound
+/// assignment to a captured counter — two distinct findings.
+pub fn racy_accumulate(mode: ParallelismMode, items: &[u64]) -> Vec<u64> {
+    let mut seen = Vec::new();
+    let mut total = 0u64;
+    let out = par_map(mode, items, |i, x| {
+        seen.push(i);
+        total += *x;
+        *x
+    });
+    let _ = (seen, total);
+    out
+}
+
+/// Unordered iteration inside the per-item computation.
+pub fn racy_histogram(mode: ParallelismMode, n: usize) -> Vec<usize> {
+    par_map_range(mode, n, |v| {
+        let m: HashMap<usize, usize> = neighbor_counts(v);
+        m.values().sum()
+    })
+}

@@ -1,0 +1,44 @@
+//! Clean stability-flow counterpart: every impl that touches provenance
+//! machinery states its claim explicitly, and the claimed-stable one stays
+//! component-local.
+
+fn distribute(cluster: &mut Cluster) {
+    cluster.tag_machine(0, 1);
+}
+
+fn mix_all(cluster: &mut Cluster) -> u64 {
+    cluster.provenance_mut().record_global_mix(3);
+    0
+}
+
+/// Honest unstable algorithm: mixes components, says so.
+impl MpcVertexAlgorithm for HonestUnstable {
+    fn run(&self, cluster: &mut Cluster) -> Vec<bool> {
+        distribute(cluster);
+        let _ = mix_all(cluster);
+        Vec::new()
+    }
+
+    fn component_stable(&self) -> bool {
+        false
+    }
+}
+
+/// Honest stable algorithm: provenance tagging via distribute only.
+impl MpcVertexAlgorithm for HonestStable {
+    fn run(&self, cluster: &mut Cluster) -> Vec<bool> {
+        distribute(cluster);
+        Vec::new()
+    }
+
+    fn component_stable(&self) -> bool {
+        true
+    }
+}
+
+/// Provenance-free impls owe no declaration at all.
+impl MpcVertexAlgorithm for PureLocal {
+    fn run(&self, _cluster: &mut Cluster) -> Vec<bool> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,39 @@
+//! Seeded stability-flow violations: an implicit stability claim and a
+//! broken explicit one.
+
+fn distribute(cluster: &mut Cluster) {
+    cluster.tag_machine(0, 1);
+}
+
+fn global_tally(cluster: &mut Cluster) -> u64 {
+    aggregate_all(cluster)
+}
+
+fn aggregate_all(cluster: &mut Cluster) -> u64 {
+    cluster.provenance_mut().record_global_mix(7);
+    0
+}
+
+// Flagged (warning, at the impl line): touches provenance via distribute
+// but silently inherits the default component_stable().
+impl MpcVertexAlgorithm for SilentDefault {
+    fn run(&self, cluster: &mut Cluster) -> Vec<bool> {
+        distribute(cluster);
+        Vec::new()
+    }
+}
+
+// Flagged (error, at the impl line): claims stability but transitively
+// reaches a cross-component mix two calls down (run -> global_tally ->
+// aggregate_all).
+impl MpcVertexAlgorithm for ClaimsStableButMixes {
+    fn run(&self, cluster: &mut Cluster) -> Vec<bool> {
+        distribute(cluster);
+        let _ = global_tally(cluster);
+        Vec::new()
+    }
+
+    fn component_stable(&self) -> bool {
+        true
+    }
+}

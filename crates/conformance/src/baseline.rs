@@ -1,0 +1,449 @@
+//! Baseline files: accepted findings that gate only *new* regressions.
+//!
+//! A baseline is a checked-in JSON file listing findings the team has
+//! explicitly accepted (keyed by `(file, lint, line)`). CI runs the
+//! analyzer with `--baseline conformance-baseline.json`; findings present
+//! in the baseline are reported as "baselined" and do not fail the build,
+//! while any finding *not* in the baseline does. `--write-baseline`
+//! regenerates the file from the current scan.
+//!
+//! Keys include the line number, so unrelated edits that shift a
+//! baselined finding will surface it as new — that is deliberate: the
+//! baseline is a migration aid, not a suppression mechanism (use
+//! `csmpc-allow` with a reason for intentional, reviewed exceptions), so
+//! friction that forces a fresh look at old findings is a feature.
+//!
+//! The parser below is a minimal recursive-descent JSON reader (the
+//! analyzer is dependency-free by design); it handles exactly the JSON
+//! subset any conforming writer emits: objects, arrays, strings with
+//! escapes, integers, booleans, and null.
+
+use crate::{Diagnostic, Report};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A baseline: the set of accepted `(file, lint, line)` keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, usize)>,
+}
+
+/// Error parsing a baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError(String);
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+// --------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+// --------------------------------------------------------------------------
+
+/// A parsed JSON value (internal to baseline handling).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; baselines only use line integers).
+    Num(f64),
+    /// String with escapes decoded.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as usize, if this is a non-negative number.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as usize),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> BaselineError {
+        BaselineError(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), BaselineError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, BaselineError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, BaselineError> {
+        if self.chars[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, BaselineError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| {
+            c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-'
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.chars[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, BaselineError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .chars
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 code point.
+                    let s = std::str::from_utf8(&self.chars[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, BaselineError> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, BaselineError> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let v = self.value()?;
+            out.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document (exposed for the analyzer's own JSON round-trip
+/// tests).
+pub fn parse_json(text: &str) -> Result<Json, BaselineError> {
+    let mut p = Parser {
+        chars: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+impl Baseline {
+    /// An empty baseline (everything is a new finding).
+    #[must_use]
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Number of accepted findings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the baseline accepts nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses a baseline document: `{"findings": [{"file": .., "lint": ..,
+    /// "line": ..}, ...]}`.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let doc = parse_json(text)?;
+        let findings = doc
+            .get("findings")
+            .ok_or_else(|| BaselineError("missing `findings` array".into()))?;
+        let Json::Arr(items) = findings else {
+            return Err(BaselineError("`findings` is not an array".into()));
+        };
+        let mut entries = BTreeSet::new();
+        for item in items {
+            let file = item
+                .get("file")
+                .and_then(Json::as_str)
+                .ok_or_else(|| BaselineError("finding missing `file`".into()))?;
+            let lint = item
+                .get("lint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| BaselineError("finding missing `lint`".into()))?;
+            let line = item
+                .get("line")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| BaselineError("finding missing `line`".into()))?;
+            entries.insert((file.to_string(), lint.to_string(), line));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders a baseline accepting every finding in `report`.
+    #[must_use]
+    pub fn render(report: &Report) -> String {
+        let mut keys: Vec<(String, String, usize)> = report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                (
+                    d.file.display().to_string(),
+                    d.lint.name().to_string(),
+                    d.line,
+                )
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, (file, lint, line)) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"lint\": \"{lint}\", \"line\": {line}}}",
+                crate::json_escape(file)
+            ));
+        }
+        if !keys.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// `true` when the diagnostic is accepted by this baseline.
+    #[must_use]
+    pub fn accepts(&self, d: &Diagnostic) -> bool {
+        self.entries.contains(&(
+            d.file.display().to_string(),
+            d.lint.name().to_string(),
+            d.line,
+        ))
+    }
+
+    /// Splits a report's findings into `(new, baselined)`.
+    #[must_use]
+    pub fn split<'d>(
+        &self,
+        diagnostics: &'d [Diagnostic],
+    ) -> (Vec<&'d Diagnostic>, Vec<&'d Diagnostic>) {
+        diagnostics.iter().partition(|d| !self.accepts(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lint, Severity};
+    use std::path::PathBuf;
+
+    fn finding(file: &str, lint: Lint, line: usize) -> Diagnostic {
+        Diagnostic {
+            lint,
+            severity: Severity::Error,
+            file: PathBuf::from(file),
+            line,
+            message: "m".into(),
+            witness: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip_render_parse_split() {
+        let report = Report {
+            diagnostics: vec![
+                finding("a.rs", Lint::ChargeFlow, 10),
+                finding("b.rs", Lint::ParClosureRace, 3),
+            ],
+            files_scanned: 2,
+        };
+        let text = Baseline::render(&report);
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.len(), 2);
+        let fresh = finding("a.rs", Lint::ChargeFlow, 11);
+        let all = vec![
+            finding("a.rs", Lint::ChargeFlow, 10),
+            fresh.clone(),
+            finding("b.rs", Lint::ParClosureRace, 3),
+        ];
+        let (new, old) = base.split(&all);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0], &fresh);
+        assert_eq!(old.len(), 2);
+    }
+
+    #[test]
+    fn empty_baseline_accepts_nothing() {
+        let base = Baseline::parse("{\"findings\": []}").unwrap();
+        assert!(base.is_empty());
+        assert!(!base.accepts(&finding("a.rs", Lint::ChargeFlow, 1)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{\"nope\": []}").is_err());
+        assert!(Baseline::parse("{\"findings\": [{\"file\": \"a\"}]}").is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let doc =
+            parse_json("{\"a\": [1, 2.5, -3], \"s\": \"x\\n\\\"y\\\"\", \"b\": true, \"n\": null}")
+                .unwrap();
+        assert_eq!(doc.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x\n\"y\""));
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Workspace call graph over the parsed [`crate::syntax::FileModel`]s.
+//!
+//! Resolution is name-based and deliberately conservative: a call site
+//! named `f` gets an edge to *every* workspace function named `f` (there
+//! is no type information), except that a deny-list of ubiquitous method
+//! names (`run`, `clone`, `len`, ...) produces no edges at all — linking
+//! every `.run(...)` to every `run` implementation would drown the passes
+//! in false reachability. Calls with a literal `self.` receiver resolve
+//! within the same impl type first when a same-named method exists there.
+//!
+//! The resulting imprecision is one-sided per pass and documented in
+//! DESIGN §6: properties computed as "does any resolution reach X" may
+//! over-approximate, while deny-listed edges are a known false-negative
+//! class.
+
+use crate::syntax::FileModel;
+use std::collections::BTreeMap;
+
+/// Ubiquitous method names that never produce call-graph edges.
+const EDGE_DENY_LIST: &[&str] = &[
+    "run",
+    "name",
+    "deterministic",
+    "component_stable",
+    "new",
+    "clone",
+    "default",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "get",
+    "expect",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "map",
+    "map_err",
+    "and_then",
+    "ok_or",
+    "collect",
+    "push",
+    "insert",
+    "extend",
+    "contains",
+    "to_string",
+    "to_vec",
+    "with",
+    "drop",
+];
+
+/// A function's identity in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnId {
+    /// Index of the owning file in the workspace model list.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub item: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Node list (parallel to `edges`).
+    pub nodes: Vec<FnId>,
+    /// Adjacency: `edges[i]` are node indices `nodes[i]` calls into.
+    pub edges: Vec<Vec<usize>>,
+    /// Name → node indices defining a function of that name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    node_of: BTreeMap<FnId, usize>,
+}
+
+impl CallGraph {
+    /// Builds the graph over all files. Test functions are included as
+    /// nodes (so witnesses can pass through them) but passes typically
+    /// filter findings to non-test code.
+    #[must_use]
+    pub fn build(files: &[FileModel]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut node_of = BTreeMap::new();
+        for (fi, fm) in files.iter().enumerate() {
+            for (ii, f) in fm.fns.iter().enumerate() {
+                let id = FnId { file: fi, item: ii };
+                let n = nodes.len();
+                nodes.push(id);
+                node_of.insert(id, n);
+                by_name.entry(f.name.clone()).or_default().push(n);
+            }
+        }
+        let mut edges = vec![Vec::new(); nodes.len()];
+        for (n, &id) in nodes.iter().enumerate() {
+            let fm = &files[id.file];
+            let f = &fm.fns[id.item];
+            for call in &f.calls {
+                if EDGE_DENY_LIST.contains(&call.callee.as_str()) {
+                    continue;
+                }
+                let Some(cands) = by_name.get(&call.callee) else {
+                    continue;
+                };
+                // `self.f(...)`: prefer methods of the same impl type.
+                let same_type: Vec<usize> = if call.self_receiver {
+                    let own_type = f
+                        .impl_idx
+                        .map(|ix| fm.impls[ix].type_name.as_str())
+                        .unwrap_or("");
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| {
+                            let cid = nodes[c];
+                            let cfm = &files[cid.file];
+                            cfm.fns[cid.item]
+                                .impl_idx
+                                .map(|ix| cfm.impls[ix].type_name.as_str())
+                                == Some(own_type)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let targets = if same_type.is_empty() {
+                    cands
+                } else {
+                    &same_type
+                };
+                for &t in targets {
+                    if t != n && !edges[n].contains(&t) {
+                        edges[n].push(t);
+                    }
+                }
+            }
+        }
+        CallGraph {
+            nodes,
+            edges,
+            by_name,
+            node_of,
+        }
+    }
+
+    /// Node index of a function id.
+    #[must_use]
+    pub fn node(&self, id: FnId) -> Option<usize> {
+        self.node_of.get(&id).copied()
+    }
+
+    /// Downward fixpoint: `out[n]` is true when `direct[n]` holds or any
+    /// transitive callee of `n` satisfies `direct`.
+    #[must_use]
+    pub fn transitive_down(&self, direct: &[bool]) -> Vec<bool> {
+        assert_eq!(direct.len(), self.nodes.len());
+        let mut out = direct.to_vec();
+        // Reverse-propagate to callers until fixpoint (graphs are small —
+        // a few thousand nodes — so the simple iteration is fine).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for n in 0..self.nodes.len() {
+                if out[n] {
+                    continue;
+                }
+                if self.edges[n].iter().any(|&c| out[c]) {
+                    out[n] = true;
+                    changed = true;
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward reachability from a seed set (seeds included).
+    #[must_use]
+    pub fn reachable_from(&self, seeds: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = seeds.to_vec();
+        for &s in seeds {
+            seen[s] = true;
+        }
+        while let Some(n) = stack.pop() {
+            for &c in &self.edges[n] {
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest call chain from `from` to any node satisfying `target`,
+    /// as node indices (`from` first). `None` when unreachable.
+    #[must_use]
+    pub fn witness_chain(&self, from: usize, target: &[bool]) -> Option<Vec<usize>> {
+        assert_eq!(target.len(), self.nodes.len());
+        let mut prev = vec![usize::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = vec![false; self.nodes.len()];
+        queue.push_back(from);
+        seen[from] = true;
+        while let Some(n) = queue.pop_front() {
+            if target[n] {
+                let mut chain = vec![n];
+                let mut cur = n;
+                while prev[cur] != usize::MAX {
+                    cur = prev[cur];
+                    chain.push(cur);
+                }
+                chain.reverse();
+                return Some(chain);
+            }
+            for &c in &self.edges[n] {
+                if !seen[c] {
+                    seen[c] = true;
+                    prev[c] = n;
+                    queue.push_back(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortest chain from any seed to `to` (for entry-point witnesses).
+    #[must_use]
+    pub fn chain_from_seeds(&self, seeds: &[usize], to: usize) -> Option<Vec<usize>> {
+        let mut target = vec![false; self.nodes.len()];
+        target[to] = true;
+        seeds
+            .iter()
+            .filter_map(|&s| self.witness_chain(s, &target))
+            .min_by_key(Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::parse_file;
+    use std::path::Path;
+
+    fn graph(src: &str) -> (Vec<FileModel>, CallGraph) {
+        let files = vec![parse_file(Path::new("x.rs").to_path_buf(), src)];
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    #[test]
+    fn edges_follow_names() {
+        let (files, g) = graph("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n");
+        let names: Vec<&str> = g
+            .nodes
+            .iter()
+            .map(|id| files[id.file].fns[id.item].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(g.edges[0], vec![1]);
+        assert_eq!(g.edges[1], vec![2]);
+        let direct = vec![false, false, true];
+        let closed = g.transitive_down(&direct);
+        assert_eq!(closed, vec![true, true, true]);
+    }
+
+    #[test]
+    fn deny_listed_names_make_no_edges() {
+        let (_, g) = graph("fn a() { x.run(); }\nfn run() { charge(); }\nfn charge() {}\n");
+        assert!(g.edges[0].is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn self_calls_prefer_same_impl_type() {
+        let src = "\
+impl A {
+    fn go(&self) { self.step(); }
+    fn step(&self) {}
+}
+impl B {
+    fn step(&self) { forbidden(); }
+}
+fn forbidden() {}
+";
+        let (files, g) = graph(src);
+        let go = g
+            .nodes
+            .iter()
+            .position(|id| files[id.file].fns[id.item].name == "go")
+            .unwrap();
+        // go's only edge is A::step (node index 1), not B::step.
+        assert_eq!(g.edges[go], vec![1]);
+    }
+
+    #[test]
+    fn witness_chains_are_shortest() {
+        let (files, g) =
+            graph("fn a() { b(); c(); }\nfn b() { c(); }\nfn c() { sink(); }\nfn sink() {}\n");
+        let sink = g
+            .nodes
+            .iter()
+            .position(|id| files[id.file].fns[id.item].name == "sink")
+            .unwrap();
+        let mut target = vec![false; g.nodes.len()];
+        target[sink] = true;
+        let chain = g.witness_chain(0, &target).unwrap();
+        assert_eq!(chain.len(), 3, "a -> c -> sink");
+        let reach = g.reachable_from(&[0]);
+        assert!(reach.iter().all(|&r| r));
+    }
+}

@@ -1,0 +1,385 @@
+//! A minimal, dependency-free Rust lexer for the syntax-aware analysis
+//! engine.
+//!
+//! Produces a flat token stream (identifiers, punctuation, literals) with
+//! 1-indexed line numbers, plus a per-line comment table (comment text is
+//! where suppressions live). String/char-literal *contents* are dropped so
+//! the passes never match tokens inside literals; raw strings of any hash
+//! depth and nested block comments are handled.
+//!
+//! The lexer is deliberately smaller than a real Rust lexer: it does not
+//! classify keywords (passes match identifier text directly), does not
+//! interpret numeric suffixes, and folds every multi-character operator it
+//! knows into a single punctuation token so the parser can match `==` vs
+//! `=` or `||` vs `|` without look-ahead.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Cluster`, `par_map`, ...).
+    Ident,
+    /// Punctuation / operator (`{`, `::`, `+=`, ...), text holds the exact
+    /// operator.
+    Punct,
+    /// Literal (string, char, number); contents are not preserved for
+    /// strings/chars.
+    Lit,
+    /// A lifetime (`'a`, `'static`) — kept distinct so char literals and
+    /// lifetimes never confuse the parser.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Exact source text for identifiers and punctuation; `""` for string
+    /// and char literals, the raw digits for numbers.
+    pub text: String,
+    /// 1-indexed source line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// `true` when the token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` when the token is the punctuation `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Lexer output: the token stream plus per-line comment text.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comment text concatenated per line (index 0 = line 1).
+    pub comments: Vec<String>,
+}
+
+/// Multi-character operators, longest first (greedy matching).
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and a per-line comment table.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let line_count = source.lines().count().max(1) + 1;
+    let mut out = Lexed {
+        toks: Vec::new(),
+        comments: vec![String::new(); line_count],
+    };
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        // Comments (kept in the side table for suppression parsing).
+        if c == '/' && next == Some('/') {
+            let mut j = i;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            if let Some(slot) = out.comments.get_mut(line - 1) {
+                slot.push_str(&text);
+            }
+            i = j;
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# (any hash depth), also br"...".
+        if (c == 'r' || (c == 'b' && next == Some('r'))) && {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut j = start;
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+            }
+            chars.get(j) == Some(&'"') && (i == 0 || !is_ident_char(chars[i - 1]))
+        } {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0usize;
+            let mut j = start;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // opening quote
+            loop {
+                match chars.get(j) {
+                    None => break,
+                    Some('\n') => {
+                        line += 1;
+                        j += 1;
+                    }
+                    Some('"') => {
+                        let closed = (1..=hashes).all(|k| chars.get(j + k) == Some(&'#'));
+                        if closed {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Ordinary strings (and byte strings).
+        if c == '"' || (c == 'b' && next == Some('"')) {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char_lit = next == Some('\\')
+                || (next.is_some_and(|nc| nc != '\'') && chars.get(i + 2) == Some(&'\''));
+            if is_char_lit {
+                let mut j = i + 1;
+                while j < n {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+            } else {
+                // Lifetime: 'ident
+                let mut j = i + 1;
+                while j < n && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (digits plus embedded idents/underscores/dots for floats
+        // and suffixes — precision is irrelevant to the passes).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n
+                && (is_ident_char(chars[j])
+                    || (chars[j] == '.'
+                        && chars
+                            .get(j + 1)
+                            .copied()
+                            .is_some_and(|d| d.is_ascii_digit())))
+            {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Multi-char operators, greedy.
+        let mut matched = false;
+        for op in MULTI_OPS {
+            let len = op.len();
+            if i + len <= n && chars[i..i + len].iter().collect::<String>() == *op {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn foo() {\n    bar(1);\n}\n");
+        assert_eq!(idents(&l), vec!["fn", "foo", "bar"]);
+        let bar = l.toks.iter().find(|t| t.is_ident("bar")).unwrap();
+        assert_eq!(bar.line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let l = lex("let x = \"HashMap::new()\"; // trailing HashMap\n/* block\nRefCell */ let y;");
+        assert!(!idents(&l).contains(&"HashMap"));
+        assert!(!idents(&l).contains(&"RefCell"));
+        assert!(l.comments[0].contains("trailing HashMap"));
+        assert!(idents(&l).contains(&"y"));
+    }
+
+    #[test]
+    fn raw_strings_any_depth() {
+        let l = lex("let p = r#\"par_iter\"#; let q = r\"x\"; done();");
+        assert!(!idents(&l).contains(&"par_iter"));
+        assert!(idents(&l).contains(&"done"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        // Char literals become anonymous literals, not lifetimes.
+        assert_eq!(
+            l.toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2 // both 'a occurrences
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_fold() {
+        let l = lex("a == b; c += 1; d => e; f || g; h | i; j -> k;");
+        let ops: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ops.contains(&"=="));
+        assert!(ops.contains(&"+="));
+        assert!(ops.contains(&"=>"));
+        assert!(ops.contains(&"||"));
+        assert!(ops.contains(&"|"));
+        assert!(ops.contains(&"->"));
+        assert!(!ops.contains(&"="));
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let l = lex("std::collections::BTreeMap::new()");
+        assert_eq!(l.toks.iter().filter(|t| t.is_punct("::")).count(), 3);
+    }
+}

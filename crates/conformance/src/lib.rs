@@ -4,7 +4,20 @@
 //! dependency-free source scanner that enforces the repository's MPC-model
 //! discipline (the runtime half lives in `csmpc_core::conformance`).
 //!
-//! Five lints, each tied to a definition of the source paper
+//! Two layers share one diagnostic model:
+//!
+//! 1. **Token-level lints** (this module) — line-oriented scans over
+//!    scrubbed source. Cheap, zero-context, and intentionally local.
+//! 2. **Syntax-aware passes** ([`charge_flow`], [`races`],
+//!    [`stability_flow`]) — a dependency-free lexer ([`lex`]), item parser
+//!    ([`syntax`]), and workspace call graph ([`callgraph`]) feed three
+//!    interprocedural analyses that upgrade the accounting and stability
+//!    lints from textual to transitive, and add parallel-closure race
+//!    detection. [`analyze_workspace`] runs both layers, applies
+//!    `csmpc-allow` suppressions ([`suppress`]), and reports unused
+//!    suppressions; [`baseline`] gates CI on *new* findings only.
+//!
+//! The lints, each tied to a definition of the source paper
 //! (*Component Stability in Low-Space Massively Parallel Computation*,
 //! PODC 2021):
 //!
@@ -48,6 +61,19 @@
 //!   (`BTreeMap`/`BTreeSet`) in its body — the reusable flat workspaces
 //!   (`csmpc_graph::ball::BallWorkspace`) exist precisely so the hot paths
 //!   never pay a per-call map allocation.
+//! * [`Lint::ChargeFlow`] — transitive cost accounting: every function
+//!   reachable from an engine entry point that mutates cluster state and
+//!   touches communication machinery must reach a `Stats` charge through
+//!   some call path (see [`charge_flow`]).
+//! * [`Lint::ParClosureRace`] — closures handed to the
+//!   `csmpc_parallel::par_map*` helpers must not capture mutable state,
+//!   use interior mutability, or iterate unordered maps (see [`races`]).
+//! * [`Lint::StabilityFlow`] — `MpcVertexAlgorithm` impls that reach
+//!   component-provenance machinery must declare `component_stable()`
+//!   explicitly, and claimed-stable impls must not transitively reach a
+//!   cross-component mix (see [`stability_flow`]).
+//! * [`Lint::UnusedSuppression`] — a `csmpc-allow` annotation that
+//!   silences nothing is itself a finding (see [`suppress`]).
 //!
 //! Diagnostics carry `file:line` locations; a finding can be suppressed by
 //! placing `// conformance: allow(<lint>)` (or `allow(all)`) on the same or
@@ -63,6 +89,15 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod callgraph;
+pub mod charge_flow;
+pub mod lex;
+pub mod races;
+pub mod stability_flow;
+pub mod suppress;
+pub mod syntax;
 
 use std::fmt;
 use std::fs;
@@ -89,6 +124,18 @@ pub enum Lint {
     /// `.for_each`/`.reduce` consumption breaks sequential/parallel
     /// bit-identity).
     Determinism,
+    /// Transitive accounting: a reachable cluster-mutating function touches
+    /// communication machinery with no call path reaching a `Stats` charge.
+    ChargeFlow,
+    /// A `par_map*` closure captures mutable state, uses interior
+    /// mutability, or iterates an unordered map.
+    ParClosureRace,
+    /// An `MpcVertexAlgorithm` impl touching provenance machinery without
+    /// an explicit `component_stable()` declaration, or a claimed-stable
+    /// impl transitively reaching a cross-component mix.
+    StabilityFlow,
+    /// A `csmpc-allow` suppression that silences nothing.
+    UnusedSuppression,
 }
 
 impl Lint {
@@ -102,6 +149,10 @@ impl Lint {
             Lint::RecoveryAccounting => "recovery-accounting",
             Lint::StabilityDiscipline => "stability-discipline",
             Lint::Determinism => "determinism",
+            Lint::ChargeFlow => "charge-flow",
+            Lint::ParClosureRace => "par-closure-race",
+            Lint::StabilityFlow => "stability-flow",
+            Lint::UnusedSuppression => "unused-suppression",
         }
     }
 
@@ -114,7 +165,64 @@ impl Lint {
             "recovery-accounting" => Some(Lint::RecoveryAccounting),
             "stability-discipline" => Some(Lint::StabilityDiscipline),
             "determinism" => Some(Lint::Determinism),
+            "charge-flow" => Some(Lint::ChargeFlow),
+            "par-closure-race" => Some(Lint::ParClosureRace),
+            "stability-flow" => Some(Lint::StabilityFlow),
+            "unused-suppression" => Some(Lint::UnusedSuppression),
             _ => None,
+        }
+    }
+
+    /// Every lint, in stable order (drives SARIF rule metadata and docs).
+    pub const ALL: &'static [Lint] = &[
+        Lint::Nondeterminism,
+        Lint::UnaccountedPrimitive,
+        Lint::RecoveryAccounting,
+        Lint::StabilityDiscipline,
+        Lint::Determinism,
+        Lint::ChargeFlow,
+        Lint::ParClosureRace,
+        Lint::StabilityFlow,
+        Lint::UnusedSuppression,
+    ];
+
+    /// One-line rule description (SARIF rule metadata, README table).
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Lint::Nondeterminism => {
+                "forbidden nondeterminism source (wall clock, OS entropy, unordered map) in \
+                 replayable simulator code (Definition 9)"
+            }
+            Lint::UnaccountedPrimitive => {
+                "public &mut Cluster primitive whose own body never charges the Stats ledger"
+            }
+            Lint::RecoveryAccounting => {
+                "recovery/restore/retry path mutating cluster state without charging the Stats \
+                 ledger"
+            }
+            Lint::StabilityDiscipline => {
+                "component-stable-declared algorithm calling a global-mix API or reading node \
+                 names (Definition 13)"
+            }
+            Lint::Determinism => {
+                "parallel iterator chain without an order-preserving merge, or ordered-map \
+                 allocation in a #[csmpc_hot] body"
+            }
+            Lint::ChargeFlow => {
+                "reachable cluster-mutating function touches communication machinery with no \
+                 call path reaching a Stats charge"
+            }
+            Lint::ParClosureRace => {
+                "par_map* closure captures mutable state, uses interior mutability, or iterates \
+                 an unordered map"
+            }
+            Lint::StabilityFlow => {
+                "MpcVertexAlgorithm impl touching provenance without an explicit \
+                 component_stable() declaration, or a claimed-stable impl reaching a \
+                 cross-component mix"
+            }
+            Lint::UnusedSuppression => "csmpc-allow annotation that silences nothing",
         }
     }
 }
@@ -125,11 +233,41 @@ impl fmt::Display for Lint {
     }
 }
 
+/// Finding severity. Both levels fail a baseline-gated build when new;
+/// the distinction feeds SARIF `level` and lets downstream tooling rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Should be fixed or explicitly suppressed, but does not by itself
+    /// contradict a paper invariant.
+    Warning,
+    /// Contradicts a model invariant (cost accounting, Definition 9/13).
+    Error,
+}
+
+impl Severity {
+    /// Machine-readable name (`"warning"` / `"error"`, as in SARIF).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One finding, anchored to a `file:line` location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Which lint fired.
     pub lint: Lint,
+    /// How severe the finding is.
+    pub severity: Severity,
     /// File the finding is in (as passed to the checker; the workspace
     /// scanner uses workspace-relative paths).
     pub file: PathBuf,
@@ -137,18 +275,26 @@ pub struct Diagnostic {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Call-chain witness for interprocedural findings (function names,
+    /// entry point first); empty for token-level findings.
+    pub witness: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}: {} [{}] {}",
             self.file.display(),
             self.line,
+            self.severity,
             self.lint,
             self.message
-        )
+        )?;
+        if !self.witness.is_empty() {
+            write!(f, " (call chain: {})", self.witness.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -168,6 +314,15 @@ impl Report {
         self.diagnostics.is_empty()
     }
 
+    /// Canonicalizes the finding list: sorted by `(file, line, lint)` and
+    /// exact duplicates removed, so output is deterministic regardless of
+    /// pass execution order.
+    pub fn normalize(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+        self.diagnostics.dedup();
+    }
+
     /// Machine-readable JSON summary.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -179,9 +334,17 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
+            let witness = d
+                .witness
+                .iter()
+                .map(|w| format!("\"{}\"", json_escape(w)))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
-                "\n    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                "\n    {{\"lint\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\", \"witness\": [{witness}]}}",
                 d.lint,
+                d.severity,
                 json_escape(&d.file.display().to_string()),
                 d.line,
                 json_escape(&d.message)
@@ -193,9 +356,54 @@ impl Report {
         out.push_str("]\n}");
         out
     }
+
+    /// SARIF 2.1.0 log for code-scanning upload: one run, one rule per
+    /// lint, one result per finding (witness rendered into the message).
+    #[must_use]
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+             \"driver\": {\n          \"name\": \"csmpc-conformance\",\n          \
+             \"informationUri\": \"https://arxiv.org/abs/2106.01880\",\n          \"rules\": [",
+        );
+        for (i, lint) in Lint::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                lint.name(),
+                json_escape(lint.description())
+            ));
+        }
+        out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut message = d.message.clone();
+            if !d.witness.is_empty() {
+                message.push_str(&format!(" [call chain: {}]", d.witness.join(" -> ")));
+            }
+            out.push_str(&format!(
+                "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{}\",\n          \
+                 \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+                 {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+                d.lint,
+                d.severity,
+                json_escape(&message),
+                json_escape(&d.file.display().to_string()),
+                d.line
+            ));
+        }
+        out.push_str("\n      ]\n    }\n  ]\n}\n");
+        out
+    }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -504,9 +712,11 @@ fn lint_nondeterminism(scrubbed: &Scrubbed, mask: &[bool], file: &Path, out: &mu
             if contains_ident(line, token) {
                 out.push(Diagnostic {
                     lint: Lint::Nondeterminism,
+                    severity: Severity::Error,
                     file: file.to_path_buf(),
                     line: idx + 1,
                     message: format!("use of `{token}`: {why}"),
+                    witness: Vec::new(),
                 });
             }
         }
@@ -581,6 +791,7 @@ fn lint_unaccounted_primitive(
                 .unwrap_or_else(|| "<unknown>".to_string());
             out.push(Diagnostic {
                 lint: Lint::UnaccountedPrimitive,
+                severity: Severity::Error,
                 file: file.to_path_buf(),
                 line: i + 1,
                 message: format!(
@@ -589,6 +800,7 @@ fn lint_unaccounted_primitive(
                      charge_recovery/require_fits/run_program/advance_rounds); unaccounted \
                      primitives break the S = n^phi cost model"
                 ),
+                witness: Vec::new(),
             });
         }
         i = end + 1;
@@ -695,6 +907,7 @@ fn lint_recovery_accounting(
         if !CHARGE_TOKENS.iter().any(|t| contains_ident(&body, t)) {
             out.push(Diagnostic {
                 lint: Lint::RecoveryAccounting,
+                severity: Severity::Error,
                 file: file.to_path_buf(),
                 line: i + 1,
                 message: format!(
@@ -702,6 +915,7 @@ fn lint_recovery_accounting(
                      Stats ledger; recovery is never free — replayed rounds and reshipped \
                      checkpoint words are real costs the model must see"
                 ),
+                witness: Vec::new(),
             });
         }
         i = end + 1;
@@ -792,22 +1006,26 @@ fn lint_stability_discipline(
                         let shown = call.trim_start_matches('.').trim_end_matches('(');
                         out.push(Diagnostic {
                             lint: Lint::StabilityDiscipline,
+                            severity: Severity::Error,
                             file: file.to_path_buf(),
                             line: abs + 1,
                             message: format!(
                                 "component-stable-declared algorithm calls `{shown}`: {why}"
                             ),
+                            witness: Vec::new(),
                         });
                     }
                 }
                 if has_nonself_name_call(line) {
                     out.push(Diagnostic {
                         lint: Lint::StabilityDiscipline,
+                        severity: Severity::Error,
                         file: file.to_path_buf(),
                         line: abs + 1,
                         message: "component-stable-declared algorithm reads a node *name*; \
                                   Definition 13 allows outputs to depend on IDs, never names"
                             .to_string(),
+                        witness: Vec::new(),
                     });
                 }
             }
@@ -891,6 +1109,7 @@ fn lint_hot_allocations(
                 if contains_ident(line, token) {
                     out.push(Diagnostic {
                         lint: Lint::Determinism,
+                        severity: Severity::Error,
                         file: file.to_path_buf(),
                         line: abs + 1,
                         message: format!(
@@ -899,6 +1118,7 @@ fn lint_hot_allocations(
                              (csmpc_graph::ball::BallWorkspace) instead of paying a per-call \
                              ordered-map allocation"
                         ),
+                        witness: Vec::new(),
                     });
                     break;
                 }
@@ -935,6 +1155,7 @@ fn lint_determinism(scrubbed: &Scrubbed, mask: &[bool], file: &Path, out: &mut V
         if chain.contains(".for_each(") || chain.contains(".reduce(") {
             out.push(Diagnostic {
                 lint: Lint::Determinism,
+                severity: Severity::Error,
                 file: file.to_path_buf(),
                 line: i + 1,
                 message: "parallel iterator chain is consumed by `.for_each`/`.reduce`, whose \
@@ -942,10 +1163,12 @@ fn lint_determinism(scrubbed: &Scrubbed, mask: &[bool], file: &Path, out: &mut V
                           order-preserving `.collect()` (or use csmpc_parallel::par_map*) so \
                           sequential and parallel runs stay bit-identical"
                     .to_string(),
+                witness: Vec::new(),
             });
         } else if !chain.contains(".collect") {
             out.push(Diagnostic {
                 lint: Lint::Determinism,
+                severity: Severity::Error,
                 file: file.to_path_buf(),
                 line: i + 1,
                 message: "parallel iterator chain never materializes through an order-preserving \
@@ -953,6 +1176,7 @@ fn lint_determinism(scrubbed: &Scrubbed, mask: &[bool], file: &Path, out: &mut V
                           csmpc_parallel::par_map*) so sequential and parallel runs stay \
                           bit-identical"
                     .to_string(),
+                witness: Vec::new(),
             });
         }
         i = end + 1;
@@ -1021,6 +1245,12 @@ pub fn check_source(file: &Path, source: &str, lints: &[Lint]) -> Vec<Diagnostic
             Lint::Determinism => {
                 lint_determinism(&scrubbed, &mask, file, &mut diags);
             }
+            // Interprocedural lints need the whole workspace; they run in
+            // `analyze_sources`, not per file.
+            Lint::ChargeFlow
+            | Lint::ParClosureRace
+            | Lint::StabilityFlow
+            | Lint::UnusedSuppression => {}
         }
     }
     diags.retain(|d| !is_suppressed(&scrubbed.comments, d.line, d.lint));
@@ -1119,6 +1349,78 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
         }
     }
     Ok(report)
+}
+
+/// Runs **both** analysis layers — the token lints ([`check_source`],
+/// path-gated by [`lints_for_path`]) and the syntax-aware interprocedural
+/// passes ([`charge_flow`], [`races`], [`stability_flow`]) — over an
+/// in-memory source set, applies `csmpc-allow` suppressions, reports
+/// unused suppressions, and returns a normalized (sorted, deduped) report.
+///
+/// Paths are used both for diagnostics and for the path-gating of the
+/// token lints, so pass workspace-relative `/`-separated paths.
+#[must_use]
+pub fn analyze_sources(sources: &[(PathBuf, String)]) -> Report {
+    let files: Vec<syntax::FileModel> = sources
+        .iter()
+        .map(|(path, src)| syntax::parse_file(path.clone(), src))
+        .collect();
+    let graph = callgraph::CallGraph::build(&files);
+    let mut pass_findings = Vec::new();
+    pass_findings.extend(charge_flow::run(&files, &graph));
+    pass_findings.extend(races::run(&files, &graph));
+    pass_findings.extend(stability_flow::run(&files, &graph));
+
+    let mut report = Report::default();
+    for ((path, source), fm) in sources.iter().zip(&files) {
+        let rel = path.display().to_string();
+        let mut file_findings = check_source(path, source, &lints_for_path(&rel));
+        file_findings.extend(pass_findings.iter().filter(|d| &d.file == path).cloned());
+        report
+            .diagnostics
+            .extend(suppress::apply(path, &fm.comments, file_findings));
+        report.files_scanned += 1;
+    }
+    report.normalize();
+    report
+}
+
+/// Full-engine workspace scan: reads `<root>/crates/*/src/**/*.rs` and
+/// runs [`analyze_sources`] over it. Diagnostics use workspace-relative
+/// paths.
+///
+/// # Errors
+///
+/// I/O errors reading the tree.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut sources = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        for file in files {
+            let rel: String = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            sources.push((PathBuf::from(rel), fs::read_to_string(&file)?));
+        }
+    }
+    Ok(analyze_sources(&sources))
 }
 
 #[cfg(test)]
@@ -1485,5 +1787,126 @@ pub fn count(cluster: &mut Cluster) -> usize {
 ";
         let d = check_source(Path::new("x.rs"), src, ALL);
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn lint_names_round_trip() {
+        for &lint in Lint::ALL {
+            assert_eq!(Lint::from_name(lint.name()), Some(lint));
+        }
+    }
+
+    #[test]
+    fn analyze_sources_runs_both_layers_and_normalizes() {
+        // One file with a token-level finding (HashMap in a nondeterminism
+        // root) and an interprocedural one (uncharged comm helper).
+        let src = "\
+use std::collections::HashMap;
+pub fn leak(cluster: &mut Cluster) {
+    raw(cluster);
+    cluster.charge_rounds(1);
+}
+fn raw(cluster: &mut Cluster) {
+    cluster.inboxes.swap(0, 1);
+}
+";
+        let sources = vec![(PathBuf::from("crates/mpc/src/x.rs"), src.to_string())];
+        let report = analyze_sources(&sources);
+        let lints: Vec<Lint> = report.diagnostics.iter().map(|d| d.lint).collect();
+        assert!(lints.contains(&Lint::Nondeterminism), "{report:?}");
+        assert!(lints.contains(&Lint::ChargeFlow), "{report:?}");
+        // Normalized: sorted by (file, line, lint).
+        let keys: Vec<(String, usize, Lint)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.file.display().to_string(), d.line, d.lint))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn analyze_sources_honors_csmpc_allow_and_flags_unused() {
+        let src = "\
+pub fn leak(cluster: &mut Cluster) {
+    cluster.charge_rounds(1);
+    raw(cluster);
+}
+// csmpc-allow(charge-flow): fixture exercises the raw wire path on purpose
+fn raw(cluster: &mut Cluster) {
+    cluster.inboxes.swap(0, 1);
+}
+// csmpc-allow(par-closure-race): nothing here to suppress
+fn idle() {}
+";
+        let sources = vec![(PathBuf::from("crates/mpc/src/x.rs"), src.to_string())];
+        let report = analyze_sources(&sources);
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.lint == Lint::ChargeFlow),
+            "{report:?}"
+        );
+        let unused: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.lint == Lint::UnusedSuppression)
+            .collect();
+        assert_eq!(unused.len(), 1, "{report:?}");
+        assert_eq!(unused[0].line, 9);
+    }
+
+    #[test]
+    fn sarif_output_is_parseable_and_complete() {
+        let src = "use std::time::Instant;\n";
+        let sources = vec![(PathBuf::from("crates/mpc/src/x.rs"), src.to_string())];
+        let report = analyze_sources(&sources);
+        assert!(!report.is_clean());
+        let sarif = report.to_sarif();
+        let doc = baseline::parse_json(&sarif).expect("SARIF must be valid JSON");
+        let runs = doc.get("runs").expect("runs");
+        let baseline::Json::Arr(runs) = runs else {
+            panic!("runs not an array")
+        };
+        let results = runs[0].get("results").expect("results");
+        let baseline::Json::Arr(results) = results else {
+            panic!("results not an array")
+        };
+        assert_eq!(results.len(), report.diagnostics.len());
+        assert_eq!(
+            results[0].get("ruleId").and_then(baseline::Json::as_str),
+            Some("nondeterminism")
+        );
+    }
+
+    #[test]
+    fn report_json_is_parseable_with_new_fields() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                lint: Lint::ChargeFlow,
+                severity: Severity::Error,
+                file: PathBuf::from("a.rs"),
+                line: 3,
+                message: "m \"quoted\"".into(),
+                witness: vec!["entry".into(), "helper".into()],
+            }],
+            files_scanned: 1,
+        };
+        let doc = baseline::parse_json(&report.to_json()).expect("valid JSON");
+        let diags = doc.get("diagnostics").expect("diagnostics");
+        let baseline::Json::Arr(diags) = diags else {
+            panic!("not an array")
+        };
+        assert_eq!(
+            diags[0].get("severity").and_then(baseline::Json::as_str),
+            Some("error")
+        );
+        let witness = diags[0].get("witness").expect("witness");
+        let baseline::Json::Arr(w) = witness else {
+            panic!("witness not an array")
+        };
+        assert_eq!(w.len(), 2);
     }
 }

@@ -1,0 +1,265 @@
+//! Interprocedural component-stability discipline (`stability-flow` lint).
+//!
+//! Definition 13 (component stability) is a *promise about information
+//! flow*: a component-stable algorithm's per-vertex outputs may depend
+//! only on the vertex's own connected component. The engine tracks the
+//! actual flow at runtime through the provenance ledger
+//! (`crates/mpc/src/provenance.rs`), and every algorithm advertises its
+//! promise through `MpcVertexAlgorithm::component_stable()` — which has a
+//! conservative `false` default in `api.rs`.
+//!
+//! That default is exactly the hazard this pass exists for: an algorithm
+//! that manipulates provenance state while silently inheriting the
+//! default is making an *implicit* stability claim nobody reviewed. The
+//! rule, over the workspace call graph:
+//!
+//! 1. **Missing declaration** (warning): an `impl MpcVertexAlgorithm for
+//!    T` that transitively reaches provenance machinery (`tag_machine`,
+//!    `provenance`, `provenance_mut`, `machine_components`) must declare
+//!    `component_stable()` explicitly — stating `true` or `false` in the
+//!    impl, not inheriting the default.
+//! 2. **Stable impl mixes components** (error): an impl whose
+//!    `component_stable()` body returns `true` must not transitively
+//!    reach a cross-component mixing write (`record_global_mix`,
+//!    `provenance_mut`) — a global aggregate inside a claimed-stable
+//!    algorithm contradicts Definition 13 and invalidates the
+//!    Theorem 1.1/1.2 transfer argument.
+//!
+//! Both findings carry a call-chain witness from the impl down to the
+//! provenance touch.
+
+use crate::callgraph::CallGraph;
+use crate::lex::TokKind;
+use crate::syntax::FileModel;
+use crate::{Diagnostic, Lint, Severity};
+
+/// Provenance machinery: touching any of these means the function reads
+/// or writes component provenance tags.
+const PROV_MARKERS: &[&str] = &[
+    "tag_machine",
+    "provenance",
+    "provenance_mut",
+    "machine_components",
+];
+
+/// Cross-component mixing writes: a claimed-stable algorithm must never
+/// reach these.
+const MIX_MARKERS: &[&str] = &["record_global_mix", "provenance_mut"];
+
+/// The vertex-algorithm trait whose impls this pass audits.
+const TRAIT_NAME: &str = "MpcVertexAlgorithm";
+
+/// Runs the pass over the parsed workspace.
+#[must_use]
+pub fn run(files: &[FileModel], graph: &CallGraph) -> Vec<Diagnostic> {
+    let n = graph.nodes.len();
+    let mut direct_prov = vec![false; n];
+    let mut direct_mix = vec![false; n];
+    for node in 0..n {
+        let id = graph.nodes[node];
+        let f = &files[id.file].fns[id.item];
+        direct_prov[node] = f
+            .calls
+            .iter()
+            .any(|c| PROV_MARKERS.contains(&c.callee.as_str()));
+        direct_mix[node] = f
+            .calls
+            .iter()
+            .any(|c| MIX_MARKERS.contains(&c.callee.as_str()));
+    }
+    let prov = graph.transitive_down(&direct_prov);
+    let mix = graph.transitive_down(&direct_mix);
+
+    let name_of = |m: usize| {
+        let id = graph.nodes[m];
+        files[id.file].fns[id.item].name.clone()
+    };
+
+    let mut out = Vec::new();
+    for (fi, fm) in files.iter().enumerate() {
+        for (ix, imp) in fm.impls.iter().enumerate() {
+            if imp.trait_name.as_deref() != Some(TRAIT_NAME) {
+                continue;
+            }
+            // The impl's functions (graph seeds) and its explicit
+            // `component_stable` declaration, if any.
+            let mut seeds = Vec::new();
+            let mut declares = false;
+            let mut declares_true = false;
+            let mut any_nontest = false;
+            for (ii, f) in fm.fns.iter().enumerate() {
+                if f.impl_idx != Some(ix) {
+                    continue;
+                }
+                any_nontest |= !f.in_test;
+                if let Some(node) = graph.node(crate::callgraph::FnId { file: fi, item: ii }) {
+                    seeds.push(node);
+                }
+                if f.name == "component_stable" {
+                    declares = true;
+                    if let Some((a, b)) = f.body {
+                        declares_true = fm.toks[a..=b.min(fm.toks.len() - 1)]
+                            .iter()
+                            .any(|t| t.kind == TokKind::Ident && t.text == "true");
+                    }
+                }
+            }
+            if !any_nontest {
+                continue;
+            }
+            let best_chain = |direct: &[bool]| -> Option<Vec<String>> {
+                seeds
+                    .iter()
+                    .filter_map(|&s| graph.witness_chain(s, direct))
+                    .min_by_key(Vec::len)
+                    .map(|chain| chain.iter().map(|&m| name_of(m)).collect())
+            };
+            let reaches_prov = seeds.iter().any(|&s| prov[s]);
+            let reaches_mix = seeds.iter().any(|&s| mix[s]);
+            if reaches_prov && !declares {
+                let witness = best_chain(&direct_prov).unwrap_or_default();
+                out.push(Diagnostic {
+                    lint: Lint::StabilityFlow,
+                    severity: Severity::Warning,
+                    file: fm.path.clone(),
+                    line: imp.line,
+                    message: format!(
+                        "`impl MpcVertexAlgorithm for {}` reaches component-provenance \
+                         machinery (via `{}`) but inherits the default component_stable(); \
+                         declare component_stable() explicitly so the stability claim is \
+                         reviewed, not implied",
+                        imp.type_name,
+                        witness.last().cloned().unwrap_or_default(),
+                    ),
+                    witness,
+                });
+            }
+            if declares_true && reaches_mix {
+                let witness = best_chain(&direct_mix).unwrap_or_default();
+                out.push(Diagnostic {
+                    lint: Lint::StabilityFlow,
+                    severity: Severity::Error,
+                    file: fm.path.clone(),
+                    line: imp.line,
+                    message: format!(
+                        "`impl MpcVertexAlgorithm for {}` declares component_stable() = true \
+                         but transitively reaches a cross-component mix (`{}`); a global \
+                         aggregate inside a claimed-stable algorithm contradicts \
+                         Definition 13",
+                        imp.type_name,
+                        witness.last().cloned().unwrap_or_default(),
+                    ),
+                    witness,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::parse_file;
+    use std::path::Path;
+
+    fn run_src(src: &str) -> Vec<Diagnostic> {
+        let files = vec![parse_file(Path::new("x.rs").to_path_buf(), src)];
+        let graph = CallGraph::build(&files);
+        run(&files, &graph)
+    }
+
+    #[test]
+    fn missing_declaration_is_flagged() {
+        let src = "\
+fn distribute(cluster: &mut Cluster) {
+    cluster.tag_machine(0, 1);
+}
+impl MpcVertexAlgorithm for Silent {
+    fn run(&self, cluster: &mut Cluster) {
+        distribute(cluster);
+    }
+}
+";
+        let d = run_src(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, Lint::StabilityFlow);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(d[0].message.contains("Silent"));
+        assert_eq!(d[0].witness, vec!["run", "distribute"]);
+    }
+
+    #[test]
+    fn explicit_false_declaration_is_clean() {
+        let src = "\
+fn mix_all(cluster: &mut Cluster) {
+    cluster.provenance_mut().record_global_mix(0);
+}
+impl MpcVertexAlgorithm for Honest {
+    fn run(&self, cluster: &mut Cluster) {
+        mix_all(cluster);
+    }
+    fn component_stable(&self) -> bool {
+        false
+    }
+}
+";
+        assert!(run_src(src).is_empty(), "{:?}", run_src(src));
+    }
+
+    #[test]
+    fn stable_impl_reaching_mix_is_an_error() {
+        let src = "\
+fn helper(cluster: &mut Cluster) {
+    aggregate_all(cluster);
+}
+fn aggregate_all(cluster: &mut Cluster) {
+    cluster.provenance_mut().record_global_mix(7);
+}
+impl MpcVertexAlgorithm for Liar {
+    fn run(&self, cluster: &mut Cluster) {
+        helper(cluster);
+    }
+    fn component_stable(&self) -> bool {
+        true
+    }
+}
+";
+        let d = run_src(src);
+        // Missing-declaration does not fire (declared); the mix does.
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("Liar"));
+        assert_eq!(d[0].witness, vec!["run", "helper", "aggregate_all"]);
+    }
+
+    #[test]
+    fn stable_impl_with_component_local_work_is_clean() {
+        let src = "\
+fn distribute(cluster: &mut Cluster) {
+    cluster.tag_machine(0, 1);
+}
+impl MpcVertexAlgorithm for Careful {
+    fn run(&self, cluster: &mut Cluster) {
+        distribute(cluster);
+    }
+    fn component_stable(&self) -> bool {
+        true
+    }
+}
+";
+        assert!(run_src(src).is_empty(), "{:?}", run_src(src));
+    }
+
+    #[test]
+    fn non_trait_impls_are_ignored() {
+        let src = "\
+impl Toolbox {
+    fn poke(&self, cluster: &mut Cluster) {
+        cluster.tag_machine(0, 1);
+    }
+}
+";
+        assert!(run_src(src).is_empty());
+    }
+}

@@ -2,17 +2,27 @@
 //! `fixtures/` is caught at its exact `file:line`, suppressions hold, and
 //! clean constructs stay clean.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use csmpc_conformance::{check_source, Diagnostic, Lint};
+use csmpc_conformance::{analyze_sources, check_source, Diagnostic, Lint, Severity};
 
-fn scan_fixture(name: &str, lints: &[Lint]) -> Vec<Diagnostic> {
+fn read_fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("fixtures")
         .join(name);
-    let source =
-        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+fn scan_fixture(name: &str, lints: &[Lint]) -> Vec<Diagnostic> {
+    let source = read_fixture(name);
     check_source(Path::new(name), &source, lints)
+}
+
+/// Runs the full engine (token lints + interprocedural passes +
+/// suppressions) over one fixture, as `analyze_workspace` would.
+fn analyze_fixture(name: &str) -> Vec<Diagnostic> {
+    let sources = vec![(PathBuf::from(name), read_fixture(name))];
+    analyze_sources(&sources).diagnostics
 }
 
 fn lines_of(diags: &[Diagnostic]) -> Vec<usize> {
@@ -26,11 +36,11 @@ fn nondeterminism_fixture_caught_at_exact_lines() {
     assert!(diags.iter().all(|d| d.lint == Lint::Nondeterminism));
     assert!(diags[0].message.contains("HashMap"));
     assert!(diags[1].message.contains("Instant"));
-    // The diagnostic carries the file for file:line reporting.
+    // The diagnostic carries the file and severity for file:line reporting.
     assert_eq!(
         diags[0].to_string(),
         format!(
-            "nondeterminism_violation.rs:4: [nondeterminism] {}",
+            "nondeterminism_violation.rs:4: error [nondeterminism] {}",
             diags[0].message
         )
     );
@@ -89,6 +99,99 @@ fn hot_path_allocation_fixture_caught_at_exact_lines() {
     assert!(!diags.iter().any(|d| d.message.contains("flat_extent")));
     assert!(!diags.iter().any(|d| d.message.contains("grouped")));
     assert!(!diags.iter().any(|d| d.line > 30), "suppression holds");
+}
+
+#[test]
+fn charge_flow_fixture_caught_with_witness_chains() {
+    let diags = analyze_fixture("charge_flow_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.lint == Lint::ChargeFlow),
+        "{diags:#?}"
+    );
+    assert_eq!(lines_of(&diags), vec![16, 30, 35], "{diags:#?}");
+    // The acceptance case: the wire touch is one private call removed from
+    // the charged entry point, with the delegation chain as witness.
+    assert_eq!(diags[0].witness, vec!["shuffle_round", "raw_shuffle"]);
+    assert!(diags[0].message.contains("inboxes"));
+    // Two levels of delegation still produce a full entry-to-wire chain.
+    assert_eq!(
+        diags[1].witness,
+        vec!["resend_round", "stage_resend", "drain_retransmit"]
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn charge_flow_clean_fixture_stays_clean() {
+    // Charges delegated one and two helpers down, plus a communication-free
+    // setter: the flow pass follows the calls the token lints cannot.
+    assert!(
+        analyze_fixture("charge_flow_clean.rs").is_empty(),
+        "{:#?}",
+        analyze_fixture("charge_flow_clean.rs")
+    );
+}
+
+#[test]
+fn par_race_fixture_caught_at_exact_lines() {
+    let diags = analyze_fixture("par_race_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.lint == Lint::ParClosureRace),
+        "{diags:#?}"
+    );
+    assert_eq!(lines_of(&diags), vec![7, 18, 19, 29], "{diags:#?}");
+    assert!(diags[0].message.contains("borrow_mut"), "{diags:#?}");
+    assert!(diags[1].message.contains("seen.push"), "{diags:#?}");
+    assert!(diags[2].message.contains("total"), "{diags:#?}");
+    assert!(diags[3].message.contains("HashMap"), "{diags:#?}");
+    // Every finding names the parallel entry point it came through.
+    assert!(diags
+        .iter()
+        .all(|d| d.witness.iter().any(|w| w.contains("par_map"))));
+}
+
+#[test]
+fn par_race_clean_fixture_stays_clean_including_allow() {
+    // Pure maps, own-item mutation in `par_map_mut`, and an annotated
+    // thread-local-workspace call: no findings, and the `csmpc-allow` is
+    // consumed (no unused-suppression either).
+    assert!(
+        analyze_fixture("par_race_clean.rs").is_empty(),
+        "{:#?}",
+        analyze_fixture("par_race_clean.rs")
+    );
+}
+
+#[test]
+fn stability_flow_fixture_caught_at_impl_lines() {
+    let diags = analyze_fixture("stability_flow_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.lint == Lint::StabilityFlow),
+        "{diags:#?}"
+    );
+    assert_eq!(lines_of(&diags), vec![19, 29], "{diags:#?}");
+    // Implicit stability claim: provenance reached, default inherited.
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert!(diags[0].message.contains("SilentDefault"));
+    assert_eq!(diags[0].witness, vec!["run", "distribute"]);
+    // Broken explicit claim: stable-declared impl reaches a global mix.
+    assert_eq!(diags[1].severity, Severity::Error);
+    assert!(diags[1].message.contains("ClaimsStableButMixes"));
+    assert_eq!(
+        diags[1].witness,
+        vec!["run", "global_tally", "aggregate_all"]
+    );
+}
+
+#[test]
+fn stability_flow_clean_fixture_stays_clean() {
+    // Explicit declarations everywhere provenance is reached, and the
+    // claimed-stable impl stays component-local.
+    assert!(
+        analyze_fixture("stability_flow_clean.rs").is_empty(),
+        "{:#?}",
+        analyze_fixture("stability_flow_clean.rs")
+    );
 }
 
 #[test]

@@ -66,6 +66,7 @@ where
     // allocations). Output is bit-identical to the reference extraction.
     let csr = CsrAdjacency::from_graph(g);
     par_map_range(mode, g.n(), |v| {
+        // csmpc-allow(par-closure-race): the workspace is thread_local! — each worker mutates only its own RefCell, never shared state
         let (b, c) = with_thread_workspace(|ws| {
             let (b, c, _) = ws.ball_csr(g, &csr, v, r);
             (b, c)
@@ -94,6 +95,7 @@ where
     // filter sequentially so violation indices come out sorted. Both ball
     // extractions share the worker thread's flat workspace.
     let differs: Vec<bool> = par_map_range(mode, g.n(), |v| {
+        // csmpc-allow(par-closure-race): the workspace is thread_local! — each worker mutates only its own RefCell, never shared state
         with_thread_workspace(|ws| {
             let (b1, c1, _) = ws.ball_csr(g, &csr, v, r);
             let (b2, c2, _) = ws.ball_csr(g, &csr, v, r + extra);

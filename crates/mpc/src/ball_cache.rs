@@ -117,6 +117,7 @@ impl BallCache {
         }
         let csr = CsrAdjacency::from_graph(g);
         let balls: Vec<(Graph, usize)> = par_map_range(mode, g.n(), |v| {
+            // csmpc-allow(par-closure-race): the workspace is thread_local! — each worker mutates only its own RefCell, never shared state
             with_thread_workspace(|ws| {
                 let (b, c, _) = ws.ball_csr(g, &csr, v, r);
                 (b, c)
