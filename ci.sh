@@ -64,4 +64,17 @@ cargo run -q --release -p csmpc-bench --bin perf -- \
     --smoke --gate BENCH_mpc_smoke.json
 test -s BENCH_mpc_smoke.json
 
+echo "==> job-service soak smoke + concurrent determinism gate"
+# Pushes a 1200-job mixed batch (faults, poison jobs, shedding) through
+# the multi-tenant scheduler, writes BENCH_service_smoke.json (the
+# committed full-size BENCH_service.json is left untouched), and asserts
+# zero wedged queue states. --check-determinism then runs the SAME batch
+# with the SAME seeds through two services CONCURRENTLY and fails unless
+# every per-job output digest and Stats ledger is bit-identical — the
+# scheduler-interleaving-independence contract. Threads are forced so the
+# gate exercises real worker contention even on small runners.
+RAYON_NUM_THREADS=4 cargo run -q --release -p csmpc-bench --bin soak -- \
+    --smoke --check-determinism
+test -s BENCH_service_smoke.json
+
 echo "CI green."

@@ -416,11 +416,30 @@ fn main() {
         .map(|i| args.get(i + 1).expect("--gate requires a path").clone());
     // Read the baseline BEFORE any output file is written, so gating a
     // run against the file it is about to overwrite compares against the
-    // committed contents, not this run's own numbers.
+    // committed contents, not this run's own numbers. A missing or
+    // malformed baseline is a usage/setup error, not a perf regression:
+    // exit 2 (distinct from the gate-failure exit 1) with the path named.
     let baseline = gate_path.as_ref().map(|p| {
-        let text =
-            std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read gate baseline {p}: {e}"));
-        parse_baseline(&text)
+        let text = match std::fs::read_to_string(p) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("perf gate: cannot read baseline {p}: {e}");
+                eprintln!(
+                    "perf gate: generate it with `cargo run --release -p csmpc-bench --bin perf` \
+                     or point --gate at an existing BENCH_mpc.json"
+                );
+                std::process::exit(2);
+            }
+        };
+        let parsed = parse_baseline(&text);
+        if parsed.rows.is_empty() {
+            eprintln!(
+                "perf gate: baseline {p} is malformed: no result rows with \
+                 workload/n/seq_ms fields could be parsed"
+            );
+            std::process::exit(2);
+        }
+        parsed
     });
 
     let reps = if smoke { 2 } else { 5 };

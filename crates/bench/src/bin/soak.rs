@@ -1,0 +1,246 @@
+//! `soak` — the job-service soak harness: pushes a large seeded batch
+//! of mixed jobs (healthy, faulted, deadline-poisoned, low-priority
+//! sheddable) through `csmpc-service` and writes throughput, per-job
+//! latency percentiles, and retry/quarantine/shed counts into
+//! `BENCH_service.json` at the repository root.
+//!
+//! Flags:
+//!
+//! * `--smoke` — shrink to a CI-sized batch (still ≥ 1000 jobs) and
+//!   write `BENCH_service_smoke.json` instead, leaving the committed
+//!   full baseline untouched.
+//! * `--jobs N` / `--workers N` — override batch size / pool width.
+//! * `--check-determinism` — run the same batch through TWO services
+//!   concurrently (contending for the shared graph/CSR caches) and fail
+//!   with exit 1 unless every per-job outcome is bit-identical. This is
+//!   the service-level analogue of the engine's seq-vs-par equivalence
+//!   gates.
+//!
+//! The batch recipe is a pure function of a fixed seed, so two
+//! invocations (or the two concurrent services of the determinism
+//! check) always see the same submission sequence.
+
+use std::time::Instant;
+
+use csmpc_graph::rng::{Seed, SplitMix64};
+use csmpc_mpc::ParallelismMode;
+use csmpc_service::{
+    FaultSpec, GraphSpec, JobService, JobSpec, JobState, Priority, ServiceConfig, ServiceReport,
+    Workload,
+};
+
+/// Deterministic mixed batch: a handful of graph shapes (so the shared
+/// CSR spines actually get shared), three workloads, four tenants with
+/// skewed volume, ~20% fault plans, ~2% deadline poison, ~25% low
+/// priority (the shedding ladder's fodder).
+fn build_batch(jobs: usize) -> Vec<JobSpec> {
+    let mut rng = SplitMix64::new(Seed(0x50AB_2026));
+    let tenants = ["acme", "globex", "initech", "umbrella"];
+    let mut specs = Vec::with_capacity(jobs);
+    for i in 0..jobs as u64 {
+        let graph = match rng.range(0, 5) {
+            0 => GraphSpec::Cycle { n: 24 },
+            1 => GraphSpec::Cycle { n: 48 },
+            2 => GraphSpec::TwoCycles { n: 32 },
+            3 => GraphSpec::Path { n: 40 },
+            _ => GraphSpec::RandomTree {
+                n: 36,
+                seed: rng.range(0, 4),
+            },
+        };
+        let workload = match rng.range(0, 3) {
+            0 => Workload::LubyMis,
+            1 => Workload::CcLabels,
+            _ => Workload::BallColoring { radius: 2 },
+        };
+        // Volume skew: acme submits roughly half the batch — tenant
+        // fairness is what keeps the others flowing anyway.
+        let tenant = tenants[if rng.range(0, 2) == 0 {
+            0
+        } else {
+            1 + rng.range(0, 3) as usize
+        }];
+        let mut spec = JobSpec::basic(tenant, workload, graph, Seed(i));
+        spec.priority = match rng.range(0, 8) {
+            0 | 1 => Priority::Low,
+            7 => Priority::High,
+            _ => Priority::Normal,
+        };
+        if rng.range(0, 5) == 0 {
+            // A fifth of the batch carries real fault plans.
+            spec.faults = Some(FaultSpec {
+                crashes: rng.range(0, 3) as usize,
+                stragglers: rng.range(0, 3) as usize,
+                horizon: 6,
+                corrupt_per_mille: if rng.range(0, 2) == 0 { 40 } else { 0 },
+                seed: 0xFA57_0000 + i,
+            });
+            // Some fault carriers start with no in-run recovery budget:
+            // at full service the job-level retry ladder escalates them
+            // to completion; on the shedding rung they degrade to
+            // supervised partial output instead.
+            spec.recovery_retries = rng.range(0, 3) as usize;
+        }
+        if rng.range(0, 50) == 0 {
+            // ~2% poison: a deadline no workload can meet, exercising
+            // the retry ladder into quarantine.
+            spec.deadline_rounds = Some(1);
+            spec.max_attempts = 3;
+        }
+        specs.push(spec);
+    }
+    specs
+}
+
+fn service_config(jobs: usize, workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        // Sized so the whole batch *barely* fits (mean footprint is
+        // ~550 words at these graph sizes): the 0.7 watermark lands
+        // inside the submission sequence, so the low-priority slice of
+        // the tail rides the shedding ladder (supervised degrade) while
+        // the batch still admits without refusals.
+        capacity_words: jobs * 700,
+        shed_fraction: 0.7,
+        mode: ParallelismMode::default(),
+    }
+}
+
+fn run_once(jobs: usize, workers: usize) -> (ServiceReport, f64) {
+    let svc = JobService::new(service_config(jobs, workers));
+    let t0 = Instant::now();
+    let report = svc.run_batch(build_batch(jobs));
+    let secs = t0.elapsed().as_secs_f64();
+    (report, secs)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check_determinism = args.iter().any(|a| a == "--check-determinism");
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("{flag} wants a number"))
+            })
+    };
+    let jobs = arg_after("--jobs").unwrap_or(if smoke { 1200 } else { 10_000 });
+    let workers = arg_after("--workers").unwrap_or(4);
+
+    println!("soak: {jobs} jobs, {workers} workers, smoke={smoke}");
+
+    let (report, secs) = run_once(jobs, workers);
+    assert_eq!(
+        report.outcomes.len(),
+        jobs,
+        "wedged queue: not every job reached a terminal state"
+    );
+    let c = report.counters;
+    let throughput = jobs as f64 / secs.max(1e-9);
+
+    let mut lat: Vec<f64> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.state != JobState::Rejected)
+        .map(|o| o.wall_ms)
+        .collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p90, p99) = (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+    );
+    let max_ms = lat.last().copied().unwrap_or(0.0);
+
+    println!(
+        "  {:.1} jobs/s over {secs:.2}s   latency p50 {p50:.3} ms  p90 {p90:.3} ms  \
+         p99 {p99:.3} ms  max {max_ms:.3} ms",
+        throughput
+    );
+    println!(
+        "  completed {} degraded {} quarantined {} rejected {} shed {} retries {} \
+         backoff_ticks {} deadline_failures {}",
+        c.completed,
+        c.degraded,
+        c.quarantined,
+        c.rejected,
+        c.shed,
+        c.retries,
+        c.backoff_ticks,
+        c.deadline_failures
+    );
+
+    let mut determinism = String::new();
+    if check_determinism {
+        // Two services over the same batch, *concurrently*, contending
+        // for the shared graph store and CSR cache — per-job outcomes
+        // must still be bit-identical.
+        let (a, b) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| run_once(jobs, workers).0);
+            let hb = scope.spawn(|| run_once(jobs, workers).0);
+            (ha.join().expect("run A"), hb.join().expect("run B"))
+        });
+        let (fa, fb) = (a.fingerprint(), b.fingerprint());
+        if fa != fb || fa != report.fingerprint() {
+            for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+                if x.digest != y.digest || x.state != y.state || x.attempts != y.attempts {
+                    eprintln!(
+                        "  job {:?}: ({:?}, digest {:#x}, attempts {}) vs \
+                         ({:?}, digest {:#x}, attempts {})",
+                        x.id, x.state, x.digest, x.attempts, y.state, y.digest, y.attempts
+                    );
+                }
+            }
+            eprintln!(
+                "FAIL: concurrent determinism gate: fingerprints {fa:#x} / {fb:#x} / {:#x}",
+                report.fingerprint()
+            );
+            std::process::exit(1);
+        }
+        println!("  determinism gate: OK (two concurrent runs, fingerprint {fa:#x})");
+        determinism =
+            format!(",\n  \"determinism\": {{\"checked\": true, \"fingerprint\": \"{fa:#x}\"}}");
+    }
+
+    let json = format!(
+        "{{\n  \"suite\": \"csmpc job-service soak\",\n  \"jobs\": {jobs},\n  \
+         \"workers\": {workers},\n  \"smoke\": {smoke},\n  \"wall_s\": {secs:.3},\n  \
+         \"throughput_jobs_per_s\": {throughput:.1},\n  \"latency_ms\": {{\"p50\": {p50:.4}, \
+         \"p90\": {p90:.4}, \"p99\": {p99:.4}, \"max\": {max_ms:.4}}},\n  \
+         \"counters\": {{\"submitted\": {}, \"admitted\": {}, \"rejected\": {}, \"shed\": {}, \
+         \"completed\": {}, \"degraded\": {}, \"quarantined\": {}, \"retries\": {}, \
+         \"backoff_ticks\": {}, \"deadline_failures\": {}}}{determinism}\n}}\n",
+        c.submitted,
+        c.admitted,
+        c.rejected,
+        c.shed,
+        c.completed,
+        c.degraded,
+        c.quarantined,
+        c.retries,
+        c.backoff_ticks,
+        c.deadline_failures
+    );
+
+    let out = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_service_smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json")
+    };
+    std::fs::write(out, &json).expect("write soak json");
+    println!("wrote {out}");
+}

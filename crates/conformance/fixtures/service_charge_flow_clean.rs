@@ -1,0 +1,37 @@
+//! Clean service-layer scheduler helpers: every wire-adjacent path out
+//! of the service entry points (`run_job`, `execute_attempt` — private,
+//! found only through the extended entry-name list) reaches a `Stats`
+//! charge, so the charge-flow pass stays silent.
+
+// The per-attempt runner delegates the retransmission sweep; the helper
+// charges the recovery words it re-ships, so the whole chain accounts.
+fn execute_attempt(cluster: &mut Cluster) -> Result<(), MpcError> {
+    flush_retries(cluster);
+    Ok(())
+}
+
+// Touches the retransmission buffer and charges for it — clean.
+fn flush_retries(cluster: &mut Cluster) {
+    cluster.charge_recovery(0, cluster.pending_retransmit.len());
+    cluster.pending_retransmit.truncate(0);
+}
+
+// The workload dispatcher delegates the charge one level down: the flow
+// pass follows the call where a token lint could not.
+fn run_job(cluster: &mut Cluster) -> Result<(), MpcError> {
+    charged_drain(cluster);
+    Ok(())
+}
+
+fn charged_drain(cluster: &mut Cluster) {
+    cluster.charge_words(1, 4);
+    for machine in 0..cluster.num_machines() {
+        cluster.inboxes[machine].clear();
+    }
+}
+
+// Communication-free bookkeeping: mutates the cluster but never touches
+// the wire, so it owes no charge.
+fn note_attempt(cluster: &mut Cluster) {
+    cluster.attempt_count += 1;
+}

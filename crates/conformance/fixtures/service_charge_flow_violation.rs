@@ -1,0 +1,35 @@
+//! Seeded service-layer charge-flow violations: the scheduler entry
+//! points (`run_job`, `execute_attempt`) are *private* — before the
+//! entry-name extension the flow pass never rooted a search at them, so
+//! an uncharged wire touch below the service layer went unseen.
+
+// Flagged: the attempt runner mutates cluster state and reaches the
+// inbox machinery through a helper, with no charge on any path.
+fn execute_attempt(cluster: &mut Cluster) -> Result<(), MpcError> {
+    drain_stale_inboxes(cluster);
+    Ok(())
+}
+
+// Also flagged: the direct wire touch, witnessed from execute_attempt.
+fn drain_stale_inboxes(cluster: &mut Cluster) {
+    for machine in 0..cluster.num_machines() {
+        cluster.inboxes[machine].clear();
+    }
+}
+
+// Flagged: the workload dispatcher re-ships retransmission state two
+// calls down without ever charging recovery words.
+fn run_job(cluster: &mut Cluster) -> Result<(), MpcError> {
+    requeue_lost(cluster);
+    Ok(())
+}
+
+// Also flagged: transitively wire-touching, still no charge below.
+fn requeue_lost(cluster: &mut Cluster) {
+    push_retransmit(cluster);
+}
+
+// Also flagged: the retransmission buffer is wire state.
+fn push_retransmit(cluster: &mut Cluster) {
+    cluster.pending_retransmit.push(0);
+}

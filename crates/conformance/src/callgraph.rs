@@ -61,6 +61,15 @@ const EDGE_DENY_LIST: &[&str] = &[
     "drop",
 ];
 
+/// `true` when `name` is too ubiquitous for name-based resolution — the
+/// graph builds no edges for it, and interprocedural lookups elsewhere
+/// (e.g. the race pass's one-level interior-mutability check) must skip
+/// it for the same reason: `new` alone says nothing about *which* `new`.
+#[must_use]
+pub fn is_ubiquitous(name: &str) -> bool {
+    EDGE_DENY_LIST.contains(&name)
+}
+
 /// A function's identity in the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct FnId {

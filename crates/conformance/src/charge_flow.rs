@@ -49,11 +49,17 @@ const COMM_TOKENS: &[&str] = &[
 ];
 
 /// Entry-point function names (beyond the public primitive layer).
+/// `run_job` and `execute_attempt` are the `csmpc-service` scheduler
+/// roots: every per-attempt execution path enters through them, so an
+/// uncharged service-layer helper that reaches wire machinery is caught
+/// even when it is private.
 const ENTRY_NAMES: &[&str] = &[
     "run_program",
     "run_program_with_faults",
     "run_supervised",
     "advance_rounds",
+    "run_job",
+    "execute_attempt",
 ];
 
 /// `true` when the function's signature mutates cluster state.

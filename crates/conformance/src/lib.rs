@@ -1286,6 +1286,12 @@ pub fn lints_for_path(rel: &str) -> Vec<Lint> {
         // The graph crate hosts the `#[csmpc_hot]`-marked ball workspace
         // kernels; the hot-path allocation arm polices them.
         "crates/graph/src/",
+        // The job service promises bit-identical per-job outputs under
+        // concurrent scheduling, so its sources obey the same ordered-
+        // collection discipline. (It is deliberately NOT a nondeterminism
+        // root: wall-clock observability like per-job latency is allowed
+        // there, excluded from fingerprints by construction.)
+        "crates/service/src/",
     ];
     if DETERMINISM_ROOTS.iter().any(|p| rel.starts_with(p)) {
         lints.push(Lint::Determinism);
@@ -1757,6 +1763,11 @@ fn counted(v: &[u64]) -> usize { v.par_iter().count() }
         // workspace kernels (`#[csmpc_hot]` allocation policing).
         assert!(lints_for_path("crates/graph/src/ball.rs").contains(&Lint::Determinism));
         assert!(!lints_for_path("crates/bench/src/bin/perf.rs").contains(&Lint::Determinism));
+        // The job service is a determinism root (ordered collections,
+        // bit-identical per-job outputs) but not a nondeterminism root:
+        // wall-clock latency observability is legitimate there.
+        assert!(lints_for_path("crates/service/src/scheduler.rs").contains(&Lint::Determinism));
+        assert!(!lints_for_path("crates/service/src/scheduler.rs").contains(&Lint::Nondeterminism));
     }
 
     #[test]

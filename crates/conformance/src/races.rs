@@ -411,6 +411,14 @@ pub fn run(files: &[FileModel], graph: &CallGraph) -> Vec<Diagnostic> {
         let id = graph.nodes[node];
         let fm = &files[id.file];
         let f = &fm.fns[id.item];
+        // Ubiquitous names are skipped for the same reason the call graph
+        // builds no edges for them: every type has a `new`, so a bare
+        // `new(...)` call site says nothing about which body runs, and one
+        // constructor initializing a `Mutex` somewhere in the workspace
+        // must not taint every `SplitMix64::new` in a parallel closure.
+        if crate::callgraph::is_ubiquitous(&f.name) {
+            continue;
+        }
         let uses_interior = fm
             .body_idents(f)
             .any(|t| INTERIOR_TYPES.contains(&t.text.as_str()) || t.text == "borrow_mut");
@@ -527,6 +535,28 @@ fn sweep(mode: ParallelismMode, n: usize) -> Vec<usize> {
         let d = run_src(src);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("with_scratch"), "{d:?}");
+    }
+
+    #[test]
+    fn ubiquitous_constructor_names_do_not_taint_closures() {
+        // A workspace type whose `new` builds a Mutex must not flag every
+        // unrelated `Foo::new(...)` inside a parallel closure — `new` is
+        // on the resolution deny list, so the one-level interior lookup
+        // skips it (same trade-off as the call graph itself).
+        let src = "\
+impl JobService {
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Self { state: Mutex::new(SchedState::fresh(&cfg)), cfg }
+    }
+}
+fn sweep(mode: ParallelismMode, n: usize, seed: Seed) -> Vec<u64> {
+    par_map_range(mode, n, |v| {
+        let mut rng = SplitMix64::new(seed.derive(v as u64));
+        rng.range(0, 10)
+    })
+}
+";
+        assert!(run_src(src).is_empty(), "{:?}", run_src(src));
     }
 
     #[test]

@@ -122,6 +122,40 @@ fn charge_flow_fixture_caught_with_witness_chains() {
 }
 
 #[test]
+fn service_charge_flow_fixture_caught_through_private_scheduler_entries() {
+    // `run_job` / `execute_attempt` are private: only the service-layer
+    // entry-name extension makes the flow pass root a search at them.
+    let diags = analyze_fixture("service_charge_flow_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.lint == Lint::ChargeFlow),
+        "{diags:#?}"
+    );
+    assert_eq!(lines_of(&diags), vec![8, 14, 22, 28, 33], "{diags:#?}");
+    // The attempt runner's wire touch is witnessed down to the helper.
+    assert_eq!(
+        diags[0].witness,
+        vec!["execute_attempt", "drain_stale_inboxes"]
+    );
+    // The dispatcher's uncharged retransmission is two calls removed.
+    assert_eq!(
+        diags[2].witness,
+        vec!["run_job", "requeue_lost", "push_retransmit"]
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn service_charge_flow_clean_fixture_stays_clean() {
+    // Charges live inside the wire-touching helpers, so every delegation
+    // chain accounts; communication-free bookkeeping owes nothing.
+    assert!(
+        analyze_fixture("service_charge_flow_clean.rs").is_empty(),
+        "{:#?}",
+        analyze_fixture("service_charge_flow_clean.rs")
+    );
+}
+
+#[test]
 fn charge_flow_clean_fixture_stays_clean() {
     // Charges delegated one and two helpers down, plus a communication-free
     // setter: the flow pass follows the calls the token lints cannot.

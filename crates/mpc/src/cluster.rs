@@ -420,6 +420,14 @@ pub struct Cluster {
     /// Machines struck by any fired fault event this execution, for the
     /// degraded-output taint computation.
     faulted: BTreeSet<usize>,
+    /// Armed job-level deadline: total ledger rounds the execution may
+    /// consume before the barrier refuses to advance. `None` = unlimited.
+    /// See [`Cluster::arm_job_deadline`].
+    job_deadline: Option<usize>,
+    /// Per-execution marker: `true` once the armed job deadline has been
+    /// tripped. Cleared by [`Cluster::reset_for_repetition`] (the armed
+    /// deadline itself stays, like the fault plan).
+    deadline_tripped: bool,
 }
 
 impl Cluster {
@@ -444,6 +452,8 @@ impl Cluster {
             failure_counts: vec![0; num_machines],
             quarantined: BTreeSet::new(),
             faulted: BTreeSet::new(),
+            job_deadline: None,
+            deadline_tripped: false,
         }
     }
 
@@ -512,6 +522,9 @@ impl Cluster {
         self.failure_counts = vec![0; self.num_machines];
         self.quarantined.clear();
         self.faulted.clear();
+        // Deadline bookkeeping is per-execution state; the armed deadline
+        // itself (the policy) survives, exactly like the fault plan.
+        self.deadline_tripped = false;
         if let Some(fs) = &mut self.faults {
             *fs = FaultState::new(fs.plan.clone(), fs.policy);
         }
@@ -548,6 +561,53 @@ impl Cluster {
     /// Removes any armed supervision policy.
     pub fn unsupervise(&mut self) {
         self.supervisor = None;
+    }
+
+    /// Arms a job-level deadline: once the ledger's round counter exceeds
+    /// `rounds`, the synchronous barrier refuses to advance and the
+    /// execution fails with [`MpcError::RoundLimitExceeded`]. This is the
+    /// per-job deadline hook of the service layer, enforced at the same
+    /// barrier where the supervision machinery (straggler deadlines,
+    /// backoff, quarantine) already runs — stalls, backoff idling, and
+    /// partition waits all consume the deadline budget, so a job cannot
+    /// hide overruns in recovery overhead.
+    pub fn arm_job_deadline(&mut self, rounds: usize) {
+        self.job_deadline = Some(rounds);
+        self.deadline_tripped = false;
+    }
+
+    /// Removes any armed job deadline (and its tripped marker).
+    pub fn disarm_job_deadline(&mut self) {
+        self.job_deadline = None;
+        self.deadline_tripped = false;
+    }
+
+    /// The armed job deadline (total ledger rounds), if any.
+    #[must_use]
+    pub fn job_deadline(&self) -> Option<usize> {
+        self.job_deadline
+    }
+
+    /// `true` once this execution has tripped the armed job deadline.
+    /// Per-execution bookkeeping: cleared by
+    /// [`Cluster::reset_for_repetition`].
+    #[must_use]
+    pub fn deadline_tripped(&self) -> bool {
+        self.deadline_tripped
+    }
+
+    /// Fails the execution when the ledger has advanced past the armed
+    /// job deadline. Called at every barrier advance, after fault and
+    /// supervision processing, so recovery stalls count against the
+    /// budget too.
+    fn check_job_deadline(&mut self) -> Result<(), MpcError> {
+        if let Some(limit) = self.job_deadline {
+            if self.stats.rounds > limit {
+                self.deadline_tripped = true;
+                return Err(MpcError::RoundLimitExceeded { limit });
+            }
+        }
+        Ok(())
     }
 
     /// The supervision policy in force, if any.
@@ -636,15 +696,18 @@ impl Cluster {
     /// # Errors
     ///
     /// [`MpcError::MachineFailed`] if a crash strikes under fail-fast or
-    /// after the retry budget is exhausted.
+    /// after the retry budget is exhausted;
+    /// [`MpcError::RoundLimitExceeded`] once an armed job deadline
+    /// ([`Cluster::arm_job_deadline`]) is tripped.
     pub fn advance_rounds(&mut self, rounds: usize) -> Result<(), MpcError> {
         if self.faults.is_none() {
             self.stats.rounds = self.stats.rounds.saturating_add(rounds);
-            return Ok(());
+            return self.check_job_deadline();
         }
         for _ in 0..rounds {
             self.stats.rounds = self.stats.rounds.saturating_add(1);
             self.process_accounted_faults()?;
+            self.check_job_deadline()?;
         }
         Ok(())
     }
@@ -1015,6 +1078,10 @@ impl Cluster {
         // ledger keeps growing (replayed rounds are paid for twice).
         let mut exec = 0usize;
         while exec < max_rounds {
+            // An armed job deadline bounds the *ledger* rounds, which a
+            // recovery replay keeps growing even as `exec` rolls back — so
+            // a crash-looping execution cannot outrun its deadline.
+            self.check_job_deadline()?;
             if use_checkpoints && exec.is_multiple_of(interval) {
                 let timer = PhaseTimer::start();
                 let cp = self.capture_checkpoint(

@@ -408,3 +408,75 @@ fn reset_for_repetition_rearms_faults_and_clears_supervision_state() {
     let second = run(&mut cl);
     assert_eq!(first, second, "repetition diverged after reset");
 }
+
+// ---------------------------------------------------------------------------
+// Job-level deadlines (service layer): enforcement and per-repetition reset
+// ---------------------------------------------------------------------------
+
+#[test]
+fn job_deadline_trips_at_the_barrier_and_counts_recovery_stalls() {
+    // Quiet run inside the budget: no error, no tripped marker.
+    let mut cl = accounted_cluster();
+    cl.arm_job_deadline(10);
+    cl.advance_rounds(10).unwrap();
+    assert!(!cl.deadline_tripped());
+
+    // One more barrier advance goes past the budget.
+    let err = cl.advance_rounds(1).unwrap_err();
+    assert_eq!(err, csmpc_mpc::MpcError::RoundLimitExceeded { limit: 10 });
+    assert!(cl.deadline_tripped());
+
+    // Recovery overhead consumes the same budget: a straggler stall that
+    // pushes the ledger past the deadline trips it even though the caller
+    // asked for rounds well inside the budget.
+    let mut stalled = accounted_cluster();
+    stalled.arm_job_deadline(8);
+    stalled.arm_faults(
+        FaultPlan::quiet(Seed(2)).straggle(0, 2, 20),
+        RecoveryPolicy::restart(4),
+    );
+    let err = stalled.advance_rounds(3).unwrap_err();
+    assert_eq!(err, csmpc_mpc::MpcError::RoundLimitExceeded { limit: 8 });
+    assert!(stalled.deadline_tripped());
+    assert!(
+        stalled.stats().rounds > 8,
+        "the stall itself must be what overran the budget"
+    );
+}
+
+#[test]
+fn reset_for_repetition_clears_deadline_bookkeeping_but_keeps_the_policy() {
+    // Mirrors the supervision-state leak regression above for the
+    // service-era per-job state: the tripped marker is per-execution and
+    // must not leak into the next repetition, while the armed deadline
+    // (the policy) survives like the fault plan does.
+    let mut cl = accounted_cluster();
+    cl.arm_job_deadline(4);
+    let first = cl.advance_rounds(5).unwrap_err();
+    assert_eq!(first, csmpc_mpc::MpcError::RoundLimitExceeded { limit: 4 });
+    assert!(cl.deadline_tripped());
+
+    cl.reset_for_repetition();
+    assert!(
+        !cl.deadline_tripped(),
+        "deadline-tripped marker leaked across reset_for_repetition"
+    );
+    assert_eq!(
+        cl.job_deadline(),
+        Some(4),
+        "the armed deadline policy must survive the reset"
+    );
+
+    // The repetition replays bit-for-bit: same budget, same trip point.
+    cl.advance_rounds(4).unwrap();
+    assert!(!cl.deadline_tripped(), "fresh ledger must fit the budget");
+    let second = cl.advance_rounds(1).unwrap_err();
+    assert_eq!(second, first, "repetition diverged after reset");
+
+    // Disarming clears both the policy and the marker.
+    let _ = cl.advance_rounds(1);
+    cl.disarm_job_deadline();
+    assert!(cl.job_deadline().is_none());
+    assert!(!cl.deadline_tripped());
+    cl.advance_rounds(100).unwrap();
+}

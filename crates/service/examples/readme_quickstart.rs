@@ -1,0 +1,27 @@
+//! The README "Job service quick-start" snippet, kept compiling.
+
+use csmpc_graph::rng::Seed;
+use csmpc_service::{GraphSpec, JobService, JobSpec, Priority, ServiceConfig, Workload};
+
+fn main() {
+    let service = JobService::new(ServiceConfig::default()); // 4 workers
+    let specs = (0..32u64)
+        .map(|i| {
+            let mut s = JobSpec::basic(
+                if i % 2 == 0 { "acme" } else { "beta" },
+                Workload::CcLabels,
+                GraphSpec::Cycle { n: 24 },
+                Seed(0x50AB + i),
+            );
+            s.priority = if i % 8 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            };
+            s.deadline_rounds = Some(200);
+            s
+        })
+        .collect();
+    let report = service.run_batch(specs);
+    println!("{:?}", report.counters); // completed/degraded/quarantined/shed/…
+}

@@ -1,0 +1,103 @@
+//! Job-level retry backoff: the queue-side mirror of
+//! [`csmpc_mpc::RecoveryPolicy::RestartWithBackoff`].
+//!
+//! In-run recovery backs a *machine* off for `base << retry` ledger
+//! rounds (saturating); this module applies the same shape to whole
+//! *jobs* between attempts, in virtual scheduler ticks. The schedule is
+//! a pure function of `(seed, attempt)`: delays never consult the clock,
+//! the thread, or any shared state, so the retry trajectory of a job is
+//! identical no matter how the worker pool interleaves it.
+
+use csmpc_graph::rng::{Seed, SplitMix64};
+
+/// Saturating exponential backoff with deterministic seeded jitter.
+///
+/// Delay for retry `k ≥ 1` is `min(cap, base·2^(k-1) + jitter)` where
+/// `jitter ∈ [0, base·2^(k-1)/4]` is drawn from a stream derived from
+/// `(seed, k)`. Retry `0` (the first attempt) waits nothing.
+///
+/// Three properties hold by construction (and are property-tested):
+///
+/// * **Monotone non-decreasing**: pre-cap the raw delay doubles while
+///   jitter adds at most a quarter, so `d(k) ≤ 1.25·raw(k) < 2·raw(k) ≤
+///   raw(k+1) ≤ d(k+1)`; at the cap every delay is exactly `cap`.
+/// * **Saturating**: shifts clamp at `u64::MAX` before the `cap` min, so
+///   no retry count overflows.
+/// * **Pure**: the same `(seed, retry)` always yields the same delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First-retry delay in virtual scheduler ticks (floored to 1).
+    pub base: u64,
+    /// Saturation ceiling (floored to `base`).
+    pub cap: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy { base: 2, cap: 64 }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay (in virtual ticks) before retry number `retry`;
+    /// `retry == 0` is the initial attempt and waits nothing.
+    #[must_use]
+    pub fn delay(&self, seed: Seed, retry: u32) -> u64 {
+        if retry == 0 {
+            return 0;
+        }
+        let base = self.base.max(1);
+        let cap = self.cap.max(base);
+        let shift = retry - 1;
+        let raw = if shift >= base.leading_zeros() {
+            u64::MAX
+        } else {
+            base << shift
+        };
+        if raw >= cap {
+            return cap;
+        }
+        let mut rng = SplitMix64::new(seed.derive(0xbac0_ff00 ^ u64::from(retry)));
+        let jitter = rng.range(0, raw / 4 + 1);
+        raw.saturating_add(jitter).min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_waits_nothing() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay(Seed(7), 0), 0);
+    }
+
+    #[test]
+    fn doubles_then_saturates() {
+        let p = BackoffPolicy { base: 4, cap: 40 };
+        let s = Seed(11);
+        let d1 = p.delay(s, 1);
+        let d2 = p.delay(s, 2);
+        assert!((4..=5).contains(&d1), "{d1}");
+        assert!((8..=10).contains(&d2), "{d2}");
+        // Far past the cap — including shift counts that would overflow.
+        assert_eq!(p.delay(s, 20), 40);
+        assert_eq!(p.delay(s, u32::MAX), 40);
+    }
+
+    #[test]
+    fn pure_in_seed_and_retry() {
+        let p = BackoffPolicy::default();
+        for retry in 0..10 {
+            assert_eq!(p.delay(Seed(3), retry), p.delay(Seed(3), retry));
+        }
+        // Different seeds may jitter differently pre-cap.
+        let p = BackoffPolicy {
+            base: 64,
+            cap: 1 << 40,
+        };
+        let spread = (0..64u64).any(|s| p.delay(Seed(s), 5) != p.delay(Seed(0), 5));
+        assert!(spread, "jitter should depend on the seed");
+    }
+}

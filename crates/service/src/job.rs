@@ -1,0 +1,314 @@
+//! Job vocabulary: what a tenant submits, and how one attempt runs.
+//!
+//! A [`JobSpec`] is entirely *data* — workload, graph recipe, seed,
+//! fault recipe, space budget, deadline, retry policy. Everything an
+//! attempt does is derived from the spec deterministically, so the
+//! service can replay, retry, and fingerprint jobs without hidden state.
+
+use crate::backoff::BackoffPolicy;
+use csmpc_algorithms::amplify::StableOneShotIs;
+use csmpc_algorithms::mpc_edge::BallGreedyColoringMpc;
+use csmpc_algorithms::MpcVertexAlgorithm;
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{generators, Graph};
+use csmpc_mpc::{Cluster, DistributedGraph, FaultPlan, MpcError};
+
+/// Service-assigned job identity: the index of the submission, dense
+/// from zero, so reports line up positionally with the submit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Scheduling priority. Ordering is semantic: `Low < Normal < High`.
+/// Low-priority jobs are the first rung of the shedding ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Sheddable before anything else degrades.
+    Low,
+    /// Default.
+    Normal,
+    /// Dispatched ahead of everything at the fairness boundary.
+    High,
+}
+
+/// A deterministic graph recipe. Specs are *content*, not graph handles:
+/// two jobs with equal specs share one built graph (and one CSR spine)
+/// through the [`crate::GraphStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphSpec {
+    /// `generators::cycle(n)`.
+    Cycle {
+        /// Node count.
+        n: usize,
+    },
+    /// `generators::path(n)`.
+    Path {
+        /// Node count.
+        n: usize,
+    },
+    /// `generators::two_cycles(n)` — two components, the stability
+    /// workhorse.
+    TwoCycles {
+        /// Total nodes, split into two cycles (even, ≥ 6).
+        n: usize,
+    },
+    /// `generators::random_tree(n, seed)`.
+    RandomTree {
+        /// Node count.
+        n: usize,
+        /// Generator seed (part of the content key).
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Materializes the recipe. Pure: equal specs build equal graphs.
+    #[must_use]
+    pub fn build(&self) -> Graph {
+        match *self {
+            GraphSpec::Cycle { n } => generators::cycle(n),
+            GraphSpec::Path { n } => generators::path(n),
+            GraphSpec::TwoCycles { n } => generators::two_cycles(n),
+            GraphSpec::RandomTree { n, seed } => generators::random_tree(n, Seed(seed)),
+        }
+    }
+
+    /// Node count without building the graph.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        match *self {
+            GraphSpec::Cycle { n }
+            | GraphSpec::Path { n }
+            | GraphSpec::TwoCycles { n }
+            | GraphSpec::RandomTree { n, .. } => n,
+        }
+    }
+}
+
+/// What the job computes. Labels are normalized to `u64` so outcomes of
+/// different workloads digest and compare uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// One-shot component-stable Luby MIS step (randomized, seeded).
+    LubyMis,
+    /// Connected-component labels via the accounted primitive.
+    CcLabels,
+    /// `(Δ+1)`-coloring by greedy simulation inside collected balls.
+    BallColoring {
+        /// Ball radius to collect.
+        radius: usize,
+    },
+}
+
+impl Workload {
+    /// Short reporting name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::LubyMis => "luby-mis",
+            Workload::CcLabels => "cc-labels",
+            Workload::BallColoring { .. } => "ball-coloring",
+        }
+    }
+}
+
+/// A seeded fault recipe, instantiated per attempt against the job's
+/// actual machine count. Equal specs always instantiate equal plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Crash events to scatter.
+    pub crashes: usize,
+    /// Straggler events to scatter.
+    pub stragglers: usize,
+    /// Round horizon the events are scattered over.
+    pub horizon: usize,
+    /// Per-mille checksum corruption on delivered envelopes.
+    pub corrupt_per_mille: u16,
+    /// Plan seed (independent of the job's algorithm seed).
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// Builds the concrete plan for a cluster of `machines` machines.
+    pub fn plan_for(&self, machines: usize) -> FaultPlan {
+        FaultPlan::random(
+            Seed(self.seed),
+            machines,
+            self.horizon,
+            self.crashes,
+            self.stragglers,
+        )
+        .with_corruption(self.corrupt_per_mille)
+    }
+}
+
+/// Everything the service needs to run (and re-run) one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Owning tenant, the fairness unit.
+    pub tenant: String,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// What to compute.
+    pub workload: Workload,
+    /// On which graph.
+    pub graph: GraphSpec,
+    /// Shared algorithm seed: same seed ⇒ bit-identical output.
+    pub seed: Seed,
+    /// Optional fault recipe; `None` runs fault-free.
+    pub faults: Option<FaultSpec>,
+    /// Space exponent `φ` for this job's cluster (`S = n^φ`).
+    pub phi: f64,
+    /// Machine-space floor (ball workloads need head-room on test-scale
+    /// inputs; see [`csmpc_mpc::MpcConfig::min_space`]).
+    pub min_space: usize,
+    /// Ledger-round deadline armed via
+    /// [`Cluster::arm_job_deadline`]; `None` = unlimited.
+    pub deadline_rounds: Option<usize>,
+    /// Total attempt budget (first run + retries) before quarantine.
+    pub max_attempts: u32,
+    /// Job-level retry backoff schedule.
+    pub backoff: BackoffPolicy,
+    /// In-run recovery retry budget granted to attempt 1; later attempts
+    /// escalate it by one per retry, so a plan that exhausts the first
+    /// budget can still complete under a bounded number of job retries.
+    pub recovery_retries: usize,
+}
+
+impl JobSpec {
+    /// A fault-free, undeadlined spec with service defaults — the base
+    /// tests and the soak generator specialize from here.
+    #[must_use]
+    pub fn basic(tenant: &str, workload: Workload, graph: GraphSpec, seed: Seed) -> Self {
+        JobSpec {
+            tenant: tenant.to_owned(),
+            priority: Priority::Normal,
+            workload,
+            graph,
+            seed,
+            faults: None,
+            phi: 0.5,
+            min_space: 64,
+            deadline_rounds: None,
+            max_attempts: 3,
+            backoff: BackoffPolicy::default(),
+            recovery_retries: 1,
+        }
+    }
+}
+
+/// Runs `workload` on `g`, charging `cluster`, with every label
+/// normalized to `u64`. This is the service-layer charged entry point:
+/// all wire activity below it flows through the accounted primitives.
+///
+/// # Errors
+///
+/// Any [`MpcError`] raised by the primitives — space violations, crash
+/// budgets, armed job deadlines.
+pub fn run_job(
+    workload: &Workload,
+    g: &Graph,
+    cluster: &mut Cluster,
+) -> Result<Vec<u64>, MpcError> {
+    match *workload {
+        Workload::LubyMis => Ok(StableOneShotIs
+            .run(g, cluster)?
+            .into_iter()
+            .map(u64::from)
+            .collect()),
+        Workload::CcLabels => {
+            let dg = DistributedGraph::distribute(g, cluster)?;
+            let (labels, _rounds) = dg.cc_labels(cluster)?;
+            Ok(labels)
+        }
+        Workload::BallColoring { radius } => Ok(BallGreedyColoringMpc { radius }
+            .run(g, cluster)?
+            .into_iter()
+            .map(|c| c as u64)
+            .collect()),
+    }
+}
+
+/// FNV-1a over a full label vector (present-or-salvaged encoding), the
+/// per-job output fingerprint: bit-identical outputs ⇒ equal digests.
+#[must_use]
+pub fn labels_digest(labels: &[Option<u64>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        for b in word.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for l in labels {
+        match l {
+            Some(v) => {
+                mix(1);
+                mix(*v);
+            }
+            None => mix(0),
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmpc_mpc::MpcConfig;
+
+    fn cluster_for(g: &Graph, seed: Seed) -> Cluster {
+        let cfg = MpcConfig {
+            min_space: 64,
+            ..MpcConfig::with_phi(0.5)
+        };
+        Cluster::new(cfg, g.n(), csmpc_mpc::graph_words(g), seed)
+    }
+
+    #[test]
+    fn graph_specs_build_expected_shapes() {
+        assert_eq!(GraphSpec::Cycle { n: 8 }.build().n(), 8);
+        assert_eq!(GraphSpec::TwoCycles { n: 12 }.build().n(), 12);
+        assert_eq!(GraphSpec::TwoCycles { n: 12 }.nodes(), 12);
+        let t1 = GraphSpec::RandomTree { n: 20, seed: 5 }.build();
+        let t2 = GraphSpec::RandomTree { n: 20, seed: 5 }.build();
+        assert_eq!(t1.n(), t2.n());
+        assert_eq!(t1.m(), 19);
+    }
+
+    #[test]
+    fn run_job_normalizes_every_workload_to_u64() {
+        let g = GraphSpec::TwoCycles { n: 8 }.build();
+        for w in [
+            Workload::LubyMis,
+            Workload::CcLabels,
+            Workload::BallColoring { radius: 2 },
+        ] {
+            let mut cl = cluster_for(&g, Seed(9));
+            let out = run_job(&w, &g, &mut cl).unwrap();
+            assert_eq!(out.len(), g.n(), "{w:?}");
+            assert!(cl.stats().rounds > 0, "{w:?} charged nothing");
+        }
+    }
+
+    #[test]
+    fn digest_separates_presence_from_value() {
+        let a = labels_digest(&[Some(0), None]);
+        let b = labels_digest(&[None, Some(0)]);
+        let c = labels_digest(&[Some(0), Some(0)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, labels_digest(&[Some(0), None]));
+    }
+
+    #[test]
+    fn fault_spec_instantiates_identically() {
+        let f = FaultSpec {
+            crashes: 2,
+            stragglers: 1,
+            horizon: 6,
+            corrupt_per_mille: 30,
+            seed: 77,
+        };
+        assert_eq!(f.plan_for(8), f.plan_for(8));
+        assert_eq!(f.plan_for(8).corrupt_per_mille(), 30);
+    }
+}

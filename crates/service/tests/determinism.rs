@@ -1,0 +1,112 @@
+//! The concurrent-scheduling determinism gate: the same job batch, the
+//! same seeds, produces bit-identical per-job outputs regardless of
+//! worker count or interleaving — the service-level extension of the
+//! engine's sequential-vs-parallel equivalence suites.
+
+use csmpc_graph::rng::Seed;
+use csmpc_mpc::ParallelismMode;
+use csmpc_service::{
+    FaultSpec, GraphSpec, JobService, JobSpec, Priority, ServiceConfig, ServiceReport, Workload,
+};
+
+/// A mixed batch: three tenants, three workloads, three graph shapes,
+/// fault plans on a third of the jobs, a deadline here and there.
+fn mixed_batch() -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for i in 0..18u64 {
+        let graph = match i % 3 {
+            0 => GraphSpec::Cycle { n: 16 },
+            1 => GraphSpec::TwoCycles { n: 16 },
+            _ => GraphSpec::RandomTree { n: 24, seed: 7 },
+        };
+        let workload = match i % 3 {
+            0 => Workload::LubyMis,
+            1 => Workload::CcLabels,
+            _ => Workload::BallColoring { radius: 2 },
+        };
+        let mut spec = JobSpec::basic(
+            ["alpha", "beta", "gamma"][(i % 3) as usize],
+            workload,
+            graph,
+            Seed(i),
+        );
+        spec.priority = match i % 4 {
+            0 => Priority::Low,
+            3 => Priority::High,
+            _ => Priority::Normal,
+        };
+        if i % 3 == 1 {
+            spec.faults = Some(FaultSpec {
+                crashes: 1,
+                stragglers: 1,
+                horizon: 6,
+                corrupt_per_mille: 20,
+                seed: 100 + i,
+            });
+            spec.recovery_retries = 4;
+        }
+        if i % 7 == 6 {
+            spec.deadline_rounds = Some(1); // a poison job per ~7
+        }
+        specs.push(spec);
+    }
+    specs
+}
+
+fn run_with(workers: usize, mode: ParallelismMode) -> ServiceReport {
+    let svc = JobService::new(ServiceConfig {
+        workers,
+        shed_fraction: 0.6,
+        capacity_words: 1 << 22,
+        mode,
+    });
+    svc.run_batch(mixed_batch())
+}
+
+#[test]
+fn same_batch_same_seeds_bit_identical_across_runs_and_worker_counts() {
+    let base = run_with(4, ParallelismMode::default());
+    // Outcomes cover every job and every digest is reproducible.
+    assert_eq!(base.outcomes.len(), 18);
+    for workers in [1, 2, 4, 8] {
+        let other = run_with(workers, ParallelismMode::default());
+        assert_eq!(
+            other.fingerprint(),
+            base.fingerprint(),
+            "workers={workers} diverged:\n{:#?}\nvs\n{:#?}",
+            other.counters,
+            base.counters
+        );
+        for (a, b) in base.outcomes.iter().zip(&other.outcomes) {
+            assert_eq!(a.digest, b.digest, "job {:?} digest drifted", a.id);
+            assert_eq!(a.state, b.state, "job {:?} state drifted", a.id);
+            assert_eq!(a.attempts, b.attempts, "job {:?} attempts drifted", a.id);
+            assert_eq!(a.stats, b.stats, "job {:?} stats drifted", a.id);
+        }
+        assert_eq!(other.counters, base.counters);
+    }
+}
+
+#[test]
+fn engine_parallelism_mode_is_invisible_to_the_service_fingerprint() {
+    let seq = run_with(3, ParallelismMode::Sequential);
+    let par = run_with(3, ParallelismMode::Parallel);
+    assert_eq!(seq.fingerprint(), par.fingerprint());
+}
+
+#[test]
+fn different_seeds_actually_change_outputs() {
+    // Guards against a degenerate fingerprint: perturbing one job's
+    // seed must move the batch fingerprint.
+    let base = run_with(2, ParallelismMode::default());
+    let mut specs = mixed_batch();
+    specs[0].seed = Seed(999);
+    let svc = JobService::new(ServiceConfig {
+        workers: 2,
+        shed_fraction: 0.6,
+        capacity_words: 1 << 22,
+        mode: ParallelismMode::default(),
+    });
+    let perturbed = svc.run_batch(specs);
+    assert_ne!(perturbed.fingerprint(), base.fingerprint());
+}

@@ -1,0 +1,139 @@
+//! Fault isolation between co-scheduled jobs: injected failures produce
+//! only per-job retry/quarantine/Degraded outcomes — a healthy job's
+//! output *and its `Stats` charges* are bit-identical whether it runs
+//! alone or sandwiched between crashing, straggling, corrupted, and
+//! deadline-poisoned neighbors.
+
+use csmpc_graph::rng::Seed;
+use csmpc_mpc::ParallelismMode;
+use csmpc_service::{
+    FaultSpec, GraphSpec, JobService, JobSpec, JobState, Priority, ServiceConfig, Workload,
+};
+
+fn healthy(tenant: &str, seed: u64) -> JobSpec {
+    JobSpec::basic(
+        tenant,
+        Workload::CcLabels,
+        GraphSpec::TwoCycles { n: 16 },
+        Seed(seed),
+    )
+}
+
+fn faulty(tenant: &str, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::basic(
+        tenant,
+        Workload::LubyMis,
+        GraphSpec::Cycle { n: 16 },
+        Seed(seed),
+    );
+    spec.faults = Some(FaultSpec {
+        crashes: 2,
+        stragglers: 2,
+        horizon: 5,
+        corrupt_per_mille: 50,
+        seed: 4000 + seed,
+    });
+    spec.recovery_retries = 3;
+    spec
+}
+
+fn poisoned(tenant: &str, seed: u64) -> JobSpec {
+    let mut spec = healthy(tenant, seed);
+    spec.deadline_rounds = Some(1);
+    spec.max_attempts = 2;
+    spec
+}
+
+fn service(workers: usize) -> JobService {
+    JobService::new(ServiceConfig {
+        workers,
+        capacity_words: 1 << 22,
+        shed_fraction: 1.0,
+        mode: ParallelismMode::default(),
+    })
+}
+
+#[test]
+fn healthy_jobs_unchanged_next_to_faulty_and_poisoned_neighbors() {
+    // Solo baselines: each healthy job alone in its own service.
+    let solo: Vec<_> = (0..4u64)
+        .map(|i| {
+            let report = service(1).run_batch(vec![healthy("solo", i)]);
+            report.outcomes.into_iter().next().unwrap()
+        })
+        .collect();
+
+    // The same four healthy jobs co-scheduled with chaos.
+    let mut batch = Vec::new();
+    for i in 0..4u64 {
+        batch.push(healthy("solo", i));
+        batch.push(faulty("chaos", i));
+        batch.push(poisoned("chaos", 50 + i));
+    }
+    let report = service(4).run_batch(batch);
+
+    for (i, base) in solo.iter().enumerate() {
+        let co = &report.outcomes[3 * i]; // healthy jobs sit at 0, 3, 6, 9
+        assert_eq!(co.state, JobState::Completed, "healthy job {i}: {co:?}");
+        assert_eq!(co.digest, base.digest, "healthy job {i} output perturbed");
+        assert_eq!(
+            co.stats, base.stats,
+            "healthy job {i} Stats charges perturbed by co-scheduled faults"
+        );
+        assert_eq!(co.attempts, 1, "healthy job {i} should not retry");
+    }
+
+    // The chaos jobs failed *as themselves*: every poisoned job is
+    // quarantined with history, no healthy job absorbed their state.
+    for i in 0..4 {
+        let p = &report.outcomes[3 * i + 2];
+        assert_eq!(p.state, JobState::Quarantined, "{p:?}");
+        assert_eq!(p.attempts, 2);
+        assert!(!p.errors.is_empty());
+    }
+    assert_eq!(report.counters.quarantined, 4);
+    assert_eq!(report.counters.deadline_failures, 8);
+}
+
+#[test]
+fn shed_job_with_faults_degrades_while_full_service_twin_completes() {
+    // Two identical fault-carrying jobs; the low-priority one is shed
+    // (watermark 0) and must degrade to partial output instead of
+    // burning attempts, while queue peers stay healthy.
+    let svc = JobService::new(ServiceConfig {
+        workers: 2,
+        capacity_words: 1 << 22,
+        shed_fraction: 0.0,
+        mode: ParallelismMode::default(),
+    });
+    let mut shed = faulty("tenant", 3);
+    shed.priority = Priority::Low;
+    shed.recovery_retries = 0; // exhaust in-run recovery fast
+    shed.max_attempts = 1; // supervised mode must still terminate it
+    let report = svc.run_batch(vec![shed, healthy("tenant", 9)]);
+    let s = &report.outcomes[0];
+    assert!(s.shed);
+    assert!(
+        matches!(s.state, JobState::Completed | JobState::Degraded),
+        "shed jobs terminate via supervised degrade, not quarantine: {s:?}"
+    );
+    assert_eq!(report.outcomes[1].state, JobState::Completed);
+}
+
+#[test]
+fn tenant_burst_cannot_starve_another_tenant() {
+    // One tenant floods 12 jobs, another submits 2; with fairness the
+    // small tenant's jobs dispatch within the first few slots. We can't
+    // observe dispatch order directly, but all jobs must terminate and
+    // the small tenant's outputs must match its solo baselines.
+    let solo_a = service(1).run_batch(vec![healthy("small", 100)]);
+    let mut batch: Vec<_> = (0..12u64).map(|i| healthy("flood", i)).collect();
+    batch.insert(5, healthy("small", 100));
+    let report = service(3).run_batch(batch);
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|o| o.state == JobState::Completed));
+    assert_eq!(report.outcomes[5].digest, solo_a.outcomes[0].digest);
+    assert_eq!(report.outcomes[5].stats, solo_a.outcomes[0].stats);
+}
