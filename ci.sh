@@ -64,6 +64,16 @@ cargo run -q --release -p csmpc-bench --bin perf -- \
     --smoke --gate BENCH_mpc_smoke.json
 test -s BENCH_mpc_smoke.json
 
+echo "==> steady-state allocation gate (alloc-count build)"
+# Rebuilds perf with the counting allocator installed and replays a warm
+# ball-coloring repetition at fixed topology: the second repetition must
+# perform ZERO heap allocations, or the zero-copy hot-path contract has
+# regressed. The feature must be enabled through the bench crate
+# (`--features alloc-count`) so perf's own cfg-gated gate code compiles;
+# enabling csmpc-mpc/alloc-count directly would leave it stubbed out.
+cargo run -q --release -p csmpc-bench --features alloc-count --bin perf -- \
+    --alloc-gate --smoke
+
 echo "==> job-service soak smoke + concurrent determinism gate"
 # Pushes a 1200-job mixed batch (faults, poison jobs, shedding) through
 # the multi-tenant scheduler, writes BENCH_service_smoke.json (the

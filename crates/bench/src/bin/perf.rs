@@ -35,10 +35,11 @@ use csmpc_algorithms::api::MpcVertexAlgorithm;
 use csmpc_algorithms::mpc_edge::BallGreedyColoringMpc;
 use csmpc_core::runner::success_probability_with_mode;
 use csmpc_graph::rng::Seed;
-use csmpc_graph::{generators, ops, Graph};
+use csmpc_graph::{generators, ops, Graph, StreamFamily};
 use csmpc_mpc::{
-    exact_aggregate_sum_with_faults, run_supervised, Cluster, DistributedGraph, FaultPlan,
-    MpcConfig, ParallelismMode, PhaseTimes, RecoveryPolicy, Stats, SupervisorConfig,
+    exact_aggregate_sum_with_faults, run_supervised, scale, Cluster, DistributedGraph, FaultPlan,
+    MpcConfig, ParallelismMode, PhaseTimes, RecoveryPolicy, ScaleWorkspace, Stats,
+    SupervisorConfig,
 };
 use csmpc_problems::mis::LargeIndependentSet;
 
@@ -154,6 +155,46 @@ fn e05_success_probability(n: usize, mode: ParallelismMode) -> PhaseTimes {
     // The harness owns its per-trial clusters, so no ledger survives to
     // read a breakdown from.
     PhaseTimes::default()
+}
+
+/// Cluster + workspace for one scale workload pass: streaming ingestion
+/// (never materializing the intermediate `Graph`) followed by the
+/// workspace-backed sweep. The CSR build is part of the timed pass — the
+/// streaming path is the thing being measured.
+fn scale_pass(
+    family: StreamFamily,
+    mode: ParallelismMode,
+    f: impl FnOnce(&mut Cluster, &csmpc_graph::CsrAdjacency, &mut ScaleWorkspace),
+) -> PhaseTimes {
+    let cfg = MpcConfig {
+        parallelism: mode,
+        ..MpcConfig::default()
+    };
+    let words = 2 * family.n() + 2 * family.m();
+    let mut cl = Cluster::new(cfg, family.n(), words, Seed(0xC0DE));
+    let mut ws = ScaleWorkspace::new();
+    let csr = scale::ingest(family, &mut cl).expect("scale ingest");
+    f(&mut cl, &csr, &mut ws);
+    cl.stats().phase
+}
+
+fn scale_cc_labels(n: usize, mode: ParallelismMode) -> PhaseTimes {
+    scale_pass(StreamFamily::TwoCycles { n }, mode, |cl, csr, ws| {
+        black_box(scale::cc_labels(cl, csr, ws).expect("scale cc-labels"));
+    })
+}
+
+fn scale_luby_mis(n: usize, mode: ParallelismMode) -> PhaseTimes {
+    scale_pass(StreamFamily::Cycle { n }, mode, |cl, csr, ws| {
+        black_box(scale::luby_mis(cl, csr, Seed(3), ws).expect("scale luby-mis"));
+    })
+}
+
+fn scale_ball_coloring(n: usize, mode: ParallelismMode) -> PhaseTimes {
+    let family = StreamFamily::RandomTree { n, seed: Seed(17) };
+    scale_pass(family, mode, |cl, csr, ws| {
+        black_box(scale::ball_coloring(cl, csr, Seed(5), ws).expect("scale ball-coloring"));
+    })
 }
 
 struct Sample {
@@ -332,11 +373,20 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     rest.find('"').map(|end| &rest[..end])
 }
 
+/// One committed baseline result row.
+struct BaselineRow {
+    workload: String,
+    n: usize,
+    seq_ms: f64,
+    /// Effective parallel workers the row was recorded with (rows predate
+    /// per-row accounting default to the file-level count).
+    par_workers: usize,
+}
+
 struct Baseline {
     workers: usize,
     geomean: Option<f64>,
-    /// `(workload, n, seq_ms)` per result row.
-    rows: Vec<(String, usize, f64)>,
+    rows: Vec<BaselineRow>,
 }
 
 fn parse_baseline(text: &str) -> Baseline {
@@ -348,7 +398,12 @@ fn parse_baseline(text: &str) -> Baseline {
     for line in text.lines() {
         if let Some(w) = field_str(line, "workload") {
             if let (Some(n), Some(seq)) = (field_f64(line, "n"), field_f64(line, "seq_ms")) {
-                base.rows.push((w.to_string(), n as usize, seq));
+                base.rows.push(BaselineRow {
+                    workload: w.to_string(),
+                    n: n as usize,
+                    seq_ms: seq,
+                    par_workers: field_f64(line, "par_workers").map_or(0, |w| w as usize),
+                });
             }
         } else if let Some(g) = field_f64(line, "geomean_speedup") {
             base.geomean = Some(g);
@@ -356,33 +411,48 @@ fn parse_baseline(text: &str) -> Baseline {
             base.workers = w as usize;
         }
     }
+    // Rows written before per-row worker accounting inherit the
+    // file-level count.
+    for row in &mut base.rows {
+        if row.par_workers == 0 {
+            row.par_workers = base.workers;
+        }
+    }
     base
 }
 
-/// Compares this run against the committed baseline. Returns the list of
-/// violations (empty = pass).
+/// Compares this run against the committed baseline. Returns
+/// `(violations, warnings)`: violations fail the gate, warnings are
+/// advisory (a baseline recorded on fewer effective workers cannot fairly
+/// gate this run's parallel numbers, but its sequential column — always
+/// one worker — still can).
 fn gate_violations(
     baseline: &Baseline,
     samples: &[Sample],
     geomean: f64,
     workers: usize,
-) -> Vec<String> {
+) -> (Vec<String>, Vec<String>) {
     let mut violations = Vec::new();
+    let mut warnings = Vec::new();
     let mut compared = 0usize;
+    let mut worker_mismatch = 0usize;
     for s in samples {
-        let Some((_, _, base_seq)) = baseline
+        let Some(row) = baseline
             .rows
             .iter()
-            .find(|(w, n, _)| w == s.workload && *n == s.n)
+            .find(|r| r.workload == s.workload && r.n == s.n)
         else {
             continue;
         };
         compared += 1;
-        let allowed = GATE_SEQ_TOLERANCE * base_seq.max(GATE_SEQ_FLOOR_MS);
+        if row.par_workers != workers {
+            worker_mismatch += 1;
+        }
+        let allowed = GATE_SEQ_TOLERANCE * row.seq_ms.max(GATE_SEQ_FLOOR_MS);
         if s.seq_ms > allowed {
             violations.push(format!(
                 "{} n={}: seq {:.3} ms exceeds {:.3} ms ({}x baseline {:.3} ms)",
-                s.workload, s.n, s.seq_ms, allowed, GATE_SEQ_TOLERANCE, base_seq
+                s.workload, s.n, s.seq_ms, allowed, GATE_SEQ_TOLERANCE, row.seq_ms
             ));
         }
     }
@@ -393,23 +463,180 @@ fn gate_violations(
                 .to_string(),
         );
     }
-    if workers > 1 && baseline.workers > 1 {
+    if worker_mismatch > 0 {
+        warnings.push(format!(
+            "{worker_mismatch} baseline row(s) were recorded with a different effective worker \
+             count than this run's {workers}; sequential times still gate, parallel comparisons \
+             are advisory"
+        ));
+    }
+    if workers > 1 {
         if let Some(base_geo) = baseline.geomean {
-            let floor = GATE_GEOMEAN_FRACTION * base_geo;
-            if geomean < floor {
-                violations.push(format!(
-                    "geomean speedup {geomean:.3}x fell below {floor:.3}x \
-                     ({GATE_GEOMEAN_FRACTION} of baseline {base_geo:.3}x)"
+            if baseline.workers < workers {
+                warnings.push(format!(
+                    "baseline was recorded on {} effective worker(s), this run has {workers}; \
+                     speedup floor not enforced",
+                    baseline.workers
                 ));
+            } else if baseline.workers > 1 {
+                let floor = GATE_GEOMEAN_FRACTION * base_geo;
+                if geomean < floor {
+                    violations.push(format!(
+                        "geomean speedup {geomean:.3}x fell below {floor:.3}x \
+                         ({GATE_GEOMEAN_FRACTION} of baseline {base_geo:.3}x)"
+                    ));
+                }
             }
         }
     }
-    violations
+    (violations, warnings)
+}
+
+/// One point of the thread sweep: the scale cc-labels workload re-run in
+/// a child process with `RAYON_NUM_THREADS` forced, since a process's
+/// worker count is fixed at pool creation.
+struct SweepPoint {
+    threads: usize,
+    effective_workers: usize,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
+/// Child half of the thread sweep (`--sweep-child <n>`): run scale
+/// cc-labels in both modes, assert bit-identical labels (the determinism
+/// contract at this worker count), and print one parseable line.
+fn run_sweep_child(n: usize) -> ! {
+    let family = StreamFamily::TwoCycles { n };
+    let mut labels: Vec<Vec<u64>> = Vec::new();
+    let mut times = Vec::new();
+    for mode in [ParallelismMode::Sequential, ParallelismMode::Parallel] {
+        let (ms, lab) = time_best_of(2, || {
+            let mut out = Vec::new();
+            scale_pass(family, mode, |cl, csr, ws| {
+                scale::cc_labels(cl, csr, ws).expect("sweep cc-labels");
+                out = ws.label.clone();
+            });
+            out
+        });
+        times.push(ms);
+        labels.push(lab);
+    }
+    assert_eq!(
+        labels[0],
+        labels[1],
+        "parallel labels diverged from sequential at RAYON_NUM_THREADS={}",
+        rayon::current_num_threads()
+    );
+    println!(
+        "sweep-child: threads={} seq_ms={:.4} par_ms={:.4} bit_identical=true",
+        rayon::current_num_threads(),
+        times[0],
+        times[1]
+    );
+    std::process::exit(0);
+}
+
+/// Parent half of the thread sweep: re-exec this binary at
+/// `RAYON_NUM_THREADS` ∈ {1, 2, 4, 8} and collect the child timings.
+/// Effective workers are capped at the core count — timings above it are
+/// time-sliced and labeled as such, never booked as extra parallelism.
+fn run_thread_sweep(n: usize, cores: usize) -> Vec<SweepPoint> {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut points = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let out = std::process::Command::new(&exe)
+            .arg("--sweep-child")
+            .arg(n.to_string())
+            .env("RAYON_NUM_THREADS", threads.to_string())
+            .output()
+            .expect("spawn sweep child");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "sweep child (threads={threads}) failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("sweep-child:"))
+            .expect("sweep child output");
+        let field = |key: &str| -> f64 {
+            let pat = format!("{key}=");
+            let start = line.find(&pat).expect("sweep field") + pat.len();
+            let rest = &line[start..];
+            let end = rest.find(' ').unwrap_or(rest.len());
+            rest[..end].parse().expect("sweep field value")
+        };
+        points.push(SweepPoint {
+            threads,
+            effective_workers: threads.min(cores),
+            seq_ms: field("seq_ms"),
+            par_ms: field("par_ms"),
+        });
+    }
+    points
+}
+
+/// `--alloc-gate`: the steady-state allocation gate. The second
+/// repetition of scale ball-coloring at a fixed topology, with a warm
+/// workspace, must perform zero heap allocations on the hot path
+/// (sequential mode — parallel dispatch adds only pool control blocks,
+/// documented on `par_map_range_into`). Requires the `alloc-count`
+/// feature; exits 0 on pass, 1 on regression, 2 if miscompiled.
+fn run_alloc_gate(smoke: bool) -> ! {
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        let _ = smoke;
+        eprintln!("alloc gate: rebuild with --features alloc-count");
+        std::process::exit(2);
+    }
+    #[cfg(feature = "alloc-count")]
+    {
+        use csmpc_mpc::phase::counting_alloc::allocations;
+        let n = if smoke { 20_000 } else { 200_000 };
+        let family = StreamFamily::RandomTree { n, seed: Seed(17) };
+        let cfg = MpcConfig {
+            parallelism: ParallelismMode::Sequential,
+            ..MpcConfig::default()
+        };
+        let words = 2 * family.n() + 2 * family.m();
+        let mut cl = Cluster::new(cfg, family.n(), words, Seed(0xC0DE));
+        let mut ws = ScaleWorkspace::new();
+        let csr = scale::ingest(family, &mut cl).expect("alloc-gate ingest");
+        // Warm repetition: grows every workspace buffer to capacity.
+        scale::ball_coloring(&mut cl, &csr, Seed(5), &mut ws).expect("warm rep");
+        cl.reset_for_repetition();
+        let before = allocations();
+        scale::ball_coloring(&mut cl, &csr, Seed(5), &mut ws).expect("steady rep");
+        cl.reset_for_repetition();
+        let delta = allocations().saturating_sub(before);
+        if delta == 0 {
+            println!(
+                "alloc gate: OK — steady-state ball-coloring repetition (n={n}) is allocation-free"
+            );
+            std::process::exit(0);
+        }
+        eprintln!(
+            "alloc gate FAIL: second ball-coloring repetition at fixed topology (n={n}) \
+             performed {delta} heap allocation(s); the hot path must be allocation-free"
+        );
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(i) = args.iter().position(|a| a == "--sweep-child") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|a| a.parse().ok())
+            .expect("--sweep-child requires a size");
+        run_sweep_child(n);
+    }
+    if args.iter().any(|a| a == "--alloc-gate") {
+        run_alloc_gate(smoke);
+    }
     let gate_path = args
         .iter()
         .position(|a| a == "--gate")
@@ -457,7 +684,7 @@ fn main() {
     let par_label = if par_workers > 1 { "par" } else { "inline" };
 
     type Runner = fn(usize, ParallelismMode) -> PhaseTimes;
-    let suite: [(&str, Runner, [usize; 2]); 5] = [
+    let suite: [(&str, Runner, [usize; 2]); 8] = [
         (
             "luby-mis",
             luby_mis,
@@ -482,6 +709,35 @@ fn main() {
             "e05-success-probability",
             e05_success_probability,
             if smoke { [60, 120] } else { [240, 480] },
+        ),
+        // The million-vertex scale family: streaming CSR ingestion plus
+        // workspace-backed sweeps, no intermediate Graph.
+        (
+            "scale-cc-labels",
+            scale_cc_labels,
+            if smoke {
+                [10_000, 30_000]
+            } else {
+                [100_000, 1_000_000]
+            },
+        ),
+        (
+            "scale-luby-mis",
+            scale_luby_mis,
+            if smoke {
+                [10_000, 30_000]
+            } else {
+                [100_000, 1_000_000]
+            },
+        ),
+        (
+            "scale-ball-coloring",
+            scale_ball_coloring,
+            if smoke {
+                [10_000, 30_000]
+            } else {
+                [100_000, 1_000_000]
+            },
         ),
     ];
 
@@ -553,6 +809,29 @@ fn main() {
         );
     }
 
+    // Thread sweep: the scale cc-labels workload re-run at forced
+    // RAYON_NUM_THREADS ∈ {1, 2, 4, 8} in child processes (worker counts
+    // are fixed per process). Each child also re-verifies the
+    // sequential/parallel bit-identity contract at its thread count.
+    let sweep_n = if smoke { 10_000 } else { 100_000 };
+    let sweep = run_thread_sweep(sweep_n, cores);
+    println!("thread sweep (scale-cc-labels, n={sweep_n}):");
+    for p in &sweep {
+        let label = if p.effective_workers < p.threads {
+            format!("{} threads on {} core(s), time-sliced", p.threads, cores)
+        } else {
+            format!("{} effective worker(s)", p.effective_workers)
+        };
+        println!(
+            "  RAYON_NUM_THREADS={:<2} ({label:<32}) seq {:>9.3} ms  par {:>9.3} ms  \
+             speedup {:.2}x  bit-identical",
+            p.threads,
+            p.seq_ms,
+            p.par_ms,
+            p.seq_ms / p.par_ms.max(1e-9)
+        );
+    }
+
     let mut json = String::from("{\n");
     json.push_str("  \"suite\": \"csmpc parallel-engine baseline\",\n");
     json.push_str(&format!("  \"workers\": {workers},\n"));
@@ -606,7 +885,22 @@ fn main() {
             if i + 1 == recovery.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"thread_sweep\": {{\"workload\": \"scale-cc-labels\", \"n\": {sweep_n}, \"points\": [\n"
+    ));
+    for (i, p) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"effective_workers\": {}, \"seq_ms\": {:.4}, \
+             \"par_ms\": {:.4}, \"bit_identical\": true}}{}\n",
+            p.threads,
+            p.effective_workers,
+            p.seq_ms,
+            p.par_ms,
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]}\n}\n");
 
     // Smoke runs write a separate file so the committed full-size
     // baseline is never clobbered by a CI gate pass.
@@ -619,7 +913,10 @@ fn main() {
     println!("wrote {out}");
 
     if let Some(baseline) = &baseline {
-        let violations = gate_violations(baseline, &samples, geomean, workers);
+        let (violations, warnings) = gate_violations(baseline, &samples, geomean, workers);
+        for w in &warnings {
+            eprintln!("perf gate WARN: {w}");
+        }
         if violations.is_empty() {
             println!(
                 "perf gate: OK ({} rows compared against {})",

@@ -12,9 +12,10 @@
 //! Ball extraction runs once per vertex per repetition inside every ball
 //! evaluator and MPC graph-exponentiation sweep, so it is the single
 //! hottest routine in the codebase. The implementation is built around a
-//! reusable [`BallWorkspace`]: flat epoch-stamped `visited`/`dist`/`queue`
-//! arrays and a bounded BFS that touches only the ball itself (not all of
-//! `G`), with no per-call `BTreeMap` and no [`GraphBuilder`] revalidation.
+//! reusable [`BallWorkspace`]: a `u64`-word visited bitset plus flat
+//! `dist`/`queue` arrays and a bounded BFS that touches only the ball
+//! itself (not all of `G`), with no per-call `BTreeMap` and no
+//! [`GraphBuilder`] revalidation.
 //! The convenience free functions [`ball`] and [`radius_identical`] borrow
 //! a thread-local workspace; sweeps that want explicit control (e.g. to
 //! pair the workspace with a [`CsrAdjacency`]) use
@@ -89,20 +90,22 @@ impl CenteredGraph {
 /// Reusable scratch state for ball extraction and radius-identity checks.
 ///
 /// All per-call bookkeeping lives in flat arrays indexed by original node
-/// index and validated by an *epoch stamp*: a call bumps `epoch` and a slot
-/// is live only when `stamp[v] == epoch`, so switching the workspace
-/// between graphs of any sizes needs no clearing and can never observe
-/// state from an earlier call (see the epoch regression test in
-/// `tests/ball_workspace.rs`).
+/// index. Visitation is a `u64`-word bitset — 1/32nd the memory traffic of
+/// the former `u32` epoch-stamp array at million-vertex scale — kept
+/// all-zero *between* calls: a call sets the bits of the nodes it visits
+/// and zeroes exactly the words containing ball members before returning
+/// (every set bit belongs to a ball member, so that restores all-zero).
+/// Switching the workspace between graphs of any sizes therefore needs no
+/// O(n) clearing and can never observe state from an earlier call (see the
+/// reuse regression test in `tests/ball_workspace.rs`).
 ///
 /// The workspace is deliberately `!Sync`; parallel sweeps give each worker
 /// its own (the thread-local used by [`ball`] does exactly that).
 #[derive(Debug, Default)]
 pub struct BallWorkspace {
-    /// Current call's epoch; `stamp[v] == epoch` means "visited this call".
-    epoch: u32,
-    /// Visitation stamps, lazily grown to the largest `n` seen.
-    stamp: Vec<u32>,
+    /// Visited bitset (`n.div_ceil(64)` words), lazily grown to the
+    /// largest `n` seen; all-zero except during a call.
+    visited: Vec<u64>,
     /// BFS distance from the center; valid only where stamped.
     dist: Vec<u32>,
     /// BFS queue (flat, head-indexed — no `VecDeque` ring bookkeeping).
@@ -129,19 +132,16 @@ impl BallWorkspace {
     }
 
     /// Starts a new call on a graph of `n` nodes: grows the flat arrays if
-    /// needed and advances the epoch so all prior stamps become stale.
+    /// needed. The visited bitset is already all-zero (the previous call
+    /// restored it on exit; fresh words are zeroed by `resize`).
     fn begin(&mut self, n: usize) {
-        if self.stamp.len() < n {
-            self.stamp.resize(n, 0);
+        let words = n.div_ceil(64);
+        if self.visited.len() < words {
+            self.visited.resize(words, 0);
+        }
+        if self.dist.len() < n {
             self.dist.resize(n, 0);
             self.new_index.resize(n, 0);
-        }
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // A wrapped epoch could collide with stamps left by calls 2^32
-            // iterations ago; reset them once per wrap.
-            self.stamp.fill(0);
-            self.epoch = 1;
         }
     }
 
@@ -186,13 +186,12 @@ impl BallWorkspace {
     ) -> (Graph, usize, Vec<usize>) {
         assert!(v < g.n(), "node index {v} out of range");
         self.begin(g.n());
-        let e = self.epoch;
         // Distances are < n ≤ u32::MAX (adjacency is u32-indexed), so a
         // clamped radius is exact for every reachable node.
         let r32 = u32::try_from(r).unwrap_or(u32::MAX);
         self.queue.clear();
         self.nodes.clear();
-        self.stamp[v] = e;
+        self.visited[v >> 6] |= 1 << (v & 63);
         self.dist[v] = 0;
         self.queue.push(v as u32);
         self.nodes.push(v as u32);
@@ -210,8 +209,8 @@ impl BallWorkspace {
             };
             for &w in nbrs {
                 let wi = w as usize;
-                if self.stamp[wi] != e {
-                    self.stamp[wi] = e;
+                if self.visited[wi >> 6] & (1 << (wi & 63)) == 0 {
+                    self.visited[wi >> 6] |= 1 << (wi & 63);
                     self.dist[wi] = du + 1;
                     self.queue.push(w);
                     self.nodes.push(w);
@@ -238,16 +237,23 @@ impl BallWorkspace {
             };
             let mut row = Vec::new();
             for &w in nbrs {
-                if self.stamp[w as usize] == e {
+                let wi = w as usize;
+                if self.visited[wi >> 6] & (1 << (wi & 63)) != 0 {
                     // Ascending neighbors map through a monotone `new_index`,
                     // so each row stays sorted without re-sorting.
-                    row.push(self.new_index[w as usize]);
+                    row.push(self.new_index[wi]);
                 }
             }
             adj.push(row);
         }
         let center_pos = self.new_index[v] as usize;
         let original: Vec<usize> = self.nodes.iter().map(|&u| u as usize).collect();
+        // Restore the all-zero invariant: every set bit belongs to a ball
+        // member, so zeroing the members' words clears the whole set in
+        // O(ball) rather than O(n).
+        for &u in &self.nodes {
+            self.visited[(u as usize) >> 6] = 0;
+        }
         (Graph::from_parts(ids, names, adj), center_pos, original)
     }
 

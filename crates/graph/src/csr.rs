@@ -15,6 +15,7 @@
 //! nodes in the identical order — bit-for-bit determinism is unaffected.
 
 use crate::graph::Graph;
+use csmpc_parallel::{par_map_mut, ParallelismMode};
 
 /// Flat adjacency of a graph: `targets[offsets[v]..offsets[v + 1]]` are the
 /// neighbors of node `v`, in the same ascending order as
@@ -58,6 +59,91 @@ impl CsrAdjacency {
         for v in 0..n {
             targets.extend_from_slice(g.neighbors(v));
         }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Builds the CSR adjacency directly from an undirected edge stream —
+    /// the million-vertex ingestion path that never materializes the
+    /// intermediate [`Graph`] (no per-node `Vec`s, no builder validation).
+    ///
+    /// Two passes over the (cheaply cloneable) stream: pass 1 counts
+    /// degrees and prefix-sums them into `offsets`; pass 2 scatters both
+    /// endpoints of every edge through per-node cursors. Rows are then
+    /// sorted ascending in parallel over contiguous row blocks, making the
+    /// result bit-identical to [`CsrAdjacency::from_graph`] on the graph
+    /// with the same edge set ([`Graph::neighbors`] is ascending). The
+    /// sort output is a pure per-row function, so the worker count cannot
+    /// affect the bytes produced.
+    ///
+    /// The stream must describe a *simple* undirected graph on nodes
+    /// `0..n`: every endpoint `< n`, no self-loops, each undirected edge
+    /// emitted exactly once, and both clones of the stream must yield the
+    /// same sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n` or the directed edge count
+    /// (`2 × edges`) exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: Iterator<Item = (u32, u32)> + Clone,
+    {
+        if n == 0 {
+            return CsrAdjacency {
+                offsets: vec![0],
+                targets: Vec::new(),
+            };
+        }
+        // Pass 1: degree count (both endpoints), then an exclusive prefix
+        // scan in place — offsets[v] = directed edges of nodes < v.
+        let mut offsets = vec![0u32; n + 1];
+        for (u, v) in edges.clone() {
+            offsets[u as usize] += 1;
+            offsets[v as usize] += 1;
+        }
+        let mut acc: u64 = 0;
+        for slot in &mut offsets {
+            let d = u64::from(*slot);
+            *slot = u32::try_from(acc).expect("directed edge count fits u32");
+            acc += d;
+        }
+        let total = offsets[n] as usize;
+        // Pass 2: scatter both endpoints through per-node write cursors.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; total];
+        for (u, v) in edges {
+            let (ui, vi) = (u as usize, v as usize);
+            targets[cursor[ui] as usize] = v;
+            cursor[ui] += 1;
+            targets[cursor[vi] as usize] = u;
+            cursor[vi] += 1;
+        }
+        // Per-row ascending sort, parallel over contiguous row blocks:
+        // `split_at_mut` at row boundaries keeps the blocks disjoint.
+        let blocks = (4 * rayon::current_num_threads()).min(n);
+        let mut parts: Vec<(usize, usize, &mut [u32])> = Vec::with_capacity(blocks);
+        let mut rest: &mut [u32] = &mut targets;
+        let mut consumed = 0usize;
+        for b in 0..blocks {
+            let r0 = b * n / blocks;
+            let r1 = (b + 1) * n / blocks;
+            let end = offsets[r1] as usize;
+            let (head, tail) = rest.split_at_mut(end - consumed);
+            parts.push((r0, r1, head));
+            consumed = end;
+            rest = tail;
+        }
+        let offs = &offsets;
+        let _: Vec<()> = par_map_mut(ParallelismMode::auto(), &mut parts, |_, part| {
+            let (r0, r1, block) = part;
+            let base = offs[*r0] as usize;
+            for r in *r0..*r1 {
+                let lo = offs[r] as usize - base;
+                let hi = offs[r + 1] as usize - base;
+                block[lo..hi].sort_unstable();
+            }
+        });
         CsrAdjacency { offsets, targets }
     }
 
@@ -119,6 +205,32 @@ mod tests {
                 assert_eq!(csr.degree(v), g.neighbors(v).len());
             }
         }
+    }
+
+    #[test]
+    fn from_edges_matches_from_graph() {
+        for g in [
+            generators::path(7),
+            generators::cycle(9),
+            generators::random_tree(40, Seed(3)),
+            generators::star(12),
+            generators::hypercube(5),
+        ] {
+            let edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u as u32, v as u32)).collect();
+            let streamed = CsrAdjacency::from_edges(g.n(), edges.iter().copied());
+            assert_eq!(streamed, CsrAdjacency::from_graph(&g));
+        }
+    }
+
+    #[test]
+    fn from_edges_empty_and_isolated() {
+        let none: Vec<(u32, u32)> = Vec::new();
+        let csr = CsrAdjacency::from_edges(0, none.iter().copied());
+        assert_eq!(csr.n(), 0);
+        // Isolated nodes: n = 3, no edges.
+        let csr = CsrAdjacency::from_edges(3, none.iter().copied());
+        assert_eq!(csr.n(), 3);
+        assert_eq!(csr.degree(1), 0);
     }
 
     #[test]

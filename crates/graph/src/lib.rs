@@ -50,6 +50,8 @@ pub mod generators;
 mod graph;
 pub mod ops;
 pub mod rng;
+pub mod stream;
 
 pub use csr::CsrAdjacency;
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId, NodeName};
+pub use stream::StreamFamily;

@@ -1,0 +1,60 @@
+//! Property tests: the streaming ingestion path
+//! (`StreamFamily::stream_csr`, i.e. `CsrAdjacency::from_edges`) is
+//! bit-identical to the materialized `Graph` → `CsrAdjacency::from_graph`
+//! path for every seeded family, at arbitrary sizes and seeds.
+//!
+//! Thread counts cannot appear as a proptest dimension (the worker count
+//! is resolved once per process), so ci.sh runs this suite under forced
+//! `RAYON_NUM_THREADS=4` via the workspace test run plus the equivalence
+//! step; the parallel row-sort inside `from_edges` is a pure per-row
+//! function either way.
+
+use csmpc_graph::{CsrAdjacency, StreamFamily};
+use proptest::prelude::*;
+
+fn assert_stream_matches(fam: StreamFamily) {
+    let streamed = fam.stream_csr();
+    let oracle = CsrAdjacency::from_graph(&fam.materialize());
+    assert_eq!(
+        streamed,
+        oracle,
+        "family {} n={} diverged from the materialized path",
+        fam.name(),
+        fam.n()
+    );
+}
+
+proptest! {
+    #[test]
+    fn path_streams_identically(n in 0usize..400) {
+        assert_stream_matches(StreamFamily::Path { n });
+    }
+
+    #[test]
+    fn cycle_streams_identically(n in 3usize..400) {
+        assert_stream_matches(StreamFamily::Cycle { n });
+    }
+
+    #[test]
+    fn two_cycles_streams_identically(half in 3usize..200) {
+        assert_stream_matches(StreamFamily::TwoCycles { n: 2 * half });
+    }
+
+    #[test]
+    fn star_streams_identically(leaves in 0usize..400) {
+        assert_stream_matches(StreamFamily::Star { leaves });
+    }
+
+    #[test]
+    fn hypercube_streams_identically(dim in 0u32..9) {
+        assert_stream_matches(StreamFamily::Hypercube { dim });
+    }
+
+    #[test]
+    fn random_tree_streams_identically(n in 0usize..300, seed in 0u64..1_000_000_000_000) {
+        assert_stream_matches(StreamFamily::RandomTree {
+            n,
+            seed: csmpc_graph::rng::Seed(seed),
+        });
+    }
+}

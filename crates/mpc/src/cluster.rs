@@ -19,7 +19,7 @@ use crate::phase::{PhaseTimer, PhaseTimes};
 use crate::provenance::{ComponentId, ProvenanceLog};
 use crate::supervise::{SupervisionEvent, SupervisorConfig};
 use csmpc_graph::rng::{Seed, SplitMix64};
-use csmpc_parallel::par_map_mut;
+use csmpc_parallel::par_map_mut_into;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -519,7 +519,7 @@ impl Cluster {
         }
         self.recovery_log.clear();
         self.supervision_log.clear();
-        self.failure_counts = vec![0; self.num_machines];
+        self.failure_counts.fill(0);
         self.quarantined.clear();
         self.faulted.clear();
         // Deadline bookkeeping is per-execution state; the armed deadline
@@ -1054,6 +1054,12 @@ impl Cluster {
         let mut route: Vec<Message> = Vec::new();
         let mut ranges: Vec<(usize, usize)> = vec![(0, 0); m];
         let mut order: Vec<usize> = Vec::new();
+        // Arena buffers reused across rounds: per-machine step results and
+        // in-flight component tags. Like the routing spines above, these
+        // reach steady-state capacity after a warm-up round and allocate
+        // nothing afterwards at fixed topology.
+        let mut stepped: Vec<Option<(Vec<Message>, usize)>> = Vec::new();
+        let mut incoming_tags: Vec<Vec<ComponentId>> = vec![Vec::new(); m];
         // Transport coins (drop/duplication) come from the plan's seed, so
         // the same plan replays the same per-message faults.
         let mut rng = SplitMix64::new(plan.seed().derive(0xfa17));
@@ -1331,16 +1337,15 @@ impl Cluster {
             let straggle_ref = &straggle_until;
             let route_ref = &route;
             let ranges_ref = &ranges;
-            let stepped: Vec<Option<(Vec<Message>, usize)>> =
-                par_map_mut(mode, machines, |id, shard| {
-                    if round_now <= straggle_ref[id] {
-                        return None;
-                    }
-                    let (lo, hi) = ranges_ref[id];
-                    let outs = shard.round(id, &route_ref[lo..hi]);
-                    let storage = shard.storage_words();
-                    Some((outs, storage))
-                });
+            par_map_mut_into(mode, machines, &mut stepped, |id, shard| {
+                if round_now <= straggle_ref[id] {
+                    return None;
+                }
+                let (lo, hi) = ranges_ref[id];
+                let outs = shard.round(id, &route_ref[lo..hi]);
+                let storage = shard.storage_words();
+                Some((outs, storage))
+            });
             self.stats.phase.step_ns = self
                 .stats
                 .phase
@@ -1376,14 +1381,17 @@ impl Cluster {
             // draws), and staging of sends into the flat buffer.
             let merge_timer = PhaseTimer::start();
             // Component tags travel with messages: a delivery hands the
-            // receiver every component tag the sender held.
-            let mut incoming_tags: Vec<BTreeSet<ComponentId>> = vec![BTreeSet::new(); m];
+            // receiver every component tag the sender held. The reusable
+            // per-destination buffers are sorted and deduplicated at merge
+            // time, reproducing the set semantics (and visit order) of the
+            // per-round `BTreeSet`s they replaced without their per-round
+            // allocation.
             let mut any_sent = false;
             let mut round_delta = Stats {
                 total_words: retransmit_words,
                 ..Stats::default()
             };
-            for (id, step) in stepped.into_iter().enumerate() {
+            for (id, step) in stepped.drain(..).enumerate() {
                 let Some((outs, storage)) = step else {
                     continue;
                 };
@@ -1503,10 +1511,14 @@ impl Cluster {
             // a machine already holding component `a` that receives words
             // tagged with component `b ≠ a` has observed a cross-component
             // flow.
-            for (to, tags) in incoming_tags.into_iter().enumerate() {
+            for (to, tags) in incoming_tags.iter_mut().enumerate() {
                 if tags.is_empty() {
                     continue;
                 }
+                // Sorted + deduplicated, the visit order the old per-round
+                // `BTreeSet` produced.
+                tags.sort_unstable();
+                tags.dedup();
                 let fresh: Vec<ComponentId> = tags
                     .iter()
                     .copied()
@@ -1518,7 +1530,8 @@ impl Cluster {
                             .record("exact-engine message", round, from, held);
                     }
                 }
-                self.machine_components[to].extend(tags);
+                self.machine_components[to].extend(tags.iter().copied());
+                tags.clear();
             }
             self.stats.rounds = self.stats.rounds.saturating_add(1);
             self.charge_words(round_delta.max_round_words, round_delta.total_words);

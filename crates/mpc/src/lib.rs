@@ -14,6 +14,10 @@
 //!   low-space primitives (aggregation trees, neighbor reductions, graph
 //!   exponentiation, pointer-jumping connectivity), each charging its
 //!   documented round cost and asserting space feasibility;
+//! * [`scale`] — the million-vertex path: streaming CSR ingestion and
+//!   workspace-backed per-vertex sweeps (pointer-jumping connectivity,
+//!   Luby MIS, Jones–Plassmann coloring) with zero steady-state
+//!   allocations at fixed topology;
 //! * [`faults`] — deterministic fault injection (crashes, stragglers,
 //!   message drop/duplication/corruption/reordering, round-scoped
 //!   partitions) and checkpoint/recovery, with every recovery charged to
@@ -46,6 +50,7 @@ pub mod faults;
 pub mod phase;
 pub mod primitives;
 pub mod provenance;
+pub mod scale;
 pub mod supervise;
 
 pub use ball_cache::BallCache;
@@ -61,6 +66,7 @@ pub use primitives::{
     exact_aggregate_sum, exact_aggregate_sum_with_faults, prefix_sums, sort_keys,
 };
 pub use provenance::{ComponentId, CrossComponentFlow, ProvenanceLog};
+pub use scale::ScaleWorkspace;
 pub use supervise::{
     run_supervised, salvage_graph, ComponentVerdict, PartialOutput, SupervisedOutcome,
     SupervisedRun, SupervisionEvent, SupervisorConfig,

@@ -1,0 +1,565 @@
+//! Million-vertex scale workloads over streaming CSR ingestion.
+//!
+//! The [`crate::distributed`] primitives are faithful to the paper's
+//! accounting but carry per-node `Vec`s, name maps, and a materialized
+//! [`csmpc_graph::Graph`] — fine at the conformance-suite sizes (n ≤ 4000),
+//! prohibitive at n = 10⁶. This module is the scale path: inputs arrive as
+//! a [`StreamFamily`] and are ingested straight into a
+//! [`CsrAdjacency`] (two passes over the edge stream, no intermediate
+//! `Graph`), node *names are node indices* (so the pointer-jumping lookup
+//! is an array index, not a `BTreeMap` probe), and every per-vertex sweep
+//! writes into a caller-held [`ScaleWorkspace`] buffer via
+//! [`csmpc_parallel::par_map_range_into`].
+//!
+//! Steady-state contract: after the first repetition at a fixed topology
+//! has warmed the workspace, further repetitions allocate **nothing** on
+//! the hot path in [`crate::ParallelismMode::Sequential`] (ci.sh enforces this
+//! with the `alloc-count` feature; parallel dispatch adds only the O(1)
+//! pool control blocks documented on `par_map_range_into`).
+//!
+//! Round accounting mirrors [`crate::distributed`]: each measured
+//! iteration of a sweep primitive charges `2d` rounds
+//! (`d = ⌈log_S M⌉`), ingestion charges 1 round plus the graph's word
+//! footprint, and every iteration passes through
+//! [`Cluster::advance_rounds`] so armed fault plans strike here exactly
+//! as they do on the materialized path.
+//!
+//! Determinism: every sweep is a pure per-vertex map over the previous
+//! iteration's buffers, materialized in vertex order — bit-identical
+//! across [`crate::ParallelismMode`]s and worker counts. Randomness (Luby
+//! priorities, coloring priorities) flows from an explicit
+//! [`Seed`] through a stateless splitmix-style mix, so a seed
+//! replays the same run.
+
+use crate::cluster::{Cluster, MpcError};
+use crate::phase::{PhaseTimer, PhaseTimes};
+use csmpc_graph::rng::Seed;
+use csmpc_graph::{CsrAdjacency, StreamFamily};
+use csmpc_parallel::par_map_range_into;
+
+/// Sentinel for a vertex not yet colored by [`ball_coloring`].
+const UNCOLORED: u32 = u32::MAX;
+
+/// Reusable per-vertex buffers for the scale workloads.
+///
+/// All buffers grow to the largest `n` seen and are never shrunk; a
+/// second run at the same topology performs no heap allocation on the
+/// sweep path ([`crate::ParallelismMode::Sequential`]). One workspace serves all
+/// three workloads — they share buffers, so results live in the workspace
+/// only until the next call.
+#[derive(Debug, Default)]
+pub struct ScaleWorkspace {
+    /// Component labels ([`cc_labels`] output: minimum node index in the
+    /// component).
+    pub label: Vec<u64>,
+    /// Double buffer: min-over-neighborhood sweep output.
+    next: Vec<u64>,
+    /// Double buffer: pointer-jump sweep output.
+    jumped: Vec<u64>,
+    /// Per-vertex seeded priorities (Luby / Jones–Plassmann).
+    priority: Vec<u64>,
+    /// MIS state ([`luby_mis`] output): 0 undecided, 1 in the MIS, 2 out.
+    pub state: Vec<u8>,
+    /// Double buffer for the MIS state sweeps.
+    state_next: Vec<u8>,
+    /// Vertex colors ([`ball_coloring`] output).
+    pub color: Vec<u32>,
+    /// Double buffer for the coloring sweep.
+    color_next: Vec<u32>,
+}
+
+impl ScaleWorkspace {
+    /// A workspace with no capacity; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Stateless splitmix-style mixer: the per-vertex hash behind Luby and
+/// Jones–Plassmann priorities. Every bit flows from the caller's [`Seed`]
+/// (plus a salt identifying the round), so runs replay exactly.
+fn mix(seed: u64, salt: u64, v: u64) -> u64 {
+    let mut z =
+        seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Aggregation-tree depth for the cluster's current configuration.
+fn depth(cluster: &Cluster) -> usize {
+    cluster
+        .config()
+        .tree_depth(cluster.input_n(), cluster.num_machines())
+}
+
+/// Streams `family` into a [`CsrAdjacency`] and charges the ingestion to
+/// the ledger: 1 round, the graph's word footprint (`2n + 2m`) spread
+/// evenly over machines, and a space-feasibility check on the per-machine
+/// share. The intermediate [`csmpc_graph::Graph`] is never materialized.
+///
+/// Attributed to the route phase (it is data placement, not computation).
+///
+/// # Errors
+///
+/// [`MpcError::SpaceExceeded`] if a machine's share of the input does not
+/// fit in `S`; [`MpcError::MachineFailed`] from an armed fault plan.
+pub fn ingest(family: StreamFamily, cluster: &mut Cluster) -> Result<CsrAdjacency, MpcError> {
+    let timer = PhaseTimer::start();
+    let csr = family.stream_csr();
+    let words = 2 * family.n() + 2 * family.m();
+    cluster.advance_rounds(1)?;
+    let per_machine = words.div_ceil(cluster.num_machines().max(1));
+    cluster.charge_words(per_machine, words as u64);
+    cluster.require_fits(per_machine)?;
+    cluster.record_phase(&PhaseTimes {
+        route_ns: timer.elapsed_ns(),
+        ..PhaseTimes::default()
+    });
+    Ok(csr)
+}
+
+/// Connected-component labels by pointer jumping, the scale analogue of
+/// [`crate::DistributedGraph::cc_labels`]. Node names are node indices,
+/// so the jump resolves through plain array indexing. On return
+/// `ws.label[v]` is the minimum node index in `v`'s component. Charges
+/// `2d` rounds per measured iteration; returns the iteration count.
+///
+/// Bit-identical to the materialized primitive on any graph whose node
+/// names equal node indices (every seeded [`StreamFamily`] qualifies).
+///
+/// # Errors
+///
+/// [`MpcError::MachineFailed`] from an armed fault plan.
+pub fn cc_labels(
+    cluster: &mut Cluster,
+    csr: &CsrAdjacency,
+    ws: &mut ScaleWorkspace,
+) -> Result<usize, MpcError> {
+    let n = csr.n();
+    let mode = cluster.config().parallelism;
+    let d = depth(cluster);
+    let ScaleWorkspace {
+        label,
+        next,
+        jumped,
+        ..
+    } = ws;
+    par_map_range_into(mode, n, label, |v| v as u64);
+    let mut iterations = 0usize;
+    let mut sweep_ns = 0u64;
+    let mut merge_ns = 0u64;
+    loop {
+        iterations += 1;
+        cluster.advance_rounds(2 * d)?;
+        let timer = PhaseTimer::start();
+        // Hook: min over the closed neighborhood of the previous labels.
+        {
+            let label_s: &[u64] = label;
+            par_map_range_into(mode, n, next, |v| {
+                let mut nv = label_s[v];
+                for &w in csr.neighbors(v) {
+                    nv = nv.min(label_s[w as usize]);
+                }
+                nv
+            });
+        }
+        // Jump: follow the label (a node index) one more hop. With
+        // identity names, `by_name[next[v]]` degenerates to `next[v]`.
+        {
+            let label_s: &[u64] = label;
+            let next_s: &[u64] = next;
+            par_map_range_into(mode, n, jumped, |v| {
+                let t = next_s[v] as usize;
+                next_s[v].min(label_s[t]).min(next_s[t])
+            });
+        }
+        sweep_ns = sweep_ns.saturating_add(timer.elapsed_ns());
+        let converge_timer = PhaseTimer::start();
+        let converged = jumped == label;
+        merge_ns = merge_ns.saturating_add(converge_timer.elapsed_ns());
+        if converged {
+            break;
+        }
+        std::mem::swap(label, jumped);
+    }
+    cluster.record_phase(&PhaseTimes {
+        step_ns: sweep_ns,
+        merge_ns,
+        ..PhaseTimes::default()
+    });
+    Ok(iterations)
+}
+
+/// Luby's maximal independent set. Per round every undecided vertex draws
+/// a fresh seeded priority; strict local minima (ties broken by index)
+/// join the set and their neighbors drop out. On return `ws.state[v]` is
+/// 1 (in the MIS) or 2 (out). Charges `2d` rounds per measured round;
+/// returns `(mis_size, rounds)`.
+///
+/// Terminates because the global minimum among undecided vertices is
+/// always a local minimum, so every round decides at least one vertex.
+///
+/// # Errors
+///
+/// [`MpcError::MachineFailed`] from an armed fault plan.
+pub fn luby_mis(
+    cluster: &mut Cluster,
+    csr: &CsrAdjacency,
+    seed: Seed,
+    ws: &mut ScaleWorkspace,
+) -> Result<(usize, usize), MpcError> {
+    let n = csr.n();
+    let mode = cluster.config().parallelism;
+    let d = depth(cluster);
+    let ScaleWorkspace {
+        priority,
+        state,
+        state_next,
+        ..
+    } = ws;
+    par_map_range_into(mode, n, state, |_| 0u8);
+    let mut rounds = 0usize;
+    let mut sweep_ns = 0u64;
+    let mut merge_ns = 0u64;
+    let mut undecided = n;
+    while undecided > 0 {
+        rounds += 1;
+        cluster.advance_rounds(2 * d)?;
+        let timer = PhaseTimer::start();
+        let salt = rounds as u64;
+        par_map_range_into(mode, n, priority, |v| mix(seed.0, salt, v as u64));
+        // Join: an undecided strict local minimum of (priority, index)
+        // enters the MIS. Adjacent vertices are strictly ordered, so two
+        // neighbors can never join in the same round.
+        {
+            let st: &[u8] = state;
+            let pr: &[u64] = priority;
+            par_map_range_into(mode, n, state_next, |v| {
+                if st[v] != 0 {
+                    return st[v];
+                }
+                let pv = (pr[v], v as u32);
+                for &w in csr.neighbors(v) {
+                    let wi = w as usize;
+                    if st[wi] == 0 && (pr[wi], w) < pv {
+                        return 0;
+                    }
+                }
+                1
+            });
+        }
+        std::mem::swap(state, state_next);
+        // Retire: an undecided vertex adjacent to any MIS member is out.
+        {
+            let st: &[u8] = state;
+            par_map_range_into(mode, n, state_next, |v| {
+                if st[v] != 0 {
+                    return st[v];
+                }
+                for &w in csr.neighbors(v) {
+                    if st[w as usize] == 1 {
+                        return 2;
+                    }
+                }
+                0
+            });
+        }
+        std::mem::swap(state, state_next);
+        sweep_ns = sweep_ns.saturating_add(timer.elapsed_ns());
+        let count_timer = PhaseTimer::start();
+        undecided = state.iter().filter(|&&s| s == 0).count();
+        merge_ns = merge_ns.saturating_add(count_timer.elapsed_ns());
+    }
+    cluster.record_phase(&PhaseTimes {
+        step_ns: sweep_ns,
+        merge_ns,
+        ..PhaseTimes::default()
+    });
+    let size = state.iter().filter(|&&s| s == 1).count();
+    Ok((size, rounds))
+}
+
+/// Smallest color not used by any already-colored neighbor. Degrees below
+/// 64 use a one-word exclusion mask (greedy colors of such a vertex's
+/// *free* slots all sit below 64, so larger neighbor colors cannot block
+/// the answer); larger degrees fall back to a probe loop.
+fn smallest_free(nbrs: &[u32], colors: &[u32]) -> u32 {
+    if nbrs.len() < 64 {
+        let mut mask: u64 = 0;
+        for &w in nbrs {
+            let c = colors[w as usize];
+            if c != UNCOLORED && c < 64 {
+                mask |= 1 << c;
+            }
+        }
+        (!mask).trailing_zeros()
+    } else {
+        let mut c = 0u32;
+        'probe: loop {
+            for &w in nbrs {
+                if colors[w as usize] == c {
+                    c += 1;
+                    continue 'probe;
+                }
+            }
+            return c;
+        }
+    }
+}
+
+/// Jones–Plassmann greedy coloring — the scale member of the
+/// ball-coloring workload family. Priorities are fixed per vertex
+/// (seeded); each round, every uncolored vertex that is a strict local
+/// maximum of (priority, index) among its *uncolored* neighbors takes the
+/// smallest color unused by its colored neighbors. On return
+/// `ws.color[v]` is `v`'s color. Charges `2d` rounds per measured round;
+/// returns `(colors_used, rounds)`.
+///
+/// The coloring is proper: a local maximum's uncolored neighbors stay
+/// uncolored that round (they see the maximum above them), and its
+/// colored neighbors are exactly the set the greedy choice excludes.
+///
+/// # Errors
+///
+/// [`MpcError::MachineFailed`] from an armed fault plan.
+pub fn ball_coloring(
+    cluster: &mut Cluster,
+    csr: &CsrAdjacency,
+    seed: Seed,
+    ws: &mut ScaleWorkspace,
+) -> Result<(u32, usize), MpcError> {
+    let n = csr.n();
+    let mode = cluster.config().parallelism;
+    let d = depth(cluster);
+    let ScaleWorkspace {
+        priority,
+        color,
+        color_next,
+        ..
+    } = ws;
+    par_map_range_into(mode, n, priority, |v| {
+        mix(seed.0, 0x636f_6c6f_7269_6e67, v as u64)
+    });
+    par_map_range_into(mode, n, color, |_| UNCOLORED);
+    let mut rounds = 0usize;
+    let mut sweep_ns = 0u64;
+    let mut merge_ns = 0u64;
+    let mut uncolored = n;
+    while uncolored > 0 {
+        rounds += 1;
+        cluster.advance_rounds(2 * d)?;
+        let timer = PhaseTimer::start();
+        {
+            let pr: &[u64] = priority;
+            let col: &[u32] = color;
+            par_map_range_into(mode, n, color_next, |v| {
+                if col[v] != UNCOLORED {
+                    return col[v];
+                }
+                let pv = (pr[v], v as u32);
+                for &w in csr.neighbors(v) {
+                    let wi = w as usize;
+                    if col[wi] == UNCOLORED && (pr[wi], w) > pv {
+                        return UNCOLORED;
+                    }
+                }
+                smallest_free(csr.neighbors(v), col)
+            });
+        }
+        std::mem::swap(color, color_next);
+        sweep_ns = sweep_ns.saturating_add(timer.elapsed_ns());
+        let count_timer = PhaseTimer::start();
+        uncolored = color.iter().filter(|&&c| c == UNCOLORED).count();
+        merge_ns = merge_ns.saturating_add(count_timer.elapsed_ns());
+    }
+    cluster.record_phase(&PhaseTimes {
+        step_ns: sweep_ns,
+        merge_ns,
+        ..PhaseTimes::default()
+    });
+    let used = color.iter().map(|&c| c + 1).max().unwrap_or(0);
+    Ok((used, rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+    use crate::faults::{FaultPlan, RecoveryPolicy};
+    use csmpc_parallel::ParallelismMode;
+
+    fn cluster_for(family: StreamFamily, mode: ParallelismMode) -> Cluster {
+        let words = 2 * family.n() + 2 * family.m();
+        let cfg = MpcConfig {
+            parallelism: mode,
+            ..MpcConfig::with_phi(0.5)
+        };
+        Cluster::new(cfg, family.n(), words, Seed(7))
+    }
+
+    /// Union-find oracle: minimum node index per component.
+    fn oracle_labels(csr: &CsrAdjacency) -> Vec<u64> {
+        let n = csr.n();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for v in 0..n {
+            for &w in csr.neighbors(v) {
+                let (a, b) = (find(&mut parent, v), find(&mut parent, w as usize));
+                // Union by min so the root is the component minimum.
+                let (lo, hi) = (a.min(b), a.max(b));
+                parent[hi] = lo;
+            }
+        }
+        (0..n).map(|v| find(&mut parent, v) as u64).collect()
+    }
+
+    fn families() -> Vec<StreamFamily> {
+        vec![
+            StreamFamily::Path { n: 97 },
+            StreamFamily::Cycle { n: 64 },
+            StreamFamily::TwoCycles { n: 120 },
+            StreamFamily::Star { leaves: 50 },
+            StreamFamily::Hypercube { dim: 6 },
+            StreamFamily::RandomTree {
+                n: 150,
+                seed: Seed(11),
+            },
+        ]
+    }
+
+    #[test]
+    fn cc_labels_match_union_find_oracle() {
+        for family in families() {
+            let mut cl = cluster_for(family, ParallelismMode::Sequential);
+            let mut ws = ScaleWorkspace::new();
+            let csr = ingest(family, &mut cl).unwrap();
+            let iters = cc_labels(&mut cl, &csr, &mut ws).unwrap();
+            assert!(iters >= 1);
+            assert_eq!(ws.label, oracle_labels(&csr), "family {}", family.name());
+            assert!(cl.stats().rounds > 1, "rounds must be charged");
+        }
+    }
+
+    #[test]
+    fn luby_mis_is_independent_and_maximal() {
+        for family in families() {
+            let mut cl = cluster_for(family, ParallelismMode::Sequential);
+            let mut ws = ScaleWorkspace::new();
+            let csr = ingest(family, &mut cl).unwrap();
+            let (size, rounds) = luby_mis(&mut cl, &csr, Seed(3), &mut ws).unwrap();
+            assert!(rounds >= 1 || csr.n() == 0);
+            assert_eq!(size, ws.state.iter().filter(|&&s| s == 1).count());
+            for v in 0..csr.n() {
+                assert_ne!(ws.state[v], 0, "every vertex decided");
+                if ws.state[v] == 1 {
+                    for &w in csr.neighbors(v) {
+                        assert_ne!(ws.state[w as usize], 1, "independence at {v}-{w}");
+                    }
+                } else {
+                    let covered = csr.neighbors(v).iter().any(|&w| ws.state[w as usize] == 1);
+                    assert!(covered, "maximality: {v} is out with no MIS neighbor");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ball_coloring_is_proper_and_bounded() {
+        for family in families() {
+            let mut cl = cluster_for(family, ParallelismMode::Sequential);
+            let mut ws = ScaleWorkspace::new();
+            let csr = ingest(family, &mut cl).unwrap();
+            let (used, _rounds) = ball_coloring(&mut cl, &csr, Seed(5), &mut ws).unwrap();
+            let max_deg = (0..csr.n()).map(|v| csr.degree(v)).max().unwrap_or(0);
+            assert!(used as usize <= max_deg + 1, "family {}", family.name());
+            for v in 0..csr.n() {
+                assert_ne!(ws.color[v], UNCOLORED);
+                for &w in csr.neighbors(v) {
+                    assert_ne!(ws.color[v], ws.color[w as usize], "edge {v}-{w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_degree_probe_path_matches_mask_path() {
+        // A star center has degree >= 64, exercising the probe loop in
+        // `smallest_free`; leaves exercise the mask path.
+        let family = StreamFamily::Star { leaves: 80 };
+        let mut cl = cluster_for(family, ParallelismMode::Sequential);
+        let mut ws = ScaleWorkspace::new();
+        let csr = ingest(family, &mut cl).unwrap();
+        let (used, _) = ball_coloring(&mut cl, &csr, Seed(9), &mut ws).unwrap();
+        assert_eq!(used, 2, "a star is 2-colorable");
+    }
+
+    #[test]
+    fn modes_agree_bit_identically() {
+        for family in families() {
+            let mut results: Vec<(Vec<u64>, Vec<u8>, Vec<u32>)> = Vec::new();
+            for mode in [ParallelismMode::Sequential, ParallelismMode::Parallel] {
+                let mut cl = cluster_for(family, mode);
+                let mut ws = ScaleWorkspace::new();
+                let csr = ingest(family, &mut cl).unwrap();
+                cc_labels(&mut cl, &csr, &mut ws).unwrap();
+                luby_mis(&mut cl, &csr, Seed(3), &mut ws).unwrap();
+                ball_coloring(&mut cl, &csr, Seed(5), &mut ws).unwrap();
+                results.push((ws.label.clone(), ws.state.clone(), ws.color.clone()));
+            }
+            assert_eq!(results[0], results[1], "family {}", family.name());
+        }
+    }
+
+    #[test]
+    fn matches_distributed_cc_labels_on_identity_names() {
+        // The materialized primitive labels by minimum *name*; seeded
+        // families name nodes by index, so the two paths agree exactly.
+        use crate::distributed::{graph_words, DistributedGraph};
+        let family = StreamFamily::TwoCycles { n: 40 };
+        let g = family.materialize();
+        let mut cl = Cluster::new(MpcConfig::with_phi(0.5), g.n(), graph_words(&g), Seed(7));
+        let dg = DistributedGraph::distribute(&g, &mut cl).unwrap();
+        let (dist_labels, _) = dg.cc_labels(&mut cl).unwrap();
+
+        let mut cl2 = cluster_for(family, ParallelismMode::Sequential);
+        let mut ws = ScaleWorkspace::new();
+        let csr = ingest(family, &mut cl2).unwrap();
+        cc_labels(&mut cl2, &csr, &mut ws).unwrap();
+        assert_eq!(ws.label, dist_labels);
+    }
+
+    #[test]
+    fn armed_faults_strike_scale_sweeps() {
+        let family = StreamFamily::Cycle { n: 32 };
+        let mut cl = cluster_for(family, ParallelismMode::Sequential);
+        cl.arm_faults(
+            FaultPlan::quiet(Seed(1)).crash(0, 2),
+            RecoveryPolicy::FailFast,
+        );
+        let mut ws = ScaleWorkspace::new();
+        let csr = ingest(family, &mut cl).unwrap();
+        let err = cc_labels(&mut cl, &csr, &mut ws).unwrap_err();
+        assert!(matches!(err, MpcError::MachineFailed { .. }));
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let family = StreamFamily::Path { n: 0 };
+        let mut cl = cluster_for(family, ParallelismMode::Sequential);
+        let mut ws = ScaleWorkspace::new();
+        let csr = ingest(family, &mut cl).unwrap();
+        assert_eq!(cc_labels(&mut cl, &csr, &mut ws).unwrap(), 1);
+        let (size, _) = luby_mis(&mut cl, &csr, Seed(1), &mut ws).unwrap();
+        assert_eq!(size, 0);
+        let (used, _) = ball_coloring(&mut cl, &csr, Seed(1), &mut ws).unwrap();
+        assert_eq!(used, 0);
+    }
+}

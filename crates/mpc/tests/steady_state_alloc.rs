@@ -1,0 +1,106 @@
+//! Steady-state allocation accounting, behind the `alloc-count` feature:
+//!
+//! * the exact engine's route/intake/step/merge path allocates **nothing**
+//!   per round once its arena buffers are warm — the only per-round
+//!   allocations left are the ones the machine program itself makes;
+//! * the scale workloads allocate **nothing** on a repetition at a fixed
+//!   topology once the workspace is warm.
+//!
+//! Run with `cargo test -p csmpc-mpc --features alloc-count --test
+//! steady_state_alloc`. Both measurements live in one `#[test]` so the
+//! process-wide counter is never read while another test thread runs.
+#![cfg(feature = "alloc-count")]
+
+use csmpc_graph::rng::Seed;
+use csmpc_graph::StreamFamily;
+use csmpc_mpc::phase::counting_alloc::{allocations, CountingAllocator};
+use csmpc_mpc::{scale, Cluster, MachineProgram, Message, MpcConfig, MpcError, ParallelismMode};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Each machine forwards one word to its successor every round — two heap
+/// allocations per machine-round (the outbox `Vec` and its payload), and
+/// nothing else.
+struct RingForward {
+    machines: usize,
+}
+
+impl MachineProgram for RingForward {
+    fn round(&mut self, id: usize, _inbox: &[Message]) -> Vec<Message> {
+        vec![Message {
+            to: (id + 1) % self.machines,
+            words: vec![id as u64],
+        }]
+    }
+
+    fn storage_words(&self) -> usize {
+        1
+    }
+}
+
+fn sequential_cluster(n: usize, words: usize) -> Cluster {
+    let cfg = MpcConfig {
+        parallelism: ParallelismMode::Sequential,
+        ..MpcConfig::with_phi(0.5)
+    };
+    Cluster::new(cfg, n, words, Seed(7))
+}
+
+/// Allocations for `rounds` engine rounds of the ring program on a fresh
+/// cluster, along with the machine count used.
+fn engine_allocs(rounds: usize) -> (u64, usize) {
+    let mut cluster = sequential_cluster(64, 64);
+    let m = cluster.num_machines();
+    let mut machines: Vec<RingForward> = (0..m).map(|_| RingForward { machines: m }).collect();
+    let initial = vec![Message {
+        to: 0,
+        words: vec![0],
+    }];
+    let before = allocations();
+    let err = cluster
+        .run_program(&mut machines, initial, rounds)
+        .unwrap_err();
+    assert!(matches!(err, MpcError::RoundLimitExceeded { .. }));
+    (allocations() - before, m)
+}
+
+#[test]
+fn steady_state_rounds_and_repetitions_do_not_allocate() {
+    // Engine: the allocation difference between a 60-round and a 30-round
+    // run is exactly the program's own sends (2 allocations per
+    // machine-round). The engine's plumbing — routing sort,
+    // step results, component-tag propagation — reuses warm arenas and
+    // contributes zero.
+    let (short, m) = engine_allocs(30);
+    let (long, _) = engine_allocs(60);
+    let per_round_program = (2 * m) as u64;
+    assert_eq!(
+        long - short,
+        30 * per_round_program,
+        "engine rounds must allocate only what the program allocates"
+    );
+
+    // Scale workloads: a second repetition at fixed topology, with a warm
+    // workspace, performs zero heap allocations on the sweep path.
+    let family = StreamFamily::Cycle { n: 2048 };
+    let words = 2 * family.n() + 2 * family.m();
+    let mut cluster = sequential_cluster(family.n(), words);
+    let mut ws = scale::ScaleWorkspace::new();
+    let csr = scale::ingest(family, &mut cluster).unwrap();
+    // Warm repetition: grows every workspace buffer to capacity.
+    scale::cc_labels(&mut cluster, &csr, &mut ws).unwrap();
+    scale::luby_mis(&mut cluster, &csr, Seed(3), &mut ws).unwrap();
+    scale::ball_coloring(&mut cluster, &csr, Seed(5), &mut ws).unwrap();
+    cluster.reset_for_repetition();
+    let before = allocations();
+    scale::cc_labels(&mut cluster, &csr, &mut ws).unwrap();
+    scale::luby_mis(&mut cluster, &csr, Seed(3), &mut ws).unwrap();
+    scale::ball_coloring(&mut cluster, &csr, Seed(5), &mut ws).unwrap();
+    cluster.reset_for_repetition();
+    assert_eq!(
+        allocations() - before,
+        0,
+        "a warm scale repetition must be allocation-free"
+    );
+}

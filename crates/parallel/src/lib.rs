@@ -131,6 +131,47 @@ where
     }
 }
 
+/// Like [`par_map_range`] but writes the results into `out`, reusing its
+/// allocation (`out` is cleared first). At a fixed `n` a warm `out` makes
+/// the sweep allocation-free in sequential mode, which is what the
+/// steady-state `alloc-count` gate measures; in parallel mode the pool
+/// dispatch itself costs O(1) small control allocations per sweep.
+pub fn par_map_range_into<R, F>(mode: ParallelismMode, n: usize, out: &mut Vec<R>, f: F)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if mode.is_parallel() && n >= INLINE_CUTOFF {
+        (0..n).into_par_iter().map(&f).collect_into_vec(out);
+    } else {
+        out.clear();
+        out.reserve(n);
+        out.extend((0..n).map(f));
+    }
+}
+
+/// Like [`par_map_mut`] but writes the returned values into `out`, reusing
+/// its allocation (`out` is cleared first).
+pub fn par_map_mut_into<T, R, F>(mode: ParallelismMode, items: &mut [T], out: &mut Vec<R>, f: F)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    if mode.is_parallel() && items.len() >= INLINE_CUTOFF {
+        items
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect_into_vec(out);
+    } else {
+        let n = items.len();
+        out.clear();
+        out.reserve(n);
+        out.extend(items.iter_mut().enumerate().map(|(i, item)| f(i, item)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +206,41 @@ mod tests {
         let seq = par_map_range(ParallelismMode::Sequential, 1000, |i| i * i);
         let par = par_map_range(ParallelismMode::Parallel, 1000, |i| i * i);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn modes_agree_on_par_map_range_into_and_buffer_is_reused() {
+        let mut seq: Vec<u64> = Vec::new();
+        let mut par: Vec<u64> = Vec::new();
+        par_map_range_into(ParallelismMode::Sequential, 1000, &mut seq, |i| {
+            (i as u64) * 3 + 1
+        });
+        par_map_range_into(ParallelismMode::Parallel, 1000, &mut par, |i| {
+            (i as u64) * 3 + 1
+        });
+        assert_eq!(seq, par);
+        // Refilling at the same size must reuse the allocation.
+        let ptr = par.as_ptr();
+        par_map_range_into(ParallelismMode::Parallel, 1000, &mut par, |i| i as u64);
+        assert_eq!(ptr, par.as_ptr());
+        assert_eq!(par[999], 999);
+    }
+
+    #[test]
+    fn modes_agree_on_par_map_mut_into() {
+        let mut a: Vec<u64> = (0..300).collect();
+        let mut b = a.clone();
+        let (mut ra, mut rb) = (Vec::new(), Vec::new());
+        par_map_mut_into(ParallelismMode::Sequential, &mut a, &mut ra, |i, x| {
+            *x += i as u64;
+            *x
+        });
+        par_map_mut_into(ParallelismMode::Parallel, &mut b, &mut rb, |i, x| {
+            *x += i as u64;
+            *x
+        });
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
     }
 
     #[test]

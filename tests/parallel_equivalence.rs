@@ -251,6 +251,50 @@ fn supervised_recovery_is_mode_independent() {
 }
 
 #[test]
+fn scale_workloads_are_mode_independent_at_one_hundred_thousand() {
+    // The million-vertex scale path (streaming CSR ingestion, identity
+    // names, workspace-backed sweeps) under an armed fault plan whose
+    // straggler stalls must replay identically: labels, Stats ledger, and
+    // iteration counts all bit-identical between modes at n = 10⁵. ci.sh
+    // runs this under forced RAYON_NUM_THREADS=4.
+    use csmpc_graph::StreamFamily;
+    use csmpc_mpc::{scale, ScaleWorkspace};
+
+    let family = StreamFamily::TwoCycles { n: 100_000 };
+    let words = 2 * family.n() + 2 * family.m();
+    let mut per_mode = Vec::new();
+    for mode in MODES {
+        let cfg = MpcConfig {
+            parallelism: mode,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(cfg, family.n(), words, Seed(0xC0DE));
+        cluster.arm_faults(
+            FaultPlan::quiet(Seed(0xC0DE)).straggle(1, 3, 5),
+            RecoveryPolicy::restart(8),
+        );
+        let mut ws = ScaleWorkspace::new();
+        let csr = scale::ingest(family, &mut cluster).expect("scale ingest");
+        let iterations = scale::cc_labels(&mut cluster, &csr, &mut ws).expect("scale cc-labels");
+        per_mode.push((ws.label.clone(), iterations, cluster.stats().clone()));
+    }
+    assert_eq!(
+        per_mode[0], per_mode[1],
+        "scale cc-labels diverged between modes at n = 100000"
+    );
+    // Both components must actually be labeled by their minimum index.
+    let (labels, _, _) = &per_mode[0];
+    assert_eq!(labels[0], 0);
+    assert_eq!(labels[99_999], 50_000);
+
+    // The streaming ingestion itself must be bit-identical to the
+    // materialized Graph -> CSR path at this scale too.
+    let oracle = csmpc_graph::CsrAdjacency::from_graph(&family.materialize());
+    let streamed = family.stream_csr();
+    assert_eq!(streamed, oracle, "streamed CSR diverged at n = 100000");
+}
+
+#[test]
 fn local_simulators_are_mode_independent() {
     let g = generators::random_tree(64, Seed(11));
     let params = LocalParams::exact(g.n(), g.max_degree(), Seed(3));

@@ -8,12 +8,24 @@
 //!
 //! Unlike real rayon (work-stealing, nondeterministic scheduling), every
 //! combinator here is *eager* and *order-preserving*: a parallel map splits
-//! the input into `k` contiguous chunks (`k` = worker count), evaluates the
-//! chunks on scoped threads, and concatenates the chunk results **in chunk
-//! order**. The output is therefore bit-identical to the sequential
-//! `iter().map().collect()` regardless of the worker count, which is what
+//! the input index range into contiguous chunks and writes chunk `c`'s
+//! results into the output positions `[c·w, c·w + w)` that its input
+//! indices own. Which thread executes which chunk is dynamic (threads claim
+//! chunks from a shared cursor), but the output is a pure function of the
+//! input order, so it is bit-identical to the sequential
+//! `iter().map().collect()` regardless of the worker count — which is what
 //! lets the simulators expose a `ParallelismMode` toggle whose two settings
 //! are observationally equivalent.
+//!
+//! # Zero-copy sources
+//!
+//! `Range`, `&[T]`, `&mut [T]`, and `Vec<T>` become [`Source`]s: chunk
+//! descriptors that *produce* items for an index sub-range on demand,
+//! straight out of the underlying storage. No intermediate `Vec` of items
+//! (or references!) is materialized per call, adapters ([`Map`],
+//! [`Enumerate`]) stay lazy, and the terminal `collect` writes each result
+//! exactly once into its final slot. Worker threads live in a lazily
+//! started persistent pool ([`mod@pool`]) reused across calls.
 //!
 //! Worker count: `RAYON_NUM_THREADS` or `CSMPC_WORKERS` (first valid wins),
 //! else `std::thread::available_parallelism()`. With one worker, everything
@@ -21,8 +33,12 @@
 
 #![warn(missing_docs)]
 
+use std::marker::PhantomData;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
+
+mod pool;
 
 /// Number of worker threads parallel combinators may use.
 ///
@@ -45,103 +61,356 @@ pub fn current_num_threads() -> usize {
     })
 }
 
-/// Eagerly maps `items` through `f` on up to `workers` scoped threads,
-/// returning results in input order (chunk results concatenated in chunk
-/// order). Panics in `f` are propagated to the caller.
-fn map_chunked<T, R, F>(items: Vec<T>, f: F, min_len: usize, workers: usize) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let len = items.len();
-    let chunks = workers.min(len.div_ceil(min_len.max(1)));
-    if chunks <= 1 {
-        return items.into_iter().map(f).collect();
+/// A chunk descriptor: produces the items of an index sub-range on demand,
+/// directly from the underlying storage (range arithmetic, slice indexing,
+/// or `Vec` buffer reads) — never a materialized buffer of items.
+pub trait Source: Sync {
+    /// The item the source yields.
+    type Item: Send;
+
+    /// Total number of items.
+    fn len(&self) -> usize;
+
+    /// `true` when the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
-    let chunk_size = len.div_ceil(chunks);
-    let mut buckets: Vec<Vec<T>> = Vec::with_capacity(chunks);
-    let mut it = items.into_iter();
-    for _ in 0..chunks {
-        buckets.push(it.by_ref().take(chunk_size).collect());
-    }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| scope.spawn(move || bucket.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out: Vec<R> = Vec::with_capacity(len);
-        for handle in handles {
-            match handle.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-        out
-    })
+
+    /// Feeds the items of `[lo, hi)` into `sink`, in index order.
+    ///
+    /// # Safety
+    ///
+    /// Across every `produce` call on this value, the produced index
+    /// ranges must be pairwise disjoint and within `0..len()`. (Owning
+    /// sources move items out by index; exclusive-reference sources hand
+    /// out `&mut` by index — either would be unsound to produce twice.)
+    unsafe fn produce<K: FnMut(Self::Item)>(&self, lo: usize, hi: usize, sink: &mut K);
 }
 
-/// An eager, order-preserving parallel iterator over already-materialized
-/// items. Produced by [`IntoParallelIterator`], [`ParallelSlice`], or
-/// [`ParallelSliceMut`].
-pub struct ParIter<T> {
-    items: Vec<T>,
+/// [`Source`] over a `usize` range: pure index arithmetic.
+pub struct RangeSource {
+    start: usize,
+    len: usize,
+}
+
+impl Source for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn produce<K: FnMut(usize)>(&self, lo: usize, hi: usize, sink: &mut K) {
+        for i in lo..hi {
+            sink(self.start + i);
+        }
+    }
+}
+
+/// [`Source`] over a shared slice: yields `&T` straight from the slice.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn produce<K: FnMut(&'a T)>(&self, lo: usize, hi: usize, sink: &mut K) {
+        for item in &self.slice[lo..hi] {
+            sink(item);
+        }
+    }
+}
+
+/// [`Source`] over a mutable slice: yields `&mut T` by index. The
+/// disjointness contract of [`Source::produce`] is exactly what makes
+/// handing out `&mut` from a shared `&self` sound.
+pub struct SliceMutSource<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: stands in for `&mut [T]`; chunked access is disjoint by the
+// `produce` contract, so sharing the descriptor across threads is the same
+// as `split_at_mut`-ing the slice.
+unsafe impl<T: Send> Send for SliceMutSource<'_, T> {}
+unsafe impl<T: Send> Sync for SliceMutSource<'_, T> {}
+
+impl<'a, T: Send> Source for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn produce<K: FnMut(&'a mut T)>(&self, lo: usize, hi: usize, sink: &mut K) {
+        for i in lo..hi {
+            // SAFETY: i < self.len (produce contract) and no other produce
+            // call touches index i, so this `&mut` is unique.
+            sink(unsafe { &mut *self.ptr.add(i) });
+        }
+    }
+}
+
+/// Owning [`Source`] over a `Vec<T>`: moves items out of the buffer by
+/// index, without materializing anything.
+///
+/// The buffer's `len` is held at 0 (the logical length lives in `len`), so
+/// the `Vec`'s own drop never touches item slots. If the source is dropped
+/// without producing, [`Drop`] restores the length and the items drop
+/// normally; once any chunk has produced, remaining items are leaked on an
+/// unwind rather than risking a double drop.
+pub struct VecSource<T> {
+    buf: Vec<T>,
+    len: usize,
+    produced: AtomicBool,
+}
+
+// SAFETY: produce moves `T` values out to the calling thread (so `T: Send`
+// is required), and the disjointness contract means concurrent produce
+// calls read disjoint slots — `T: Sync` is not needed.
+unsafe impl<T: Send> Sync for VecSource<T> {}
+
+impl<T: Send> Source for VecSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn produce<K: FnMut(T)>(&self, lo: usize, hi: usize, sink: &mut K) {
+        self.produced.store(true, Ordering::Relaxed);
+        let base = self.buf.as_ptr();
+        for i in lo..hi {
+            // SAFETY: i < self.len slots are initialized, and the produce
+            // contract guarantees each is read (moved out) at most once.
+            sink(unsafe { std::ptr::read(base.add(i)) });
+        }
+    }
+}
+
+impl<T> Drop for VecSource<T> {
+    fn drop(&mut self) {
+        if !self.produced.load(Ordering::Relaxed) {
+            // SAFETY: nothing was moved out, so all `self.len` slots are
+            // still initialized.
+            unsafe { self.buf.set_len(self.len) };
+        }
+    }
+}
+
+/// Lazy mapping adapter: applies `f` at produce time, on the producing
+/// thread, with no intermediate storage.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, R> Source for Map<S, F>
+where
+    S: Source,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn produce<K: FnMut(R)>(&self, lo: usize, hi: usize, sink: &mut K) {
+        // SAFETY: forwards the caller's (disjoint) range unchanged.
+        unsafe {
+            self.inner.produce(lo, hi, &mut |item| sink((self.f)(item)));
+        }
+    }
+}
+
+/// Lazy enumeration adapter: the index is recovered from the chunk offset
+/// by arithmetic — no `(usize, T)` tuples are ever materialized.
+pub struct Enumerate<S> {
+    inner: S,
+}
+
+impl<S: Source> Source for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    unsafe fn produce<K: FnMut((usize, S::Item))>(&self, lo: usize, hi: usize, sink: &mut K) {
+        let mut i = lo;
+        // SAFETY: forwards the caller's (disjoint) range unchanged.
+        unsafe {
+            self.inner.produce(lo, hi, &mut |item| {
+                sink((i, item));
+                i += 1;
+            });
+        }
+    }
+}
+
+/// `*mut T` wrapper so the output base pointer can be captured by the
+/// `Sync` chunk closure; every chunk writes a disjoint offset range.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only used to write disjoint, chunk-owned ranges.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Splits `len` items into contiguous chunks: `(chunk_size, chunk_count)`.
+///
+/// `min_len == 0` means size-adaptive: aim for `4 × workers` chunks (a
+/// small over-decomposition so the dynamic claimer load-balances uneven
+/// chunk costs) but never chunks smaller than one item. An explicit
+/// `min_len` caps the chunk count the same way the real rayon's
+/// `with_min_len` does.
+fn chunk_plan(len: usize, min_len: usize) -> (usize, usize) {
+    if len == 0 {
+        return (1, 0);
+    }
+    let workers = current_num_threads();
+    let target = 4 * workers;
+    let effective_min = if min_len == 0 {
+        (len / target).max(1)
+    } else {
+        min_len
+    };
+    let chunks = target.min(len.div_ceil(effective_min)).max(1);
+    let chunk = len.div_ceil(chunks);
+    (chunk, len.div_ceil(chunk))
+}
+
+/// An eager, order-preserving parallel iterator: a lazy [`Source`] plus a
+/// chunking policy. Produced by [`IntoParallelIterator`],
+/// [`ParallelSlice`], or [`ParallelSliceMut`]; nothing is materialized
+/// until a terminal method (`collect`, `for_each`, `reduce`) runs.
+pub struct ParIter<S> {
+    source: S,
+    /// 0 = size-adaptive (see [`chunk_plan`]).
     min_len: usize,
 }
 
-impl<T: Send> ParIter<T> {
+impl<S: Source> ParIter<S> {
     /// Sets the minimum number of items each worker chunk should hold —
-    /// cheap per-item closures amortize thread overhead with larger chunks.
+    /// cheap per-item closures amortize scheduling overhead with larger
+    /// chunks. Without it the chunk size adapts to the input length and
+    /// worker count automatically.
     #[must_use]
     pub fn with_min_len(mut self, min_len: usize) -> Self {
         self.min_len = min_len.max(1);
         self
     }
 
-    /// Parallel, order-preserving map: output index `i` is `f(items[i])`.
-    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    /// Lazy, order-preserving map: output index `i` is `f(item_i)`.
+    pub fn map<R, F>(self, f: F) -> ParIter<Map<S, F>>
     where
         R: Send,
-        F: Fn(T) -> R + Sync,
+        F: Fn(S::Item) -> R + Sync,
     {
         ParIter {
-            items: map_chunked(self.items, f, self.min_len, current_num_threads()),
+            source: Map {
+                inner: self.source,
+                f,
+            },
             min_len: self.min_len,
         }
     }
 
-    /// Pairs each item with its input index.
+    /// Pairs each item with its input index, by chunk-offset arithmetic.
     #[must_use]
-    pub fn enumerate(self) -> ParIter<(usize, T)> {
+    pub fn enumerate(self) -> ParIter<Enumerate<S>> {
         ParIter {
-            items: self.items.into_iter().enumerate().collect(),
+            source: Enumerate { inner: self.source },
             min_len: self.min_len,
         }
     }
 
     /// Materializes the results in input order.
-    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+    pub fn collect<C: FromParallelIterator<S::Item>>(self) -> C {
         C::from_par_iter(self)
     }
 
-    /// Number of items.
-    #[must_use]
-    pub fn count(self) -> usize {
-        self.items.len()
+    /// Materializes the results in input order into `out`, reusing its
+    /// allocation (`out` is cleared first). The workhorse terminal: each
+    /// result is written exactly once into its final slot by the chunk
+    /// that owns its index range.
+    pub fn collect_into_vec(self, out: &mut Vec<S::Item>) {
+        let len = self.source.len();
+        out.clear();
+        out.reserve(len);
+        if len == 0 {
+            return;
+        }
+        let (chunk, chunks) = chunk_plan(len, self.min_len);
+        let base = out.as_mut_ptr();
+        if chunks <= 1 {
+            let mut cursor = base;
+            // SAFETY: one produce call over the full range; each item is
+            // written once to a reserved slot, then the length is set.
+            unsafe {
+                self.source.produce(0, len, &mut |item| {
+                    std::ptr::write(cursor, item);
+                    cursor = cursor.add(1);
+                });
+                out.set_len(len);
+            }
+            return;
+        }
+        let base = SendPtr(base);
+        let source = &self.source;
+        pool::run(chunks, &|c| {
+            // Rebind the whole wrapper (not the `.0` field, which edition
+            // 2021 would precise-capture as a bare `*mut T`) so the closure
+            // captures the `Sync` `SendPtr` itself.
+            #[allow(clippy::redundant_locals)]
+            let base = base;
+            let lo = c * chunk;
+            let hi = len.min(lo + chunk);
+            // SAFETY: chunk `c` exclusively owns input and output indices
+            // `[lo, hi)` — produce ranges are disjoint across chunks, and
+            // each output slot (reserved above) is written exactly once.
+            // `pool::run` blocks until every chunk completes, so `source`
+            // and `base` outlive all uses.
+            unsafe {
+                let mut cursor = base.0.add(lo);
+                source.produce(lo, hi, &mut |item| {
+                    std::ptr::write(cursor, item);
+                    cursor = cursor.add(1);
+                });
+            }
+        });
+        // SAFETY: all `len` slots were initialized by the chunks above
+        // (pool::run re-throws chunk panics before reaching here).
+        unsafe { out.set_len(len) };
     }
 
-    /// Folds the (already order-preserved) items sequentially with `op`,
-    /// starting from `identity()`. Deterministic by construction — but the
-    /// simulator crates' `determinism` conformance lint still rejects it
-    /// there, because under real rayon `reduce` is association-order
-    /// nondeterministic; prefer an explicit `collect` + fold.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    /// Number of items (known from the source — nothing is executed).
+    #[must_use]
+    pub fn count(self) -> usize {
+        self.source.len()
+    }
+
+    /// Folds the items sequentially, in index order, with `op`, starting
+    /// from `identity()` — no intermediate buffer. Deterministic by
+    /// construction — but the simulator crates' `determinism` conformance
+    /// lint still rejects it there, because under real rayon `reduce` is
+    /// association-order nondeterministic; prefer an explicit `collect` +
+    /// fold.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
     where
-        ID: Fn() -> T,
-        OP: Fn(T, T) -> T,
+        ID: Fn() -> S::Item,
+        OP: Fn(S::Item, S::Item) -> S::Item,
     {
-        self.items.into_iter().fold(identity(), op)
+        let len = self.source.len();
+        let mut acc = Some(identity());
+        // SAFETY: one produce call over the full range.
+        unsafe {
+            self.source.produce(0, len, &mut |item| {
+                let cur = acc.take().expect("reduce accumulator");
+                acc = Some(op(cur, item));
+            });
+        }
+        acc.expect("reduce accumulator")
     }
 
     /// Runs `f` on every item (no ordering guarantee under real rayon;
@@ -149,38 +418,36 @@ impl<T: Send> ParIter<T> {
     /// lint forbids it there).
     pub fn for_each<F>(self, f: F)
     where
-        F: Fn(T) + Sync,
+        F: Fn(S::Item) + Sync,
     {
-        drop(map_chunked(
-            self.items,
-            f,
-            self.min_len,
-            current_num_threads(),
-        ));
-    }
-
-    #[cfg(test)]
-    fn map_with_workers<R, F>(self, f: F, workers: usize) -> ParIter<R>
-    where
-        R: Send,
-        F: Fn(T) -> R + Sync,
-    {
-        ParIter {
-            items: map_chunked(self.items, f, self.min_len, workers),
-            min_len: self.min_len,
+        let len = self.source.len();
+        if len == 0 {
+            return;
         }
+        let (chunk, chunks) = chunk_plan(len, self.min_len);
+        let source = &self.source;
+        pool::run(chunks, &|c| {
+            let lo = c * chunk;
+            let hi = len.min(lo + chunk);
+            // SAFETY: chunk `c` exclusively owns indices `[lo, hi)`.
+            unsafe {
+                source.produce(lo, hi, &mut |item| f(item));
+            }
+        });
     }
 }
 
 /// Types a [`ParIter`] can be materialized into (mirror of rayon's trait).
 pub trait FromParallelIterator<T: Send>: Sized {
     /// Builds `Self` from the iterator's items, preserving input order.
-    fn from_par_iter(iter: ParIter<T>) -> Self;
+    fn from_par_iter<S: Source<Item = T>>(iter: ParIter<S>) -> Self;
 }
 
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
-    fn from_par_iter(iter: ParIter<T>) -> Vec<T> {
-        iter.items
+    fn from_par_iter<S: Source<Item = T>>(iter: ParIter<S>) -> Vec<T> {
+        let mut out = Vec::new();
+        iter.collect_into_vec(&mut out);
+        out
     }
 }
 
@@ -188,46 +455,67 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
 pub trait IntoParallelIterator {
     /// Item type of the resulting iterator.
     type Item: Send;
-    /// Converts `self` into an eager parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+    /// The zero-copy source backing the iterator.
+    type Source: Source<Item = Self::Item>;
+    /// Converts `self` into a lazy parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Source>;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
+    type Source = VecSource<T>;
+    fn into_par_iter(mut self) -> ParIter<VecSource<T>> {
+        let len = self.len();
+        // SAFETY: 0 <= len; the `len` items stay initialized in the buffer
+        // and are tracked by `VecSource::len` from here on.
+        unsafe { self.set_len(0) };
         ParIter {
-            items: self,
-            min_len: 1,
+            source: VecSource {
+                buf: self,
+                len,
+                produced: AtomicBool::new(false),
+            },
+            min_len: 0,
         }
     }
 }
 
 impl IntoParallelIterator for Range<usize> {
     type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
+    type Source = RangeSource;
+    fn into_par_iter(self) -> ParIter<RangeSource> {
         ParIter {
-            items: self.collect(),
-            min_len: 1,
+            source: RangeSource {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            },
+            min_len: 0,
         }
     }
 }
 
 impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
     type Item = &'a T;
-    fn into_par_iter(self) -> ParIter<&'a T> {
+    type Source = SliceSource<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
         ParIter {
-            items: self.iter().collect(),
-            min_len: 1,
+            source: SliceSource { slice: self },
+            min_len: 0,
         }
     }
 }
 
 impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
     type Item = &'a mut T;
-    fn into_par_iter(self) -> ParIter<&'a mut T> {
+    type Source = SliceMutSource<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceMutSource<'a, T>> {
         ParIter {
-            items: self.iter_mut().collect(),
-            min_len: 1,
+            source: SliceMutSource {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                _marker: PhantomData,
+            },
+            min_len: 0,
         }
     }
 }
@@ -235,15 +523,12 @@ impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
 /// `par_iter` on shared slices (mirror of rayon's `IntoParallelRefIterator`).
 pub trait ParallelSlice<T: Sync> {
     /// Parallel iterator over `&T` in index order.
-    fn par_iter(&self) -> ParIter<&T>;
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<&T> {
-        ParIter {
-            items: self.iter().collect(),
-            min_len: 1,
-        }
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>> {
+        self.into_par_iter()
     }
 }
 
@@ -251,15 +536,12 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 /// `IntoParallelRefMutIterator`).
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over `&mut T` in index order.
-    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
-        ParIter {
-            items: self.iter_mut().collect(),
-            min_len: 1,
-        }
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>> {
+        self.into_par_iter()
     }
 }
 
@@ -289,25 +571,34 @@ where
 pub mod prelude {
     pub use crate::{
         FromParallelIterator, IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut,
+        Source,
     };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
-    fn map_preserves_order_across_worker_counts() {
+    fn map_preserves_order_across_chunk_plans() {
         let input: Vec<u64> = (0..1000).collect();
         let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
-        for workers in [1, 2, 3, 7, 16, 1000, 2000] {
+        // min_len sweeps the chunk count from "one huge chunk" to "one
+        // item per chunk" — order must be preserved under every plan.
+        for min_len in [1, 2, 3, 7, 16, 100, 1000, 2000] {
             let got: Vec<u64> = input
                 .clone()
                 .into_par_iter()
-                .map_with_workers(|x| x * 3 + 1, workers)
+                .with_min_len(min_len)
+                .map(|x| x * 3 + 1)
                 .collect();
-            assert_eq!(got, expected, "workers = {workers}");
+            assert_eq!(got, expected, "min_len = {min_len}");
         }
+        // Size-adaptive default plan.
+        let got: Vec<u64> = input.clone().into_par_iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]
@@ -324,13 +615,11 @@ mod tests {
         let mut v: Vec<usize> = (0..256).collect();
         let deltas: Vec<usize> = v
             .par_iter_mut()
-            .map_with_workers(
-                |slot| {
-                    *slot += 10;
-                    *slot
-                },
-                4,
-            )
+            .with_min_len(64)
+            .map(|slot| {
+                *slot += 10;
+                *slot
+            })
             .collect();
         assert_eq!(v[0], 10);
         assert_eq!(v[255], 265);
@@ -341,6 +630,17 @@ mod tests {
     fn enumerate_indexes_match() {
         let pairs: Vec<(usize, char)> = vec!['a', 'b', 'c'].into_par_iter().enumerate().collect();
         assert_eq!(pairs, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+        // Large enough to split into many chunks: the arithmetic indices
+        // must agree with the sequential enumeration in every chunk.
+        let big: Vec<(usize, u64)> = (0..10_000usize)
+            .into_par_iter()
+            .with_min_len(13)
+            .map(|i| i as u64 * 7)
+            .enumerate()
+            .collect();
+        for (i, (idx, val)) in big.iter().enumerate() {
+            assert_eq!((*idx, *val), (i, i as u64 * 7));
+        }
     }
 
     #[test]
@@ -367,16 +667,102 @@ mod tests {
     }
 
     #[test]
-    fn with_min_len_still_preserves_order() {
-        let input: Vec<u64> = (0..100).collect();
-        let got: Vec<u64> = input
-            .clone()
+    fn collect_into_vec_reuses_allocation() {
+        let mut out: Vec<usize> = Vec::with_capacity(4096);
+        let ptr_before = out.as_ptr();
+        (0..4096usize)
             .into_par_iter()
-            .with_min_len(17)
-            .map_with_workers(|x| x + 1, 8)
+            .map(|i| i * 2)
+            .collect_into_vec(&mut out);
+        assert_eq!(out.len(), 4096);
+        assert_eq!(out[1234], 2468);
+        assert_eq!(ptr_before, out.as_ptr(), "reserve must reuse the buffer");
+        // Second fill at the same size: still the same buffer.
+        (0..4096usize)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .collect_into_vec(&mut out);
+        assert_eq!(ptr_before, out.as_ptr());
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn vec_source_drops_items_when_unconsumed() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let items: Vec<Counted> = (0..10).map(|_| Counted(Arc::clone(&drops))).collect();
+        let iter = items.into_par_iter();
+        drop(iter);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            10,
+            "unconsumed items must drop"
+        );
+
+        // And a consumed source drops every item exactly once (moved into
+        // the map closure, dropped there).
+        let drops2 = Arc::new(AtomicUsize::new(0));
+        let items2: Vec<Counted> = (0..100).map(|_| Counted(Arc::clone(&drops2))).collect();
+        let lens: Vec<usize> = items2.into_par_iter().with_min_len(7).map(|_c| 1).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(drops2.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = (0..1000usize)
+                .into_par_iter()
+                .with_min_len(10)
+                .map(|i| {
+                    assert!(i != 517, "boom");
+                    i as u32
+                })
+                .collect();
+        });
+        assert!(caught.is_err(), "panic in a chunk must reach the caller");
+        // The pool must still be serviceable after a panicked job.
+        let sum: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i).collect();
+        assert_eq!(sum.iter().sum::<usize>(), 499_500);
+    }
+
+    #[test]
+    fn nested_parallel_calls_do_not_deadlock() {
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .with_min_len(4)
+            .map(|i| {
+                let inner: Vec<usize> = (0..32usize)
+                    .into_par_iter()
+                    .with_min_len(4)
+                    .map(move |j| i * j)
+                    .collect();
+                inner.iter().sum()
+            })
             .collect();
-        let expected: Vec<u64> = input.iter().map(|x| x + 1).collect();
-        assert_eq!(got, expected);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * (31 * 32 / 2));
+        }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_pool() {
+        // Smoke: a long sequence of small parallel calls must not
+        // accumulate resources or wedge (the old runtime spawned fresh
+        // scoped threads per call; the pool reuses daemon workers).
+        for round in 0..200usize {
+            let v: Vec<usize> = (0..257usize)
+                .into_par_iter()
+                .map(move |i| i + round)
+                .collect();
+            assert_eq!(v[0], round);
+            assert_eq!(v[256], 256 + round);
+        }
     }
 
     #[test]
