@@ -74,17 +74,22 @@ echo "==> steady-state allocation gate (alloc-count build)"
 cargo run -q --release -p csmpc-bench --features alloc-count --bin perf -- \
     --alloc-gate --smoke
 
-echo "==> job-service soak smoke + concurrent determinism gate"
+echo "==> job-service soak smoke + determinism + crash-recovery gates"
 # Pushes a 1200-job mixed batch (faults, poison jobs, shedding) through
 # the multi-tenant scheduler, writes BENCH_service_smoke.json (the
 # committed full-size BENCH_service.json is left untouched), and asserts
 # zero wedged queue states. --check-determinism then runs the SAME batch
 # with the SAME seeds through two services CONCURRENTLY and fails unless
 # every per-job output digest and Stats ledger is bit-identical — the
-# scheduler-interleaving-independence contract. Threads are forced so the
-# gate exercises real worker contention even on small runners.
+# scheduler-interleaving-independence contract. --crash-every 400 then
+# re-runs the batch through a JOURNALED service that is killed after
+# every 400 journal records and recovered from the write-ahead log until
+# the batch completes (~10 recoveries): the gate fails unless the
+# crash-riddled run's fingerprint is bit-identical to the uninterrupted
+# run's — recovery is replay, not re-guessing. Threads are forced so
+# both gates exercise real worker contention even on small runners.
 RAYON_NUM_THREADS=4 cargo run -q --release -p csmpc-bench --bin soak -- \
-    --smoke --check-determinism
+    --smoke --check-determinism --crash-every 400
 test -s BENCH_service_smoke.json
 
 echo "CI green."

@@ -909,7 +909,10 @@ fn main() {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mpc.json")
     };
-    std::fs::write(out, &json).expect("write benchmark json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("FAIL: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
     println!("wrote {out}");
 
     if let Some(baseline) = &baseline {

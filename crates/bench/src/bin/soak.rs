@@ -15,18 +15,27 @@
 //!   with exit 1 unless every per-job outcome is bit-identical. This is
 //!   the service-level analogue of the engine's seq-vs-par equivalence
 //!   gates.
+//! * `--crash-every N` — re-run the batch through a *journaled* service
+//!   that is killed after every `N` journal records, recovering and
+//!   resuming until the batch completes. Fails with exit 1 unless the
+//!   crash-riddled run's report fingerprint is bit-identical to the
+//!   uninterrupted run's; reports recovery counts and latency in a
+//!   `crash_recovery` JSON section.
 //!
 //! The batch recipe is a pure function of a fixed seed, so two
 //! invocations (or the two concurrent services of the determinism
 //! check) always see the same submission sequence.
+//!
+//! BENCH JSON write failures exit 2 with the offending path, mirroring
+//! the `perf --gate` read-side contract.
 
 use std::time::Instant;
 
 use csmpc_graph::rng::{Seed, SplitMix64};
 use csmpc_mpc::ParallelismMode;
 use csmpc_service::{
-    FaultSpec, GraphSpec, JobService, JobSpec, JobState, Priority, ServiceConfig, ServiceReport,
-    Workload,
+    CrashPlan, FaultSpec, GraphSpec, JobService, JobSpec, JobState, Journal, Priority,
+    ServiceConfig, ServiceReport, Workload,
 };
 
 /// Deterministic mixed batch: a handful of graph shapes (so the shared
@@ -114,6 +123,71 @@ fn run_once(jobs: usize, workers: usize) -> (ServiceReport, f64) {
     (report, secs)
 }
 
+/// What the crash/recover/resume loop measured, for the JSON section.
+struct CrashRunStats {
+    report: ServiceReport,
+    recoveries: u64,
+    records_replayed: u64,
+    recovery_ms: Vec<f64>,
+}
+
+/// Run the batch through a journaled service that is killed after every
+/// `crash_every` journal records, recovering from the on-disk log and
+/// resubmitting the unpersisted tail until the batch completes. The
+/// write-ahead discipline guarantees at least one fresh record lands per
+/// cycle once `crash_every >= 2`, so the loop always terminates.
+fn run_with_crashes(jobs: usize, workers: usize, crash_every: u64) -> CrashRunStats {
+    let cfg = service_config(jobs, workers);
+    let specs = build_batch(jobs);
+    let path = std::env::temp_dir().join(format!("csmpc_soak_journal_{}.bin", std::process::id()));
+    let journal = Journal::create(&path).unwrap_or_else(|e| {
+        eprintln!("FAIL: cannot create journal at {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let svc = JobService::with_journal(cfg.clone(), journal);
+    svc.arm_crash(CrashPlan::kill_after(crash_every));
+    for spec in &specs {
+        svc.submit(spec.clone());
+        if svc.crashed() {
+            break;
+        }
+    }
+    let mut attempt = svc.run_recoverable();
+    let mut recoveries = 0u64;
+    let mut records_replayed = 0u64;
+    let mut recovery_ms = Vec::new();
+    let report = loop {
+        match attempt {
+            Some(report) => break report,
+            None => {
+                let t0 = Instant::now();
+                let (svc, info) = JobService::recover(cfg.clone(), &path).unwrap_or_else(|e| {
+                    eprintln!("FAIL: recovery {} refused: {e}", recoveries + 1);
+                    std::process::exit(1);
+                });
+                recovery_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                recoveries += 1;
+                records_replayed += info.records_replayed;
+                svc.arm_crash(CrashPlan::kill_after(crash_every));
+                for spec in &specs[svc.submitted_jobs()..] {
+                    svc.submit(spec.clone());
+                    if svc.crashed() {
+                        break;
+                    }
+                }
+                attempt = svc.run_recoverable();
+            }
+        }
+    };
+    std::fs::remove_file(&path).ok();
+    CrashRunStats {
+        report,
+        recoveries,
+        records_replayed,
+        recovery_ms,
+    }
+}
+
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
@@ -137,6 +211,11 @@ fn main() {
     };
     let jobs = arg_after("--jobs").unwrap_or(if smoke { 1200 } else { 10_000 });
     let workers = arg_after("--workers").unwrap_or(4);
+    let crash_every = arg_after("--crash-every").map(|n| {
+        // Below 2 the first surviving record of each cycle can be a
+        // replayed duplicate, so no cycle makes durable progress.
+        (n as u64).max(2)
+    });
 
     println!("soak: {jobs} jobs, {workers} workers, smoke={smoke}");
 
@@ -213,6 +292,47 @@ fn main() {
             format!(",\n  \"determinism\": {{\"checked\": true, \"fingerprint\": \"{fa:#x}\"}}");
     }
 
+    let mut crash_recovery = String::new();
+    if let Some(every) = crash_every {
+        // The crash-riddled run must land on the exact same report as
+        // the uninterrupted one — recovery is replay, not re-guessing.
+        let crashed = run_with_crashes(jobs, workers, every);
+        let (fc, fr) = (crashed.report.fingerprint(), report.fingerprint());
+        if fc != fr {
+            for (x, y) in crashed.report.outcomes.iter().zip(&report.outcomes) {
+                if x.digest != y.digest || x.state != y.state || x.attempts != y.attempts {
+                    eprintln!(
+                        "  job {:?}: crash-run ({:?}, digest {:#x}, attempts {}) vs \
+                         reference ({:?}, digest {:#x}, attempts {})",
+                        x.id, x.state, x.digest, x.attempts, y.state, y.digest, y.attempts
+                    );
+                }
+            }
+            eprintln!("FAIL: crash-recovery gate: fingerprints {fc:#x} vs reference {fr:#x}");
+            std::process::exit(1);
+        }
+        let (mean_ms, max_ms) = if crashed.recovery_ms.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let sum: f64 = crashed.recovery_ms.iter().sum();
+            (
+                sum / crashed.recovery_ms.len() as f64,
+                crashed.recovery_ms.iter().cloned().fold(0.0, f64::max),
+            )
+        };
+        println!(
+            "  crash-recovery gate: OK ({} recoveries every {every} records, \
+             {} records replayed, recover() mean {mean_ms:.3} ms max {max_ms:.3} ms)",
+            crashed.recoveries, crashed.records_replayed
+        );
+        crash_recovery = format!(
+            ",\n  \"crash_recovery\": {{\"crash_every\": {every}, \"recoveries\": {}, \
+             \"records_replayed\": {}, \"recovery_ms\": {{\"mean\": {mean_ms:.4}, \
+             \"max\": {max_ms:.4}}}, \"fingerprint_match\": true}}",
+            crashed.recoveries, crashed.records_replayed
+        );
+    }
+
     let json = format!(
         "{{\n  \"suite\": \"csmpc job-service soak\",\n  \"jobs\": {jobs},\n  \
          \"workers\": {workers},\n  \"smoke\": {smoke},\n  \"wall_s\": {secs:.3},\n  \
@@ -220,7 +340,7 @@ fn main() {
          \"p90\": {p90:.4}, \"p99\": {p99:.4}, \"max\": {max_ms:.4}}},\n  \
          \"counters\": {{\"submitted\": {}, \"admitted\": {}, \"rejected\": {}, \"shed\": {}, \
          \"completed\": {}, \"degraded\": {}, \"quarantined\": {}, \"retries\": {}, \
-         \"backoff_ticks\": {}, \"deadline_failures\": {}}}{determinism}\n}}\n",
+         \"backoff_ticks\": {}, \"deadline_failures\": {}}}{determinism}{crash_recovery}\n}}\n",
         c.submitted,
         c.admitted,
         c.rejected,
@@ -241,6 +361,9 @@ fn main() {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json")
     };
-    std::fs::write(out, &json).expect("write soak json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("FAIL: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
     println!("wrote {out}");
 }

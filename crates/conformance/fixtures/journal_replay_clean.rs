@@ -1,0 +1,26 @@
+//! Clean crash-recovery replay paths: the journal-replay roots
+//! (`recover`, `replay_journal` — private, rooted only through the
+//! entry-name extension) charge the frames they re-read via
+//! `charge_replay`, so both the charge-flow pass and the
+//! recovery-accounting token lint stay silent.
+
+// The recovery root delegates the wire-level rebuild; the replay ledger
+// charge covers the whole chain.
+fn recover(cluster: &mut Cluster) -> Result<(), MpcError> {
+    cluster.charge_replay(1, 8);
+    replay_journal(cluster);
+    Ok(())
+}
+
+// Re-stages in-flight wire state from the log and charges the frames it
+// replays — clean under both lints.
+fn replay_journal(cluster: &mut Cluster) {
+    cluster.charge_replay(1, cluster.pending_retransmit.len() as u64);
+    cluster.pending_retransmit.clear();
+}
+
+// Communication-free bookkeeping: mutates the cluster but never touches
+// the wire, so the flow pass owes it nothing.
+fn note_resume(cluster: &mut Cluster) {
+    cluster.attempt_count += 1;
+}

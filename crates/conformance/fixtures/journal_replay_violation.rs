@@ -1,0 +1,36 @@
+//! Seeded journal-replay violations: `recover` and `replay_journal`
+//! are private crash-recovery roots — before the entry-name extension
+//! the flow pass never rooted a search there, so an uncharged wire
+//! rebuild below the replay layer went unseen.
+
+// Flagged (charge-flow, and recovery-accounting by name): the recovery
+// root re-stages wire state through a helper with no charge anywhere.
+fn recover(cluster: &mut Cluster) -> Result<(), MpcError> {
+    rebuild_inflight(cluster);
+    Ok(())
+}
+
+// Also flagged by charge-flow: the direct wire touch, witnessed from
+// `recover`.
+fn rebuild_inflight(cluster: &mut Cluster) {
+    for machine in 0..cluster.num_machines() {
+        cluster.inboxes[machine].clear();
+    }
+}
+
+// Flagged: replays the retransmission buffer two calls down without
+// ever charging the frames it re-reads.
+fn replay_journal(cluster: &mut Cluster) -> Result<(), MpcError> {
+    requeue_torn_tail(cluster);
+    Ok(())
+}
+
+// Also flagged: transitively wire-touching, still uncharged below.
+fn requeue_torn_tail(cluster: &mut Cluster) {
+    restage_frame(cluster);
+}
+
+// Also flagged: the retransmission buffer is wire state.
+fn restage_frame(cluster: &mut Cluster) {
+    cluster.pending_retransmit.push(0);
+}

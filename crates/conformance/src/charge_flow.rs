@@ -33,6 +33,7 @@ const CHARGE_SINKS: &[&str] = &[
     "charge_words",
     "charge_storage",
     "charge_recovery",
+    "charge_replay",
     "require_fits",
 ];
 
@@ -52,7 +53,10 @@ const COMM_TOKENS: &[&str] = &[
 /// `run_job` and `execute_attempt` are the `csmpc-service` scheduler
 /// roots: every per-attempt execution path enters through them, so an
 /// uncharged service-layer helper that reaches wire machinery is caught
-/// even when it is private.
+/// even when it is private. `recover` and `replay_journal` are the
+/// crash-recovery roots: journal replay re-executes in-flight attempts,
+/// so any wire-touching helper it reaches must still land on a charge
+/// (`charge_replay` closes the replay bookkeeping itself).
 const ENTRY_NAMES: &[&str] = &[
     "run_program",
     "run_program_with_faults",
@@ -60,6 +64,8 @@ const ENTRY_NAMES: &[&str] = &[
     "advance_rounds",
     "run_job",
     "execute_attempt",
+    "recover",
+    "replay_journal",
 ];
 
 /// `true` when the function's signature mutates cluster state.
@@ -143,7 +149,8 @@ pub fn run(files: &[FileModel], graph: &CallGraph) -> Vec<Diagnostic> {
             message: format!(
                 "`{}` mutates cluster state and touches communication machinery (via `{via}`) \
                  but no path from it reaches a Stats charge \
-                 (charge_rounds/charge_words/charge_storage/charge_recovery/require_fits); \
+                 (charge_rounds/charge_words/charge_storage/charge_recovery/charge_replay/\
+                 require_fits); \
                  unaccounted wire traffic breaks the S = n^phi cost model",
                 f.name
             ),

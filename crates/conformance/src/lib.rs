@@ -732,6 +732,7 @@ const CHARGE_TOKENS: &[&str] = &[
     "charge_words",
     "charge_storage",
     "charge_recovery",
+    "charge_replay",
     "require_fits",
     "run_program",
     "advance_rounds",
@@ -822,6 +823,7 @@ const RECOVERY_KEYWORDS: &[&str] = &[
     "speculate",
     "quarantine",
     "backoff",
+    "replay",
 ];
 
 /// Marks lines inside inherent `impl Cluster` blocks (`impl Cluster {`,
@@ -1273,7 +1275,11 @@ pub fn lints_for_path(rel: &str) -> Vec<Lint> {
     if rel == "crates/mpc/src/distributed.rs" {
         lints.push(Lint::UnaccountedPrimitive);
     }
-    if rel.starts_with("crates/mpc/src/") {
+    // The service crate hosts the crash-recovery replay paths
+    // (`recover`/`replay_journal`): replayed journal frames are real
+    // work the ledger must see, so it shares the recovery-accounting
+    // root with the engine.
+    if rel.starts_with("crates/mpc/src/") || rel.starts_with("crates/service/src/") {
         lints.push(Lint::RecoveryAccounting);
     }
     const DETERMINISM_ROOTS: &[&str] = &[

@@ -156,6 +156,41 @@ fn service_charge_flow_clean_fixture_stays_clean() {
 }
 
 #[test]
+fn journal_replay_fixture_caught_through_recovery_roots() {
+    // `recover` / `replay_journal` are private crash-recovery roots:
+    // only the recovery entry-name extension makes the flow pass root a
+    // search at them.
+    let flow = analyze_fixture("journal_replay_violation.rs");
+    assert!(flow.iter().all(|d| d.lint == Lint::ChargeFlow), "{flow:#?}");
+    assert_eq!(lines_of(&flow), vec![8, 15, 23, 29, 34], "{flow:#?}");
+    // The recovery root's wire touch is witnessed down to the helper.
+    assert_eq!(flow[0].witness, vec!["recover", "rebuild_inflight"]);
+    // The replay root's uncharged restage is two calls removed.
+    assert_eq!(
+        flow[2].witness,
+        vec!["replay_journal", "requeue_torn_tail", "restage_frame"]
+    );
+    assert!(flow.iter().all(|d| d.severity == Severity::Error));
+    // The `replay` keyword also puts the roots on the token lint's
+    // radar, one diagnostic per uncharged replay-named mutator.
+    let token = scan_fixture("journal_replay_violation.rs", &[Lint::RecoveryAccounting]);
+    assert_eq!(lines_of(&token), vec![8, 23], "{token:#?}");
+    assert!(token[0].message.contains("recover"));
+    assert!(token[1].message.contains("replay_journal"));
+}
+
+#[test]
+fn journal_replay_clean_fixture_stays_clean() {
+    // `charge_replay` is a recognized charge sink, so replay paths that
+    // charge the frames they re-read satisfy both lints.
+    assert!(
+        analyze_fixture("journal_replay_clean.rs").is_empty(),
+        "{:#?}",
+        analyze_fixture("journal_replay_clean.rs")
+    );
+}
+
+#[test]
 fn charge_flow_clean_fixture_stays_clean() {
     // Charges delegated one and two helpers down, plus a communication-free
     // setter: the flow pass follows the calls the token lints cannot.

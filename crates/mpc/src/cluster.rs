@@ -106,6 +106,20 @@ impl Stats {
             .saturating_add(other.corrupted_detected);
         self.phase.absorb(&other.phase);
     }
+
+    /// Charges journal-replay work onto a bare ledger — the service-layer
+    /// analogue of [`Cluster::charge_recovery`], for recovery paths that
+    /// run *before* any cluster exists (replaying a crashed service's
+    /// write-ahead log). Same discipline: replay rounds and words land in
+    /// both the headline totals and the dedicated recovery columns, so
+    /// recovery is never free and never hidden.
+    pub fn charge_replay(&mut self, rounds: usize, words: u64) {
+        self.rounds = self.rounds.saturating_add(rounds);
+        self.total_words = self.total_words.saturating_add(words);
+        self.max_round_words = self.max_round_words.max(words as usize);
+        self.recovery_rounds = self.recovery_rounds.saturating_add(rounds);
+        self.recovery_words = self.recovery_words.saturating_add(words);
+    }
 }
 
 impl fmt::Display for Stats {
@@ -2455,6 +2469,22 @@ mod tests {
         // advance_rounds without a plan goes through the same ledger.
         cluster.advance_rounds(5).unwrap();
         assert_eq!(cluster.stats().rounds, usize::MAX);
+    }
+
+    #[test]
+    fn charge_replay_mirrors_charge_recovery_on_a_bare_ledger() {
+        let mut s = Stats::default();
+        s.charge_replay(1, 40);
+        s.charge_replay(2, 8);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.total_words, 48);
+        assert_eq!(s.max_round_words, 40);
+        assert_eq!(s.recovery_rounds, 3);
+        assert_eq!(s.recovery_words, 48);
+        // Saturates like every other charge path.
+        s.charge_replay(usize::MAX, u64::MAX);
+        assert_eq!(s.rounds, usize::MAX);
+        assert_eq!(s.recovery_words, u64::MAX);
     }
 
     #[test]

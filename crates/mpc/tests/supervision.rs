@@ -409,6 +409,94 @@ fn reset_for_repetition_rearms_faults_and_clears_supervision_state() {
     assert_eq!(first, second, "repetition diverged after reset");
 }
 
+#[test]
+fn reset_for_repetition_leaks_no_per_execution_field() {
+    // The full-audit companion to the two targeted regressions around
+    // it: dirty *every* per-execution field the PR 7/8 era added —
+    // ledger (including recovery and phase columns), provenance flows,
+    // per-machine component tags, recovery log, supervision log and its
+    // failure/quarantine/taint bookkeeping, deadline marker — then
+    // check the reset cluster is observationally identical to a freshly
+    // built one on every public accessor. A field added to `Cluster`
+    // without a `reset_for_repetition` line should fail here.
+    let dirty = |cl: &mut Cluster| {
+        cl.arm_faults(
+            FaultPlan::quiet(Seed(6)).crash(0, 1).straggle(1, 2, 6),
+            RecoveryPolicy::restart_with_backoff(3, 1),
+        );
+        cl.supervise(SupervisorConfig {
+            deadline_rounds: 2,
+            failure_threshold: 1,
+        });
+        cl.arm_job_deadline(64);
+        cl.advance_rounds(4).unwrap();
+        cl.charge_recovery(2, 128);
+        cl.provenance_mut().record_global_mix("audit", 0, [0, 1]);
+        cl.record_phase(&csmpc_mpc::PhaseTimes::default());
+    };
+    let mut cl = accounted_cluster();
+    dirty(&mut cl);
+    assert!(
+        cl.stats().recovery_rounds > 0
+            && cl.provenance().has_cross_component_flow()
+            && !cl.supervision_log().is_empty()
+            && !cl.faulted_machines().is_empty(),
+        "the dirtying run left fields clean; the audit is vacuous"
+    );
+
+    cl.reset_for_repetition();
+    let fresh = accounted_cluster();
+    assert_eq!(cl.stats(), fresh.stats(), "stats ledger leaked");
+    assert_eq!(
+        cl.provenance().flows(),
+        fresh.provenance().flows(),
+        "provenance flows leaked"
+    );
+    for m in 0..cl.num_machines() {
+        assert_eq!(
+            cl.machine_components(m),
+            fresh.machine_components(m),
+            "machine {m} component tags leaked"
+        );
+    }
+    assert_eq!(
+        cl.recovery_log(),
+        fresh.recovery_log(),
+        "recovery log leaked"
+    );
+    assert_eq!(
+        cl.supervision_log(),
+        fresh.supervision_log(),
+        "supervision log leaked"
+    );
+    assert_eq!(
+        cl.quarantined_machines(),
+        fresh.quarantined_machines(),
+        "quarantine set leaked"
+    );
+    assert_eq!(
+        cl.faulted_machines(),
+        fresh.faulted_machines(),
+        "faulted set leaked"
+    );
+    assert_eq!(
+        cl.deadline_tripped(),
+        fresh.deadline_tripped(),
+        "deadline marker leaked"
+    );
+    // Policies deliberately survive (plan, supervisor, armed deadline):
+    // the repetition replays the same dirtying run bit-for-bit, which a
+    // leaked failure count or stale fault cursor would break.
+    assert_eq!(cl.job_deadline(), Some(64));
+    let first_stats = {
+        let mut again = accounted_cluster();
+        dirty(&mut again);
+        again.stats().clone()
+    };
+    dirty(&mut cl);
+    assert_eq!(cl.stats(), &first_stats, "repetition diverged after reset");
+}
+
 // ---------------------------------------------------------------------------
 // Job-level deadlines (service layer): enforcement and per-repetition reset
 // ---------------------------------------------------------------------------

@@ -81,6 +81,15 @@ impl AdmissionController {
         self.booked_words = self.booked_words.saturating_sub(footprint_words);
     }
 
+    /// Re-books a reservation whose admission was already decided — the
+    /// journal-replay path ([`crate::recovery`]) restoring bookings for
+    /// jobs still live at the crash. Unconditional by design: the
+    /// original `decide` call is durable, so re-judging it against
+    /// capacity could only diverge from history.
+    pub fn rebook(&mut self, footprint_words: usize) {
+        self.booked_words = self.booked_words.saturating_add(footprint_words);
+    }
+
     /// Currently booked words.
     #[must_use]
     pub fn booked_words(&self) -> usize {
@@ -124,6 +133,20 @@ mod tests {
         assert_eq!(ac.decide(20, Priority::Low), AdmissionDecision::AdmitShed);
         assert_eq!(ac.decide(20, Priority::Normal), AdmissionDecision::Admit);
         assert_eq!(ac.decide(10, Priority::High), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn rebook_restores_reservations_without_rejudging() {
+        let mut ac = AdmissionController::new(100, 1.0);
+        ac.rebook(80);
+        assert_eq!(ac.booked_words(), 80);
+        // Even past capacity: the historical decide already admitted it.
+        ac.rebook(80);
+        assert_eq!(ac.booked_words(), 160);
+        assert!(matches!(
+            ac.decide(1, Priority::Normal),
+            AdmissionDecision::Reject { .. }
+        ));
     }
 
     #[test]

@@ -30,6 +30,30 @@ pub enum Priority {
     High,
 }
 
+impl Priority {
+    /// Stable one-byte tag for the journal codec
+    /// ([`crate::journal::JournalRecord`]). Tags are wire format: they
+    /// must never be renumbered, only extended.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// Inverse of [`Priority::tag`]; `None` for an unknown byte (a
+    /// corrupt or future-format journal).
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Priority::Low),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
 /// A deterministic graph recipe. Specs are *content*, not graph handles:
 /// two jobs with equal specs share one built graph (and one CSR spine)
 /// through the [`crate::GraphStore`].
@@ -297,6 +321,14 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, labels_digest(&[Some(0), None]));
+    }
+
+    #[test]
+    fn priority_tags_roundtrip_and_reject_unknown_bytes() {
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert_eq!(Priority::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Priority::from_tag(9), None);
     }
 
     #[test]

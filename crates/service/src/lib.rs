@@ -35,16 +35,33 @@
 //! feeds back into outputs, so the same batch produces bit-identical
 //! per-job digests regardless of worker interleaving.
 //!
+//! **Durability**: the service process itself is no longer a single
+//! point of failure. A service built with
+//! [`JobService::with_journal`] write-ahead journals every lifecycle
+//! transition into an append-only, checksummed binary log
+//! ([`Journal`]); after a crash (simulated deterministically by a
+//! seeded [`CrashPlan`]), [`JobService::recover`] truncates any torn
+//! tail, replays the clean prefix into reconstructed scheduler state,
+//! and resumes — producing a [`ServiceReport`] whose fingerprint is
+//! bit-identical to an uninterrupted run, precisely because attempts
+//! are pure and every decision feeding them is durable. Replay work is
+//! charged into a standalone ledger ([`RecoveryInfo::replay_stats`]):
+//! recovery is never free, here no more than inside a run.
+//!
 //! [`FaultPlan`]: csmpc_mpc::FaultPlan
 
 pub mod admission;
 pub mod backoff;
 pub mod graph_store;
 pub mod job;
+pub mod journal;
+pub mod recovery;
 pub mod scheduler;
 
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use backoff::BackoffPolicy;
 pub use graph_store::{GraphStore, SharedGraph};
 pub use job::{run_job, FaultSpec, GraphSpec, JobId, JobSpec, Priority, Workload};
+pub use journal::{CrashPlan, Journal, JournalError, JournalRecord, RecoveredLog};
+pub use recovery::{RecoveryError, RecoveryInfo};
 pub use scheduler::{Counters, JobOutcome, JobService, JobState, ServiceConfig, ServiceReport};

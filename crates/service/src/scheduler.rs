@@ -24,6 +24,7 @@
 use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::graph_store::{self, GraphStore, SharedGraph};
 use crate::job::{labels_digest, run_job, JobId, JobSpec, Priority};
+use crate::journal::{CrashPlan, Journal, JournalRecord};
 use csmpc_mpc::{
     run_supervised, Cluster, FaultPlan, MpcConfig, MpcError, ParallelismMode, RecoveryPolicy,
     Stats, SupervisedOutcome, SupervisorConfig,
@@ -187,34 +188,41 @@ impl ServiceReport {
 }
 
 /// One queued (admitted, not yet terminal) job.
-struct QueuedJob {
-    id: JobId,
-    spec: JobSpec,
-    shed: bool,
-    footprint: usize,
+pub(crate) struct QueuedJob {
+    pub(crate) id: JobId,
+    pub(crate) spec: JobSpec,
+    pub(crate) shed: bool,
+    pub(crate) footprint: usize,
     /// Attempt about to run, 1-based.
-    attempt: u32,
+    pub(crate) attempt: u32,
     /// Virtual tick before which this job may not dispatch (backoff).
-    not_before: u64,
+    pub(crate) not_before: u64,
     /// Submission sequence — the FIFO tiebreak.
-    seq: u64,
-    errors: Vec<String>,
-    started: Option<Instant>,
+    pub(crate) seq: u64,
+    pub(crate) errors: Vec<String>,
+    pub(crate) started: Option<Instant>,
 }
 
-struct SchedState {
-    queue: Vec<QueuedJob>,
-    running: usize,
+pub(crate) struct SchedState {
+    pub(crate) queue: Vec<QueuedJob>,
+    pub(crate) running: usize,
     /// Virtual time: one tick per completed attempt, fast-forwarded
     /// when everything queued is backing off.
-    clock: u64,
+    pub(crate) clock: u64,
     /// Dispatch counter feeding tenant fairness.
-    dispatches: u64,
+    pub(crate) dispatches: u64,
     /// Last dispatch sequence per tenant — the round-robin key.
-    last_served: BTreeMap<String, u64>,
-    outcomes: Vec<Option<JobOutcome>>,
-    counters: Counters,
-    admission: AdmissionController,
+    pub(crate) last_served: BTreeMap<String, u64>,
+    pub(crate) outcomes: Vec<Option<JobOutcome>>,
+    pub(crate) counters: Counters,
+    pub(crate) admission: AdmissionController,
+    /// Write-ahead journal, when durability is armed: every lifecycle
+    /// transition is appended *before* it is applied in memory.
+    pub(crate) journal: Option<Journal>,
+    /// `true` once an armed [`CrashPlan`] has fired: the simulated
+    /// process is dead, workers drain out, and only
+    /// [`JobService::recover`](crate::recovery) can continue the batch.
+    pub(crate) crashed: bool,
 }
 
 /// The job service: submit a batch, then [`run`](JobService::run) it.
@@ -226,7 +234,7 @@ pub struct JobService {
 }
 
 /// The per-job cluster configuration derived from its spec.
-fn job_mpc_config(spec: &JobSpec, mode: ParallelismMode) -> MpcConfig {
+pub(crate) fn job_mpc_config(spec: &JobSpec, mode: ParallelismMode) -> MpcConfig {
     MpcConfig {
         min_space: spec.min_space,
         parallelism: mode,
@@ -311,6 +319,20 @@ impl JobService {
     /// A service over the process-wide graph store.
     #[must_use]
     pub fn new(cfg: ServiceConfig) -> Self {
+        Self::with_optional_journal(cfg, None)
+    }
+
+    /// A service whose every lifecycle transition is journaled to
+    /// `journal` before it is applied — the crash-consistent mode.
+    /// Recover a crashed batch with [`JobService::recover`].
+    ///
+    /// [`JobService::recover`]: crate::recovery
+    #[must_use]
+    pub fn with_journal(cfg: ServiceConfig, journal: Journal) -> Self {
+        Self::with_optional_journal(cfg, Some(journal))
+    }
+
+    fn with_optional_journal(cfg: ServiceConfig, journal: Option<Journal>) -> Self {
         let admission = AdmissionController::new(cfg.capacity_words, cfg.shed_fraction);
         JobService {
             cfg,
@@ -324,8 +346,74 @@ impl JobService {
                 outcomes: Vec::new(),
                 counters: Counters::default(),
                 admission,
+                journal,
+                crashed: false,
             }),
             cvar: Condvar::new(),
+        }
+    }
+
+    /// Rebuilds a service around a state replayed from a journal
+    /// (the [`crate::recovery`] constructor).
+    pub(crate) fn from_replayed(cfg: ServiceConfig, state: SchedState) -> Self {
+        JobService {
+            cfg,
+            store: graph_store::global(),
+            state: Mutex::new(state),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Arms a crash plan on the journal (no-op without one). Counting
+    /// starts immediately; when the plan fires, the service behaves like
+    /// a killed process: workers drain, nothing further persists, and
+    /// [`run_recoverable`](JobService::run_recoverable) returns `None`.
+    pub fn arm_crash(&self, plan: CrashPlan) {
+        let mut state = self.state.lock().expect("service state poisoned");
+        if let Some(j) = state.journal.as_mut() {
+            j.arm_crash(plan);
+        }
+    }
+
+    /// `true` once an armed crash plan has fired.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.state.lock().expect("service state poisoned").crashed
+    }
+
+    /// Submissions recorded so far (the dense [`JobId`] space). After a
+    /// crash + [`recover`](crate::recovery), this tells a client how far
+    /// the original batch persisted — everything from this index on was
+    /// lost in flight and needs resubmitting.
+    #[must_use]
+    pub fn submitted_jobs(&self) -> usize {
+        self.state
+            .lock()
+            .expect("service state poisoned")
+            .outcomes
+            .len()
+    }
+
+    /// Appends `rec`, returning `false` (and marking the service
+    /// crashed) when the journal's armed crash plan fires. Real I/O
+    /// errors also read as a crash: the record did not persist, so
+    /// continuing would desynchronize the log from memory.
+    fn journal_append(state: &mut SchedState, rec: &JournalRecord) -> bool {
+        match state.journal.as_mut() {
+            None => true,
+            Some(j) => match j.append(rec) {
+                Ok(()) => true,
+                Err(_) => {
+                    state.crashed = true;
+                    false
+                }
+            },
         }
     }
 
@@ -340,8 +428,48 @@ impl JobService {
         let mut state = self.state.lock().expect("service state poisoned");
         let id = JobId(state.outcomes.len() as u64);
         let seq = id.0;
+        // Write-ahead: the submission persists before any in-memory
+        // effect. After a crash nothing mutates — the id is still handed
+        // back so callers index consistently, but the dead process
+        // records nothing, exactly like a kill between syscalls.
+        if state.crashed {
+            return id;
+        }
+        if !Self::journal_append(
+            &mut state,
+            &JournalRecord::Submitted {
+                id,
+                spec: spec.clone(),
+            },
+        ) {
+            return id;
+        }
         state.counters.submitted += 1;
-        match state.admission.decide(footprint, spec.priority) {
+        let decision = state.admission.decide(footprint, spec.priority);
+        let decision_rec = match &decision {
+            AdmissionDecision::Reject { reason } => JournalRecord::Rejected {
+                id,
+                reason: reason.clone(),
+            },
+            AdmissionDecision::AdmitShed => JournalRecord::Shed {
+                id,
+                footprint: footprint as u64,
+            },
+            AdmissionDecision::Admit => JournalRecord::Admitted {
+                id,
+                footprint: footprint as u64,
+            },
+        };
+        if !Self::journal_append(&mut state, &decision_rec) {
+            // The submission persisted but its decision did not: the
+            // booking must not survive in memory either (replay will
+            // re-derive the decision from the log).
+            if !matches!(decision, AdmissionDecision::Reject { .. }) {
+                state.admission.release(footprint);
+            }
+            return id;
+        }
+        match decision {
             AdmissionDecision::Reject { reason } => {
                 state.counters.rejected += 1;
                 state.outcomes.push(Some(JobOutcome {
@@ -388,11 +516,23 @@ impl JobService {
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panicked (poisoning the state), or if
-    /// a job failed to reach a terminal state — both are service bugs,
-    /// not load conditions.
+    /// Panics if a worker thread panicked (poisoning the state), if a
+    /// job failed to reach a terminal state — both are service bugs, not
+    /// load conditions — or if an armed [`CrashPlan`] fired (use
+    /// [`run_recoverable`](JobService::run_recoverable) when crashes are
+    /// expected).
     #[must_use]
     pub fn run(&self) -> ServiceReport {
+        self.run_recoverable()
+            .expect("service crashed mid-run: recover the batch with JobService::recover")
+    }
+
+    /// Like [`run`](JobService::run), but `None` when an armed
+    /// [`CrashPlan`] fired mid-run: the simulated process died, the
+    /// journal holds everything that persisted, and
+    /// [`JobService::recover`](crate::recovery) continues the batch.
+    #[must_use]
+    pub fn run_recoverable(&self) -> Option<ServiceReport> {
         let workers = self.cfg.workers.max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -400,6 +540,9 @@ impl JobService {
             }
         });
         let mut state = self.state.lock().expect("service state poisoned");
+        if state.crashed {
+            return None;
+        }
         let outcomes: Vec<JobOutcome> = state
             .outcomes
             .drain(..)
@@ -408,7 +551,7 @@ impl JobService {
             .collect();
         let counters = state.counters;
         state.counters = Counters::default();
-        ServiceReport { outcomes, counters }
+        Some(ServiceReport { outcomes, counters })
     }
 
     /// Convenience: submit a whole batch, then run it.
@@ -440,7 +583,19 @@ impl JobService {
         loop {
             let mut state = self.state.lock().expect("service state poisoned");
             let job = loop {
+                if state.crashed {
+                    break None;
+                }
                 if let Some(idx) = Self::pick(&state) {
+                    // Write-ahead: the dispatch persists before any of
+                    // its in-memory effects (fairness stamp, dequeue).
+                    let (id, attempt) = (state.queue[idx].id, state.queue[idx].attempt);
+                    if !Self::journal_append(
+                        &mut state,
+                        &JournalRecord::AttemptStarted { id, attempt },
+                    ) {
+                        break None;
+                    }
                     let mut job = state.queue.remove(idx);
                     state.running += 1;
                     state.dispatches += 1;
@@ -483,9 +638,35 @@ impl JobService {
 
             let mut state = self.state.lock().expect("service state poisoned");
             state.running -= 1;
-            state.clock += 1;
+            if state.crashed {
+                // The process died while this attempt was in flight: its
+                // result evaporates. Replay will re-run the attempt —
+                // bit-identically, because execution is pure in
+                // (spec, attempt, shed, mode).
+                self.cvar.notify_all();
+                continue;
+            }
             match result {
                 Ok(success) => {
+                    // Write-ahead: Completed *is* the finish record for a
+                    // successful attempt, so a success can never be
+                    // half-persisted.
+                    let digest = labels_digest(&success.labels);
+                    if !Self::journal_append(
+                        &mut state,
+                        &JournalRecord::Completed {
+                            id: job.id,
+                            attempts: job.attempt,
+                            shed: job.shed,
+                            degraded: success.degraded,
+                            digest,
+                            stats: success.stats.clone(),
+                        },
+                    ) {
+                        self.cvar.notify_all();
+                        continue;
+                    }
+                    state.clock += 1;
                     let terminal = if success.degraded {
                         state.counters.degraded += 1;
                         JobState::Degraded
@@ -505,7 +686,7 @@ impl JobService {
                         state: terminal,
                         shed: job.shed,
                         attempts: job.attempt,
-                        digest: labels_digest(&success.labels),
+                        digest,
                         stats: Some(success.stats),
                         reject_reason: None,
                         errors: job.errors,
@@ -513,13 +694,42 @@ impl JobService {
                     });
                 }
                 Err(e) => {
-                    if matches!(e, MpcError::RoundLimitExceeded { .. }) {
+                    let deadline = matches!(e, MpcError::RoundLimitExceeded { .. });
+                    let error = format!("attempt {}: {e}", job.attempt);
+                    if !Self::journal_append(
+                        &mut state,
+                        &JournalRecord::AttemptFinished {
+                            id: job.id,
+                            attempt: job.attempt,
+                            deadline,
+                            error: error.clone(),
+                        },
+                    ) {
+                        self.cvar.notify_all();
+                        continue;
+                    }
+                    state.clock += 1;
+                    if deadline {
                         state.counters.deadline_failures += 1;
                     }
-                    job.errors.push(format!("attempt {}: {e}", job.attempt));
+                    job.errors.push(error);
                     if job.attempt >= job.spec.max_attempts {
                         // Poison job: park it with its history; the
-                        // queue keeps draining.
+                        // queue keeps draining. The Quarantined record is
+                        // redundant with the final AttemptFinished (replay
+                        // derives the same terminal from either), so a
+                        // crash between the two appends loses nothing.
+                        if !Self::journal_append(
+                            &mut state,
+                            &JournalRecord::Quarantined {
+                                id: job.id,
+                                attempts: job.attempt,
+                                shed: job.shed,
+                            },
+                        ) {
+                            self.cvar.notify_all();
+                            continue;
+                        }
                         state.counters.quarantined += 1;
                         state.admission.release(job.footprint);
                         let wall_ms = job

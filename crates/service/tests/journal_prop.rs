@@ -1,0 +1,267 @@
+//! Adversarial coverage for the journal codec and recovery scan:
+//! arbitrary [`JobSpec`]s roundtrip bit-exactly, truncating the log at
+//! *every* byte offset recovers a clean record prefix, any single
+//! bit-flip in an interior record body is detected as hard corruption,
+//! and recovery is idempotent however the tail was torn.
+
+use csmpc_graph::rng::Seed;
+use csmpc_mpc::Stats;
+use csmpc_service::journal::FRAME_HEADER;
+use csmpc_service::{
+    FaultSpec, GraphSpec, JobId, JobSpec, Journal, JournalError, JournalRecord, Priority, Workload,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "csmpc_jprop_{}_{}_{name}.bin",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Deterministically expands 16 random words into a [`JobSpec`],
+/// stressing every codec branch: unicode (and empty) tenants, every
+/// priority/workload/graph tag, optional faults and deadlines, and the
+/// full numeric range of the retry knobs. `phi` stays finite so spec
+/// equality (`f64: PartialEq`) is meaningful.
+fn spec_from_words(w: &[u64]) -> JobSpec {
+    let tenants = ["", "acme", "tenant-β", "ümlaut/株", "a b\tc", "0123456789"];
+    let priority = match w[0] % 3 {
+        0 => Priority::Low,
+        1 => Priority::Normal,
+        _ => Priority::High,
+    };
+    let workload = match w[1] % 3 {
+        0 => Workload::LubyMis,
+        1 => Workload::CcLabels,
+        _ => Workload::BallColoring {
+            radius: (w[1] >> 2) as usize % 16,
+        },
+    };
+    let n = 6 + (w[2] >> 8) as usize % 100_000;
+    let graph = match w[2] % 4 {
+        0 => GraphSpec::Cycle { n },
+        1 => GraphSpec::Path { n },
+        2 => GraphSpec::TwoCycles { n },
+        _ => GraphSpec::RandomTree { n, seed: w[3] },
+    };
+    let faults = if w[4].is_multiple_of(2) {
+        None
+    } else {
+        Some(FaultSpec {
+            crashes: (w[5] % 8) as usize,
+            stragglers: (w[5] >> 8) as usize % 8,
+            horizon: 1 + (w[5] >> 16) as usize % 64,
+            corrupt_per_mille: (w[6] % 1001) as u16,
+            seed: w[7],
+        })
+    };
+    JobSpec {
+        tenant: tenants[(w[8] % tenants.len() as u64) as usize].to_owned(),
+        priority,
+        workload,
+        graph,
+        seed: Seed(w[9]),
+        faults,
+        phi: 0.05 + (w[10] % 1000) as f64 * 0.0009,
+        min_space: 1 + (w[11] % 1_000_000) as usize,
+        deadline_rounds: w[12]
+            .is_multiple_of(2)
+            .then_some(1 + (w[12] >> 8) as usize % 10_000),
+        max_attempts: 1 + (w[13] % 49) as u32,
+        backoff: csmpc_service::BackoffPolicy {
+            base: w[14],
+            cap: w[14].rotate_left(17),
+        },
+        recovery_retries: (w[15] % 20) as usize,
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    proptest::collection::vec(0u64..=u64::MAX, 16..17).prop_map(|w| spec_from_words(&w))
+}
+
+/// A fixed record sequence with enough shape variety (spec payloads,
+/// strings, stats blocks) to exercise every frame boundary.
+fn sample_log() -> Vec<JournalRecord> {
+    let mut spec = JobSpec::basic(
+        "tenant-β",
+        Workload::BallColoring { radius: 3 },
+        GraphSpec::RandomTree { n: 40, seed: 11 },
+        Seed(5),
+    );
+    spec.faults = Some(FaultSpec {
+        crashes: 2,
+        stragglers: 1,
+        horizon: 9,
+        corrupt_per_mille: 12,
+        seed: 77,
+    });
+    spec.deadline_rounds = Some(64);
+    vec![
+        JournalRecord::Submitted { id: JobId(0), spec },
+        JournalRecord::Admitted {
+            id: JobId(0),
+            footprint: 4096,
+        },
+        JournalRecord::AttemptStarted {
+            id: JobId(0),
+            attempt: 1,
+        },
+        JournalRecord::AttemptFinished {
+            id: JobId(0),
+            attempt: 1,
+            deadline: false,
+            error: "attempt 1: machine 3 failed at round 4".to_string(),
+        },
+        JournalRecord::AttemptStarted {
+            id: JobId(0),
+            attempt: 2,
+        },
+        JournalRecord::Completed {
+            id: JobId(0),
+            attempts: 2,
+            shed: false,
+            degraded: true,
+            digest: 0x1234_5678_9ABC_DEF0,
+            stats: Stats {
+                rounds: 17,
+                total_words: 99_000,
+                recovery_rounds: 3,
+                recovery_words: 1200,
+                corrupted_detected: 2,
+                ..Stats::default()
+            },
+        },
+    ]
+}
+
+fn write_log(records: &[JournalRecord], path: &std::path::Path) -> Vec<u8> {
+    let mut j = Journal::create(path).unwrap();
+    for rec in records {
+        j.append(rec).unwrap();
+    }
+    drop(j);
+    std::fs::read(path).unwrap()
+}
+
+/// How many whole frames fit in a `len`-byte prefix of `bytes`.
+fn frames_within(bytes: &[u8], len: usize) -> usize {
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos + FRAME_HEADER <= len {
+        let flen = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        if pos + FRAME_HEADER + flen > len {
+            break;
+        }
+        pos += FRAME_HEADER + flen;
+        count += 1;
+    }
+    count
+}
+
+#[test]
+fn truncation_at_every_byte_offset_recovers_a_clean_prefix() {
+    let records = sample_log();
+    let path = tmp("offsets");
+    let bytes = write_log(&records, &path);
+    for cut in 0..=bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let log = Journal::open_for_recovery(&path)
+            .unwrap_or_else(|e| panic!("cut at byte {cut}: recovery refused: {e}"));
+        let expect = frames_within(&bytes, cut);
+        assert_eq!(
+            log.records.len(),
+            expect,
+            "cut at byte {cut}: wrong surviving prefix"
+        );
+        assert_eq!(log.records[..], records[..expect], "cut at byte {cut}");
+        // Idempotence: the truncation wrote back exactly the clean prefix.
+        drop(log);
+        let again = Journal::open_for_recovery(&path).unwrap();
+        assert_eq!(again.records[..], records[..expect], "cut {cut}, 2nd pass");
+        assert_eq!(again.torn_bytes_truncated, 0, "cut {cut}: not idempotent");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn every_single_bit_flip_in_an_interior_body_is_detected() {
+    let records = sample_log();
+    let path = tmp("bitflip");
+    let bytes = write_log(&records, &path);
+    // First record's payload: every bit of the body, one flip at a time.
+    let len0 = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    for byte in FRAME_HEADER..FRAME_HEADER + len0 {
+        for bit in 0..8 {
+            let mut damaged = bytes.clone();
+            damaged[byte] ^= 1 << bit;
+            std::fs::write(&path, &damaged).unwrap();
+            match Journal::open_for_recovery(&path) {
+                Err(JournalError::Corrupt { offset, .. }) => {
+                    assert_eq!(offset, 0, "flip at byte {byte} bit {bit}")
+                }
+                other => {
+                    panic!("flip at byte {byte} bit {bit}: expected hard corruption, got {other:?}")
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_specs_roundtrip_bit_exactly(spec in arb_spec()) {
+        let rec = JournalRecord::Submitted { id: JobId(3), spec };
+        let decoded = JournalRecord::decode(&rec.encode());
+        prop_assert_eq!(decoded.as_ref(), Ok(&rec));
+    }
+
+    #[test]
+    fn arbitrary_specs_survive_a_disk_roundtrip(spec in arb_spec()) {
+        let path = tmp("disk");
+        let rec = JournalRecord::Submitted { id: JobId(0), spec };
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&rec).unwrap();
+        drop(j);
+        let log = Journal::open_for_recovery(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&log.records[..], std::slice::from_ref(&rec));
+        prop_assert_eq!(log.torn_bytes_truncated, 0);
+    }
+
+    #[test]
+    fn recovery_is_idempotent_under_arbitrary_tears(
+        spec in arb_spec(),
+        keep_frames in 0usize..4,
+        tear in 0usize..40,
+    ) {
+        // A log of four spec-bearing records, torn somewhere inside the
+        // (keep_frames+1)-th frame: double recovery converges.
+        let path = tmp("tears");
+        let records: Vec<JournalRecord> = (0..4)
+            .map(|i| JournalRecord::Submitted { id: JobId(i), spec: spec.clone() })
+            .collect();
+        let bytes = write_log(&records, &path);
+        let frame = bytes.len() / 4;
+        let cut = (keep_frames * frame + tear.min(frame.saturating_sub(1))).min(bytes.len());
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let first = Journal::open_for_recovery(&path).unwrap();
+        let survivors = first.records.len();
+        prop_assert_eq!(&first.records[..], &records[..survivors]);
+        drop(first);
+        let second = Journal::open_for_recovery(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&second.records[..], &records[..survivors]);
+        prop_assert_eq!(second.torn_bytes_truncated, 0);
+    }
+}
