@@ -51,16 +51,25 @@ echo "==> parallel equivalence suite (forced worker threads)"
 # code path is exercised for the bit-identity assertions.
 RAYON_NUM_THREADS=4 cargo test -q --test parallel_equivalence
 
+echo "==> routing-equivalence suite (counting-sort fabric vs sort oracle)"
+# Property proof that the engine's counting-sort scatter groups messages
+# element-for-element identically to the retired sort-based router, over
+# random machine counts and message multisets.
+cargo test -q -p csmpc-mpc --test routing_equivalence
+
 echo "==> bench smoke + perf-regression gate (vs committed BENCH_mpc_smoke.json)"
 # Writes BENCH_mpc_smoke.json (the committed full-size BENCH_mpc.json is
 # left untouched) and fails on gross per-workload regressions against the
-# committed smoke baseline; tolerances are generous, so only multi-x
-# slowdowns (lost cache, accidental quadratic path) trip it. Threads are
-# NOT forced here: oversubscribing a single core pollutes the sequential
-# columns with spin-wait noise, and perf books effective workers as
-# min(threads, cores) anyway — the speedup gates arm themselves on
-# genuinely multi-core runners.
-cargo run -q --release -p csmpc-bench --bin perf -- \
+# committed smoke baseline. The gate is phase-aware: each row's route
+# phase is compared against the baseline's (warn above 1.5x, fail above
+# 3x past the noise floor), so a fabric regression trips even when step
+# time hides it in the wall-time tolerance. Threads are forced to 4 so
+# the run exercises the parallel dispatch path; per-row accounting books
+# effective workers as min(threads, cores), the sequential column (whose
+# wall time and phases do the gating) always runs one worker, and the
+# speedup gates still arm themselves only on genuinely multi-core
+# runners.
+RAYON_NUM_THREADS=4 cargo run -q --release -p csmpc-bench --bin perf -- \
     --smoke --gate BENCH_mpc_smoke.json
 test -s BENCH_mpc_smoke.json
 

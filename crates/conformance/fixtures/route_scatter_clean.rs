@@ -1,0 +1,45 @@
+//! Clean scatter-path counterpart: the same shapes as the violation
+//! fixture, but the scatter helper's wire traffic lands on a charge and
+//! the hot grouping pass works on reused flat spines — the counting-sort
+//! fabric as actually shipped. Must produce zero diagnostics.
+
+/// No charge token in this body; the flow pass follows the call into the
+/// helper, which accounts for the words it moves.
+pub fn route_round(cluster: &mut Cluster) -> Result<(), MpcError> {
+    scatter_staged(cluster);
+    Ok(())
+}
+
+fn scatter_staged(cluster: &mut Cluster) {
+    let mut moved = 0;
+    for machine in 0..cluster.num_machines() {
+        moved += cluster.inboxes[machine].len();
+        cluster.inboxes[machine].rotate_left(1);
+    }
+    cluster.charge_words(moved);
+}
+
+// #[csmpc_hot]
+pub fn group_by_destination(staged: &mut Vec<Message>, counts: &mut [u32], buf: &mut Vec<Message>) {
+    // Histogram, exclusive prefix scan in place, cursor scatter: stable
+    // per destination, O(len + machines), no ordered maps, no per-call
+    // spine allocation.
+    for c in counts.iter_mut() {
+        *c = 0;
+    }
+    for msg in staged.iter() {
+        counts[msg.to] += 1;
+    }
+    let mut lo = 0;
+    for c in counts.iter_mut() {
+        let len = *c;
+        *c = lo;
+        lo += len;
+    }
+    buf.clear();
+    for msg in staged.drain(..) {
+        let slot = counts[msg.to] as usize;
+        counts[msg.to] += 1;
+        buf.insert(slot, msg);
+    }
+}

@@ -1,0 +1,35 @@
+//! Seeded scatter-path violations: the two ways the counting-sort message
+//! fabric can rot. An uncharged scatter helper moves inbox words one
+//! private call below a charged entry point (the shape token lints
+//! provably miss), and a hot-marked grouping pass rebuilds an ordered map
+//! per round. Not compiled into any crate; scanned by `tests/fixtures.rs`.
+
+/// Charges for its own round, so the token-level lints pass it; the
+/// scatter helper it delegates to drives the wire with no charge on any
+/// path.
+pub fn route_round(cluster: &mut Cluster) -> Result<(), MpcError> {
+    cluster.charge_rounds(1);
+    scatter_staged(cluster);
+    Ok(())
+}
+
+// Flagged: regroups staged messages into per-machine inboxes — wire
+// traffic — without a charge anywhere below it. The diagnostic must carry
+// the witness chain route_round -> scatter_staged.
+fn scatter_staged(cluster: &mut Cluster) {
+    for machine in 0..cluster.num_machines() {
+        cluster.inboxes[machine].rotate_left(1);
+    }
+}
+
+// #[csmpc_hot]
+pub fn group_by_destination(staged: &[Message]) -> BTreeMap<usize, Vec<Message>> {
+    // Flagged by the determinism lint's hot-path arm: a per-round
+    // grouping pass allocating an ordered map per call is exactly the
+    // churn the flat histogram/cursor spines removed.
+    let mut groups: BTreeMap<usize, Vec<Message>> = BTreeMap::new();
+    for msg in staged {
+        groups.entry(msg.to).or_default().push(msg.clone());
+    }
+    groups
+}

@@ -102,6 +102,42 @@ fn hot_path_allocation_fixture_caught_at_exact_lines() {
 }
 
 #[test]
+fn route_scatter_fixture_caught_on_both_arms() {
+    // The scatter-path pair: an uncharged scatter helper one private call
+    // below a charged entry point (charge-flow arm) and a hot-marked
+    // grouping pass allocating an ordered map per round (determinism arm).
+    let diags = analyze_fixture("route_scatter_violation.rs");
+    let charge: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == Lint::ChargeFlow)
+        .collect();
+    assert_eq!(charge.len(), 1, "{diags:#?}");
+    assert_eq!(charge[0].witness, vec!["route_round", "scatter_staged"]);
+    assert!(charge[0].message.contains("inboxes"));
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    // The determinism arm is path-scoped in the full engine, so scan it
+    // directly: the hot-marked grouping pass is flagged per ordered-map
+    // mention.
+    let hot = scan_fixture("route_scatter_violation.rs", &[Lint::Determinism]);
+    assert!(!hot.is_empty(), "{hot:#?}");
+    assert!(hot.iter().all(|d| d.message.contains("BTreeMap")));
+    assert!(hot[0].message.contains("group_by_destination"));
+}
+
+#[test]
+fn route_scatter_clean_fixture_stays_clean() {
+    // The shipped shape: scatter helper charges for the words it moves,
+    // hot grouping pass sticks to flat histogram/cursor spines.
+    assert!(
+        analyze_fixture("route_scatter_clean.rs").is_empty(),
+        "{:#?}",
+        analyze_fixture("route_scatter_clean.rs")
+    );
+    let hot = scan_fixture("route_scatter_clean.rs", &[Lint::Determinism]);
+    assert!(hot.is_empty(), "{hot:#?}");
+}
+
+#[test]
 fn charge_flow_fixture_caught_with_witness_chains() {
     let diags = analyze_fixture("charge_flow_violation.rs");
     assert!(

@@ -266,7 +266,7 @@ pub fn verify_crash_immunity<A: MpcVertexAlgorithm + Sync>(
         let foreign: Vec<usize> = (0..baseline.num_machines())
             .filter(|&m| {
                 let tags = baseline.machine_components(m);
-                !tags.is_empty() && tags.is_disjoint(&target)
+                !tags.is_empty() && !tags.iter().any(|c| target.contains(c))
             })
             .collect();
         let Some(&victim) = foreign.first() else {
@@ -383,7 +383,7 @@ where
             let foreign: Vec<usize> = (0..baseline.num_machines())
                 .filter(|&m| {
                     let tags = baseline.machine_components(m);
-                    !tags.is_empty() && tags.is_disjoint(&target)
+                    !tags.is_empty() && !tags.iter().any(|c| target.contains(c))
                 })
                 .collect();
             let Some(&victim) = foreign.first() else {

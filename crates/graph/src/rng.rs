@@ -169,6 +169,107 @@ impl SplitMix64 {
     }
 }
 
+/// A prepared uniform sampler over a fixed `[lo, hi)` range.
+///
+/// [`SplitMix64::range`] pays two hardware divisions per draw (the
+/// rejection-zone computation and the `% span` reduction). Hot loops that
+/// draw many values from one fixed range — edge placement over `M`
+/// machines, per-mille transport coins — can hoist both: `FastRange`
+/// precomputes the rejection zone once and replaces the per-draw remainder
+/// with a multiply-high sequence (Lemire, Kaser & Kurz, *Faster Remainder
+/// by Direct Computation*, 2019), which is exact for every 64-bit divisor.
+///
+/// The value stream is **bit-identical** to calling
+/// `rng.range(lo, hi)`: the same rejection zone, the same accepted raw
+/// draws, the same reduced values — reproducibility fingerprints cannot
+/// observe which path produced a draw. `tests` below prove the remainder
+/// exact on adversarial divisors and the stream equal draw-for-draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastRange {
+    lo: u64,
+    span: u64,
+    zone: u64,
+    /// `ceil(2^128 / span)`, the fixed-point reciprocal; unused (zero) for
+    /// `span == 1`, whose remainder is identically zero.
+    magic: u128,
+}
+
+impl FastRange {
+    /// Prepares a sampler for `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        FastRange {
+            lo,
+            span,
+            zone: u64::MAX - (u64::MAX % span),
+            // ceil(2^128 / span) == floor((2^128 - 1) / span) + 1 for any
+            // span >= 2 (exact also at powers of two); span == 1 would
+            // overflow and never consults the reciprocal.
+            magic: if span == 1 {
+                0
+            } else {
+                u128::MAX / span as u128 + 1
+            },
+        }
+    }
+
+    /// Prepares a sampler for `[0, n)`, the [`SplitMix64::index`] range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn index(n: usize) -> Self {
+        FastRange::new(0, n as u64)
+    }
+
+    // #[csmpc_hot]
+    /// `v % span` without a division: the low 128 bits of `v * magic` are
+    /// the fractional part of `v / span` in 128-bit fixed point;
+    /// multiplying back by `span` and taking the integer part recovers the
+    /// remainder exactly (LKK 2019, Theorem 1 — exact because
+    /// `span * 2^64 <= 2^128` for every 64-bit `span`).
+    #[inline]
+    #[must_use]
+    pub fn rem(&self, v: u64) -> u64 {
+        if self.span == 1 {
+            return 0;
+        }
+        let frac = self.magic.wrapping_mul(u128::from(v));
+        // (frac * span) >> 128, via 64-bit limbs so nothing overflows u128.
+        let lo = u128::from(frac as u64);
+        let hi = u128::from((frac >> 64) as u64);
+        let s = u128::from(self.span);
+        ((hi * s + ((lo * s) >> 64)) >> 64) as u64
+    }
+
+    // #[csmpc_hot]
+    /// Draws one value, consuming exactly the raw `next_u64` outputs (and
+    /// accepting exactly the same one) that `rng.range(lo, hi)` would.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        loop {
+            let v = rng.next_u64();
+            if v < self.zone {
+                return self.lo + self.rem(v);
+            }
+        }
+    }
+
+    /// Draws one value from a `[0, n)` sampler as a `usize`, the
+    /// [`SplitMix64::index`] counterpart.
+    #[inline]
+    pub fn sample_index(&self, rng: &mut SplitMix64) -> usize {
+        self.sample(rng) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +345,65 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_panics() {
         SplitMix64::new(Seed(0)).range(5, 5);
+    }
+
+    #[test]
+    fn fast_range_rem_exact_on_adversarial_divisors() {
+        // Powers of two, their neighbors, tiny and near-maximal divisors —
+        // the edge cases of the fixed-point reciprocal.
+        let mut divisors = vec![1u64, 2, 3, 5, 7, 1000, u64::MAX, u64::MAX - 1];
+        for k in 1..64 {
+            let p = 1u64 << k;
+            divisors.extend([p, p - 1, p + 1]);
+        }
+        let mut probe = SplitMix64::new(Seed(0xfa57));
+        for &d in &divisors {
+            let fr = FastRange::new(0, d.max(1));
+            for v in [0, 1, d - 1, d, d.wrapping_add(1), u64::MAX, u64::MAX - 1] {
+                assert_eq!(fr.rem(v), v % d, "v={v} d={d}");
+            }
+            for _ in 0..64 {
+                let v = probe.next_u64();
+                assert_eq!(fr.rem(v), v % d, "v={v} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_range_stream_matches_range_draw_for_draw() {
+        for (lo, hi) in [(0u64, 1u64), (0, 7), (3, 13), (0, 616), (5, u64::MAX)] {
+            let fr = FastRange::new(lo, hi);
+            let mut a = SplitMix64::new(Seed(0xc0de));
+            let mut b = a.clone();
+            for _ in 0..512 {
+                assert_eq!(fr.sample(&mut a), b.range(lo, hi), "[{lo}, {hi})");
+            }
+            assert_eq!(a, b, "rejection streams diverged on [{lo}, {hi})");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn fast_range_rem_matches_hardware_remainder(v in 0u64..=u64::MAX, d in 1u64..=u64::MAX) {
+            let fr = FastRange::new(0, d);
+            proptest::prop_assert_eq!(fr.rem(v), v % d);
+        }
+
+        #[test]
+        fn fast_range_sample_matches_range(
+            seed in 0u64..=u64::MAX,
+            lo in 0u64..u64::MAX,
+            span in 1u64..=u64::MAX,
+            reps in 1usize..64,
+        ) {
+            let hi = lo.saturating_add(span).max(lo + 1);
+            let fr = FastRange::new(lo, hi);
+            let mut a = SplitMix64::new(Seed(seed));
+            let mut b = a.clone();
+            for _ in 0..reps {
+                proptest::prop_assert_eq!(fr.sample(&mut a), b.range(lo, hi));
+            }
+            proptest::prop_assert_eq!(&a, &b);
+        }
     }
 }

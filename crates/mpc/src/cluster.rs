@@ -16,7 +16,8 @@
 use crate::config::MpcConfig;
 use crate::faults::{Checkpoint, FaultKind, FaultPlan, FaultState, RecoveryEvent, RecoveryPolicy};
 use crate::phase::{PhaseTimer, PhaseTimes};
-use crate::provenance::{ComponentId, ProvenanceLog};
+use crate::provenance::{ComponentId, ProvenanceLog, TagTable};
+use crate::route::RouteArena;
 use crate::supervise::{SupervisionEvent, SupervisorConfig};
 use csmpc_graph::rng::{Seed, SplitMix64};
 use csmpc_parallel::par_map_mut_into;
@@ -415,7 +416,7 @@ pub struct Cluster {
     provenance: ProvenanceLog,
     /// Components whose words each machine currently holds, for the exact
     /// engine's message-level provenance propagation.
-    machine_components: Vec<BTreeSet<ComponentId>>,
+    machine_components: TagTable,
     /// Armed fault plan and recovery policy for the accounted layer, if any.
     faults: Option<FaultState>,
     /// Completed crash recoveries, in order.
@@ -458,7 +459,7 @@ impl Cluster {
             shared_seed,
             stats: Stats::default(),
             provenance: ProvenanceLog::new(),
-            machine_components: vec![BTreeSet::new(); num_machines],
+            machine_components: TagTable::new(num_machines),
             faults: None,
             recovery_log: Vec::new(),
             supervisor: None,
@@ -528,9 +529,7 @@ impl Cluster {
     pub fn reset_for_repetition(&mut self) {
         self.stats = Stats::default();
         self.provenance.clear();
-        for set in &mut self.machine_components {
-            set.clear();
-        }
+        self.machine_components.clear();
         self.recovery_log.clear();
         self.supervision_log.clear();
         self.failure_counts.fill(0);
@@ -674,16 +673,34 @@ impl Cluster {
     /// [`crate::DistributedGraph::distribute`]); the exact engine then
     /// propagates tags along messages.
     pub fn tag_machine(&mut self, machine: usize, component: ComponentId) {
-        if let Some(set) = self.machine_components.get_mut(machine) {
-            set.insert(component);
-        }
+        self.machine_components.insert(machine, component);
     }
 
-    /// The components whose words `machine` currently holds.
+    /// Replaces `machine`'s component tags with `tags` (ascending,
+    /// distinct) in one bulk write — the distribution-time seeding path,
+    /// equivalent to [`Cluster::tag_machine`] per element on a machine
+    /// with no prior tags but without the per-element set maintenance.
+    pub fn seed_machine_tags(&mut self, machine: usize, tags: &[ComponentId]) {
+        self.machine_components.set(machine, tags);
+    }
+
+    /// Bulk tag seeding from per-machine component bitmasks (bit `i` ⇒
+    /// component `i`); machines with an empty mask are untouched. One
+    /// spine append per machine — the distribution sweep's fast path.
+    pub fn seed_machine_tag_masks(&mut self, masks: &[u64]) {
+        self.machine_components.seed_from_masks(masks);
+    }
+
+    /// Bulk tag seeding for a connected input: every yielded machine's
+    /// tag run becomes exactly `[component 0]`.
+    pub fn seed_machines_component_zero(&mut self, machines: impl Iterator<Item = usize>) {
+        self.machine_components.seed_component_zero(machines);
+    }
+
+    /// The components whose words `machine` currently holds, ascending.
     #[must_use]
-    pub fn machine_components(&self, machine: usize) -> &BTreeSet<ComponentId> {
-        static EMPTY: BTreeSet<ComponentId> = BTreeSet::new();
-        self.machine_components.get(machine).unwrap_or(&EMPTY)
+    pub fn machine_components(&self, machine: usize) -> &[ComponentId] {
+        self.machine_components.machine(machine)
     }
 
     /// Charges `rounds` rounds to the ledger (used by accounted primitives).
@@ -829,8 +846,7 @@ impl Cluster {
         self.charge_recovery(1, migrated);
         self.quarantined.insert(machine);
         self.faulted.insert(machine);
-        let components: Vec<ComponentId> =
-            self.machine_components(machine).iter().copied().collect();
+        let components: Vec<ComponentId> = self.machine_components(machine).to_vec();
         self.supervision_log.push(SupervisionEvent::Quarantine {
             machine,
             round: self.stats.rounds,
@@ -1047,14 +1063,16 @@ impl Cluster {
         );
         let mode = self.cfg.parallelism;
         // Flat routing state. Messages in flight live in one arrival-ordered
-        // staging buffer (`incoming`); each round they are index-sorted by
-        // destination into a reusable routing buffer (`route`), and every
-        // machine reads its inbox as a contiguous `ranges[id]` slice of it.
-        // The sort is made stable by an index tie-break, so per-destination
+        // staging buffer (`incoming`); each round the counting-sort fabric
+        // ([`RouteArena::scatter`]) groups them by destination into the
+        // arena's routing buffer, and every machine reads its inbox as a
+        // contiguous `fabric.ranges[id]` slice of `fabric.buf`. Counting
+        // sort is stable per destination by construction, so per-destination
         // arrival order — the only order a machine can observe — is exactly
-        // what the old nested per-machine inboxes delivered. The buffers
-        // double-buffer each other across rounds: steady-state rounds reuse
-        // their spines and allocate nothing for message plumbing.
+        // what the old nested per-machine inboxes delivered. The staging
+        // buffer and the arena double-buffer each other across rounds:
+        // steady-state rounds reuse their spines and allocate nothing for
+        // message plumbing.
         let mut incoming: Vec<Message> = Vec::with_capacity(initial.len());
         for msg in initial {
             if msg.to >= m {
@@ -1065,9 +1083,7 @@ impl Cluster {
             }
             incoming.push(msg);
         }
-        let mut route: Vec<Message> = Vec::new();
-        let mut ranges: Vec<(usize, usize)> = vec![(0, 0); m];
-        let mut order: Vec<usize> = Vec::new();
+        let mut fabric = RouteArena::new(m);
         // Arena buffers reused across rounds: per-machine step results and
         // in-flight component tags. Like the routing spines above, these
         // reach steady-state capacity after a warm-up round and allocate
@@ -1277,29 +1293,11 @@ impl Cluster {
                     }
                 }
             }
-            // Index sort, stable per destination via the index tie-break;
-            // payloads are then *moved* into the routing buffer.
-            order.clear();
-            order.extend(0..incoming.len());
-            order.sort_unstable_by_key(|&i| (incoming[i].to, i));
-            route.clear();
-            route.extend(order.iter().map(|&i| Message {
-                to: incoming[i].to,
-                words: std::mem::take(&mut incoming[i].words),
-            }));
-            incoming.clear();
-            // Per-machine delivery ranges over the sorted buffer.
-            {
-                let mut lo = 0usize;
-                for (id, range) in ranges.iter_mut().enumerate() {
-                    let mut hi = lo;
-                    while hi < route.len() && route[hi].to == id {
-                        hi += 1;
-                    }
-                    *range = (lo, hi);
-                    lo = hi;
-                }
-            }
+            // Counting-sort scatter: histogram over destinations, prefix
+            // scan into per-machine ranges/cursors, payloads *moved* into
+            // the routing buffer in arrival order — O(m + M), stable per
+            // destination, allocation-free once the arena spines are warm.
+            fabric.scatter(&mut incoming);
             self.stats.phase.route_ns = self
                 .stats
                 .phase
@@ -1313,11 +1311,11 @@ impl Cluster {
             // they neither receive nor send this round; their backlog is
             // carried forward after the step.
             let intake_timer = PhaseTimer::start();
-            for id in 0..m {
-                if round_now <= straggle_until[id] {
+            for (id, &stalled_until) in straggle_until.iter().enumerate().take(m) {
+                if round_now <= stalled_until {
                     continue;
                 }
-                let (lo, hi) = ranges[id];
+                let (lo, hi) = fabric.ranges[id];
                 // In-round adversarial reordering: one coin per non-empty
                 // inbox (drawn only when the fault class is armed, so the
                 // coin stream is unchanged otherwise); a hit hands the
@@ -1326,9 +1324,9 @@ impl Cluster {
                     && hi - lo > 1
                     && (rng.index(1000) as u16) < plan.reorder_per_mille()
                 {
-                    route[lo..hi].reverse();
+                    fabric.buf[lo..hi].reverse();
                 }
-                let received: usize = route[lo..hi].iter().map(|m| m.words.len()).sum();
+                let received: usize = fabric.buf[lo..hi].iter().map(|m| m.words.len()).sum();
                 if received > self.local_space {
                     return Err(MpcError::BandwidthExceeded {
                         machine: id,
@@ -1349,8 +1347,8 @@ impl Cluster {
             // map — so the execution mode cannot influence any observable.
             let step_timer = PhaseTimer::start();
             let straggle_ref = &straggle_until;
-            let route_ref = &route;
-            let ranges_ref = &ranges;
+            let route_ref = &fabric.buf;
+            let ranges_ref = &fabric.ranges;
             par_map_mut_into(mode, machines, &mut stepped, |id, shard| {
                 if round_now <= straggle_ref[id] {
                     return None;
@@ -1367,14 +1365,14 @@ impl Cluster {
                 .saturating_add(step_timer.elapsed_ns());
             // Straggler carry (attributed to routing): a stalled machine's
             // undelivered slice moves back into the staging buffer *before*
-            // this round's sends are merged, so next round's stable sort
+            // this round's sends are merged, so next round's stable scatter
             // delivers the backlog ahead of newer traffic — exactly the
             // order the old per-machine inbox carry produced.
             let carry_timer = PhaseTimer::start();
-            for id in 0..m {
-                if round_now <= straggle_until[id] {
-                    let (lo, hi) = ranges[id];
-                    for slot in &mut route[lo..hi] {
+            for (id, &stalled_until) in straggle_until.iter().enumerate().take(m) {
+                if round_now <= stalled_until {
+                    let (lo, hi) = fabric.ranges[id];
+                    for slot in &mut fabric.buf[lo..hi] {
                         incoming.push(Message {
                             to: id,
                             words: std::mem::take(&mut slot.words),
@@ -1409,8 +1407,8 @@ impl Cluster {
                 let Some((outs, storage)) = step else {
                     continue;
                 };
-                let (in_lo, in_hi) = ranges[id];
-                let received: usize = route[in_lo..in_hi].iter().map(|m| m.words.len()).sum();
+                let (in_lo, in_hi) = fabric.ranges[id];
+                let received: usize = fabric.buf[in_lo..in_hi].iter().map(|m| m.words.len()).sum();
                 let sent: usize = outs.iter().map(|m| m.words.len()).sum();
                 if sent > self.local_space {
                     return Err(MpcError::BandwidthExceeded {
@@ -1457,7 +1455,8 @@ impl Cluster {
                     // delays the physical delivery: the words left the
                     // sender this round.
                     if msg.to != id && !msg.words.is_empty() {
-                        incoming_tags[msg.to].extend(self.machine_components[id].iter().copied());
+                        incoming_tags[msg.to]
+                            .extend_from_slice(self.machine_components.machine(id));
                     }
                     if plan.drop_per_mille() > 0 && (rng.index(1000) as u16) < plan.drop_per_mille()
                     {
@@ -1536,15 +1535,15 @@ impl Cluster {
                 let fresh: Vec<ComponentId> = tags
                     .iter()
                     .copied()
-                    .filter(|c| !self.machine_components[to].contains(c))
+                    .filter(|&c| !self.machine_components.contains(to, c))
                     .collect();
                 for &from in &fresh {
-                    for &held in self.machine_components[to].iter() {
+                    for &held in self.machine_components.machine(to) {
                         self.provenance
                             .record("exact-engine message", round, from, held);
                     }
                 }
-                self.machine_components[to].extend(tags.iter().copied());
+                self.machine_components.extend(to, tags);
                 tags.clear();
             }
             self.stats.rounds = self.stats.rounds.saturating_add(1);

@@ -22,7 +22,7 @@ use crate::ball_cache::{self, BallSet};
 use crate::cluster::{Cluster, MpcError};
 use crate::phase::{PhaseTimer, PhaseTimes};
 use crate::provenance::ComponentId;
-use csmpc_graph::rng::SplitMix64;
+use csmpc_graph::rng::{FastRange, SplitMix64};
 use csmpc_graph::Graph;
 use csmpc_parallel::par_map_range;
 
@@ -61,6 +61,10 @@ impl<'a> DistributedGraph<'a> {
         let m = cluster.num_machines();
         let mode = cluster.config().parallelism;
         let mut rng = SplitMix64::new(cluster.shared_seed().derive(0xd157));
+        // One prepared reducer for every `mod M` in the placement sweeps:
+        // `FastRange` draws and reduces bit-identically to
+        // `rng.index(m)` / `% m` but without the per-draw divisions.
+        let machine_of = FastRange::index(m);
         let node_home: Vec<usize> = par_map_range(mode, g.n(), |v| {
             // Finalizer-quality hash so sequential names spread evenly
             // regardless of the machine count's factorization. Stateless
@@ -68,55 +72,178 @@ impl<'a> DistributedGraph<'a> {
             let mut z = g.name(v).0.wrapping_add(0x9e37_79b9_7f4a_7c15);
             z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            ((z ^ (z >> 31)) % m as u64) as usize
+            machine_of.rem(z ^ (z >> 31)) as usize
         });
         // Edge placement draws from a single sequential RNG stream; it must
         // stay a sequential loop to keep the stream (and so the placement)
-        // independent of the parallelism mode.
-        let edge_home: Vec<usize> = (0..g.m()).map(|_| rng.index(m)).collect();
-        // Space check: count words per machine.
-        let mut load = vec![0usize; m];
-        for &h in &node_home {
-            load[h] += 2;
+        // independent of the parallelism mode. The per-machine edge
+        // histogram (space check, and grouping in the fallback below) rides
+        // along in the same pass.
+        let mut edge_counts = vec![0usize; m];
+        let edge_home: Vec<usize> = (0..g.m())
+            .map(|_| {
+                let h = machine_of.sample_index(&mut rng);
+                edge_counts[h] += 1;
+                h
+            })
+            .collect();
+        // Connected-component labels, dense `0..k` numbered by smallest
+        // node index — the `Graph::component_labels` numbering exactly,
+        // computed by union-find over the edge stream instead of a DFS
+        // chasing adjacency Vecs. Pointing the larger root at the smaller
+        // keeps each set's root at its minimum element, so the ascending
+        // label scan below reproduces the DFS numbering; path halving in
+        // `find` keeps the forest shallow.
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                let gp = parent[parent[v as usize] as usize];
+                parent[v as usize] = gp;
+                v = gp;
+            }
+            v
         }
-        for &h in &edge_home {
-            load[h] += 2;
+        let mut parent: Vec<u32> = (0..g.n() as u32).collect();
+        // First endpoint of each edge in `g.edges()` order, captured during
+        // the union walk so the provenance sweep below reads a flat array
+        // instead of chasing the per-node adjacency Vecs a second time.
+        let mut edge_src: Vec<u32> = Vec::with_capacity(g.m());
+        for (u, w) in g.edges() {
+            edge_src.push(u as u32);
+            let (ru, rw) = (find(&mut parent, u as u32), find(&mut parent, w as u32));
+            if ru < rw {
+                parent[rw as usize] = ru;
+            } else if rw < ru {
+                parent[ru as usize] = rw;
+            }
+        }
+        let mut component_of: Vec<ComponentId> = vec![0; g.n()];
+        let mut components: ComponentId = 0;
+        for v in 0..g.n() as u32 {
+            let r = find(&mut parent, v);
+            if r == v {
+                component_of[v as usize] = components;
+                components += 1;
+            } else {
+                // `r < v` (roots are set minima), so its label is final.
+                component_of[v as usize] = component_of[r as usize];
+            }
+        }
+        // Per-machine node histogram — the space check *and* the
+        // partition's counting-sort offsets below. When the input has few
+        // components the provenance bitmask sweep (see below) rides along
+        // in the same pass instead of re-reading `node_home`.
+        let masked = components > 1 && (components as usize) <= 64;
+        let mut held: Vec<u64> = vec![0; if masked { m } else { 0 }];
+        let mut node_counts = vec![0usize; m];
+        if masked {
+            for (v, &h) in node_home.iter().enumerate() {
+                node_counts[h] += 1;
+                held[h] |= 1u64 << component_of[v];
+            }
+        } else {
+            for &h in &node_home {
+                node_counts[h] += 1;
+            }
         }
         cluster.advance_rounds(1)?;
-        let (argmax, &max) = load
-            .iter()
+        // Each record is 2 words, so machine `h` holds
+        // `2 * (node_counts[h] + edge_counts[h])` words.
+        let (argmax, max) = (0..m)
+            .map(|h| node_counts[h] + edge_counts[h])
             .enumerate()
-            .max_by_key(|&(_, &w)| w)
-            .unwrap_or((0, &0));
-        cluster.charge_words(max, graph_words(g) as u64);
-        cluster.charge_storage(argmax, max)?;
-        // Component-provenance seeding: every machine holding a node or
-        // edge record is tagged with that record's connected component.
-        let component_of: Vec<ComponentId> = g
-            .component_labels()
-            .into_iter()
-            .map(|c| c as ComponentId)
-            .collect();
-        for (v, &h) in node_home.iter().enumerate() {
-            cluster.tag_machine(h, component_of[v]);
-        }
-        for (e, (u, _)) in g.edges().enumerate() {
-            cluster.tag_machine(edge_home[e], component_of[u]);
+            .max_by_key(|&(_, w)| w)
+            .unwrap_or((0, 0));
+        cluster.charge_words(2 * max, graph_words(g) as u64);
+        cluster.charge_storage(argmax, 2 * max)?;
+        // Component-provenance seeding. Per-record ordered-set inserts —
+        // 2(n+m) of them, almost all duplicate hits — dominated the route
+        // phase of the accounted workloads; both replacements below do the
+        // same work with flat array writes, and tag runs are
+        // insertion-order-insensitive, so the provenance state is
+        // bit-identical either way.
+        if components == 1 && g.n() > 0 {
+            // Connected input: every record carries component 0, so a
+            // machine's tag run is `[0]` exactly when it received anything
+            // — the histograms already know which did. No sweep at all.
+            cluster.seed_machines_component_zero(
+                (0..m).filter(|&h| node_counts[h] + edge_counts[h] > 0),
+            );
+        } else if masked {
+            // Few components (benchmark inputs have 1–2): the distinct
+            // component set of a machine fits a u64 bitmask, so the
+            // histogram pass above OR-accumulated per-machine masks for
+            // the node records; the edge records fold in here from the
+            // flat `edge_src` copy, and bit iteration inside the bulk
+            // seeding yields each machine's tag run already sorted — no
+            // record buffer, no dedup stamp, no sort.
+            for (e, &u) in edge_src.iter().enumerate() {
+                held[edge_home[e]] |= 1u64 << component_of[u as usize];
+            }
+            cluster.seed_machine_tag_masks(&held);
+        } else {
+            // General fallback: group the (machine, component) records by
+            // machine with the same counting-sort idiom as the engine's
+            // message fabric, then deduplicate each group with a
+            // component-stamp array. `group_counts` is scanned into
+            // exclusive offsets and consumed as the scatter cursors: after
+            // the scatter, `group_counts[h]` has advanced to the *end* of
+            // group `h`.
+            let mut group_counts: Vec<usize> =
+                (0..m).map(|h| node_counts[h] + edge_counts[h]).collect();
+            let mut lo = 0usize;
+            for c in &mut group_counts {
+                let len = *c;
+                *c = lo;
+                lo += len;
+            }
+            let mut tag_records: Vec<ComponentId> = vec![0; g.n() + g.m()];
+            for (v, &h) in node_home.iter().enumerate() {
+                tag_records[group_counts[h]] = component_of[v];
+                group_counts[h] += 1;
+            }
+            for (e, &u) in edge_src.iter().enumerate() {
+                let h = edge_home[e];
+                tag_records[group_counts[h]] = component_of[u as usize];
+                group_counts[h] += 1;
+            }
+            // Labels are dense `0..k`, so a flat per-component stamp of
+            // the last machine that saw it deduplicates each group without
+            // sorting.
+            let mut stamped: Vec<usize> = vec![usize::MAX; components as usize];
+            let mut distinct: Vec<ComponentId> = Vec::new();
+            let mut group_lo = 0usize;
+            for (mid, &group_hi) in group_counts.iter().enumerate() {
+                distinct.clear();
+                for &c in &tag_records[group_lo..group_hi] {
+                    if stamped[c as usize] != mid {
+                        stamped[c as usize] = mid;
+                        distinct.push(c);
+                    }
+                }
+                if !distinct.is_empty() {
+                    distinct.sort_unstable();
+                    cluster.seed_machine_tags(mid, &distinct);
+                }
+                group_lo = group_hi;
+            }
         }
         // Counting sort of nodes by home machine (ascending node order
-        // within each machine — the order the old per-call filter produced).
+        // within each machine — the order the old per-call filter
+        // produced). The node histogram is scanned into the exclusive
+        // offsets in place and consumed as the scatter cursors.
         let mut part_offsets = vec![0usize; m + 1];
-        for &h in &node_home {
-            part_offsets[h + 1] += 1;
+        let mut lo = 0usize;
+        for (h, c) in node_counts.iter_mut().enumerate() {
+            part_offsets[h] = lo;
+            let len = *c;
+            *c = lo;
+            lo += len;
         }
-        for i in 0..m {
-            part_offsets[i + 1] += part_offsets[i];
-        }
-        let mut cursor = part_offsets.clone();
+        part_offsets[m] = lo;
         let mut part_nodes = vec![0usize; g.n()];
         for (v, &h) in node_home.iter().enumerate() {
-            part_nodes[cursor[h]] = v;
-            cursor[h] += 1;
+            part_nodes[node_counts[h]] = v;
+            node_counts[h] += 1;
         }
         cluster.record_phase(&PhaseTimes {
             route_ns: timer.elapsed_ns(),

@@ -44,9 +44,8 @@
 //! [`Seed`]: csmpc_graph::rng::Seed
 
 use crate::cluster::Message;
-use crate::provenance::{ComponentId, ProvenanceLog};
+use crate::provenance::{ProvenanceLog, TagTable};
 use csmpc_graph::rng::{Seed, SplitMix64};
-use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -451,7 +450,7 @@ pub struct Checkpoint {
     /// previous capture when unchanged.
     pub program: Vec<Arc<Vec<u64>>>,
     /// Component tags of every machine at the boundary.
-    pub machine_components: Arc<Vec<BTreeSet<ComponentId>>>,
+    pub machine_components: Arc<TagTable>,
     /// Provenance log at the boundary.
     pub provenance: Arc<ProvenanceLog>,
     /// Transport RNG position (message drop/duplication coins).

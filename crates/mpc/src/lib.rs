@@ -10,6 +10,9 @@
 //! * [`cluster`] — the resource ledger, the exact word-moving engine with
 //!   bandwidth/space enforcement, and the accounting API used by
 //!   higher-level primitives;
+//! * [`route`] — the counting-sort message fabric: per-round grouping of
+//!   in-flight messages by destination machine, stable per destination
+//!   and allocation-free at steady state;
 //! * [`distributed`] — a graph distributed over machines with the textbook
 //!   low-space primitives (aggregation trees, neighbor reductions, graph
 //!   exponentiation, pointer-jumping connectivity), each charging its
@@ -50,6 +53,7 @@ pub mod faults;
 pub mod phase;
 pub mod primitives;
 pub mod provenance;
+pub mod route;
 pub mod scale;
 pub mod supervise;
 
@@ -66,6 +70,7 @@ pub use primitives::{
     exact_aggregate_sum, exact_aggregate_sum_with_faults, prefix_sums, sort_keys,
 };
 pub use provenance::{ComponentId, CrossComponentFlow, ProvenanceLog};
+pub use route::RouteArena;
 pub use scale::ScaleWorkspace;
 pub use supervise::{
     run_supervised, salvage_graph, ComponentVerdict, PartialOutput, SupervisedOutcome,

@@ -130,6 +130,203 @@ impl ProvenanceLog {
     }
 }
 
+/// Flat per-machine component-tag table: which components' words each
+/// machine currently holds.
+///
+/// Semantically a `Vec<BTreeSet<ComponentId>>` — and that is exactly what
+/// it replaces — but stored as sorted runs inside one shared spine, so
+/// the engine hot path never allocates a node-based set: distribution-time
+/// seeding is one bulk `set` per machine, and the per-round tag merge is a
+/// sorted-merge append. Each machine's tags read back in ascending order,
+/// the iteration order the `BTreeSet` produced, so provenance record order
+/// (and with it every reproducibility fingerprint) is unchanged.
+///
+/// Updates append a machine's new run at the spine's tail and retire the
+/// old one in place; the table compacts itself once retired runs outweigh
+/// live ones. Equality compares live runs only — two tables with equal
+/// per-machine tags are equal no matter how their spines are laid out.
+#[derive(Debug, Clone, Default)]
+pub struct TagTable {
+    /// Concatenated tag runs; machine `m`'s live run is
+    /// `data[spans[m].0..][..spans[m].1]`, sorted ascending and distinct.
+    data: Vec<ComponentId>,
+    /// Per-machine `(start, len)` into `data`.
+    spans: Vec<(usize, usize)>,
+    /// Total length of all live runs (`data.len() - live` is garbage).
+    live: usize,
+}
+
+impl TagTable {
+    /// An empty table for `machines` machines.
+    #[must_use]
+    pub fn new(machines: usize) -> Self {
+        TagTable {
+            data: Vec::new(),
+            spans: vec![(0, 0); machines],
+            live: 0,
+        }
+    }
+
+    /// Number of machines the table covers.
+    #[must_use]
+    pub fn machines(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The components `machine` holds, ascending. Out-of-range machines
+    /// hold nothing.
+    #[must_use]
+    pub fn machine(&self, machine: usize) -> &[ComponentId] {
+        self.spans
+            .get(machine)
+            .map_or(&[][..], |&(start, len)| &self.data[start..start + len])
+    }
+
+    /// Whether `machine` holds `component`.
+    #[must_use]
+    pub fn contains(&self, machine: usize, component: ComponentId) -> bool {
+        self.machine(machine).binary_search(&component).is_ok()
+    }
+
+    /// Clears every machine's tags, keeping the spine's capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.spans.fill((0, 0));
+        self.live = 0;
+    }
+
+    /// Tags `machine` as holding `component` (no-op if already tagged or
+    /// out of range).
+    pub fn insert(&mut self, machine: usize, component: ComponentId) {
+        let Some(&(start, len)) = self.spans.get(machine) else {
+            return;
+        };
+        let Err(pos) = self.data[start..start + len].binary_search(&component) else {
+            return;
+        };
+        let new_start = self.data.len();
+        self.data.extend_from_within(start..start + pos);
+        self.data.push(component);
+        self.data.extend_from_within(start + pos..start + len);
+        self.spans[machine] = (new_start, len + 1);
+        self.live += 1;
+        self.maybe_compact();
+    }
+
+    /// Replaces `machine`'s tags with `tags` in one bulk write — the
+    /// distribution-time seeding path. `tags` must be sorted ascending and
+    /// distinct; out-of-range machines are ignored.
+    pub fn set(&mut self, machine: usize, tags: &[ComponentId]) {
+        debug_assert!(tags.windows(2).all(|w| w[0] < w[1]), "unsorted tag run");
+        let Some(&(_, old_len)) = self.spans.get(machine) else {
+            return;
+        };
+        let new_start = self.data.len();
+        self.data.extend_from_slice(tags);
+        self.spans[machine] = (new_start, tags.len());
+        self.live = self.live - old_len + tags.len();
+        self.maybe_compact();
+    }
+
+    /// Bulk form of [`TagTable::set`] for the distribution-time seeding
+    /// sweep: machine `mid`'s run becomes the set bits of `masks[mid]`
+    /// (bit `i` ⇒ component `i`, so runs come out ascending and distinct
+    /// by construction). Machines with an empty mask keep their run; one
+    /// compaction check covers the whole batch instead of one per call.
+    pub fn seed_from_masks(&mut self, masks: &[u64]) {
+        let covered = self.spans.len().min(masks.len());
+        for (mid, &bits) in masks.iter().enumerate().take(covered) {
+            if bits == 0 {
+                continue;
+            }
+            let start = self.data.len();
+            let mut b = bits;
+            while b != 0 {
+                self.data.push(b.trailing_zeros());
+                b &= b - 1;
+            }
+            let len = self.data.len() - start;
+            self.live = self.live - self.spans[mid].1 + len;
+            self.spans[mid] = (start, len);
+        }
+        self.maybe_compact();
+    }
+
+    /// Bulk seeding for a connected input: each yielded machine's run
+    /// becomes exactly `[0]`. Out-of-range machines are ignored; one
+    /// compaction check covers the batch.
+    pub fn seed_component_zero(&mut self, machines: impl Iterator<Item = usize>) {
+        for mid in machines {
+            let Some(&(_, old_len)) = self.spans.get(mid) else {
+                continue;
+            };
+            let start = self.data.len();
+            self.data.push(0);
+            self.live = self.live - old_len + 1;
+            self.spans[mid] = (start, 1);
+        }
+        self.maybe_compact();
+    }
+
+    // #[csmpc_hot]
+    /// Merges `fresh` (sorted ascending, distinct) into `machine`'s tags —
+    /// the engine's per-round tag propagation. Tags already held are a
+    /// no-op that touches nothing, so the steady state of a converged
+    /// execution writes (and allocates) nothing.
+    pub fn extend(&mut self, machine: usize, fresh: &[ComponentId]) {
+        debug_assert!(fresh.windows(2).all(|w| w[0] < w[1]), "unsorted tag run");
+        let Some(&(start, len)) = self.spans.get(machine) else {
+            return;
+        };
+        let run = &self.data[start..start + len];
+        if fresh.iter().all(|c| run.binary_search(c).is_ok()) {
+            return;
+        }
+        // Sorted merge of the live run and the fresh tags into a new run
+        // at the tail; the old run is retired in place.
+        let new_start = self.data.len();
+        let (mut i, end, mut j) = (start, start + len, 0);
+        while i < end && j < fresh.len() {
+            let (a, b) = (self.data[i], fresh[j]);
+            let v = a.min(b);
+            i += usize::from(a <= b);
+            j += usize::from(b <= a);
+            self.data.push(v);
+        }
+        self.data.extend_from_within(i..end);
+        self.data.extend_from_slice(&fresh[j..]);
+        let new_len = self.data.len() - new_start;
+        self.spans[machine] = (new_start, new_len);
+        self.live = self.live - len + new_len;
+        self.maybe_compact();
+    }
+
+    /// Rewrites the spine without retired runs once they outweigh the live
+    /// ones, bounding memory at ~2× the live tag count.
+    fn maybe_compact(&mut self) {
+        if self.data.len() <= self.live * 2 + 64 {
+            return;
+        }
+        let mut packed = Vec::with_capacity(self.live);
+        for span in &mut self.spans {
+            let (start, len) = *span;
+            let new_start = packed.len();
+            packed.extend_from_slice(&self.data[start..start + len]);
+            *span = (new_start, len);
+        }
+        self.data = packed;
+    }
+}
+
+impl PartialEq for TagTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.spans.len() == other.spans.len()
+            && (0..self.spans.len()).all(|m| self.machine(m) == other.machine(m))
+    }
+}
+
+impl Eq for TagTable {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +371,80 @@ mod tests {
         log.record("p", 4, 0, 1);
         assert_eq!(log.flows().len(), 1);
         assert_eq!(log.flows()[0].round, 4);
+    }
+
+    /// Oracle for the flat table: the `Vec<BTreeSet>` it replaced.
+    fn oracle_matches(table: &TagTable, oracle: &[BTreeSet<ComponentId>]) {
+        assert_eq!(table.machines(), oracle.len());
+        for (m, set) in oracle.iter().enumerate() {
+            let want: Vec<ComponentId> = set.iter().copied().collect();
+            assert_eq!(table.machine(m), &want[..], "machine {m}");
+            for c in 0..8 {
+                assert_eq!(table.contains(m, c), set.contains(&c), "machine {m} c {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn tag_table_matches_btreeset_oracle_under_mixed_updates() {
+        let mut table = TagTable::new(4);
+        let mut oracle = vec![BTreeSet::new(); 4];
+        let inserts: &[(usize, ComponentId)] = &[(1, 3), (1, 1), (1, 3), (0, 5), (3, 0), (1, 2)];
+        for &(m, c) in inserts {
+            table.insert(m, c);
+            oracle[m].insert(c);
+        }
+        oracle_matches(&table, &oracle);
+        table.set(2, &[0, 2, 7]);
+        oracle[2] = BTreeSet::from([0, 2, 7]);
+        oracle_matches(&table, &oracle);
+        for (m, fresh) in [(1, vec![0, 2, 6]), (2, vec![0, 2]), (0, vec![5])] {
+            table.extend(m, &fresh);
+            oracle[m].extend(fresh.iter().copied());
+            oracle_matches(&table, &oracle);
+        }
+        // Out-of-range machines: silently ignored, like `Vec::get_mut`.
+        table.insert(9, 1);
+        table.extend(9, &[1]);
+        assert_eq!(table.machine(9), &[] as &[ComponentId]);
+        table.clear();
+        oracle_matches(&table, &vec![BTreeSet::new(); 4]);
+    }
+
+    #[test]
+    fn tag_table_equality_ignores_spine_layout() {
+        let mut a = TagTable::new(3);
+        a.set(0, &[1, 2]);
+        a.set(1, &[4]);
+        let mut b = TagTable::new(3);
+        // Same live contents via a different update history (b's spine
+        // carries retired runs where a's does not).
+        b.insert(1, 4);
+        b.insert(0, 2);
+        b.insert(0, 1);
+        assert_eq!(a, b);
+        b.insert(2, 9);
+        assert_ne!(a, b);
+        assert_ne!(a, TagTable::new(2));
+    }
+
+    #[test]
+    fn tag_table_compaction_bounds_retired_runs() {
+        let mut table = TagTable::new(2);
+        // Churn one machine's run far past the compaction threshold; the
+        // spine must stay bounded and the contents exact.
+        for c in 0..2000u32 {
+            table.insert(0, c);
+        }
+        table.set(1, &[7]);
+        assert_eq!(table.machine(0).len(), 2000);
+        assert!(table.machine(0).windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(table.machine(1), &[7]);
+        assert!(
+            table.data.len() <= table.live * 2 + 64,
+            "spine {} vs live {}",
+            table.data.len(),
+            table.live
+        );
     }
 }

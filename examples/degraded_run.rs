@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let victim = (0..baseline_cluster.num_machines())
         .find(|&m| {
             let tags = baseline_cluster.machine_components(m);
-            !tags.is_empty() && tags.is_disjoint(&target)
+            !tags.is_empty() && !tags.iter().any(|c| target.contains(c))
         })
         .expect("no machine holds only foreign records");
     println!(

@@ -102,7 +102,7 @@ fn baseline_and_foreign(
     let foreign = (0..cluster.num_machines())
         .find(|&m| {
             let tags = cluster.machine_components(m);
-            !tags.is_empty() && tags.is_disjoint(&target)
+            !tags.is_empty() && !tags.iter().any(|c| target.contains(c))
         })
         .unwrap_or_else(|| panic!("{}: no foreign-tagged machine", algo.name));
     (labels, foreign, target)
